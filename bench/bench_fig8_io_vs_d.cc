@@ -1,0 +1,97 @@
+// Figure 8: I/O cost of computing the publishable tables vs. the number d of
+// QI attributes, on OCC-d (8a) and SAL-d (8b). Page size 4096 bytes,
+// buffer pool sized per Theorem 3's O(lambda) memory model (lambda + 4
+// frames, lambda = 50 sensitive values; see EXPERIMENTS.md).
+//
+// Three series are printed: the paper-style comparator (a straight
+// externalization of Mondrian [9] with no in-memory stage), our buffered
+// Mondrian driver, and Anatomize.
+
+#include <cstdio>
+
+#include "anatomy/external_anatomizer.h"
+#include "bench_util.h"
+#include "common/printer.h"
+#include "data/census_generator.h"
+#include "generalization/external_mondrian.h"
+
+namespace anatomy {
+namespace bench {
+namespace {
+
+constexpr size_t kPoolFrames = 54;  // lambda + 4
+
+struct IoPoint {
+  uint64_t generalization_naive = 0;
+  uint64_t generalization_buffered = 0;
+  uint64_t anatomy = 0;
+};
+
+IoPoint MeasureIo(const ExperimentDataset& dataset, const BenchConfig& config) {
+  IoPoint point;
+  const int l = static_cast<int>(config.l);
+  {
+    SimulatedDisk disk;
+    BufferPool pool(&disk, kPoolFrames);
+    ExternalMondrian naive(MondrianOptions{l}, /*memory_budget_pages=*/0);
+    point.generalization_naive =
+        ValueOrDie(naive.Run(dataset.microdata, dataset.taxonomies, &disk,
+                             &pool))
+            .io.total();
+  }
+  {
+    SimulatedDisk disk;
+    BufferPool pool(&disk, kPoolFrames);
+    ExternalMondrian buffered(MondrianOptions{l});
+    point.generalization_buffered =
+        ValueOrDie(buffered.Run(dataset.microdata, dataset.taxonomies, &disk,
+                                &pool))
+            .io.total();
+  }
+  {
+    SimulatedDisk disk;
+    BufferPool pool(&disk, kPoolFrames);
+    ExternalAnatomizer anatomizer(
+        AnatomizerOptions{.l = l, .seed = static_cast<uint64_t>(config.seed)});
+    point.anatomy =
+        ValueOrDie(anatomizer.Run(dataset.microdata, &disk, &pool)).io.total();
+  }
+  return point;
+}
+
+void RunFamily(const Table& census, SensitiveFamily family,
+               const BenchConfig& config, char subfigure) {
+  TablePrinter printer({"d", "generalization [9]-ext", "generalization buffered",
+                        "anatomy"});
+  for (int d = 3; d <= 7; ++d) {
+    ExperimentDataset dataset =
+        ValueOrDie(MakeExperimentDataset(census, family, d));
+    const IoPoint point = MeasureIo(dataset, config);
+    printer.AddRow({std::to_string(d),
+                    std::to_string(point.generalization_naive),
+                    std::to_string(point.generalization_buffered),
+                    std::to_string(point.anatomy)});
+  }
+  std::printf("Figure 8%c: I/O cost vs d  (%s-d, page 4096B, %zu-frame pool)\n",
+              subfigure, FamilyName(family).c_str(), kPoolFrames);
+  printer.Print();
+  MaybeWriteSeriesCsv(config, std::string("fig8") + subfigure, printer);
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace anatomy
+
+int main(int argc, char** argv) {
+  using namespace anatomy;
+  using namespace anatomy::bench;
+  const BenchConfig config = ParseBenchFlags(
+      argc, argv,
+      "bench_fig8_io_vs_d: reproduces Figure 8 (I/O cost vs dimensionality)");
+  const Table census =
+      GenerateCensus(static_cast<RowId>(config.n), config.seed);
+  RunFamily(census, SensitiveFamily::kOccupation, config, 'a');
+  RunFamily(census, SensitiveFamily::kSalaryClass, config, 'b');
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 9: I/O cost vs. dataset cardinality n, on OCC-5 (9a) and SAL-5
+// (9b). Anatomize scales linearly (Theorem 3); the generalization
+// comparator is super-linear (recursion depth grows with n).
+
+#include <cstdio>
+
+#include "anatomy/external_anatomizer.h"
+#include "bench_util.h"
+#include "common/printer.h"
+#include "common/rng.h"
+#include "data/census_generator.h"
+#include "generalization/external_mondrian.h"
+
+namespace anatomy {
+namespace bench {
+namespace {
+
+constexpr size_t kPoolFrames = 54;  // lambda + 4 (see EXPERIMENTS.md)
+
+void RunFamily(const Table& census, SensitiveFamily family,
+               const BenchConfig& config, char subfigure) {
+  ExperimentDataset full =
+      ValueOrDie(MakeExperimentDataset(census, family, 5));
+  Rng rng(config.seed + (family == SensitiveFamily::kOccupation ? 3 : 4));
+  const int l = static_cast<int>(config.l);
+  TablePrinter printer({"n", "generalization [9]-ext", "generalization buffered",
+                        "anatomy"});
+  for (RowId n : CardinalitySweep(config)) {
+    ExperimentDataset dataset = ValueOrDie(SampleDataset(full, n, rng));
+    uint64_t naive_io = 0;
+    uint64_t buffered_io = 0;
+    uint64_t anatomy_io = 0;
+    {
+      SimulatedDisk disk;
+      BufferPool pool(&disk, kPoolFrames);
+      ExternalMondrian naive(MondrianOptions{l}, /*memory_budget_pages=*/0);
+      naive_io = ValueOrDie(naive.Run(dataset.microdata, dataset.taxonomies,
+                                      &disk, &pool))
+                     .io.total();
+    }
+    {
+      SimulatedDisk disk;
+      BufferPool pool(&disk, kPoolFrames);
+      ExternalMondrian buffered(MondrianOptions{l});
+      buffered_io = ValueOrDie(buffered.Run(dataset.microdata,
+                                            dataset.taxonomies, &disk, &pool))
+                        .io.total();
+    }
+    {
+      SimulatedDisk disk;
+      BufferPool pool(&disk, kPoolFrames);
+      ExternalAnatomizer anatomizer(AnatomizerOptions{
+          .l = l, .seed = static_cast<uint64_t>(config.seed)});
+      anatomy_io =
+          ValueOrDie(anatomizer.Run(dataset.microdata, &disk, &pool))
+              .io.total();
+    }
+    printer.AddRow({FormatCount(n), std::to_string(naive_io),
+                    std::to_string(buffered_io), std::to_string(anatomy_io)});
+  }
+  std::printf("Figure 9%c: I/O cost vs n  (%s-5, page 4096B, %zu-frame pool)\n",
+              subfigure, FamilyName(family).c_str(), kPoolFrames);
+  printer.Print();
+  MaybeWriteSeriesCsv(config, std::string("fig9") + subfigure, printer);
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace anatomy
+
+int main(int argc, char** argv) {
+  using namespace anatomy;
+  using namespace anatomy::bench;
+  const BenchConfig config = ParseBenchFlags(
+      argc, argv,
+      "bench_fig9_io_vs_n: reproduces Figure 9 (I/O cost vs cardinality)");
+  const std::vector<RowId> sweep = CardinalitySweep(config);
+  const Table census = GenerateCensus(sweep.back(), config.seed);
+  RunFamily(census, SensitiveFamily::kOccupation, config, 'a');
+  RunFamily(census, SensitiveFamily::kSalaryClass, config, 'b');
+  return 0;
+}

@@ -1,0 +1,219 @@
+// Microbenchmarks (google-benchmark): throughput of the core operations.
+// Complements the I/O-count figures with wall-clock numbers for the
+// in-memory paths (Theorem 3's CPU side, estimator latency, substrate ops).
+
+#include <benchmark/benchmark.h>
+
+#include "anatomy/anatomized_tables.h"
+#include "anatomy/anatomizer.h"
+#include "common/rng.h"
+#include "data/census_generator.h"
+#include "data/dataset.h"
+#include "generalization/generalized_table.h"
+#include "generalization/mondrian.h"
+#include "query/anatomy_estimator.h"
+#include "query/exact_evaluator.h"
+#include "anatomy/external_join.h"
+#include "query/generalization_estimator.h"
+#include "storage/external_sort.h"
+#include "storage/page_file.h"
+#include "workload/workload.h"
+
+namespace anatomy {
+namespace {
+
+ExperimentDataset MakeDataset(RowId n) {
+  const Table census = GenerateCensus(n, 42);
+  auto dataset = MakeExperimentDataset(census, SensitiveFamily::kOccupation, 5);
+  ANATOMY_CHECK_OK(dataset.status());
+  return std::move(dataset).value();
+}
+
+void BM_CensusGenerate(benchmark::State& state) {
+  const RowId n = static_cast<RowId>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateCensus(n, 42));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CensusGenerate)->Arg(10000)->Arg(50000);
+
+void BM_Anatomize(benchmark::State& state) {
+  const ExperimentDataset dataset = MakeDataset(static_cast<RowId>(state.range(0)));
+  Anatomizer anatomizer(AnatomizerOptions{.l = 10, .seed = 1});
+  for (auto _ : state) {
+    auto partition = anatomizer.ComputePartition(dataset.microdata);
+    ANATOMY_CHECK_OK(partition.status());
+    benchmark::DoNotOptimize(partition);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Anatomize)->Arg(10000)->Arg(50000)->Arg(100000);
+
+void BM_Mondrian(benchmark::State& state) {
+  const ExperimentDataset dataset = MakeDataset(static_cast<RowId>(state.range(0)));
+  Mondrian mondrian(MondrianOptions{10});
+  for (auto _ : state) {
+    auto partition =
+        mondrian.ComputePartition(dataset.microdata, dataset.taxonomies);
+    ANATOMY_CHECK_OK(partition.status());
+    benchmark::DoNotOptimize(partition);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Mondrian)->Arg(10000)->Arg(50000);
+
+/// Published tables + workload reused across estimator benchmarks.
+struct EstimatorFixture {
+  explicit EstimatorFixture(RowId n) : dataset(MakeDataset(n)) {
+    Anatomizer anatomizer(AnatomizerOptions{.l = 10, .seed = 1});
+    auto partition = anatomizer.ComputePartition(dataset.microdata);
+    ANATOMY_CHECK_OK(partition.status());
+    auto built = AnatomizedTables::Build(dataset.microdata, partition.value());
+    ANATOMY_CHECK_OK(built.status());
+    anatomized = std::make_unique<AnatomizedTables>(std::move(built).value());
+
+    Mondrian mondrian(MondrianOptions{10});
+    auto general = mondrian.ComputePartition(dataset.microdata,
+                                             dataset.taxonomies);
+    ANATOMY_CHECK_OK(general.status());
+    auto table = GeneralizedTable::Build(dataset.microdata, general.value(),
+                                         dataset.taxonomies);
+    ANATOMY_CHECK_OK(table.status());
+    generalized = std::make_unique<GeneralizedTable>(std::move(table).value());
+
+    WorkloadOptions options;
+    options.qd = 0;
+    options.s = 0.05;
+    options.seed = 9;
+    auto generator = WorkloadGenerator::Create(dataset.microdata, options);
+    ANATOMY_CHECK_OK(generator.status());
+    for (int i = 0; i < 64; ++i) queries.push_back(generator.value().Next());
+  }
+
+  ExperimentDataset dataset;
+  std::unique_ptr<AnatomizedTables> anatomized;
+  std::unique_ptr<GeneralizedTable> generalized;
+  std::vector<CountQuery> queries;
+};
+
+EstimatorFixture& SharedFixture() {
+  static auto& fixture = *new EstimatorFixture(50000);
+  return fixture;
+}
+
+void BM_ExactCount(benchmark::State& state) {
+  EstimatorFixture& fixture = SharedFixture();
+  ExactEvaluator evaluator(fixture.dataset.microdata);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        evaluator.Count(fixture.queries[i++ % fixture.queries.size()]));
+  }
+}
+BENCHMARK(BM_ExactCount);
+
+void BM_AnatomyEstimate(benchmark::State& state) {
+  EstimatorFixture& fixture = SharedFixture();
+  AnatomyEstimator estimator(*fixture.anatomized);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        estimator.Estimate(fixture.queries[i++ % fixture.queries.size()]));
+  }
+}
+BENCHMARK(BM_AnatomyEstimate);
+
+void BM_GeneralizationEstimate(benchmark::State& state) {
+  EstimatorFixture& fixture = SharedFixture();
+  GeneralizationEstimator estimator(*fixture.generalized);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        estimator.Estimate(fixture.queries[i++ % fixture.queries.size()]));
+  }
+}
+BENCHMARK(BM_GeneralizationEstimate);
+
+void BM_RecordFileScan(benchmark::State& state) {
+  SimulatedDisk disk;
+  BufferPool pool(&disk, 50);
+  RecordFile file(&disk, 7);
+  {
+    RecordWriter writer(&pool, &file);
+    std::vector<int32_t> rec(7, 1);
+    for (int i = 0; i < 100000; ++i) {
+      rec[0] = i;
+      ANATOMY_CHECK_OK(writer.Append(rec));
+    }
+    ANATOMY_CHECK_OK(pool.FlushAll());
+  }
+  std::vector<int32_t> rec(7);
+  for (auto _ : state) {
+    RecordReader reader(&pool, &file);
+    uint64_t sum = 0;
+    for (;;) {
+      auto more = reader.Next(rec);
+      ANATOMY_CHECK_OK(more.status());
+      if (!more.value()) break;
+      sum += static_cast<uint64_t>(rec[0]);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * file.num_records());
+}
+BENCHMARK(BM_RecordFileScan);
+
+void BM_ExternalSort(benchmark::State& state) {
+  const int kRecords = static_cast<int>(state.range(0));
+  Rng rng(3);
+  std::vector<std::vector<int32_t>> records;
+  records.reserve(kRecords);
+  for (int i = 0; i < kRecords; ++i) {
+    records.push_back({static_cast<int32_t>(rng.NextBounded(1u << 30)),
+                       static_cast<int32_t>(i)});
+  }
+  for (auto _ : state) {
+    SimulatedDisk disk;
+    BufferPool pool(&disk, 50);
+    RecordFile file(&disk, 2);
+    {
+      RecordWriter writer(&pool, &file);
+      for (const auto& rec : records) {
+        ANATOMY_CHECK_OK(writer.Append(rec));
+      }
+      ANATOMY_CHECK_OK(pool.FlushAll());
+    }
+    auto sorted = ExternalSort(&file, SortSpec{{0}}, &pool);
+    ANATOMY_CHECK_OK(sorted.status());
+    ANATOMY_CHECK_OK(sorted.value()->FreeAll(&pool));
+  }
+  state.SetItemsProcessed(state.iterations() * kRecords);
+}
+BENCHMARK(BM_ExternalSort)->Arg(50000)->Arg(200000);
+
+void BM_ExternalJoin(benchmark::State& state) {
+  EstimatorFixture& fixture = SharedFixture();
+  for (auto _ : state) {
+    SimulatedDisk disk;
+    BufferPool pool(&disk, 50);
+    auto result = ExternalJoinQitSt(*fixture.anatomized, &disk, &pool);
+    ANATOMY_CHECK_OK(result.status());
+    ANATOMY_CHECK_OK(result.value().joined->FreeAll(&pool));
+    benchmark::DoNotOptimize(result.value().records);
+  }
+}
+BENCHMARK(BM_ExternalJoin);
+
+void BM_RngZipf(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextZipf(1000000, 0.8));
+  }
+}
+BENCHMARK(BM_RngZipf);
+
+}  // namespace
+}  // namespace anatomy
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "anatomy/anatomizer.h"
+#include "generalization/mondrian.h"
+
+namespace anatomy {
+namespace bench {
+
+BenchConfig ParseBenchFlags(int argc, char** argv, const std::string& banner) {
+  BenchConfig config;
+  FlagParser parser;
+  parser.AddInt64("n", &config.n, "dataset cardinality (fixed-n figures)");
+  parser.AddInt64("queries", &config.queries, "queries per workload point");
+  parser.AddInt64("l", &config.l, "l-diversity parameter (paper: 10)");
+  parser.AddInt64("seed", &config.seed, "master RNG seed");
+  parser.AddBool("paper", &config.paper,
+                 "full Table 7 scale: n = 300k (sweeps to 500k), 10k queries");
+  parser.AddString("csv_dir", &config.csv_dir,
+                   "also write each series as <dir>/<figure>.csv");
+  const Status status = parser.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 parser.Usage(argv[0]).c_str());
+    std::exit(2);
+  }
+  if (parser.help_requested()) {
+    std::printf("%s\n%s", banner.c_str(), parser.Usage(argv[0]).c_str());
+    std::exit(0);
+  }
+  if (config.paper) {
+    config.n = 300000;
+    config.queries = 10000;
+  }
+  std::printf("%s\n", banner.c_str());
+  std::printf("preset: n=%lld, queries=%lld, l=%lld, seed=%lld%s\n\n",
+              static_cast<long long>(config.n),
+              static_cast<long long>(config.queries),
+              static_cast<long long>(config.l),
+              static_cast<long long>(config.seed),
+              config.paper ? " (paper scale)" : " (quick preset; --paper for full scale)");
+  return config;
+}
+
+std::vector<RowId> CardinalitySweep(const BenchConfig& config) {
+  if (config.paper) {
+    return {100000, 200000, 300000, 400000, 500000};
+  }
+  const RowId step = static_cast<RowId>(config.n) / 3;
+  return {step, 2 * step, 3 * step, 4 * step, 5 * step};
+}
+
+StatusOr<PublishedDataset> Publish(ExperimentDataset dataset, int l,
+                                   uint64_t seed) {
+  const Microdata& md = dataset.microdata;
+  Anatomizer anatomizer(AnatomizerOptions{.l = l, .seed = seed});
+  ANATOMY_ASSIGN_OR_RETURN(Partition anatomy_partition,
+                           anatomizer.ComputePartition(md));
+  ANATOMY_ASSIGN_OR_RETURN(AnatomizedTables anatomized,
+                           AnatomizedTables::Build(md, anatomy_partition));
+
+  Mondrian mondrian(MondrianOptions{l});
+  ANATOMY_ASSIGN_OR_RETURN(Partition general_partition,
+                           mondrian.ComputePartition(md, dataset.taxonomies));
+  ANATOMY_ASSIGN_OR_RETURN(
+      GeneralizedTable generalized,
+      GeneralizedTable::Build(md, general_partition, dataset.taxonomies));
+
+  return PublishedDataset{std::move(dataset), std::move(anatomized),
+                          std::move(generalized)};
+}
+
+StatusOr<ErrorPoint> MeasureErrors(const PublishedDataset& published, int qd,
+                                   double s, size_t num_queries,
+                                   uint64_t seed) {
+  WorkloadOptions options;
+  options.qd = qd;
+  options.s = s;
+  options.num_queries = num_queries;
+  options.seed = seed;
+  ANATOMY_ASSIGN_OR_RETURN(
+      WorkloadResult result,
+      RunWorkload(published.dataset.microdata, published.anatomized,
+                  published.generalized, options));
+  ErrorPoint point;
+  point.generalization_pct = result.generalization_error * 100.0;
+  point.anatomy_pct = result.anatomy_error * 100.0;
+  point.skipped = result.zero_actual_skipped;
+  return point;
+}
+
+void DieIfError(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+std::string FamilyName(SensitiveFamily family) {
+  return family == SensitiveFamily::kOccupation ? "OCC" : "SAL";
+}
+
+void MaybeWriteSeriesCsv(const BenchConfig& config, const std::string& figure,
+                         const TablePrinter& printer) {
+  if (config.csv_dir.empty()) return;
+  const std::string path = config.csv_dir + "/" + figure + ".csv";
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  os << printer.ToCsv();
+  std::printf("(series written to %s)\n", path.c_str());
+}
+
+}  // namespace bench
+}  // namespace anatomy

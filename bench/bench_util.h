@@ -1,0 +1,94 @@
+// Shared harness for the figure-reproduction benchmarks.
+//
+// Every bench binary reproduces one figure of the paper's Section 6. The
+// default preset is scaled down so the whole suite runs in minutes on one
+// core (n = 60k, 1,000 queries per workload); pass --paper for the full
+// Table 7 configuration (n = 300k, 10,000 queries) — same code, longer run.
+
+#ifndef ANATOMY_BENCH_BENCH_UTIL_H_
+#define ANATOMY_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "anatomy/anatomized_tables.h"
+#include "common/flags.h"
+#include "common/printer.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "generalization/generalized_table.h"
+#include "workload/runner.h"
+
+namespace anatomy {
+namespace bench {
+
+struct BenchConfig {
+  /// Dataset cardinality for fixed-n figures.
+  int64_t n = 60000;
+  /// Queries per workload point.
+  int64_t queries = 1000;
+  /// The paper's privacy parameter (Table 7: l = 10).
+  int64_t l = 10;
+  /// Master seed; every derived RNG forks from it.
+  int64_t seed = 42;
+  /// Full paper scale (n = 300k / 100k..500k sweeps, 10k queries).
+  bool paper = false;
+  /// When non-empty, every printed series is also written to
+  /// <csv_dir>/<figure>.csv for plotting.
+  std::string csv_dir;
+};
+
+/// Parses the standard bench flags (plus --help). Exits the process on bad
+/// flags or --help, so callers can use the result unconditionally.
+BenchConfig ParseBenchFlags(int argc, char** argv, const std::string& banner);
+
+/// Cardinality sweep for the n-axis figures (7 and 9): the paper's
+/// 100k..500k, or a proportionally reduced ladder in the quick preset.
+std::vector<RowId> CardinalitySweep(const BenchConfig& config);
+
+/// Both publications of one dataset.
+struct PublishedDataset {
+  ExperimentDataset dataset;
+  AnatomizedTables anatomized;
+  GeneralizedTable generalized;
+};
+
+/// Runs Anatomize and l-diverse Mondrian on `dataset`.
+StatusOr<PublishedDataset> Publish(ExperimentDataset dataset, int l,
+                                   uint64_t seed);
+
+/// One accuracy point: average relative errors (as percentages) of both
+/// methods on a (qd, s) workload.
+struct ErrorPoint {
+  double generalization_pct = 0.0;
+  double anatomy_pct = 0.0;
+  size_t skipped = 0;
+};
+
+StatusOr<ErrorPoint> MeasureErrors(const PublishedDataset& published, int qd,
+                                   double s, size_t num_queries,
+                                   uint64_t seed);
+
+/// Aborts with the status message if not OK (bench binaries have no caller
+/// to propagate to).
+void DieIfError(const Status& status);
+
+template <typename T>
+T ValueOrDie(StatusOr<T> result) {
+  DieIfError(result.status());
+  return std::move(result).value();
+}
+
+/// "OCC" / "SAL" pretty name.
+std::string FamilyName(SensitiveFamily family);
+
+/// Writes `printer`'s rows to <csv_dir>/<figure>.csv when --csv_dir was
+/// given; silently does nothing otherwise.
+void MaybeWriteSeriesCsv(const BenchConfig& config, const std::string& figure,
+                         const TablePrinter& printer);
+
+}  // namespace bench
+}  // namespace anatomy
+
+#endif  // ANATOMY_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,205 @@
+// anatomy_cli: command-line anatomization and querying of CSV microdata.
+//
+// Publish (integer-coded, headered CSV; domains inferred as max+1):
+//   anatomy_cli --input=data.csv --qi=0,1,2 --sensitive=3 --l=10
+//               --qit_out=qit.csv --st_out=st.csv [--bundle_out=dir]
+//
+// Query a publication bundle (written with --bundle_out):
+//   anatomy_cli --bundle=dir
+//               --query="COUNT WHERE age BETWEEN 20 AND 40 AND s IN (3, 7)"
+//
+// The tool checks eligibility, runs Anatomize, verifies l-diversity of the
+// output, and writes the publishable files. With --check_only it just
+// reports the maximum supported l.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "anatomy/anatomized_tables.h"
+#include "anatomy/anatomizer.h"
+#include "anatomy/bundle.h"
+#include "anatomy/eligibility.h"
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "privacy/ldiversity.h"
+#include "query/anatomy_estimator.h"
+#include "query/parser.h"
+#include "table/csv.h"
+#include "table/table.h"
+
+using namespace anatomy;
+
+namespace {
+
+void Die(const Status& status) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+template <typename T>
+T OrDie(StatusOr<T> value) {
+  if (!value.ok()) Die(value.status());
+  return std::move(value).value();
+}
+
+/// Reads a headered integer CSV twice: first to infer names and per-column
+/// maxima, then through the schema-validated reader.
+StatusOr<Table> ReadIntegerCsv(const std::string& path) {
+  std::ifstream probe(path);
+  if (!probe) return Status::NotFound("cannot open '" + path + "'");
+  std::string line;
+  if (!std::getline(probe, line)) {
+    return Status::InvalidArgument("empty file");
+  }
+  std::vector<std::string> names;
+  for (const auto& field : Split(line, ',')) {
+    names.emplace_back(Trim(field));
+  }
+  std::vector<Code> maxima(names.size(), 0);
+  size_t line_no = 1;
+  while (std::getline(probe, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    const auto fields = Split(line, ',');
+    if (fields.size() != names.size()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": field count mismatch");
+    }
+    for (size_t c = 0; c < fields.size(); ++c) {
+      char* end = nullptr;
+      const std::string text(Trim(fields[c]));
+      const long v = std::strtol(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0' || v < 0) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": '" + text +
+                                       "' is not a non-negative integer");
+      }
+      maxima[c] = std::max(maxima[c], static_cast<Code>(v));
+    }
+  }
+  std::vector<AttributeDef> defs;
+  defs.reserve(names.size());
+  for (size_t c = 0; c < names.size(); ++c) {
+    defs.push_back(MakeNumerical(names[c], maxima[c] + 1));
+  }
+  return ReadCsvFile(std::make_shared<Schema>(std::move(defs)), path);
+}
+
+StatusOr<std::vector<size_t>> ParseColumnList(const std::string& spec,
+                                              size_t num_columns) {
+  std::vector<size_t> out;
+  for (const auto& part : Split(spec, ',')) {
+    char* end = nullptr;
+    const std::string text(Trim(part));
+    const long v = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || v < 0 ||
+        static_cast<size_t>(v) >= num_columns) {
+      return Status::InvalidArgument("bad column index '" + text + "'");
+    }
+    out.push_back(static_cast<size_t>(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string qi_spec;
+  int64_t sensitive = -1;
+  int64_t l = 10;
+  int64_t seed = 1;
+  std::string qit_out = "qit.csv";
+  std::string st_out = "st.csv";
+  std::string bundle_out;
+  std::string bundle;
+  std::string query_text;
+  bool check_only = false;
+
+  FlagParser parser;
+  parser.AddString("input", &input, "integer-coded CSV with a header row");
+  parser.AddString("qi", &qi_spec, "comma-separated QI column indices");
+  parser.AddInt64("sensitive", &sensitive, "sensitive column index");
+  parser.AddInt64("l", &l, "l-diversity parameter");
+  parser.AddInt64("seed", &seed, "RNG seed for the random draws");
+  parser.AddString("qit_out", &qit_out, "output path for the QIT CSV");
+  parser.AddString("st_out", &st_out, "output path for the ST CSV");
+  parser.AddString("bundle_out", &bundle_out,
+                   "also write a self-describing publication bundle here");
+  parser.AddString("bundle", &bundle, "query mode: load this bundle");
+  parser.AddString("query", &query_text,
+                   "query mode: COUNT [WHERE ...] to estimate");
+  parser.AddBool("check_only", &check_only,
+                 "only report eligibility; write nothing");
+  Die(parser.Parse(argc, argv));
+  if (parser.help_requested()) {
+    std::printf("%s", parser.Usage(argv[0]).c_str());
+    return 0;
+  }
+
+  // ---- Query mode: answer a COUNT query from a publication bundle. ----
+  if (!bundle.empty()) {
+    if (query_text.empty()) {
+      std::fprintf(stderr, "--bundle requires --query\n");
+      return 2;
+    }
+    const LoadedPublication loaded = OrDie(ReadPublicationBundle(bundle));
+    std::printf("loaded bundle: %u tuples, %zu groups, verified %d-diverse\n",
+                loaded.tables.num_rows(), loaded.tables.num_groups(),
+                loaded.manifest.l);
+    const QuerySchema schema = QuerySchema::FromPublication(loaded.tables);
+    const CountQuery query = OrDie(ParseCountQuery(query_text, schema));
+    AnatomyEstimator estimator(loaded.tables);
+    std::printf("estimate: %.3f\n", estimator.Estimate(query));
+    return 0;
+  }
+
+  if (input.empty() || qi_spec.empty() || sensitive < 0) {
+    std::printf("%s", parser.Usage(argv[0]).c_str());
+    return 2;
+  }
+
+  const Table table = OrDie(ReadIntegerCsv(input));
+  Microdata md;
+  md.table = table;
+  md.qi_columns = OrDie(ParseColumnList(qi_spec, table.num_columns()));
+  md.sensitive_column = static_cast<size_t>(sensitive);
+  Die(md.Validate());
+
+  const int max_l = MaxEligibleL(md);
+  std::printf("%s: %u rows, %zu QI attributes, sensitive '%s' (%d distinct "
+              "codes); max eligible l = %d\n",
+              input.c_str(), md.n(), md.d(),
+              md.sensitive_attribute().name.c_str(),
+              md.sensitive_attribute().domain_size, max_l);
+  if (check_only) return 0;
+
+  Die(CheckEligibility(md, static_cast<int>(l)));
+  Anatomizer anatomizer(AnatomizerOptions{
+      .l = static_cast<int>(l), .seed = static_cast<uint64_t>(seed)});
+  const Partition partition = OrDie(anatomizer.ComputePartition(md));
+  const AnatomizedTables tables = OrDie(AnatomizedTables::Build(md, partition));
+  Die(VerifyAnatomizedLDiversity(tables, static_cast<int>(l)));
+
+  Die(WriteCsvFile(tables.qit(), qit_out));
+  Die(WriteCsvFile(tables.st(), st_out));
+  std::printf("wrote %s (%u rows) and %s (%u records, %zu groups); verified "
+              "%lld-diverse\n",
+              qit_out.c_str(), tables.qit().num_rows(), st_out.c_str(),
+              tables.st().num_rows(), tables.num_groups(),
+              static_cast<long long>(l));
+  if (!bundle_out.empty()) {
+    const std::string mkdir = "mkdir -p " + bundle_out;
+    if (std::system(mkdir.c_str()) != 0) {
+      std::fprintf(stderr, "cannot create %s\n", bundle_out.c_str());
+      return 1;
+    }
+    Die(WritePublicationBundle(tables, static_cast<int>(l), bundle_out));
+    std::printf("wrote publication bundle      : %s (schemas + CSVs + "
+                "manifest)\n",
+                bundle_out.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// streaming_demo: incremental anatomization of an arriving tuple stream
+// (the dynamic-publication direction of the paper's Section 7).
+//
+// A hospital receives admissions continuously and wants to release
+// l-diverse QIT/ST increments without waiting for the year to end. The demo
+// feeds a day-by-day stream into StreamingAnatomizer, shows groups being
+// emitted while the stream is still open, and verifies the final partition.
+
+#include <cstdio>
+
+#include "anatomy/anatomized_tables.h"
+#include "anatomy/streaming.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "data/census.h"
+#include "data/census_generator.h"
+#include "data/dataset.h"
+#include "privacy/breach.h"
+#include "privacy/ldiversity.h"
+
+using namespace anatomy;
+
+namespace {
+
+void Die(const Status& status) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "fatal: %s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+template <typename T>
+T OrDie(StatusOr<T> value) {
+  if (!value.ok()) Die(value.status());
+  return std::move(value).value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t n = 20000;
+  int64_t l = 10;
+  int64_t days = 10;
+  FlagParser parser;
+  parser.AddInt64("n", &n, "total stream length");
+  parser.AddInt64("l", &l, "privacy parameter");
+  parser.AddInt64("days", &days, "number of arrival batches to report");
+  Die(parser.Parse(argc, argv));
+  if (parser.help_requested()) {
+    std::printf("%s", parser.Usage(argv[0]).c_str());
+    return 0;
+  }
+
+  const Table census = GenerateCensus(static_cast<RowId>(n), 11);
+  ExperimentDataset dataset = OrDie(
+      MakeExperimentDataset(census, SensitiveFamily::kOccupation, 4));
+  const Microdata& md = dataset.microdata;
+
+  StreamingAnatomizer streaming(
+      StreamingAnatomizerOptions{.l = static_cast<int>(l), .seed = 3},
+      md.sensitive_attribute().domain_size);
+
+  std::printf("streaming %lld tuples in %lld batches at l = %lld:\n\n",
+              static_cast<long long>(n), static_cast<long long>(days),
+              static_cast<long long>(l));
+  std::printf("%-6s  %-10s  %-16s  %-10s\n", "batch", "arrived",
+              "groups emitted", "buffered");
+  const RowId batch_size = md.n() / static_cast<RowId>(days);
+  RowId fed = 0;
+  for (int64_t day = 1; day <= days; ++day) {
+    const RowId until =
+        day == days ? md.n() : fed + batch_size;
+    for (; fed < until; ++fed) {
+      Die(streaming.Add(fed, md.sensitive_value(fed)));
+    }
+    std::printf("%-6lld  %-10u  %-16zu  %-10zu\n",
+                static_cast<long long>(day), fed, streaming.emitted_groups(),
+                streaming.buffered());
+  }
+
+  const Partition partition = OrDie(streaming.Finish());
+  Die(partition.ValidateCover(md.n()));
+  Die(partition.ValidateLDiverse(md, static_cast<int>(l)));
+  const AnatomizedTables tables = OrDie(AnatomizedTables::Build(md, partition));
+  Die(VerifyAnatomizedLDiversity(tables, static_cast<int>(l)));
+
+  std::printf(
+      "\nstream closed: %zu groups over %u tuples, worst-case breach %.1f%% "
+      "(bound %.1f%%)\n",
+      partition.num_groups(), md.n(),
+      100 * MaxTupleBreachProbability(tables),
+      100.0 / static_cast<double>(l));
+  std::printf(
+      "Groups were publishable as soon as they were emitted — no need to\n"
+      "wait for the stream to end, and the tail is folded in at Finish().\n");
+  return 0;
+}

@@ -1,0 +1,170 @@
+#include "anatomy/anatomizer.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "anatomy/eligibility.h"
+#include "common/check.h"
+
+namespace anatomy {
+
+namespace {
+
+/// Per-sensitive-value bucket of row ids. Removal order is randomized by
+/// swapping a random element to the back before popping, which implements
+/// Line 7's "remove an arbitrary tuple" without O(n) erasure.
+struct Bucket {
+  Code value = 0;
+  std::vector<RowId> rows;
+
+  RowId PopRandom(Rng& rng) {
+    ANATOMY_CHECK(!rows.empty());
+    const size_t i = rng.NextBounded(rows.size());
+    std::swap(rows[i], rows.back());
+    const RowId r = rows.back();
+    rows.pop_back();
+    return r;
+  }
+};
+
+std::vector<Bucket> HashBySensitiveValue(const Microdata& microdata) {
+  const Code domain = microdata.sensitive_attribute().domain_size;
+  std::vector<Bucket> buckets(domain);
+  for (Code v = 0; v < domain; ++v) buckets[v].value = v;
+  for (RowId r = 0; r < microdata.n(); ++r) {
+    buckets[microdata.sensitive_value(r)].rows.push_back(r);
+  }
+  // Drop empty buckets: the algorithm only tracks values that occur.
+  std::vector<Bucket> live;
+  live.reserve(buckets.size());
+  for (auto& b : buckets) {
+    if (!b.rows.empty()) live.push_back(std::move(b));
+  }
+  return live;
+}
+
+/// Lazy max-heap over bucket sizes: entries carry the size at push time and
+/// are re-validated on pop, so each size change is O(log lambda) amortized.
+class LargestBucketQueue {
+ public:
+  explicit LargestBucketQueue(const std::vector<Bucket>& buckets) {
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      heap_.push({buckets[i].rows.size(), i});
+    }
+  }
+
+  /// Pops the index of the currently largest bucket, given live sizes.
+  size_t PopLargest(const std::vector<Bucket>& buckets) {
+    for (;;) {
+      ANATOMY_CHECK(!heap_.empty());
+      auto [size, idx] = heap_.top();
+      heap_.pop();
+      if (size == buckets[idx].rows.size()) return idx;
+      if (!buckets[idx].rows.empty()) {
+        heap_.push({buckets[idx].rows.size(), idx});  // Stale entry: refresh.
+      }
+    }
+  }
+
+  void Push(size_t idx, size_t size) {
+    if (size > 0) heap_.push({size, idx});
+  }
+
+ private:
+  std::priority_queue<std::pair<size_t, size_t>> heap_;
+};
+
+}  // namespace
+
+Anatomizer::Anatomizer(const AnatomizerOptions& options) : options_(options) {}
+
+StatusOr<Partition> Anatomizer::ComputePartition(
+    const Microdata& microdata) const {
+  return ComputePartitionWithPolicy(microdata, BucketPolicy::kLargestFirst);
+}
+
+StatusOr<Partition> Anatomizer::ComputePartitionWithPolicy(
+    const Microdata& microdata, BucketPolicy policy) const {
+  ANATOMY_RETURN_IF_ERROR(microdata.Validate());
+  ANATOMY_RETURN_IF_ERROR(CheckEligibility(microdata, options_.l));
+  const size_t l = static_cast<size_t>(options_.l);
+  Rng rng(options_.seed);
+
+  std::vector<Bucket> buckets = HashBySensitiveValue(microdata);
+  size_t non_empty = buckets.size();
+
+  Partition partition;
+  /// Sensitive values present in each group, parallel to partition.groups.
+  std::vector<std::vector<Code>> group_values;
+
+  // ---- Group-creation step (Lines 3-8). ----
+  LargestBucketQueue queue(buckets);
+  size_t round_robin_cursor = 0;
+  std::vector<size_t> drawn;  // bucket indices used by this iteration
+  while (non_empty >= l) {
+    drawn.clear();
+    if (policy == BucketPolicy::kLargestFirst) {
+      for (size_t k = 0; k < l; ++k) drawn.push_back(queue.PopLargest(buckets));
+    } else {
+      // Ablation: take the next l non-empty buckets in cyclic order.
+      while (drawn.size() < l) {
+        const size_t idx = round_robin_cursor++ % buckets.size();
+        if (!buckets[idx].rows.empty() &&
+            std::find(drawn.begin(), drawn.end(), idx) == drawn.end()) {
+          drawn.push_back(idx);
+        }
+      }
+    }
+    std::vector<RowId> group;
+    std::vector<Code> values;
+    group.reserve(l);
+    values.reserve(l);
+    for (size_t idx : drawn) {
+      Bucket& bucket = buckets[idx];
+      group.push_back(bucket.PopRandom(rng));
+      values.push_back(bucket.value);
+      if (bucket.rows.empty()) {
+        --non_empty;
+      } else if (policy == BucketPolicy::kLargestFirst) {
+        queue.Push(idx, bucket.rows.size());
+      }
+    }
+    partition.groups.push_back(std::move(group));
+    group_values.push_back(std::move(values));
+  }
+
+  // ---- Residue-assignment step (Lines 9-12). ----
+  // Under eligibility each remaining bucket holds exactly one tuple
+  // (Property 1) when running the paper's policy; the round-robin ablation
+  // can leave more, in which case the same per-tuple assignment is attempted
+  // and may correctly fail.
+  for (const Bucket& bucket : buckets) {
+    for (RowId r : bucket.rows) {
+      // S' = groups without this sensitive value (Line 11).
+      std::vector<GroupId> candidates;
+      for (GroupId g = 0; g < partition.groups.size(); ++g) {
+        const auto& values = group_values[g];
+        if (std::find(values.begin(), values.end(), bucket.value) ==
+            values.end()) {
+          candidates.push_back(g);
+        }
+      }
+      if (candidates.empty()) {
+        return Status::Internal(
+            "residue tuple has no admissible QI-group; input was not "
+            "eligible or a non-paper bucket policy stranded too many tuples");
+      }
+      const GroupId g = candidates[rng.NextBounded(candidates.size())];
+      partition.groups[g].push_back(r);
+      group_values[g].push_back(bucket.value);
+    }
+  }
+
+  if (partition.groups.empty()) {
+    return Status::FailedPrecondition(
+        "cardinality below l: no QI-group could be formed");
+  }
+  return partition;
+}
+
+}  // namespace anatomy

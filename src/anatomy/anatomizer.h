@@ -1,0 +1,63 @@
+// The Anatomize algorithm (Figure 3 of the paper), in-memory version.
+//
+// Given microdata T and parameter l, computes an l-diverse partition:
+//   1. Hash tuples into one bucket per sensitive value (Line 2).
+//   2. Group-creation (Lines 3-8): while at least l buckets are non-empty,
+//      form a group from one random tuple of each of the l largest buckets.
+//   3. Residue-assignment (Lines 9-12): each leftover tuple (at most l-1 of
+//      them, one per bucket — Property 1) joins a random group that does not
+//      yet contain its sensitive value (non-empty by Property 2).
+//
+// The resulting partition has groups of l or more tuples, all with distinct
+// sensitive values (Property 3), and its reconstruction error is within a
+// factor 1 + 1/n of the theoretical lower bound (Theorem 4).
+
+#ifndef ANATOMY_ANATOMY_ANATOMIZER_H_
+#define ANATOMY_ANATOMY_ANATOMIZER_H_
+
+#include <cstdint>
+
+#include "anatomy/partition.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "table/table.h"
+
+namespace anatomy {
+
+struct AnatomizerOptions {
+  /// Privacy parameter: an adversary infers any individual's sensitive value
+  /// with probability at most 1/l (Theorem 1).
+  int l = 10;
+  /// Seed for the random tuple draws (Line 7) and residue placement (Line 12).
+  uint64_t seed = 1;
+};
+
+/// How group creation selects buckets each iteration; kLargestFirst is the
+/// paper's algorithm. kRoundRobin is an intentionally naive ablation that
+/// cycles through buckets regardless of size — it can strand more than l-1
+/// residues and fail on eligible inputs (see bench_rce_quality).
+enum class BucketPolicy {
+  kLargestFirst,
+  kRoundRobin,
+};
+
+class Anatomizer {
+ public:
+  explicit Anatomizer(const AnatomizerOptions& options);
+
+  /// Runs Figure 3 on `microdata`. Fails with FailedPrecondition if the
+  /// table is not l-eligible (footnote 3: no l-diverse partition exists).
+  StatusOr<Partition> ComputePartition(const Microdata& microdata) const;
+
+  /// Ablation entry point: same pipeline with a different bucket-selection
+  /// policy. With kRoundRobin, may fail even on eligible inputs.
+  StatusOr<Partition> ComputePartitionWithPolicy(const Microdata& microdata,
+                                                 BucketPolicy policy) const;
+
+ private:
+  AnatomizerOptions options_;
+};
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_ANATOMY_ANATOMIZER_H_

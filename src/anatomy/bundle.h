@@ -1,0 +1,53 @@
+// Publication bundles: the on-disk directory format a publisher ships and an
+// analyst loads.
+//
+//   <dir>/
+//     qit_schema.txt   table/schema_io.h format (QI attributes + Group-ID)
+//     st_schema.txt    (Group-ID, As, Count)
+//     qit.csv          the quasi-identifier table
+//     st.csv           the sensitive table
+//     manifest.txt     key=value metadata (format version, l, n, groups)
+//
+// Writing a bundle records the publisher's claimed l; loading re-validates
+// everything: schema/CSV consistency, QIT-ST cross checks (via
+// AnatomizedTables::FromPublishedTables), and that the claimed l-diversity
+// actually holds — a loaded bundle can be trusted as much as a freshly
+// anatomized one.
+
+#ifndef ANATOMY_ANATOMY_BUNDLE_H_
+#define ANATOMY_ANATOMY_BUNDLE_H_
+
+#include <string>
+
+#include "anatomy/anatomized_tables.h"
+#include "common/status.h"
+
+namespace anatomy {
+
+struct PublicationManifest {
+  int format_version = 1;
+  int l = 0;
+  RowId rows = 0;
+  size_t groups = 0;
+};
+
+struct LoadedPublication {
+  AnatomizedTables tables;
+  PublicationManifest manifest;
+};
+
+/// Writes the bundle into `dir` (must exist). `l` is the diversity the
+/// publisher claims; it is verified before anything is written.
+Status WritePublicationBundle(const AnatomizedTables& tables, int l,
+                              const std::string& dir);
+
+/// Loads and fully re-validates a bundle.
+StatusOr<LoadedPublication> ReadPublicationBundle(const std::string& dir);
+
+/// Parses/serializes the manifest (exposed for tests).
+std::string SerializeManifest(const PublicationManifest& manifest);
+StatusOr<PublicationManifest> ParseManifest(const std::string& text);
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_ANATOMY_BUNDLE_H_

@@ -1,0 +1,30 @@
+#include "anatomy/eligibility.h"
+
+#include "table/stats.h"
+
+namespace anatomy {
+
+Status CheckEligibility(const Microdata& microdata, int l) {
+  if (l < 2) {
+    return Status::InvalidArgument("l must be >= 2 for meaningful diversity");
+  }
+  const uint64_t n = microdata.n();
+  const uint64_t max_count =
+      MaxFrequency(microdata.table, microdata.sensitive_column);
+  if (max_count * static_cast<uint64_t>(l) > n) {
+    return Status::FailedPrecondition(
+        "not " + std::to_string(l) + "-eligible: a sensitive value occurs " +
+        std::to_string(max_count) + " times in " + std::to_string(n) +
+        " tuples (limit " + std::to_string(n / l) + ")");
+  }
+  return Status::OK();
+}
+
+int MaxEligibleL(const Microdata& microdata) {
+  const uint32_t max_count =
+      MaxFrequency(microdata.table, microdata.sensitive_column);
+  if (max_count == 0) return 0;
+  return static_cast<int>(microdata.n() / max_count);
+}
+
+}  // namespace anatomy

@@ -1,0 +1,23 @@
+// The eligibility condition for l-diverse publication (proof of Property 1):
+// an l-diverse partition of T exists iff at most n/l tuples share the same
+// sensitive value. Neither anatomy nor generalization can beat this bound.
+
+#ifndef ANATOMY_ANATOMY_ELIGIBILITY_H_
+#define ANATOMY_ANATOMY_ELIGIBILITY_H_
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace anatomy {
+
+/// OK iff `microdata` admits an l-diverse partition: for every sensitive
+/// value v, count(v) * l <= n.
+Status CheckEligibility(const Microdata& microdata, int l);
+
+/// The largest l for which `microdata` is eligible: floor(n / max_v count(v)).
+/// Returns 0 for an empty table.
+int MaxEligibleL(const Microdata& microdata);
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_ANATOMY_ELIGIBILITY_H_

@@ -1,0 +1,31 @@
+#include "anatomy/join.h"
+
+namespace anatomy {
+
+Table JoinQitSt(const AnatomizedTables& tables) {
+  const Table& qit = tables.qit();
+  const size_t d = qit.num_columns() - 1;  // last column is Group-ID
+
+  std::vector<AttributeDef> defs;
+  defs.reserve(d + 3);
+  for (size_t c = 0; c < qit.num_columns(); ++c) {
+    defs.push_back(qit.schema().attribute(c));
+  }
+  defs.push_back(tables.st().schema().attribute(1));  // As
+  defs.push_back(tables.st().schema().attribute(2));  // Count
+  Table joined(std::make_shared<Schema>(std::move(defs)));
+
+  std::vector<Code> row(d + 3);
+  for (RowId r = 0; r < qit.num_rows(); ++r) {
+    for (size_t c = 0; c <= d; ++c) row[c] = qit.at(r, c);
+    const GroupId g = static_cast<GroupId>(qit.at(r, d));
+    for (const auto& [value, count] : tables.group_histogram(g)) {
+      row[d + 1] = value;
+      row[d + 2] = static_cast<Code>(count);
+      joined.AppendRow(row);
+    }
+  }
+  return joined;
+}
+
+}  // namespace anatomy

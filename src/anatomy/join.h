@@ -1,0 +1,21 @@
+// Natural join QIT |><| ST (Lemma 1, Table 4): the adversary's view of all
+// (tuple, sensitive value, count) associations. Each join record combined
+// with the group size yields Pr{t[d+1] = v} = c_j(v) / |QI_j| (Equation 2).
+
+#ifndef ANATOMY_ANATOMY_JOIN_H_
+#define ANATOMY_ANATOMY_JOIN_H_
+
+#include "anatomy/anatomized_tables.h"
+#include "table/table.h"
+
+namespace anatomy {
+
+/// Materializes the natural join on Group-ID. Output schema is
+/// (Aqi_1, ..., Aqi_d, Group-ID, As, Count) — d + 3 attributes as in Lemma 1.
+/// Rows appear in QIT order, each expanded by its group's ST records in
+/// sensitive-code order (Table 4's layout).
+Table JoinQitSt(const AnatomizedTables& tables);
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_ANATOMY_JOIN_H_

@@ -1,0 +1,102 @@
+#include "anatomy/partition.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace anatomy {
+
+RowId Partition::TotalRows() const {
+  RowId total = 0;
+  for (const auto& g : groups) total += static_cast<RowId>(g.size());
+  return total;
+}
+
+std::vector<GroupId> Partition::GroupOfRow(RowId n) const {
+  std::vector<GroupId> owner(n, static_cast<GroupId>(-1));
+  for (GroupId g = 0; g < groups.size(); ++g) {
+    for (RowId r : groups[g]) {
+      ANATOMY_CHECK(r < n);
+      ANATOMY_CHECK_MSG(owner[r] == static_cast<GroupId>(-1),
+                        "row assigned to two groups");
+      owner[r] = g;
+    }
+  }
+  for (RowId r = 0; r < n; ++r) {
+    ANATOMY_CHECK_MSG(owner[r] != static_cast<GroupId>(-1),
+                      "row missing from partition");
+  }
+  return owner;
+}
+
+Status Partition::ValidateCover(RowId n) const {
+  std::vector<bool> seen(n, false);
+  for (const auto& group : groups) {
+    if (group.empty()) return Status::InvalidArgument("empty QI-group");
+    for (RowId r : group) {
+      if (r >= n) return Status::OutOfRange("row id beyond table");
+      if (seen[r]) {
+        return Status::InvalidArgument("row " + std::to_string(r) +
+                                       " appears in two groups");
+      }
+      seen[r] = true;
+    }
+  }
+  for (RowId r = 0; r < n; ++r) {
+    if (!seen[r]) {
+      return Status::InvalidArgument("row " + std::to_string(r) +
+                                     " missing from partition");
+    }
+  }
+  return Status::OK();
+}
+
+Status Partition::ValidateLDiverse(const Microdata& microdata, int l) const {
+  if (l < 1) return Status::InvalidArgument("l must be >= 1");
+  for (GroupId g = 0; g < groups.size(); ++g) {
+    const auto hist = GroupSensitiveHistogram(microdata, groups[g]);
+    uint32_t max_count = 0;
+    for (const auto& [code, count] : hist) max_count = std::max(max_count, count);
+    // Inequality 1: cj(v)/|QIj| <= 1/l  <=>  cj(v) * l <= |QIj|.
+    if (static_cast<uint64_t>(max_count) * l > groups[g].size()) {
+      return Status::FailedPrecondition(
+          "group " + std::to_string(g + 1) + " violates " + std::to_string(l) +
+          "-diversity: max sensitive count " + std::to_string(max_count) +
+          " of " + std::to_string(groups[g].size()) + " tuples");
+    }
+  }
+  return Status::OK();
+}
+
+int Partition::MaxDiversity(const Microdata& microdata) const {
+  int best = 0;
+  bool first = true;
+  for (const auto& group : groups) {
+    if (group.empty()) return 0;
+    const auto hist = GroupSensitiveHistogram(microdata, group);
+    uint32_t max_count = 0;
+    for (const auto& [code, count] : hist) max_count = std::max(max_count, count);
+    const int group_l = static_cast<int>(group.size() / max_count);
+    best = first ? group_l : std::min(best, group_l);
+    first = false;
+  }
+  return best;
+}
+
+std::vector<std::pair<Code, uint32_t>> GroupSensitiveHistogram(
+    const Microdata& microdata, const std::vector<RowId>& group) {
+  std::vector<Code> values;
+  values.reserve(group.size());
+  for (RowId r : group) values.push_back(microdata.sensitive_value(r));
+  std::sort(values.begin(), values.end());
+  std::vector<std::pair<Code, uint32_t>> hist;
+  for (size_t i = 0; i < values.size();) {
+    size_t j = i;
+    while (j < values.size() && values[j] == values[i]) ++j;
+    hist.emplace_back(values[i], static_cast<uint32_t>(j - i));
+    i = j;
+  }
+  return hist;
+}
+
+}  // namespace anatomy

@@ -1,0 +1,52 @@
+// Partitions of a microdata table into QI-groups (Definition 1) and the
+// l-diversity predicate on them (Definition 2).
+
+#ifndef ANATOMY_ANATOMY_PARTITION_H_
+#define ANATOMY_ANATOMY_PARTITION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace anatomy {
+
+/// Group index within a partition (0-based internally; the paper's Group-ID
+/// is this + 1 when displayed).
+using GroupId = uint32_t;
+
+/// A partition of rows into disjoint QI-groups covering the whole table.
+struct Partition {
+  std::vector<std::vector<RowId>> groups;
+
+  size_t num_groups() const { return groups.size(); }
+
+  /// Total number of rows across groups.
+  RowId TotalRows() const;
+
+  /// Inverse mapping: group of each row in [0, n). CHECKs that rows are in
+  /// range and appear exactly once.
+  std::vector<GroupId> GroupOfRow(RowId n) const;
+
+  /// Verifies Definition 1 against a table of `n` rows: every row in exactly
+  /// one group, no empty groups.
+  Status ValidateCover(RowId n) const;
+
+  /// Verifies Definition 2: in each group, the most frequent sensitive value
+  /// occurs in at most 1/l of the tuples (Inequality 1).
+  Status ValidateLDiverse(const Microdata& microdata, int l) const;
+
+  /// The largest l for which this partition is l-diverse (0 if some group is
+  /// empty). Definition 2 with the inequality tight: l = min_j floor(|QIj| /
+  /// max_v cj(v)).
+  int MaxDiversity(const Microdata& microdata) const;
+};
+
+/// Per-group histogram of sensitive values, sorted by code. The pair is
+/// (sensitive code, count).
+std::vector<std::pair<Code, uint32_t>> GroupSensitiveHistogram(
+    const Microdata& microdata, const std::vector<RowId>& group);
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_ANATOMY_PARTITION_H_

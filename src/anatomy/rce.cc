@@ -1,0 +1,59 @@
+#include "anatomy/rce.h"
+
+#include "common/check.h"
+
+namespace anatomy {
+
+double TupleErrAnatomy(const std::vector<std::pair<Code, uint32_t>>& histogram,
+                       uint32_t group_size, Code actual) {
+  ANATOMY_CHECK(group_size > 0);
+  const double size = group_size;
+  double err = 0.0;
+  bool found = false;
+  for (const auto& [value, count] : histogram) {
+    const double p = count / size;
+    if (value == actual) {
+      err += (1.0 - p) * (1.0 - p);
+      found = true;
+    } else {
+      err += p * p;
+    }
+  }
+  ANATOMY_CHECK_MSG(found, "actual sensitive value missing from histogram");
+  return err;
+}
+
+double AnatomyRce(const AnatomizedTables& tables) {
+  // Group the closed form by sensitive value: c(v_h) tuples share the same
+  // Err_t, so RCE = sum_groups sum_h c(v_h) * Err(v_h).
+  double rce = 0.0;
+  for (GroupId g = 0; g < tables.num_groups(); ++g) {
+    const auto& hist = tables.group_histogram(g);
+    const double size = tables.group_size(g);
+    double sum_sq = 0.0;  // sum over h of (c_h / size)^2
+    for (const auto& [value, count] : hist) {
+      const double p = count / size;
+      sum_sq += p * p;
+    }
+    for (const auto& [value, count] : hist) {
+      const double p = count / size;
+      // Err for this value = (1-p)^2 + (sum_sq - p^2).
+      rce += count * ((1.0 - p) * (1.0 - p) + sum_sq - p * p);
+    }
+  }
+  return rce;
+}
+
+double RceLowerBound(RowId n, int l) {
+  ANATOMY_CHECK(l >= 1);
+  return static_cast<double>(n) * (1.0 - 1.0 / l);
+}
+
+double AnatomizeRceGuarantee(RowId n, int l) {
+  ANATOMY_CHECK(l >= 2);
+  const double r = n % l;
+  const double nd = n;
+  return nd * (1.0 - 1.0 / l) * (1.0 + r / (nd * (l - 1)));
+}
+
+}  // namespace anatomy

@@ -1,0 +1,43 @@
+// Reconstruction error (Section 4): how far the pdf an analyst re-derives
+// from the published tables is from the true tuple pdf, in squared L2
+// distance (Equations 9, 11, 12), summed over all tuples (RCE, Equation 13).
+//
+// For anatomized tables the error has a closed form per tuple: if t lies in a
+// group QI with sensitive histogram {c(v_1)..c(v_lambda)} and carries v_h,
+//   Err_t = (1 - c(v_h)/|QI|)^2 + sum_{h' != h} (c(v_h')/|QI|)^2 .
+// Theorem 2 lower-bounds any anatomization's RCE by n(1 - 1/l); Theorem 4
+// shows Anatomize achieves it exactly when l | n and within a factor
+// 1 + r/(n(l-1)) <= 1 + 1/n otherwise (r = n mod l).
+
+#ifndef ANATOMY_ANATOMY_RCE_H_
+#define ANATOMY_ANATOMY_RCE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "anatomy/anatomized_tables.h"
+#include "table/table.h"
+
+namespace anatomy {
+
+/// Err_t (Equation 12) for a tuple with sensitive value `actual` in a group
+/// with the given histogram and size.
+double TupleErrAnatomy(const std::vector<std::pair<Code, uint32_t>>& histogram,
+                       uint32_t group_size, Code actual);
+
+/// RCE (Equation 13) of a pair of anatomized tables, computed in closed form
+/// from the per-group sensitive histograms.
+double AnatomyRce(const AnatomizedTables& tables);
+
+/// Theorem 2: the smallest RCE any QIT/ST pair from an l-diverse partition
+/// can achieve, n(1 - 1/l).
+double RceLowerBound(RowId n, int l);
+
+/// Theorem 4's exact value for Anatomize's output:
+/// n(1 - 1/l)(1 + r/(n(l-1))) with r = n mod l.
+double AnatomizeRceGuarantee(RowId n, int l);
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_ANATOMY_RCE_H_

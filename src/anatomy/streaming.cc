@@ -1,0 +1,118 @@
+#include "anatomy/streaming.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace anatomy {
+
+StreamingAnatomizer::StreamingAnatomizer(
+    const StreamingAnatomizerOptions& options, Code sensitive_domain)
+    : options_(options), rng_(options.seed) {
+  ANATOMY_CHECK(options_.l >= 2);
+  ANATOMY_CHECK(sensitive_domain > 0);
+  if (options_.emit_threshold == 0) {
+    options_.emit_threshold = 4 * static_cast<size_t>(options_.l);
+  }
+  ANATOMY_CHECK(options_.emit_threshold >= static_cast<size_t>(options_.l));
+  buckets_.resize(sensitive_domain);
+}
+
+Status StreamingAnatomizer::Add(RowId row, Code sensitive_value) {
+  if (finished_) {
+    return Status::FailedPrecondition("Add after Finish");
+  }
+  if (sensitive_value < 0 ||
+      static_cast<size_t>(sensitive_value) >= buckets_.size()) {
+    return Status::InvalidArgument("sensitive code out of domain");
+  }
+  auto& bucket = buckets_[sensitive_value];
+  if (bucket.empty()) ++non_empty_;
+  bucket.push_back(row);
+  ++buffered_;
+  MaybeEmit();
+  return Status::OK();
+}
+
+void StreamingAnatomizer::MaybeEmit() {
+  const size_t l = static_cast<size_t>(options_.l);
+  while (non_empty_ >= l && buffered_ >= options_.emit_threshold) {
+    // One iteration of Figure 3's group creation: the l largest buckets.
+    std::vector<size_t> order;
+    order.reserve(buckets_.size());
+    for (size_t b = 0; b < buckets_.size(); ++b) {
+      if (!buckets_[b].empty()) order.push_back(b);
+    }
+    std::partial_sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(l),
+                      order.end(), [&](size_t a, size_t b) {
+                        return buckets_[a].size() > buckets_[b].size();
+                      });
+    std::vector<RowId> group;
+    std::vector<Code> values;
+    group.reserve(l);
+    values.reserve(l);
+    for (size_t k = 0; k < l; ++k) {
+      auto& bucket = buckets_[order[k]];
+      const size_t pick = rng_.NextBounded(bucket.size());
+      std::swap(bucket[pick], bucket.back());
+      group.push_back(bucket.back());
+      bucket.pop_back();
+      values.push_back(static_cast<Code>(order[k]));
+      if (bucket.empty()) --non_empty_;
+    }
+    buffered_ -= l;
+    groups_.push_back(std::move(group));
+    group_values_.push_back(std::move(values));
+  }
+}
+
+StatusOr<Partition> StreamingAnatomizer::Finish() {
+  if (finished_) return Status::FailedPrecondition("Finish called twice");
+  finished_ = true;
+  const size_t l = static_cast<size_t>(options_.l);
+
+  // Drain the buffer with the batch rule (no threshold anymore).
+  while (non_empty_ >= l) {
+    const size_t saved_threshold = options_.emit_threshold;
+    options_.emit_threshold = l;
+    MaybeEmit();
+    options_.emit_threshold = saved_threshold;
+    if (non_empty_ < l) break;
+  }
+
+  // Residue placement: each leftover tuple joins a group lacking its value.
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    for (RowId row : buckets_[b]) {
+      std::vector<size_t> candidates;
+      for (size_t g = 0; g < groups_.size(); ++g) {
+        const auto& values = group_values_[g];
+        if (std::find(values.begin(), values.end(), static_cast<Code>(b)) ==
+            values.end()) {
+          candidates.push_back(g);
+        }
+      }
+      if (candidates.empty()) {
+        return Status::FailedPrecondition(
+            "stream tail not absorbable: " + std::to_string(buffered_) +
+            " buffered tuples include a sensitive value present in every "
+            "emitted group (raise emit_threshold or buffer longer)");
+      }
+      const size_t g = candidates[rng_.NextBounded(candidates.size())];
+      groups_[g].push_back(row);
+      group_values_[g].push_back(static_cast<Code>(b));
+      --buffered_;
+    }
+    buckets_[b].clear();
+  }
+  non_empty_ = 0;
+
+  if (groups_.empty()) {
+    return Status::FailedPrecondition(
+        "stream ended before any group could be formed");
+  }
+  Partition partition;
+  partition.groups = groups_;
+  return partition;
+}
+
+}  // namespace anatomy

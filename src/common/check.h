@@ -1,0 +1,39 @@
+// CHECK macros for programming errors (violated invariants, impossible states).
+// These abort the process with a diagnostic; they are not for data-dependent
+// failures, which use Status (common/status.h).
+
+#ifndef ANATOMY_COMMON_CHECK_H_
+#define ANATOMY_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define ANATOMY_CHECK(cond)                                               \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define ANATOMY_CHECK_MSG(cond, msg)                                      \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,  \
+                   __LINE__, #cond, msg);                                 \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define ANATOMY_CHECK_OK(status_expr)                                     \
+  do {                                                                    \
+    const ::anatomy::Status _s = (status_expr);                           \
+    if (!_s.ok()) {                                                       \
+      std::fprintf(stderr, "CHECK_OK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, _s.ToString().c_str());                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#endif  // ANATOMY_COMMON_CHECK_H_

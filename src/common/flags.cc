@@ -1,0 +1,116 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace anatomy {
+
+void FlagParser::AddInt64(const std::string& name, int64_t* target,
+                          const std::string& help) {
+  flags_[name] = {Kind::kInt64, target, help, std::to_string(*target)};
+}
+
+void FlagParser::AddDouble(const std::string& name, double* target,
+                           const std::string& help) {
+  std::ostringstream os;
+  os << *target;
+  flags_[name] = {Kind::kDouble, target, help, os.str()};
+}
+
+void FlagParser::AddBool(const std::string& name, bool* target,
+                         const std::string& help) {
+  flags_[name] = {Kind::kBool, target, help, *target ? "true" : "false"};
+}
+
+void FlagParser::AddString(const std::string& name, std::string* target,
+                           const std::string& help) {
+  flags_[name] = {Kind::kString, target, help, *target};
+}
+
+Status FlagParser::SetValue(const std::string& name,
+                            const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  FlagInfo& info = it->second;
+  char* end = nullptr;
+  switch (info.kind) {
+    case Kind::kInt64: {
+      errno = 0;
+      long long v = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+        return Status::InvalidArgument("--" + name + ": bad int '" + value +
+                                       "'");
+      }
+      *static_cast<int64_t*>(info.target) = v;
+      return Status::OK();
+    }
+    case Kind::kDouble: {
+      errno = 0;
+      double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+        return Status::InvalidArgument("--" + name + ": bad double '" + value +
+                                       "'");
+      }
+      *static_cast<double*>(info.target) = v;
+      return Status::OK();
+    }
+    case Kind::kBool: {
+      if (value == "true" || value == "1" || value.empty()) {
+        *static_cast<bool*>(info.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(info.target) = false;
+      } else {
+        return Status::InvalidArgument("--" + name + ": bad bool '" + value +
+                                       "'");
+      }
+      return Status::OK();
+    }
+    case Kind::kString:
+      *static_cast<std::string*>(info.target) = value;
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("unexpected positional argument '" + arg +
+                                     "'");
+    }
+    arg = arg.substr(2);
+    std::string value;
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    } else {
+      auto it = flags_.find(arg);
+      if (it != flags_.end() && it->second.kind != Kind::kBool &&
+          i + 1 < argc) {
+        value = argv[++i];
+      }
+    }
+    ANATOMY_RETURN_IF_ERROR(SetValue(arg, value));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, info] : flags_) {
+    os << "  --" << name << " (default " << info.default_value << ")\n"
+       << "      " << info.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace anatomy

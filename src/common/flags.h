@@ -1,0 +1,60 @@
+// Minimal command-line flag parsing for bench/example binaries.
+//
+// Supports --name=value, --name value, and bare --name for booleans.
+// Unknown flags are reported as errors so typos in experiment scripts fail
+// loudly instead of silently running the default configuration.
+
+#ifndef ANATOMY_COMMON_FLAGS_H_
+#define ANATOMY_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace anatomy {
+
+/// A registry of typed flags bound to caller-owned storage.
+class FlagParser {
+ public:
+  FlagParser() = default;
+  FlagParser(const FlagParser&) = delete;
+  FlagParser& operator=(const FlagParser&) = delete;
+
+  void AddInt64(const std::string& name, int64_t* target,
+                const std::string& help);
+  void AddDouble(const std::string& name, double* target,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+  void AddString(const std::string& name, std::string* target,
+                 const std::string& help);
+
+  /// Parses argv (skipping argv[0]). Returns InvalidArgument on unknown flags
+  /// or unparseable values. "--help" sets help_requested().
+  Status Parse(int argc, char** argv);
+
+  bool help_requested() const { return help_requested_; }
+
+  /// Usage text listing all registered flags with defaults and help strings.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Kind { kInt64, kDouble, kBool, kString };
+  struct FlagInfo {
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_value;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value);
+
+  std::map<std::string, FlagInfo> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_COMMON_FLAGS_H_

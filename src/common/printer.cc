@@ -1,0 +1,101 @@
+#include "common/printer.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace anatomy {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  ANATOMY_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddNumericRow(const std::string& label,
+                                 const std::vector<double>& vals,
+                                 int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(vals.size() + 1);
+  cells.push_back(label);
+  for (double v : vals) cells.push_back(FormatDouble(v, precision));
+  AddRow(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      if (c + 1 < cells.size()) {
+        os << std::string(widths[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  std::vector<std::string> rule;
+  rule.reserve(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    rule.push_back(std::string(widths[c], '-'));
+  }
+  emit_row(rule);
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string TablePrinter::ToCsv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      const std::string& cell = cells[c];
+      if (cell.find_first_of(",\"\n") != std::string::npos) {
+        os << '"';
+        for (char ch : cell) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+      } else {
+        os << cell;
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string FormatCount(int64_t v) {
+  if (v % 1000000 == 0 && v != 0) return std::to_string(v / 1000000) + "M";
+  if (v % 1000 == 0 && v != 0) return std::to_string(v / 1000) + "k";
+  return std::to_string(v);
+}
+
+std::string FormatPercent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace anatomy

@@ -1,0 +1,53 @@
+// Fixed-width ASCII output helpers used by benches and examples to print the
+// figure/table series the paper reports.
+
+#ifndef ANATOMY_COMMON_PRINTER_H_
+#define ANATOMY_COMMON_PRINTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace anatomy {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats each double with `precision` digits.
+  void AddNumericRow(const std::string& label, const std::vector<double>& vals,
+                     int precision = 4);
+
+  /// Renders with a header rule, e.g.
+  ///   d    generalization  anatomy
+  ///   ---  --------------  -------
+  ///   3    52.1            4.2
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+  /// Comma-separated rendering (header + rows) for plotting scripts. Cells
+  /// containing commas or quotes are quoted.
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+std::string FormatDouble(double v, int precision = 4);
+
+/// Formats with engineering suffixes: 300000 -> "300k".
+std::string FormatCount(int64_t v);
+
+/// Formats a fraction as a percentage string: 0.05 -> "5%".
+std::string FormatPercent(double fraction, int precision = 0);
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_COMMON_PRINTER_H_

@@ -1,0 +1,118 @@
+// Status / StatusOr: lightweight error propagation for recoverable conditions.
+//
+// The library does not throw across public API boundaries. Operations that can
+// fail for data-dependent reasons (a non-eligible microdata table, a malformed
+// CSV line, an out-of-range parameter) return Status or StatusOr<T>.
+// Programming errors use the CHECK macros in common/check.h instead.
+
+#ifndef ANATOMY_COMMON_STATUS_H_
+#define ANATOMY_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace anatomy {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kNotFound,
+  kOutOfRange,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a human-readable name for a status code ("OK", "InvalidArgument"...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error result. Cheap to copy on the success path (no message
+/// allocation), carries a code + message on failure.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of T or an error Status. Accessing value() on an error
+/// status aborts (see check.h), so callers must test ok() first.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {}
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_.value(); }
+  T& value() & { return value_.value(); }
+  T&& value() && { return std::move(value_).value(); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace anatomy
+
+/// Propagates an error Status from the current function.
+#define ANATOMY_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::anatomy::Status _status = (expr);              \
+    if (!_status.ok()) return _status;               \
+  } while (0)
+
+/// Evaluates a StatusOr expression, propagating errors; on success binds the
+/// value to `lhs`. `lhs` may include a type, e.g. "auto x".
+#define ANATOMY_ASSIGN_OR_RETURN(lhs, expr)             \
+  ANATOMY_ASSIGN_OR_RETURN_IMPL(                        \
+      ANATOMY_STATUS_CONCAT(_status_or_, __LINE__), lhs, expr)
+
+#define ANATOMY_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define ANATOMY_STATUS_CONCAT(a, b) ANATOMY_STATUS_CONCAT_IMPL(a, b)
+#define ANATOMY_STATUS_CONCAT_IMPL(a, b) a##b
+
+#endif  // ANATOMY_COMMON_STATUS_H_

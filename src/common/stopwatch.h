@@ -1,0 +1,30 @@
+// Wall-clock stopwatch for benches (I/O counts, not time, are the paper's
+// metric, but microbenches report both).
+
+#ifndef ANATOMY_COMMON_STOPWATCH_H_
+#define ANATOMY_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace anatomy {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_COMMON_STOPWATCH_H_

@@ -1,0 +1,29 @@
+// Small string helpers shared across modules (CSV parsing, label handling).
+
+#ifndef ANATOMY_COMMON_STRING_UTIL_H_
+#define ANATOMY_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace anatomy {
+
+/// Splits `s` on `delim`, preserving empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins parts with `delim`.
+std::string Join(const std::vector<std::string>& parts, std::string_view delim);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Lowercases ASCII characters.
+std::string ToLower(std::string_view s);
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_COMMON_STRING_UTIL_H_

@@ -1,0 +1,114 @@
+#include "data/census.h"
+
+#include "common/check.h"
+
+namespace anatomy {
+
+namespace {
+
+std::vector<std::string> NumberedLabels(const std::string& prefix, int n) {
+  std::vector<std::string> labels;
+  labels.reserve(n);
+  for (int i = 0; i < n; ++i) labels.push_back(prefix + std::to_string(i));
+  return labels;
+}
+
+}  // namespace
+
+SchemaPtr CensusSchema() {
+  std::vector<AttributeDef> defs;
+  defs.reserve(kCensusNumColumns);
+  // Ages 15..92: 78 distinct values (Table 6), adults only as in IPUMS.
+  defs.push_back(MakeNumerical("Age", 78, /*base=*/15));
+  defs.push_back(MakeLabeled("Gender", {"Female", "Male"}));
+  defs.push_back(MakeNumerical("Education", 17, /*base=*/0));
+  defs.push_back(MakeLabeled("Marital", {"never-married", "married",
+                                         "separated", "divorced", "widowed",
+                                         "spouse-absent"}));
+  defs.push_back(MakeCategorical("Race", 9));
+  defs.push_back(MakeCategorical("Work-class", 10));
+  defs.push_back(MakeCategorical("Country", 83));
+  defs.push_back(MakeLabeled("Occupation", NumberedLabels("occ-", 50)));
+  defs.push_back(MakeLabeled("Salary-class", NumberedLabels("sal-", 50)));
+  return std::make_shared<Schema>(std::move(defs));
+}
+
+TaxonomySet CensusTaxonomies() {
+  SchemaPtr schema = CensusSchema();
+  auto balanced = [&](size_t col, int height) {
+    auto t = Taxonomy::BuildBalanced(schema->attribute(col).domain_size, height);
+    ANATOMY_CHECK_OK(t.status());
+    return std::move(t).value();
+  };
+  TaxonomySet set;
+  set.Add(Taxonomy::Free(schema->attribute(kAge).domain_size));  // free interval
+  set.Add(balanced(kGender, 2));
+  set.Add(Taxonomy::Free(schema->attribute(kEducation).domain_size));
+  set.Add(balanced(kMarital, 3));
+  set.Add(balanced(kRace, 2));
+  set.Add(balanced(kWorkClass, 4));
+  set.Add(balanced(kCountry, 3));
+  set.Add(Taxonomy::Free(schema->attribute(kOccupation).domain_size));
+  set.Add(Taxonomy::Free(schema->attribute(kSalaryClass).domain_size));
+  return set;
+}
+
+namespace {
+
+SchemaPtr HospitalSchema() {
+  std::vector<AttributeDef> defs;
+  defs.push_back(MakeNumerical("Age", 100, /*base=*/0));
+  defs.push_back(MakeLabeled("Sex", {"F", "M"}));
+  // Zipcodes on a 1000 grid, 0..99000.
+  defs.push_back(MakeNumerical("Zipcode", 100, /*base=*/0, /*step=*/1000));
+  defs.push_back(MakeLabeled(
+      "Disease", {"bronchitis", "dyspepsia", "flu", "gastritis", "pneumonia"}));
+  return std::make_shared<Schema>(std::move(defs));
+}
+
+constexpr Code kF = 0;
+constexpr Code kM = 1;
+constexpr Code kBronchitis = 0;
+constexpr Code kDyspepsia = 1;
+constexpr Code kFlu = 2;
+constexpr Code kGastritis = 3;
+constexpr Code kPneumonia = 4;
+
+}  // namespace
+
+Microdata HospitalExample() {
+  Microdata md;
+  md.table = Table(HospitalSchema());
+  // Table 1, in tuple-id order (tuple 1 is Bob, tuple 7 is Alice).
+  const Code rows[8][4] = {
+      {23, kM, 11, kPneumonia}, {27, kM, 13, kDyspepsia},
+      {35, kM, 59, kDyspepsia}, {59, kM, 12, kPneumonia},
+      {61, kF, 54, kFlu},       {65, kF, 25, kGastritis},
+      {65, kF, 25, kFlu},       {70, kF, 30, kBronchitis},
+  };
+  for (const auto& row : rows) md.table.AppendRow(row);
+  md.qi_columns = {0, 1, 2};
+  md.sensitive_column = 3;
+  ANATOMY_CHECK_OK(md.Validate());
+  return md;
+}
+
+Table VoterRegistrationList() {
+  std::vector<AttributeDef> defs;
+  defs.push_back(MakeLabeled(
+      "Name", {"Ada", "Alice", "Bella", "Emily", "Stephanie"}));
+  defs.push_back(MakeNumerical("Age", 100, /*base=*/0));
+  defs.push_back(MakeLabeled("Sex", {"F", "M"}));
+  defs.push_back(MakeNumerical("Zipcode", 100, /*base=*/0, /*step=*/1000));
+  Table table(std::make_shared<Schema>(std::move(defs)));
+  // Table 5; Emily is italicized in the paper: present in the voter list but
+  // absent from the microdata.
+  const Code rows[5][4] = {
+      {0, 61, kF, 54}, {1, 65, kF, 25}, {2, 65, kF, 25},
+      {3, 67, kF, 33}, {4, 70, kF, 30},
+  };
+  for (const auto& row : rows) table.AppendRow(row);
+  return table;
+}
+
+}  // namespace anatomy

@@ -1,0 +1,55 @@
+// The CENSUS relation of the paper's experiments (Section 6, Table 6) and the
+// running example of its introduction (Tables 1-5).
+//
+// The real dataset is 500k American adults from ipums.org, which we cannot
+// ship; data/census_generator.h synthesizes a stand-in with this exact schema
+// (attribute inventory, domain sizes, generalization methods) and correlated
+// value distributions. See DESIGN.md "Substitutions".
+
+#ifndef ANATOMY_DATA_CENSUS_H_
+#define ANATOMY_DATA_CENSUS_H_
+
+#include "table/schema.h"
+#include "table/table.h"
+#include "taxonomy/taxonomy.h"
+
+namespace anatomy {
+
+/// Column order matches Table 6; OCC-d / SAL-d use the first d as QIs.
+enum CensusColumn : size_t {
+  kAge = 0,        // 78 distinct values (ages 15..92), free interval
+  kGender = 1,     // 2, taxonomy tree (2)
+  kEducation = 2,  // 17, free interval
+  kMarital = 3,    // 6, taxonomy tree (3)
+  kRace = 4,       // 9, taxonomy tree (2)
+  kWorkClass = 5,  // 10, taxonomy tree (4)
+  kCountry = 6,    // 83, taxonomy tree (3)
+  kOccupation = 7,   // 50, sensitive in OCC-d
+  kSalaryClass = 8,  // 50, sensitive in SAL-d
+};
+
+inline constexpr size_t kCensusNumColumns = 9;
+inline constexpr size_t kCensusMaxQi = 7;
+
+/// The 9-attribute CENSUS schema with the domain sizes of Table 6.
+SchemaPtr CensusSchema();
+
+/// Per-attribute generalization constraints from the last column of Table 6
+/// ("free interval" or "taxonomy tree (x)"); indexed by CensusColumn. The two
+/// sensitive attributes get Free placeholders (generalization never touches
+/// them — Definition 4 publishes sensitive values exactly).
+TaxonomySet CensusTaxonomies();
+
+/// The 8-tuple hospital microdata of Table 1 (Age, Sex, Zipcode QIs; Disease
+/// sensitive), used by the quickstart example and the unit tests that check
+/// the paper's worked numbers.
+Microdata HospitalExample();
+
+/// The voter registration list of Table 5 (Name, Age, Sex, Zipcode): the
+/// external database of the Section 3.3 attack analysis. Row 3 (Emily) is not
+/// part of the microdata.
+Table VoterRegistrationList();
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_DATA_CENSUS_H_

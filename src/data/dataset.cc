@@ -1,0 +1,52 @@
+#include "data/dataset.h"
+
+#include "data/census.h"
+
+namespace anatomy {
+
+StatusOr<ExperimentDataset> MakeExperimentDataset(const Table& census,
+                                                  SensitiveFamily family,
+                                                  int d) {
+  if (d < 1 || d > static_cast<int>(kCensusMaxQi)) {
+    return Status::InvalidArgument("d must be in [1, 7], got " +
+                                   std::to_string(d));
+  }
+  if (census.num_columns() != kCensusNumColumns) {
+    return Status::InvalidArgument("expected the 9-column CENSUS table");
+  }
+  const size_t sensitive_col =
+      family == SensitiveFamily::kOccupation ? kOccupation : kSalaryClass;
+
+  std::vector<size_t> projection;
+  projection.reserve(d + 1);
+  for (int i = 0; i < d; ++i) projection.push_back(i);
+  projection.push_back(sensitive_col);
+
+  ExperimentDataset out;
+  out.microdata.table = census.ProjectColumns(projection);
+  out.microdata.qi_columns.resize(d);
+  for (int i = 0; i < d; ++i) out.microdata.qi_columns[i] = i;
+  out.microdata.sensitive_column = d;
+  ANATOMY_RETURN_IF_ERROR(out.microdata.Validate());
+
+  const TaxonomySet all = CensusTaxonomies();
+  for (size_t col : projection) out.taxonomies.Add(all.at(col));
+
+  out.name = (family == SensitiveFamily::kOccupation ? "OCC-" : "SAL-") +
+             std::to_string(d);
+  return out;
+}
+
+StatusOr<ExperimentDataset> SampleDataset(const ExperimentDataset& dataset,
+                                          RowId n, Rng& rng) {
+  ExperimentDataset out;
+  ANATOMY_ASSIGN_OR_RETURN(out.microdata.table,
+                           dataset.microdata.table.SampleRows(n, rng));
+  out.microdata.qi_columns = dataset.microdata.qi_columns;
+  out.microdata.sensitive_column = dataset.microdata.sensitive_column;
+  out.taxonomies = dataset.taxonomies;
+  out.name = dataset.name;
+  return out;
+}
+
+}  // namespace anatomy

@@ -1,0 +1,45 @@
+// Derivation of the paper's experiment datasets from the CENSUS table:
+// OCC-d and SAL-d (Section 6) take the first d attributes of Table 6 as the
+// quasi-identifier and Occupation or Salary-class as the sensitive attribute.
+
+#ifndef ANATOMY_DATA_DATASET_H_
+#define ANATOMY_DATA_DATASET_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "table/table.h"
+#include "taxonomy/taxonomy.h"
+
+namespace anatomy {
+
+enum class SensitiveFamily {
+  kOccupation,   // OCC-d
+  kSalaryClass,  // SAL-d
+};
+
+/// A ready-to-run experiment dataset: projected microdata (columns 0..d-1 are
+/// the QIs, column d is the sensitive attribute) plus the matching
+/// generalization constraints for the QI columns.
+struct ExperimentDataset {
+  Microdata microdata;
+  /// One taxonomy per column of microdata.table (QIs first, then a Free
+  /// placeholder for the sensitive attribute).
+  TaxonomySet taxonomies;
+  std::string name;  // "OCC-5", "SAL-3", ...
+};
+
+/// Builds OCC-d or SAL-d from a generated CENSUS table. d must be in [1, 7].
+StatusOr<ExperimentDataset> MakeExperimentDataset(const Table& census,
+                                                  SensitiveFamily family,
+                                                  int d);
+
+/// Uniformly samples `n` rows of `dataset` (the paper's cardinality knob,
+/// Figure 7/9); taxonomies and name carry over.
+StatusOr<ExperimentDataset> SampleDataset(const ExperimentDataset& dataset,
+                                          RowId n, Rng& rng);
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_DATA_DATASET_H_

@@ -1,0 +1,60 @@
+// External (I/O-counted) l-diverse Mondrian: the generalization side of the
+// paper's efficiency experiments (Figures 8-9).
+//
+// The tuple file is recursively bisected on disk. Every binary split of a
+// partition that does not fit in memory costs one statistics scan (choosing
+// the attribute and cut from streaming counts) plus one redistribution scan
+// (writing the two halves), i.e. ~3 page-I/Os per page per level — the
+// super-linear behaviour the paper observes for generalization. Once a
+// partition fits in the buffer budget it is read once and finished by the
+// in-memory Mondrian; the published generalized table (interval-coded
+// tuples) is written out at the leaves.
+
+#ifndef ANATOMY_GENERALIZATION_EXTERNAL_MONDRIAN_H_
+#define ANATOMY_GENERALIZATION_EXTERNAL_MONDRIAN_H_
+
+#include "anatomy/partition.h"
+#include "common/status.h"
+#include "generalization/mondrian.h"
+#include "storage/buffer_pool.h"
+#include "storage/simulated_disk.h"
+#include "table/table.h"
+#include "taxonomy/taxonomy.h"
+
+namespace anatomy {
+
+struct ExternalMondrianResult {
+  Partition partition;
+  IoStats io;
+  /// Pages of the published generalized table.
+  size_t output_pages = 0;
+};
+
+class ExternalMondrian {
+ public:
+  /// `memory_budget_pages` controls the in-memory leaf stage: partitions of
+  /// at most this many pages are read once and finished in memory.
+  ///   - kAutoBudget (default): pool capacity - 4, our optimized driver.
+  ///   - 0: fully external recursion down to unsplittable leaves — a faithful
+  ///     stand-in for the paper's comparator, a straight externalization of
+  ///     the in-memory Mondrian of [9] (see EXPERIMENTS.md).
+  static constexpr size_t kAutoBudget = static_cast<size_t>(-1);
+
+  explicit ExternalMondrian(const MondrianOptions& options,
+                            size_t memory_budget_pages = kAutoBudget);
+
+  /// Loads `microdata` onto `disk` (uncounted, like the pre-existing table),
+  /// resets counters, then runs the recursive partitioning through `pool`.
+  StatusOr<ExternalMondrianResult> Run(const Microdata& microdata,
+                                       const TaxonomySet& taxonomies,
+                                       SimulatedDisk* disk,
+                                       BufferPool* pool) const;
+
+ private:
+  MondrianOptions options_;
+  size_t memory_budget_pages_;
+};
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_GENERALIZATION_EXTERNAL_MONDRIAN_H_

@@ -1,0 +1,88 @@
+// Single-dimension global recoding baseline (full-domain generalization).
+//
+// Section 2 of the paper classifies generalization schemes: global vs. local
+// recoding and, within global, single-dimension vs. multidimension encoding.
+// Mondrian (generalization/mondrian.h) is the multidimension comparator the
+// paper measures; this module adds the classical *single-dimension* scheme —
+// every attribute is generalized to one level of its hierarchy across the
+// whole table, as in full-domain algorithms (Samarati [12], Datafly-style
+// heuristics, Incognito [8]) — so the encoding classes can be compared.
+//
+// The search is the Datafly-flavoured greedy adapted to l-diversity:
+// starting from the raw table, repeatedly generalize the attribute with the
+// most distinct generalized values until the tuples violating l-diversity in
+// their equivalence class fit within a suppression budget; the violators are
+// then suppressed. Free-interval attributes get implicit balanced binary
+// hierarchies (level k = aligned intervals of 2^k codes).
+
+#ifndef ANATOMY_GENERALIZATION_FULL_DOMAIN_H_
+#define ANATOMY_GENERALIZATION_FULL_DOMAIN_H_
+
+#include <vector>
+
+#include "anatomy/partition.h"
+#include "common/status.h"
+#include "generalization/generalized_table.h"
+#include "table/table.h"
+#include "taxonomy/taxonomy.h"
+
+namespace anatomy {
+
+struct FullDomainOptions {
+  int l = 10;
+  /// Fraction of tuples that may be suppressed instead of generalizing
+  /// further (Datafly's escape hatch; 0 disables suppression).
+  double max_suppression = 0.01;
+};
+
+struct FullDomainResult {
+  /// Chosen generalization level per QI attribute (0 = original values).
+  std::vector<int> levels;
+  /// l-diverse partition of the *kept* rows (row ids refer to the original
+  /// microdata).
+  Partition partition;
+  /// Rows removed by suppression.
+  std::vector<RowId> suppressed;
+
+  double SuppressionRate(RowId n) const {
+    return n == 0 ? 0.0 : static_cast<double>(suppressed.size()) / n;
+  }
+};
+
+class FullDomainGeneralizer {
+ public:
+  explicit FullDomainGeneralizer(const FullDomainOptions& options);
+
+  /// Runs the greedy level search. Fails with FailedPrecondition when even
+  /// the fully generalized table (one equivalence class) cannot satisfy
+  /// l-diversity within the suppression budget.
+  StatusOr<FullDomainResult> Compute(const Microdata& microdata,
+                                     const TaxonomySet& taxonomies) const;
+
+  /// The generalized interval of `value` on QI attribute `qi_index` at
+  /// `level` (exposed for tests and for building published views).
+  static CodeInterval LevelInterval(const Taxonomy& taxonomy, Code value,
+                                    int level);
+
+  /// Number of levels attribute `qi_index` supports (inclusive upper bound
+  /// for FullDomainResult::levels entries).
+  static int MaxLevel(const Taxonomy& taxonomy);
+
+ private:
+  FullDomainOptions options_;
+};
+
+/// Builds the published per-group view of a full-domain result: the kept rows
+/// as a GeneralizedTable over a shrunken microdata (returned alongside, with
+/// rows renumbered 0..kept-1 in original order).
+struct FullDomainPublication {
+  Microdata kept_microdata;
+  GeneralizedTable table;
+};
+StatusOr<FullDomainPublication> BuildFullDomainPublication(
+    const Microdata& microdata, const TaxonomySet& taxonomies,
+    const FullDomainResult& result);
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_GENERALIZATION_FULL_DOMAIN_H_

@@ -1,0 +1,51 @@
+// CSV publication of generalized tables (Definition 4's released form) and
+// the analyst-side loader.
+//
+// The published file has one row per tuple: each QI cell prints as a single
+// value ("23", "M") when the interval is one code wide, or "lo..hi" with the
+// attribute's value formatting ("[21..60]" style without brackets, e.g.
+// "11000..59000"); the sensitive value prints exactly. Loading parses the
+// cells back against the schema and reconstructs the QI-groups by grouping
+// identical cell vectors — exactly how an analyst reads a generalized
+// release (tuples of a group are indistinguishable by construction).
+
+#ifndef ANATOMY_GENERALIZATION_GENERALIZED_IO_H_
+#define ANATOMY_GENERALIZATION_GENERALIZED_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "generalization/generalized_table.h"
+#include "table/table.h"
+
+namespace anatomy {
+
+/// Writes the per-tuple generalized rows. `microdata` supplies the tuple
+/// order, the sensitive values, and the attribute formatting.
+Status WriteGeneralizedCsv(const GeneralizedTable& table,
+                           const Microdata& microdata, std::ostream& os);
+Status WriteGeneralizedCsvFile(const GeneralizedTable& table,
+                               const Microdata& microdata,
+                               const std::string& path);
+
+/// A generalized publication as loaded from disk: the reconstructed group
+/// view plus the per-row sensitive codes (needed nowhere else — the
+/// histograms inside `table` already aggregate them — but kept for tests).
+struct LoadedGeneralized {
+  GeneralizedTable table;
+};
+
+/// Parses a file written by WriteGeneralizedCsv. `qi_attributes` and
+/// `sensitive_attribute` describe the columns (e.g. from a schema_io file or
+/// QuerySchema).
+StatusOr<LoadedGeneralized> ReadGeneralizedCsv(
+    const std::vector<AttributeDef>& qi_attributes,
+    const AttributeDef& sensitive_attribute, std::istream& is);
+StatusOr<LoadedGeneralized> ReadGeneralizedCsvFile(
+    const std::vector<AttributeDef>& qi_attributes,
+    const AttributeDef& sensitive_attribute, const std::string& path);
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_GENERALIZATION_GENERALIZED_IO_H_

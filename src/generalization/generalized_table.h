@@ -1,0 +1,88 @@
+// Generalized publication (Definition 4): every tuple is released with its
+// QI values replaced by per-group intervals and its sensitive value intact.
+//
+// The interval of group QI_j on attribute i is the smallest taxonomy node
+// covering the group's actual value range (Table 6's encoding constraints:
+// any interval for "free" attributes, a taxonomy node otherwise).
+
+#ifndef ANATOMY_GENERALIZATION_GENERALIZED_TABLE_H_
+#define ANATOMY_GENERALIZATION_GENERALIZED_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "anatomy/partition.h"
+#include "common/status.h"
+#include "table/table.h"
+#include "taxonomy/taxonomy.h"
+
+namespace anatomy {
+
+/// One published QI-group: intervals on every QI attribute plus the group's
+/// sensitive histogram (the per-tuple sensitive values are public in a
+/// generalized table, so only their multiset matters for analysis).
+struct GeneralizedGroup {
+  std::vector<CodeInterval> extents;
+  uint32_t size = 0;
+  /// (sensitive code, count), sorted by code.
+  std::vector<std::pair<Code, uint32_t>> histogram;
+
+  /// Product of interval lengths: the volume the group's tuples are smeared
+  /// over under the uniformity assumption (Equation 10's denominator).
+  double Volume() const;
+};
+
+class GeneralizedTable {
+ public:
+  /// An empty table; assign from one of the factories below.
+  GeneralizedTable() = default;
+
+  /// Builds the published groups from a partition, snapping each group's
+  /// extent to `taxonomies` (one per QI attribute, aligned with
+  /// microdata.qi_columns).
+  static StatusOr<GeneralizedTable> Build(const Microdata& microdata,
+                                          const Partition& partition,
+                                          const TaxonomySet& taxonomies);
+
+  /// Builds from explicitly supplied per-group cells instead of snapped
+  /// actual extents (used by full-domain recoding, which publishes the
+  /// chosen hierarchy level's interval even when the group's values span
+  /// less). Every group's values must lie inside its cell.
+  static StatusOr<GeneralizedTable> FromCells(
+      const Microdata& microdata, const Partition& partition,
+      const std::vector<std::vector<CodeInterval>>& cells);
+
+  /// Analyst-side reconstruction from released per-tuple rows: tuples with
+  /// identical cell vectors form one QI-group (they are indistinguishable in
+  /// the publication). `row_cells[r]` are row r's QI intervals and
+  /// `sensitive_values[r]` its published sensitive code.
+  static StatusOr<GeneralizedTable> FromPublishedRows(
+      const std::vector<std::vector<CodeInterval>>& row_cells,
+      const std::vector<Code>& sensitive_values);
+
+  size_t num_groups() const { return groups_.size(); }
+  const GeneralizedGroup& group(GroupId g) const { return groups_[g]; }
+  const std::vector<GeneralizedGroup>& groups() const { return groups_; }
+
+  RowId num_rows() const { return num_rows_; }
+  size_t d() const { return d_; }
+
+  /// Group of each original row (kept for evaluation; not part of the
+  /// publication).
+  GroupId group_of_row(RowId r) const { return group_of_row_[r]; }
+
+  /// Renders the published table like the paper's Table 2: one line per
+  /// tuple with interval-formatted QI values and the sensitive value.
+  std::string ToDisplayString(const Microdata& microdata,
+                              RowId max_rows = 20) const;
+
+ private:
+  std::vector<GeneralizedGroup> groups_;
+  std::vector<GroupId> group_of_row_;
+  RowId num_rows_ = 0;
+  size_t d_ = 0;
+};
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_GENERALIZATION_GENERALIZED_TABLE_H_

@@ -1,0 +1,39 @@
+#include "generalization/info_loss.h"
+
+namespace anatomy {
+
+double GeneralizedRce(const GeneralizedTable& table) {
+  double rce = 0.0;
+  for (const GeneralizedGroup& group : table.groups()) {
+    const double volume = group.Volume();
+    rce += group.size * (1.0 - 1.0 / volume);
+  }
+  return rce;
+}
+
+double Discernibility(const GeneralizedTable& table) {
+  double cost = 0.0;
+  for (const GeneralizedGroup& group : table.groups()) {
+    cost += static_cast<double>(group.size) * group.size;
+  }
+  return cost;
+}
+
+double NormalizedCertaintyPenalty(const GeneralizedTable& table,
+                                  const Microdata& microdata) {
+  if (table.num_rows() == 0 || table.d() == 0) return 0.0;
+  double total = 0.0;
+  for (const GeneralizedGroup& group : table.groups()) {
+    double per_tuple = 0.0;
+    for (size_t i = 0; i < table.d(); ++i) {
+      const double domain = microdata.qi_attribute(i).domain_size;
+      if (domain <= 1) continue;
+      per_tuple += (static_cast<double>(group.extents[i].length()) - 1.0) /
+                   (domain - 1.0);
+    }
+    total += group.size * per_tuple;
+  }
+  return total / (static_cast<double>(table.num_rows()) * table.d());
+}
+
+}  // namespace anatomy

@@ -1,0 +1,31 @@
+// Information-loss metrics for generalized tables.
+//
+// GeneralizedRce is the paper's Section 4 reconstruction error applied to
+// Definition 4's publication: the analyst smears each tuple's occurrence
+// probability uniformly over its group's cell (Equation 10), so
+//   Err_t = (1 - 1/V)^2 + (V - 1) / V^2 = 1 - 1/V,   V = prod_i L(QI[i]).
+// The classical discernibility and normalized-certainty-penalty metrics (the
+// paper's Section 7 cites discernibility [4, 9]) are included for ablation.
+
+#ifndef ANATOMY_GENERALIZATION_INFO_LOSS_H_
+#define ANATOMY_GENERALIZATION_INFO_LOSS_H_
+
+#include "generalization/generalized_table.h"
+
+namespace anatomy {
+
+/// RCE (Equation 13) of a generalized table.
+double GeneralizedRce(const GeneralizedTable& table);
+
+/// Discernibility cost: sum over groups of |QI_j|^2.
+double Discernibility(const GeneralizedTable& table);
+
+/// Normalized certainty penalty: mean over tuples and attributes of
+/// (L(QI[i]) - 1) / (|A_i| - 1), in [0, 1]. Attributes with singleton
+/// domains contribute 0.
+double NormalizedCertaintyPenalty(const GeneralizedTable& table,
+                                  const Microdata& microdata);
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_GENERALIZATION_INFO_LOSS_H_

@@ -1,0 +1,73 @@
+// l-diverse multidimensional generalization: the paper's comparator
+// ("state-of-the-art algorithm in [9], which adopts multi-dimension
+// recoding" — LeFevre et al.'s Mondrian), adapted to the l-diversity
+// requirement exactly as in the paper's experiments.
+//
+// The algorithm recursively bisects the tuple set: at each node it picks the
+// attribute with the widest normalized extent, evaluates the admissible cut
+// positions (any position for "free interval" attributes, taxonomy child
+// boundaries otherwise), and splits at the admissible cut closest to the
+// weighted median — provided both halves remain l-diverse (each half's most
+// frequent sensitive value at most 1/l of it, which also keeps them
+// l-eligible for further splits). Nodes with no admissible cut on any
+// attribute become the published QI-groups.
+
+#ifndef ANATOMY_GENERALIZATION_MONDRIAN_H_
+#define ANATOMY_GENERALIZATION_MONDRIAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "anatomy/partition.h"
+#include "common/status.h"
+#include "table/table.h"
+#include "taxonomy/taxonomy.h"
+
+namespace anatomy {
+
+struct MondrianOptions {
+  int l = 10;
+};
+
+/// A chosen binary split: left half takes values <= cut on `attribute`.
+struct MondrianSplit {
+  size_t attribute = 0;
+  Code cut = 0;
+};
+
+/// Cut evaluation shared by the in-memory and external drivers.
+///
+/// `value_counts[v - extent.lo]` is the number of node tuples with value v on
+/// the attribute; `value_sens[(v - extent.lo) * sens_domain + s]` the number
+/// that additionally carry sensitive code s. Returns the admissible cut
+/// closest to the weighted median, or nullopt when none exists.
+std::optional<Code> ChooseCutForAttribute(
+    const Taxonomy& taxonomy, const CodeInterval& extent,
+    std::span<const uint32_t> value_counts,
+    std::span<const uint32_t> value_sens, size_t sens_domain, int l,
+    uint64_t total);
+
+class Mondrian {
+ public:
+  explicit Mondrian(const MondrianOptions& options);
+
+  /// Computes an l-diverse partition of the whole table. Fails with
+  /// FailedPrecondition if the table is not l-eligible.
+  StatusOr<Partition> ComputePartition(const Microdata& microdata,
+                                       const TaxonomySet& taxonomies) const;
+
+  /// Same recursion restricted to `rows` (the in-memory stage of
+  /// ExternalMondrian). `rows` must itself be l-eligible.
+  StatusOr<Partition> PartitionRows(const Microdata& microdata,
+                                    const TaxonomySet& taxonomies,
+                                    std::vector<RowId> rows) const;
+
+ private:
+  MondrianOptions options_;
+};
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_GENERALIZATION_MONDRIAN_H_

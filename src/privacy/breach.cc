@@ -1,0 +1,80 @@
+#include "privacy/breach.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace anatomy {
+
+double TupleBreachProbability(const AnatomizedTables& tables, RowId r,
+                              Code v) {
+  ANATOMY_CHECK(r < tables.num_rows());
+  const GroupId g = tables.group_of_row(r);
+  return static_cast<double>(tables.GroupCount(g, v)) / tables.group_size(g);
+}
+
+std::vector<RowId> MatchingQitRows(const AnatomizedTables& tables,
+                                   const std::vector<Code>& qi_values) {
+  const Table& qit = tables.qit();
+  const size_t d = qit.num_columns() - 1;
+  ANATOMY_CHECK(qi_values.size() == d);
+  std::vector<RowId> rows;
+  for (RowId r = 0; r < qit.num_rows(); ++r) {
+    bool match = true;
+    for (size_t i = 0; match && i < d; ++i) {
+      match = qit.at(r, i) == qi_values[i];
+    }
+    if (match) rows.push_back(r);
+  }
+  return rows;
+}
+
+double IndividualBreachProbability(const AnatomizedTables& tables,
+                                   const std::vector<Code>& qi_values,
+                                   Code real_value) {
+  const std::vector<RowId> candidates = MatchingQitRows(tables, qi_values);
+  if (candidates.empty()) return 0.0;
+  double total = 0.0;
+  for (RowId r : candidates) {
+    total += TupleBreachProbability(tables, r, real_value);
+  }
+  return total / static_cast<double>(candidates.size());
+}
+
+double GeneralizedIndividualBreachProbability(
+    const GeneralizedTable& table, const std::vector<Code>& qi_values,
+    Code real_value) {
+  // Candidate tuples: every tuple of every group whose cell contains the QI
+  // values; within a group each tuple is equally likely to be the target, so
+  // the overall probability is (qualifying tuples) / (candidate tuples).
+  uint64_t candidates = 0;
+  uint64_t qualifying = 0;
+  for (const GeneralizedGroup& group : table.groups()) {
+    bool contains = true;
+    for (size_t i = 0; contains && i < group.extents.size(); ++i) {
+      contains = group.extents[i].Contains(qi_values[i]);
+    }
+    if (!contains) continue;
+    candidates += group.size;
+    for (const auto& [value, count] : group.histogram) {
+      if (value == real_value) qualifying += count;
+    }
+  }
+  if (candidates == 0) return 0.0;
+  return static_cast<double>(qualifying) / static_cast<double>(candidates);
+}
+
+double MaxTupleBreachProbability(const AnatomizedTables& tables) {
+  double worst = 0.0;
+  for (GroupId g = 0; g < tables.num_groups(); ++g) {
+    uint32_t max_count = 0;
+    for (const auto& [value, count] : tables.group_histogram(g)) {
+      max_count = std::max(max_count, count);
+    }
+    worst = std::max(
+        worst, static_cast<double>(max_count) / tables.group_size(g));
+  }
+  return worst;
+}
+
+}  // namespace anatomy

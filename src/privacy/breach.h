@@ -1,0 +1,53 @@
+// Adversarial breach-probability analysis (Section 3.2).
+//
+// Tuple level (Lemma 1 / Corollary 1): an adversary who has located a tuple's
+// group infers its sensitive value v with probability c_j(v) / |QI_j|.
+//
+// Individual level (Theorem 1): when f tuples share the target's QI values,
+// the adversary averages over the f "which tuple is the target" scenarios;
+// the breach probability is (1/f) * sum_i c_{j_i}(v_real) / |QI_{j_i}|, and
+// is at most 1/l for any l-diverse anatomization.
+
+#ifndef ANATOMY_PRIVACY_BREACH_H_
+#define ANATOMY_PRIVACY_BREACH_H_
+
+#include <vector>
+
+#include "anatomy/anatomized_tables.h"
+#include "generalization/generalized_table.h"
+#include "table/table.h"
+
+namespace anatomy {
+
+/// Lemma 1: probability that the adversary assigns sensitive value `v` to
+/// the microdata tuple published as QIT row `r`.
+double TupleBreachProbability(const AnatomizedTables& tables, RowId r, Code v);
+
+/// Rows of the QIT whose QI values equal `qi_values` (the f candidate tuples
+/// of Theorem 1's proof).
+std::vector<RowId> MatchingQitRows(const AnatomizedTables& tables,
+                                   const std::vector<Code>& qi_values);
+
+/// Theorem 1: breach probability for an individual with the given QI values
+/// and real sensitive value. Returns 0 when no QIT tuple matches (the
+/// adversary learns the individual is absent — no sensitive inference).
+double IndividualBreachProbability(const AnatomizedTables& tables,
+                                   const std::vector<Code>& qi_values,
+                                   Code real_value);
+
+/// The analogous individual-level inference against a generalized table: the
+/// candidate tuples are all tuples of groups whose cell contains the QI
+/// values; the inferred probability of `real_value` is the qualifying-tuple
+/// fraction among them.
+double GeneralizedIndividualBreachProbability(
+    const GeneralizedTable& table, const std::vector<Code>& qi_values,
+    Code real_value);
+
+/// Maximum of TupleBreachProbability over all rows and sensitive values:
+/// the worst-case disclosure of the publication. Corollary 1 bounds it by
+/// 1/l.
+double MaxTupleBreachProbability(const AnatomizedTables& tables);
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_PRIVACY_BREACH_H_

@@ -1,0 +1,100 @@
+#include "privacy/ldiversity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace anatomy {
+
+namespace {
+
+Status CheckHistogram(const std::vector<std::pair<Code, uint32_t>>& histogram,
+                      uint64_t group_size, int l, GroupId g) {
+  uint64_t max_count = 0;
+  for (const auto& [value, count] : histogram) {
+    max_count = std::max<uint64_t>(max_count, count);
+  }
+  if (max_count * static_cast<uint64_t>(l) > group_size) {
+    return Status::FailedPrecondition(
+        "group " + std::to_string(g + 1) + " violates " + std::to_string(l) +
+        "-diversity (" + std::to_string(max_count) + "/" +
+        std::to_string(group_size) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status VerifyAnatomizedLDiversity(const AnatomizedTables& tables, int l) {
+  if (l < 1) return Status::InvalidArgument("l must be >= 1");
+  for (GroupId g = 0; g < tables.num_groups(); ++g) {
+    ANATOMY_RETURN_IF_ERROR(
+        CheckHistogram(tables.group_histogram(g), tables.group_size(g), l, g));
+  }
+  return Status::OK();
+}
+
+Status VerifyGeneralizedLDiversity(const GeneralizedTable& table, int l) {
+  if (l < 1) return Status::InvalidArgument("l must be >= 1");
+  for (GroupId g = 0; g < table.num_groups(); ++g) {
+    ANATOMY_RETURN_IF_ERROR(
+        CheckHistogram(table.group(g).histogram, table.group(g).size, l, g));
+  }
+  return Status::OK();
+}
+
+bool GroupIsRecursiveClDiverse(
+    const std::vector<std::pair<Code, uint32_t>>& histogram, double c, int l) {
+  if (static_cast<int>(histogram.size()) < l) return false;
+  std::vector<uint32_t> counts;
+  counts.reserve(histogram.size());
+  for (const auto& [value, count] : histogram) counts.push_back(count);
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  uint64_t tail = 0;
+  for (size_t i = static_cast<size_t>(l) - 1; i < counts.size(); ++i) {
+    tail += counts[i];
+  }
+  return counts[0] < c * static_cast<double>(tail);
+}
+
+Status VerifyRecursiveClDiversity(const AnatomizedTables& tables, double c,
+                                  int l) {
+  if (l < 2) return Status::InvalidArgument("l must be >= 2");
+  if (c <= 0) return Status::InvalidArgument("c must be positive");
+  for (GroupId g = 0; g < tables.num_groups(); ++g) {
+    if (!GroupIsRecursiveClDiverse(tables.group_histogram(g), c, l)) {
+      return Status::FailedPrecondition(
+          "group " + std::to_string(g + 1) +
+          " is not recursively (c, l)-diverse");
+    }
+  }
+  return Status::OK();
+}
+
+bool GroupIsEntropyLDiverse(
+    const std::vector<std::pair<Code, uint32_t>>& histogram, double l) {
+  if (l <= 0) return false;
+  uint64_t total = 0;
+  for (const auto& [value, count] : histogram) total += count;
+  if (total == 0) return false;
+  double entropy = 0.0;
+  for (const auto& [value, count] : histogram) {
+    const double p = static_cast<double>(count) / static_cast<double>(total);
+    entropy -= p * std::log(p);
+  }
+  // Tiny epsilon absorbs floating-point error for exactly-uniform groups.
+  return entropy + 1e-12 >= std::log(l);
+}
+
+Status VerifyEntropyLDiversity(const AnatomizedTables& tables, double l) {
+  if (l < 1) return Status::InvalidArgument("l must be >= 1");
+  for (GroupId g = 0; g < tables.num_groups(); ++g) {
+    if (!GroupIsEntropyLDiverse(tables.group_histogram(g), l)) {
+      return Status::FailedPrecondition(
+          "group " + std::to_string(g + 1) + " is not entropy " +
+          std::to_string(l) + "-diverse");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace anatomy

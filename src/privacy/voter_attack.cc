@@ -1,0 +1,115 @@
+#include "privacy/voter_attack.h"
+
+#include <algorithm>
+
+#include "privacy/breach.h"
+
+namespace anatomy {
+
+std::vector<RegisteredPerson> RegistryFromTable(const Table& voter_table) {
+  std::vector<RegisteredPerson> registry;
+  registry.reserve(voter_table.num_rows());
+  for (RowId r = 0; r < voter_table.num_rows(); ++r) {
+    RegisteredPerson person;
+    person.name = voter_table.schema().attribute(0).FormatCode(
+        voter_table.at(r, 0));
+    for (size_t c = 1; c < voter_table.num_columns(); ++c) {
+      person.qi_values.push_back(voter_table.at(r, c));
+    }
+    registry.push_back(std::move(person));
+  }
+  return registry;
+}
+
+AttackOutcome AttackAnatomized(const AnatomizedTables& tables,
+                               const std::vector<RegisteredPerson>& registry,
+                               const RegisteredPerson& target,
+                               Code real_value) {
+  AttackOutcome outcome;
+  const size_t f_pub = MatchingQitRows(tables, target.qi_values).size();
+  size_t f_reg = 0;
+  for (const RegisteredPerson& person : registry) {
+    if (person.qi_values == target.qi_values) ++f_reg;
+  }
+  if (f_pub == 0 || f_reg == 0) {
+    // No published tuple carries the target's exact QI values: the adversary
+    // concludes the target is absent and learns nothing sensitive.
+    outcome.pr_in_microdata = 0.0;
+    outcome.pr_breach_given_in = 0.0;
+    return outcome;
+  }
+  outcome.pr_in_microdata =
+      std::min(1.0, static_cast<double>(f_pub) / static_cast<double>(f_reg));
+  outcome.pr_breach_given_in =
+      IndividualBreachProbability(tables, target.qi_values, real_value);
+  return outcome;
+}
+
+AttackOutcome AttackGeneralized(const GeneralizedTable& table,
+                                const std::vector<RegisteredPerson>& registry,
+                                const RegisteredPerson& target,
+                                Code real_value) {
+  AttackOutcome outcome;
+
+  auto cell_contains = [&](const GeneralizedGroup& group,
+                           const std::vector<Code>& qi) {
+    for (size_t i = 0; i < group.extents.size(); ++i) {
+      if (!group.extents[i].Contains(qi[i])) return false;
+    }
+    return true;
+  };
+
+  // Groups compatible with the target's QI values.
+  uint64_t candidate_tuples = 0;
+  std::vector<const GeneralizedGroup*> compatible_groups;
+  for (const GeneralizedGroup& group : table.groups()) {
+    if (cell_contains(group, target.qi_values)) {
+      compatible_groups.push_back(&group);
+      candidate_tuples += group.size;
+    }
+  }
+  if (candidate_tuples == 0) {
+    return outcome;  // target provably absent
+  }
+  // Registered persons who could occupy any of those candidate tuples.
+  uint64_t compatible_persons = 0;
+  for (const RegisteredPerson& person : registry) {
+    for (const GeneralizedGroup* group : compatible_groups) {
+      if (cell_contains(*group, person.qi_values)) {
+        ++compatible_persons;
+        break;
+      }
+    }
+  }
+  outcome.pr_in_microdata =
+      std::min(1.0, static_cast<double>(candidate_tuples) /
+                        static_cast<double>(compatible_persons));
+  outcome.pr_breach_given_in = GeneralizedIndividualBreachProbability(
+      table, target.qi_values, real_value);
+  return outcome;
+}
+
+double MembershipReport::CertaintyRate(const std::vector<double>& prs) {
+  if (prs.empty()) return 0.0;
+  size_t certain = 0;
+  for (double p : prs) certain += (p == 0.0 || p == 1.0);
+  return static_cast<double>(certain) / static_cast<double>(prs.size());
+}
+
+MembershipReport AnalyzeMembership(
+    const AnatomizedTables& anatomized, const GeneralizedTable& generalized,
+    const std::vector<RegisteredPerson>& registry) {
+  MembershipReport report;
+  report.anatomy_pr.reserve(registry.size());
+  report.generalization_pr.reserve(registry.size());
+  for (const RegisteredPerson& person : registry) {
+    // The sensitive value is irrelevant to Pr_A2; pass code 0.
+    report.anatomy_pr.push_back(
+        AttackAnatomized(anatomized, registry, person, 0).pr_in_microdata);
+    report.generalization_pr.push_back(
+        AttackGeneralized(generalized, registry, person, 0).pr_in_microdata);
+  }
+  return report;
+}
+
+}  // namespace anatomy

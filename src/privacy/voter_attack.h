@@ -1,0 +1,88 @@
+// The Section 3.3 attack analysis: an adversary who is NOT sure the target
+// appears in the microdata (assumption A2 dropped) consults an external
+// database — a voter registration list (Table 5) — relating QI values to
+// identities. The overall breach probability takes the Bayes form of
+// Formula 3:
+//
+//   Pr_A2(target_qi) * Pr_breach(target_s | A2)
+//
+// Anatomy publishes exact QI values, so the adversary pins down membership
+// exactly (Pr_A2 in {0, 1}); generalization leaves several registered persons
+// compatible with a cell, diluting Pr_A2 (the paper's 4/5 example). Both
+// keep the product below 1/l.
+
+#ifndef ANATOMY_PRIVACY_VOTER_ATTACK_H_
+#define ANATOMY_PRIVACY_VOTER_ATTACK_H_
+
+#include <string>
+#include <vector>
+
+#include "anatomy/anatomized_tables.h"
+#include "common/status.h"
+#include "generalization/generalized_table.h"
+#include "table/table.h"
+
+namespace anatomy {
+
+/// One registered person: an identity plus QI values aligned with the
+/// published tables' QI attributes.
+struct RegisteredPerson {
+  std::string name;
+  std::vector<Code> qi_values;
+};
+
+struct AttackOutcome {
+  /// Adversary's estimate that the target is in the microdata.
+  double pr_in_microdata = 0.0;
+  /// Adversary's estimate of the target's sensitive value given membership.
+  double pr_breach_given_in = 0.0;
+
+  /// Formula 3.
+  double OverallBreach() const { return pr_in_microdata * pr_breach_given_in; }
+};
+
+/// Attack against anatomized tables. The adversary counts the QIT tuples
+/// matching the target's QI values (f_pub) and the registered persons
+/// sharing them (f_reg): each matching tuple belongs to one of those
+/// persons, so Pr_A2 = min(1, f_pub / f_reg); the conditional breach is
+/// Theorem 1's individual-level probability.
+AttackOutcome AttackAnatomized(const AnatomizedTables& tables,
+                               const std::vector<RegisteredPerson>& registry,
+                               const RegisteredPerson& target,
+                               Code real_value);
+
+/// Attack against a generalized table. Candidate tuples are those of groups
+/// whose cell contains the target; any registered person inside those cells
+/// is equally plausible, so Pr_A2 = min(1, candidate_tuples /
+/// compatible_persons) — the paper's 4/5 for Alice.
+AttackOutcome AttackGeneralized(const GeneralizedTable& table,
+                                const std::vector<RegisteredPerson>& registry,
+                                const RegisteredPerson& target,
+                                Code real_value);
+
+/// Adapts a voter table whose columns are (Name, QI...) into RegisteredPerson
+/// records. The table's columns 1.. must align with the published QIs.
+std::vector<RegisteredPerson> RegistryFromTable(const Table& voter_table);
+
+/// Membership-disclosure audit over a whole registry: the adversary's
+/// Pr[person is in the microdata] under each publication. This is the
+/// quantified form of Section 3.3's observation that anatomy reveals
+/// membership exactly (probabilities collapse to 0 or 1) while
+/// generalization dilutes them — the price anatomy pays for exact QI
+/// release, bounded separately from the 1/l sensitive-value guarantee.
+struct MembershipReport {
+  std::vector<double> anatomy_pr;         // indexed like the registry
+  std::vector<double> generalization_pr;  // ditto
+
+  /// Fraction of registry entries whose membership the publication decides
+  /// with certainty (probability 0 or 1).
+  static double CertaintyRate(const std::vector<double>& prs);
+};
+
+MembershipReport AnalyzeMembership(
+    const AnatomizedTables& anatomized, const GeneralizedTable& generalized,
+    const std::vector<RegisteredPerson>& registry);
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_PRIVACY_VOTER_ATTACK_H_

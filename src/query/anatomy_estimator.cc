@@ -1,0 +1,59 @@
+#include "query/anatomy_estimator.h"
+
+#include "common/check.h"
+
+namespace anatomy {
+
+AnatomyEstimator::AnatomyEstimator(const AnatomizedTables& tables)
+    : tables_(&tables) {
+  // QIT columns 0..d-1 are the QI attributes (column d is Group-ID).
+  const size_t d = tables.qit().num_columns() - 1;
+  std::vector<size_t> columns(d);
+  for (size_t i = 0; i < d; ++i) columns[i] = i;
+  qit_index_ = std::make_unique<BitmapIndex>(tables.qit(), columns);
+
+  // Invert the ST: for each sensitive value, the groups carrying it.
+  const Code sens_domain = tables.st().schema().attribute(1).domain_size;
+  postings_.resize(sens_domain);
+  for (GroupId g = 0; g < tables.num_groups(); ++g) {
+    for (const auto& [value, count] : tables.group_histogram(g)) {
+      postings_[value].push_back({g, count});
+    }
+  }
+  group_mass_.assign(tables.num_groups(), 0.0);
+}
+
+double AnatomyEstimator::Estimate(const CountQuery& query) const {
+  // S_j for the groups that have any qualifying sensitive mass.
+  touched_groups_.clear();
+  for (Code v : query.sensitive_predicate.values()) {
+    if (v < 0 || static_cast<size_t>(v) >= postings_.size()) continue;
+    for (const auto& [g, count] : postings_[v]) {
+      if (group_mass_[g] == 0.0) touched_groups_.push_back(g);
+      group_mass_[g] += count;
+    }
+  }
+  if (touched_groups_.empty()) return 0.0;
+
+  // Exact per-group QI match fractions from the QIT.
+  qi_match_ = Bitmap(qit_index_->num_rows());
+  qi_match_.SetAll();
+  for (const AttributePredicate& pred : query.qi_predicates) {
+    qit_index_->PredicateBitmap(pred.qi_index(), pred, pred_bits_);
+    qi_match_.AndWith(pred_bits_);
+  }
+
+  double estimate = 0.0;
+  qi_match_.ForEachSetBit([&](size_t row) {
+    const GroupId g = tables_->group_of_row(static_cast<RowId>(row));
+    const double mass = group_mass_[g];
+    if (mass != 0.0) {
+      estimate += mass / tables_->group_size(g);
+    }
+  });
+
+  for (GroupId g : touched_groups_) group_mass_[g] = 0.0;
+  return estimate;
+}
+
+}  // namespace anatomy

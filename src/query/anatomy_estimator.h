@@ -1,0 +1,46 @@
+// Query estimation from anatomized tables (Section 1.2).
+//
+// For each QI-group j the QIT reveals the group's exact QI distribution, so
+// the probability that a group-j tuple satisfies the QI predicates is the
+// exact fraction p_j = |{t in QI_j : QI predicates hold}| / |QI_j|; the ST
+// reveals how many group-j tuples carry a qualifying sensitive value,
+// S_j = sum_{v in pred(As)} c_j(v). The estimate is sum_j p_j * S_j. No
+// distribution assumption is involved — the only approximation is the loss
+// of the within-group association between QI values and sensitive values,
+// which is exactly what l-diversity hides.
+
+#ifndef ANATOMY_QUERY_ANATOMY_ESTIMATOR_H_
+#define ANATOMY_QUERY_ANATOMY_ESTIMATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "anatomy/anatomized_tables.h"
+#include "query/bitmap_index.h"
+#include "query/predicate.h"
+
+namespace anatomy {
+
+class AnatomyEstimator {
+ public:
+  /// Builds its own bitmap index over the QIT's QI columns and per-sensitive-
+  /// value postings over the ST — i.e. strictly from the published tables.
+  explicit AnatomyEstimator(const AnatomizedTables& tables);
+
+  double Estimate(const CountQuery& query) const;
+
+ private:
+  const AnatomizedTables* tables_;
+  std::unique_ptr<BitmapIndex> qit_index_;
+  /// postings_[v] = (group, count) pairs with c_group(v) = count > 0.
+  std::vector<std::vector<std::pair<GroupId, uint32_t>>> postings_;
+  /// Scratch, reused across queries: qualifying sensitive mass per group.
+  mutable std::vector<double> group_mass_;
+  mutable std::vector<GroupId> touched_groups_;
+  mutable Bitmap qi_match_;
+  mutable Bitmap pred_bits_;
+};
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_QUERY_ANATOMY_ESTIMATOR_H_

@@ -1,0 +1,44 @@
+// Fixed-size bitmaps used by the bitmap index and the exact evaluator.
+
+#ifndef ANATOMY_QUERY_BITMAP_H_
+#define ANATOMY_QUERY_BITMAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace anatomy {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(size_t num_bits);
+
+  size_t size() const { return num_bits_; }
+
+  void Set(size_t i);
+  bool Test(size_t i) const;
+  void ClearAll();
+  void SetAll();
+
+  /// this |= other. Sizes must match.
+  void OrWith(const Bitmap& other);
+  /// this &= other. Sizes must match.
+  void AndWith(const Bitmap& other);
+
+  /// Number of set bits.
+  uint64_t Count() const;
+
+  /// Calls fn(i) for every set bit in ascending order.
+  void ForEachSetBit(const std::function<void(size_t)>& fn) const;
+
+  const std::vector<uint64_t>& words() const { return words_; }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_QUERY_BITMAP_H_

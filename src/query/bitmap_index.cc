@@ -1,0 +1,48 @@
+#include "query/bitmap_index.h"
+
+#include "common/check.h"
+
+namespace anatomy {
+
+BitmapIndex::BitmapIndex(const Table& table,
+                         const std::vector<size_t>& columns)
+    : num_rows_(table.num_rows()), columns_(columns) {
+  bitmaps_.resize(columns_.size());
+  for (size_t slot = 0; slot < columns_.size(); ++slot) {
+    const size_t col = columns_[slot];
+    ANATOMY_CHECK(col < table.num_columns());
+    const Code domain = table.schema().attribute(col).domain_size;
+    bitmaps_[slot].assign(domain, Bitmap(num_rows_));
+    const auto& data = table.column(col);
+    for (RowId r = 0; r < num_rows_; ++r) {
+      bitmaps_[slot][data[r]].Set(r);
+    }
+  }
+}
+
+size_t BitmapIndex::SlotFor(size_t column) const {
+  for (size_t slot = 0; slot < columns_.size(); ++slot) {
+    if (columns_[slot] == column) return slot;
+  }
+  ANATOMY_CHECK_MSG(false, "column not indexed");
+  return 0;
+}
+
+const Bitmap& BitmapIndex::ValueBitmap(size_t column, Code code) const {
+  const size_t slot = SlotFor(column);
+  ANATOMY_CHECK(code >= 0 &&
+                static_cast<size_t>(code) < bitmaps_[slot].size());
+  return bitmaps_[slot][code];
+}
+
+void BitmapIndex::PredicateBitmap(size_t column, const AttributePredicate& pred,
+                                  Bitmap& out) const {
+  const size_t slot = SlotFor(column);
+  out = Bitmap(num_rows_);
+  for (Code v : pred.values()) {
+    ANATOMY_CHECK(v >= 0 && static_cast<size_t>(v) < bitmaps_[slot].size());
+    out.OrWith(bitmaps_[slot][v]);
+  }
+}
+
+}  // namespace anatomy

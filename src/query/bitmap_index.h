@@ -1,0 +1,43 @@
+// Per-value bitmap index over table columns: the workhorse of exact query
+// evaluation and of the anatomy estimator's per-group QI matching.
+
+#ifndef ANATOMY_QUERY_BITMAP_INDEX_H_
+#define ANATOMY_QUERY_BITMAP_INDEX_H_
+
+#include <vector>
+
+#include "query/bitmap.h"
+#include "query/predicate.h"
+#include "table/table.h"
+
+namespace anatomy {
+
+/// One bitmap per (indexed column, code): bit r set iff row r carries that
+/// code. Only the columns requested at build time are indexed.
+class BitmapIndex {
+ public:
+  /// Indexes the given columns of `table`.
+  BitmapIndex(const Table& table, const std::vector<size_t>& columns);
+
+  RowId num_rows() const { return num_rows_; }
+
+  /// Bitmap of rows with `code` on `column` (column must have been indexed).
+  const Bitmap& ValueBitmap(size_t column, Code code) const;
+
+  /// OR of the value bitmaps of `pred.values()` on `column`, written into
+  /// `out` (resized/cleared as needed).
+  void PredicateBitmap(size_t column, const AttributePredicate& pred,
+                       Bitmap& out) const;
+
+ private:
+  size_t SlotFor(size_t column) const;
+
+  RowId num_rows_ = 0;
+  std::vector<size_t> columns_;
+  /// bitmaps_[slot][code]
+  std::vector<std::vector<Bitmap>> bitmaps_;
+};
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_QUERY_BITMAP_INDEX_H_

@@ -1,0 +1,46 @@
+#include "query/exact_evaluator.h"
+
+namespace anatomy {
+
+ExactEvaluator::ExactEvaluator(const Microdata& microdata)
+    : microdata_(&microdata) {
+  std::vector<size_t> columns = microdata.qi_columns;
+  columns.push_back(microdata.sensitive_column);
+  index_ = std::make_unique<BitmapIndex>(microdata.table, columns);
+}
+
+void ExactEvaluator::QiMatchBitmap(const CountQuery& query, Bitmap& out) const {
+  out = Bitmap(microdata_->n());
+  out.SetAll();
+  Bitmap pred_bits;
+  for (const AttributePredicate& pred : query.qi_predicates) {
+    const size_t column = microdata_->qi_columns[pred.qi_index()];
+    index_->PredicateBitmap(column, pred, pred_bits);
+    out.AndWith(pred_bits);
+  }
+}
+
+uint64_t ExactEvaluator::Count(const CountQuery& query) const {
+  Bitmap result;
+  QiMatchBitmap(query, result);
+  Bitmap sens;
+  index_->PredicateBitmap(microdata_->sensitive_column,
+                          query.sensitive_predicate, sens);
+  result.AndWith(sens);
+  return result.Count();
+}
+
+uint64_t CountByScan(const Microdata& microdata, const CountQuery& query) {
+  uint64_t count = 0;
+  for (RowId r = 0; r < microdata.n(); ++r) {
+    bool match = query.sensitive_predicate.Matches(microdata.sensitive_value(r));
+    for (size_t i = 0; match && i < query.qi_predicates.size(); ++i) {
+      const AttributePredicate& pred = query.qi_predicates[i];
+      match = pred.Matches(microdata.qi_value(r, pred.qi_index()));
+    }
+    count += match;
+  }
+  return count;
+}
+
+}  // namespace anatomy

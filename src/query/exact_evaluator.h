@@ -1,0 +1,42 @@
+// Ground-truth COUNT(*) evaluation on the microdata (the `act` of the
+// paper's relative-error metric |act - est| / act).
+
+#ifndef ANATOMY_QUERY_EXACT_EVALUATOR_H_
+#define ANATOMY_QUERY_EXACT_EVALUATOR_H_
+
+#include <memory>
+
+#include "query/bitmap_index.h"
+#include "query/predicate.h"
+#include "table/table.h"
+
+namespace anatomy {
+
+class ExactEvaluator {
+ public:
+  /// Builds a bitmap index over all QI columns and the sensitive column.
+  explicit ExactEvaluator(const Microdata& microdata);
+
+  /// Exact result of the query on the microdata.
+  uint64_t Count(const CountQuery& query) const;
+
+  /// Bitmap of rows satisfying the QI predicates only (shared with the
+  /// anatomy estimator, whose QIT carries identical QI columns in identical
+  /// row order).
+  void QiMatchBitmap(const CountQuery& query, Bitmap& out) const;
+
+  const BitmapIndex& index() const { return *index_; }
+  const Microdata& microdata() const { return *microdata_; }
+
+ private:
+  const Microdata* microdata_;
+  std::unique_ptr<BitmapIndex> index_;
+};
+
+/// Reference implementation: a full table scan. O(n * predicates); used by
+/// tests to validate the bitmap path.
+uint64_t CountByScan(const Microdata& microdata, const CountQuery& query);
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_QUERY_EXACT_EVALUATOR_H_

@@ -1,0 +1,53 @@
+#include "query/generalization_estimator.h"
+
+#include <algorithm>
+
+namespace anatomy {
+
+GeneralizationEstimator::GeneralizationEstimator(const GeneralizedTable& table)
+    : table_(&table) {
+  Code max_value = 0;
+  for (const GeneralizedGroup& group : table.groups()) {
+    for (const auto& [value, count] : group.histogram) {
+      max_value = std::max(max_value, value);
+    }
+  }
+  postings_.resize(static_cast<size_t>(max_value) + 1);
+  for (GroupId g = 0; g < table.num_groups(); ++g) {
+    for (const auto& [value, count] : table.group(g).histogram) {
+      postings_[value].push_back({g, count});
+    }
+  }
+  group_mass_.assign(table.num_groups(), 0.0);
+}
+
+double GeneralizationEstimator::Estimate(const CountQuery& query) const {
+  touched_groups_.clear();
+  for (Code v : query.sensitive_predicate.values()) {
+    if (v < 0 || static_cast<size_t>(v) >= postings_.size()) continue;
+    for (const auto& [g, count] : postings_[v]) {
+      if (group_mass_[g] == 0.0) touched_groups_.push_back(g);
+      group_mass_[g] += count;
+    }
+  }
+
+  double estimate = 0.0;
+  for (GroupId g : touched_groups_) {
+    const GeneralizedGroup& group = table_->group(g);
+    double p = 1.0;
+    for (const AttributePredicate& pred : query.qi_predicates) {
+      const CodeInterval& extent = group.extents[pred.qi_index()];
+      const int64_t overlap = pred.CountValuesIn(extent);
+      if (overlap == 0) {
+        p = 0.0;
+        break;
+      }
+      p *= static_cast<double>(overlap) / static_cast<double>(extent.length());
+    }
+    estimate += p * group_mass_[g];
+    group_mass_[g] = 0.0;
+  }
+  return estimate;
+}
+
+}  // namespace anatomy

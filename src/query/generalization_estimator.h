@@ -1,0 +1,40 @@
+// Query estimation from a generalized table (Section 1.1): multidimensional
+// selectivity estimation under the uniform-spread assumption, "as suggested
+// in [9]".
+//
+// A generalized group publishes an interval per QI attribute and the exact
+// sensitive value of each tuple. The number of group-j tuples with a
+// qualifying sensitive value, S_j, is therefore exact; but the probability
+// that such a tuple satisfies the QI predicates must be approximated by the
+// fractional overlap of the predicates with the group's cell:
+//   p_j = prod_i |pred_i ∩ QI_j[i]| / L(QI_j[i]) .
+// The estimate sum_j p_j * S_j inherits whatever error the uniformity
+// assumption commits inside each cell — the paper's Figure 1 failure mode.
+
+#ifndef ANATOMY_QUERY_GENERALIZATION_ESTIMATOR_H_
+#define ANATOMY_QUERY_GENERALIZATION_ESTIMATOR_H_
+
+#include <vector>
+
+#include "generalization/generalized_table.h"
+#include "query/predicate.h"
+
+namespace anatomy {
+
+class GeneralizationEstimator {
+ public:
+  explicit GeneralizationEstimator(const GeneralizedTable& table);
+
+  double Estimate(const CountQuery& query) const;
+
+ private:
+  const GeneralizedTable* table_;
+  /// postings_[v] = (group, count) pairs with count tuples of value v.
+  std::vector<std::vector<std::pair<GroupId, uint32_t>>> postings_;
+  mutable std::vector<double> group_mass_;
+  mutable std::vector<GroupId> touched_groups_;
+};
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_QUERY_GENERALIZATION_ESTIMATOR_H_

@@ -1,0 +1,51 @@
+// A small text query language, so the CLI and analysts can pose the paper's
+// COUNT(*) queries against a loaded publication without writing C++:
+//
+//   COUNT WHERE Age BETWEEN 20 AND 30 AND Sex = M AND Disease IN (flu, 4)
+//
+// Grammar (keywords case-insensitive, attribute names exact):
+//   query     := COUNT [WHERE conjunct (AND conjunct)*]
+//   conjunct  := name pred
+//   pred      := '=' value | IN '(' value (',' value)* ')'
+//              | BETWEEN value AND value
+//   value     := a label of the attribute, or an integer (interpreted as a
+//                real value for numerical attributes, a raw code otherwise)
+//
+// BETWEEN is inclusive and, for numerical attributes, operates on real
+// values (codes off the attribute's grid inside the range still match when
+// their mapped value falls within it). Exactly one conjunct must constrain
+// the sensitive attribute; it may appear anywhere in the conjunction.
+
+#ifndef ANATOMY_QUERY_PARSER_H_
+#define ANATOMY_QUERY_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "anatomy/anatomized_tables.h"
+#include "common/status.h"
+#include "query/predicate.h"
+#include "table/table.h"
+
+namespace anatomy {
+
+/// The name/typing context a query is parsed against.
+struct QuerySchema {
+  std::vector<AttributeDef> qi_attributes;
+  AttributeDef sensitive_attribute;
+
+  static QuerySchema FromMicrodata(const Microdata& microdata);
+  /// From a publication: QIT columns 0..d-1 are the QIs, ST column 1 the
+  /// sensitive attribute.
+  static QuerySchema FromPublication(const AnatomizedTables& tables);
+};
+
+/// Parses `text` into a CountQuery. Attributes without a conjunct are left
+/// unconstrained. A missing sensitive conjunct yields the full sensitive
+/// domain (COUNT over QI predicates only).
+StatusOr<CountQuery> ParseCountQuery(const std::string& text,
+                                     const QuerySchema& schema);
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_QUERY_PARSER_H_

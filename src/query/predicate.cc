@@ -1,0 +1,53 @@
+#include "query/predicate.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace anatomy {
+
+AttributePredicate::AttributePredicate(size_t qi_index,
+                                       std::vector<Code> values)
+    : qi_index_(qi_index), values_(std::move(values)) {
+  std::sort(values_.begin(), values_.end());
+  values_.erase(std::unique(values_.begin(), values_.end()), values_.end());
+}
+
+bool AttributePredicate::Matches(Code v) const {
+  return std::binary_search(values_.begin(), values_.end(), v);
+}
+
+int64_t AttributePredicate::CountValuesIn(const CodeInterval& interval) const {
+  if (interval.empty()) return 0;
+  auto lo = std::lower_bound(values_.begin(), values_.end(), interval.lo);
+  auto hi = std::upper_bound(values_.begin(), values_.end(), interval.hi);
+  return std::distance(lo, hi);
+}
+
+namespace {
+
+void AppendPredicate(std::ostringstream& os, const AttributeDef& attr,
+                     const AttributePredicate& pred) {
+  os << attr.name << " IN {";
+  for (size_t i = 0; i < pred.values().size(); ++i) {
+    if (i > 0) os << ", ";
+    os << attr.FormatCode(pred.values()[i]);
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::string CountQuery::ToString(const Microdata& microdata) const {
+  std::ostringstream os;
+  os << "SELECT COUNT(*) WHERE ";
+  for (size_t i = 0; i < qi_predicates.size(); ++i) {
+    if (i > 0) os << " AND ";
+    AppendPredicate(os, microdata.qi_attribute(qi_predicates[i].qi_index()),
+                    qi_predicates[i]);
+  }
+  if (!qi_predicates.empty()) os << " AND ";
+  AppendPredicate(os, microdata.sensitive_attribute(), sensitive_predicate);
+  return os.str();
+}
+
+}  // namespace anatomy

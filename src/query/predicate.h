@@ -1,0 +1,57 @@
+// The aggregate query class of Section 6.1:
+//
+//   SELECT COUNT(*) FROM Unknown-Microdata
+//   WHERE pred(Aqi_1) AND ... AND pred(Aqi_qd) AND pred(As)
+//
+// where each pred(A) is a disjunction (A = x1 OR ... OR A = xb) of b random
+// domain values, b = ceil(|A| * s^(1/(qd+1))) for expected selectivity s
+// (Equation 14).
+
+#ifndef ANATOMY_QUERY_PREDICATE_H_
+#define ANATOMY_QUERY_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+#include "taxonomy/taxonomy.h"
+
+namespace anatomy {
+
+/// OR-of-points predicate on one attribute. Values are sorted and distinct.
+class AttributePredicate {
+ public:
+  AttributePredicate() = default;
+  /// `values` need not be sorted; duplicates are removed.
+  AttributePredicate(size_t qi_index, std::vector<Code> values);
+
+  /// Position of the attribute among the microdata's QI attributes (or
+  /// ignored for the sensitive predicate).
+  size_t qi_index() const { return qi_index_; }
+  const std::vector<Code>& values() const { return values_; }
+  size_t cardinality() const { return values_.size(); }
+
+  bool Matches(Code v) const;
+
+  /// Number of predicate values inside [interval.lo, interval.hi]; the
+  /// numerator of the generalization estimator's per-attribute fraction.
+  int64_t CountValuesIn(const CodeInterval& interval) const;
+
+ private:
+  size_t qi_index_ = 0;
+  std::vector<Code> values_;
+};
+
+/// A full COUNT(*) query: conjunction of QI predicates plus one sensitive
+/// predicate.
+struct CountQuery {
+  std::vector<AttributePredicate> qi_predicates;
+  AttributePredicate sensitive_predicate;
+
+  /// SQL-ish rendering with attribute names and labels, for examples/logs.
+  std::string ToString(const Microdata& microdata) const;
+};
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_QUERY_PREDICATE_H_

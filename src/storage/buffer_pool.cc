@@ -1,0 +1,113 @@
+#include "storage/buffer_pool.h"
+
+#include "common/check.h"
+
+namespace anatomy {
+
+BufferPool::BufferPool(SimulatedDisk* disk, size_t capacity_pages)
+    : disk_(disk), capacity_(capacity_pages) {
+  ANATOMY_CHECK(disk_ != nullptr);
+  ANATOMY_CHECK(capacity_ > 0);
+}
+
+size_t BufferPool::pinned_frames() const {
+  size_t n = 0;
+  for (const auto& [id, frame] : frames_) n += (frame.pin_count > 0);
+  return n;
+}
+
+Status BufferPool::EvictOne() {
+  if (lru_.empty()) {
+    return Status::FailedPrecondition(
+        "buffer pool exhausted: all " + std::to_string(capacity_) +
+        " frames are pinned");
+  }
+  const PageId victim = lru_.front();
+  lru_.pop_front();
+  auto it = frames_.find(victim);
+  ANATOMY_CHECK(it != frames_.end());
+  if (it->second.dirty) {
+    ANATOMY_RETURN_IF_ERROR(disk_->WritePage(victim, it->second.page));
+  }
+  frames_.erase(it);
+  return Status::OK();
+}
+
+StatusOr<Page*> BufferPool::Pin(PageId id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    Frame& frame = it->second;
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    ++frame.pin_count;
+    return &frame.page;
+  }
+  if (frames_.size() >= capacity_) {
+    ANATOMY_RETURN_IF_ERROR(EvictOne());
+  }
+  Frame& frame = frames_[id];
+  frame.pin_count = 1;
+  ANATOMY_RETURN_IF_ERROR(disk_->ReadPage(id, frame.page));
+  return &frame.page;
+}
+
+StatusOr<Page*> BufferPool::PinNew(PageId* out_id) {
+  if (frames_.size() >= capacity_) {
+    ANATOMY_RETURN_IF_ERROR(EvictOne());
+  }
+  const PageId id = disk_->AllocatePage();
+  Frame& frame = frames_[id];
+  frame.pin_count = 1;
+  frame.dirty = true;  // Fresh pages must reach disk even if never re-written.
+  frame.page.Clear();
+  *out_id = id;
+  return &frame.page;
+}
+
+Status BufferPool::Unpin(PageId id, bool dirty) {
+  auto it = frames_.find(id);
+  if (it == frames_.end() || it->second.pin_count == 0) {
+    return Status::FailedPrecondition("unpin of page " + std::to_string(id) +
+                                      " that is not pinned");
+  }
+  Frame& frame = it->second;
+  frame.dirty = frame.dirty || dirty;
+  if (--frame.pin_count == 0) {
+    frame.lru_pos = lru_.insert(lru_.end(), id);
+    frame.in_lru = true;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [id, frame] : frames_) {
+    if (frame.pin_count > 0) {
+      return Status::FailedPrecondition("flush with pinned page " +
+                                        std::to_string(id));
+    }
+    if (frame.dirty) {
+      ANATOMY_RETURN_IF_ERROR(disk_->WritePage(id, frame.page));
+    }
+  }
+  frames_.clear();
+  lru_.clear();
+  return Status::OK();
+}
+
+Status BufferPool::Discard(PageId id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    if (it->second.pin_count > 0) {
+      return Status::FailedPrecondition("discard of pinned page " +
+                                        std::to_string(id));
+    }
+    if (it->second.in_lru) lru_.erase(it->second.lru_pos);
+    frames_.erase(it);
+  }
+  disk_->FreePage(id);
+  return Status::OK();
+}
+
+}  // namespace anatomy

@@ -1,0 +1,76 @@
+// BufferPool: a pin-counted LRU page cache over a SimulatedDisk.
+//
+// Reproduces the paper's "memory capacity of 50 pages": every in-flight page
+// an external algorithm touches must be pinned in a frame, and the pool
+// refuses to exceed its capacity, so algorithms are forced into the same
+// memory discipline the paper's experiments assume (e.g. one buffer page per
+// hash bucket plus one input page in Anatomize).
+
+#ifndef ANATOMY_STORAGE_BUFFER_POOL_H_
+#define ANATOMY_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/simulated_disk.h"
+
+namespace anatomy {
+
+/// The paper's experimental memory budget.
+inline constexpr size_t kDefaultPoolPages = 50;
+
+class BufferPool {
+ public:
+  BufferPool(SimulatedDisk* disk, size_t capacity_pages = kDefaultPoolPages);
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins `id` into a frame, reading it from disk on a miss, and returns the
+  /// frame's page. Fails with FailedPrecondition if every frame is pinned.
+  StatusOr<Page*> Pin(PageId id);
+
+  /// Pins a freshly allocated page without a disk read (its first content
+  /// comes from the caller). Returns the page id through `out_id`.
+  StatusOr<Page*> PinNew(PageId* out_id);
+
+  /// Unpins a page; `dirty` marks it for write-back on eviction/flush.
+  Status Unpin(PageId id, bool dirty);
+
+  /// Writes back all dirty frames (counting writes) and empties the pool.
+  Status FlushAll();
+
+  /// Drops `id` from the pool without write-back and frees it on disk.
+  /// The page must not be pinned.
+  Status Discard(PageId id);
+
+  size_t capacity() const { return capacity_; }
+  size_t frames_in_use() const { return frames_.size(); }
+  size_t pinned_frames() const;
+
+ private:
+  struct Frame {
+    Page page;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    /// Position in lru_ when pin_count == 0.
+    std::list<PageId>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  /// Evicts one unpinned frame (LRU order); error if none exists.
+  Status EvictOne();
+
+  SimulatedDisk* disk_;
+  size_t capacity_;
+  std::unordered_map<PageId, Frame> frames_;
+  /// Unpinned pages, least recently used first.
+  std::list<PageId> lru_;
+};
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,167 @@
+#include "storage/external_sort.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace anatomy {
+
+namespace {
+
+/// Compares two records under a SortSpec.
+bool RecordLess(const std::vector<int32_t>& a, const std::vector<int32_t>& b,
+                const SortSpec& spec) {
+  for (size_t f : spec.key_fields) {
+    if (a[f] != b[f]) return a[f] < b[f];
+  }
+  return false;
+}
+
+/// Phase 1: split `input` into sorted runs of at most `run_pages` pages.
+StatusOr<std::vector<std::unique_ptr<RecordFile>>> GenerateRuns(
+    RecordFile* input, const SortSpec& spec, BufferPool* pool,
+    size_t run_pages) {
+  const size_t fields = input->fields_per_record();
+  const size_t run_records = run_pages * input->records_per_page();
+  std::vector<std::unique_ptr<RecordFile>> runs;
+
+  RecordReader reader(pool, input);
+  std::vector<std::vector<int32_t>> buffer;
+  buffer.reserve(run_records);
+  std::vector<int32_t> rec(fields);
+
+  auto spill = [&]() -> Status {
+    if (buffer.empty()) return Status::OK();
+    std::sort(buffer.begin(), buffer.end(),
+              [&](const auto& a, const auto& b) { return RecordLess(a, b, spec); });
+    auto run = std::make_unique<RecordFile>(input->disk(), fields);
+    RecordWriter writer(pool, run.get());
+    for (const auto& r : buffer) {
+      ANATOMY_RETURN_IF_ERROR(writer.Append(r));
+    }
+    ANATOMY_RETURN_IF_ERROR(pool->FlushAll());
+    runs.push_back(std::move(run));
+    buffer.clear();
+    return Status::OK();
+  };
+
+  for (;;) {
+    ANATOMY_ASSIGN_OR_RETURN(bool more, reader.Next(rec));
+    if (!more) break;
+    buffer.push_back(rec);
+    if (buffer.size() >= run_records) {
+      ANATOMY_RETURN_IF_ERROR(spill());
+    }
+  }
+  ANATOMY_RETURN_IF_ERROR(spill());
+  return runs;
+}
+
+/// Phase 2: one k-way merge of `runs` into a single output file.
+StatusOr<std::unique_ptr<RecordFile>> MergeRuns(
+    std::vector<std::unique_ptr<RecordFile>> runs, const SortSpec& spec,
+    BufferPool* pool, SimulatedDisk* disk, size_t fields) {
+  struct Cursor {
+    std::unique_ptr<RecordReader> reader;
+    std::vector<int32_t> current;
+    size_t index;
+  };
+  auto output = std::make_unique<RecordFile>(disk, fields);
+  RecordWriter writer(pool, output.get());
+
+  std::vector<Cursor> cursors;
+  cursors.reserve(runs.size());
+  for (size_t i = 0; i < runs.size(); ++i) {
+    Cursor cursor;
+    cursor.reader = std::make_unique<RecordReader>(pool, runs[i].get());
+    cursor.current.resize(fields);
+    cursor.index = i;
+    ANATOMY_ASSIGN_OR_RETURN(bool more, cursor.reader->Next(cursor.current));
+    if (more) cursors.push_back(std::move(cursor));
+  }
+
+  auto greater = [&](size_t a, size_t b) {
+    // Min-heap: a sorts after b.
+    return RecordLess(cursors[b].current, cursors[a].current, spec);
+  };
+  std::vector<size_t> heap;
+  for (size_t i = 0; i < cursors.size(); ++i) heap.push_back(i);
+  std::make_heap(heap.begin(), heap.end(), greater);
+
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), greater);
+    const size_t i = heap.back();
+    heap.pop_back();
+    ANATOMY_RETURN_IF_ERROR(writer.Append(cursors[i].current));
+    ANATOMY_ASSIGN_OR_RETURN(bool more, cursors[i].reader->Next(cursors[i].current));
+    if (more) {
+      heap.push_back(i);
+      std::push_heap(heap.begin(), heap.end(), greater);
+    }
+  }
+  ANATOMY_RETURN_IF_ERROR(pool->FlushAll());
+  for (auto& run : runs) {
+    ANATOMY_RETURN_IF_ERROR(run->FreeAll(pool));
+  }
+  return output;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<RecordFile>> ExternalSort(RecordFile* input,
+                                                   const SortSpec& spec,
+                                                   BufferPool* pool) {
+  ANATOMY_CHECK(input != nullptr);
+  for (size_t f : spec.key_fields) {
+    if (f >= input->fields_per_record()) {
+      return Status::InvalidArgument("sort key field out of range");
+    }
+  }
+  const size_t budget = pool->capacity() > 4 ? pool->capacity() - 2 : 2;
+  ANATOMY_ASSIGN_OR_RETURN(auto runs,
+                           GenerateRuns(input, spec, pool, budget));
+  SimulatedDisk* disk = input->disk();
+  const size_t fields = input->fields_per_record();
+  ANATOMY_RETURN_IF_ERROR(input->FreeAll(pool));
+
+  if (runs.empty()) {
+    return std::make_unique<RecordFile>(disk, fields);
+  }
+  // Multi-pass merge when the fan-in exceeds the budget.
+  while (runs.size() > 1) {
+    std::vector<std::unique_ptr<RecordFile>> next;
+    for (size_t start = 0; start < runs.size(); start += budget) {
+      std::vector<std::unique_ptr<RecordFile>> batch;
+      for (size_t i = start; i < std::min(runs.size(), start + budget); ++i) {
+        batch.push_back(std::move(runs[i]));
+      }
+      if (batch.size() == 1) {
+        next.push_back(std::move(batch[0]));
+        continue;
+      }
+      ANATOMY_ASSIGN_OR_RETURN(
+          auto merged, MergeRuns(std::move(batch), spec, pool, disk, fields));
+      next.push_back(std::move(merged));
+    }
+    runs = std::move(next);
+  }
+  return std::move(runs[0]);
+}
+
+StatusOr<bool> IsSorted(const RecordFile& file, const SortSpec& spec,
+                        BufferPool* pool) {
+  RecordReader reader(pool, &file);
+  std::vector<int32_t> prev(file.fields_per_record());
+  std::vector<int32_t> cur(file.fields_per_record());
+  ANATOMY_ASSIGN_OR_RETURN(bool more, reader.Next(prev));
+  if (!more) return true;
+  for (;;) {
+    ANATOMY_ASSIGN_OR_RETURN(more, reader.Next(cur));
+    if (!more) return true;
+    if (RecordLess(cur, prev, spec)) return false;
+    std::swap(prev, cur);
+  }
+}
+
+}  // namespace anatomy

@@ -1,0 +1,45 @@
+// External merge sort over record files.
+//
+// Classic two-phase sort under the buffer-pool memory budget: run generation
+// fills the available frames with records, sorts them in memory, and spills
+// sorted runs; the merge phase does (budget - 1)-way merges until one run
+// remains. Used by the external natural join (anatomy/external_join.h) and
+// available as a general substrate; I/O is counted by the simulated disk
+// like every other external operator.
+
+#ifndef ANATOMY_STORAGE_EXTERNAL_SORT_H_
+#define ANATOMY_STORAGE_EXTERNAL_SORT_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+#include "storage/simulated_disk.h"
+
+namespace anatomy {
+
+/// Orders records by the given key field indices, lexicographically,
+/// ascending. Ties keep no particular order (the sort is not stable across
+/// runs).
+struct SortSpec {
+  std::vector<size_t> key_fields;
+};
+
+/// Sorts `input` into a new RecordFile (returned), consuming the input file
+/// (its pages are freed). `pool` supplies the working memory: run size is
+/// (capacity - 2) pages' worth of records and merges are (capacity - 2)-way.
+StatusOr<std::unique_ptr<RecordFile>> ExternalSort(RecordFile* input,
+                                                   const SortSpec& spec,
+                                                   BufferPool* pool);
+
+/// True if the file's records are non-decreasing under `spec` (verification
+/// helper; streams the file once).
+StatusOr<bool> IsSorted(const RecordFile& file, const SortSpec& spec,
+                        BufferPool* pool);
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_STORAGE_EXTERNAL_SORT_H_

@@ -1,0 +1,43 @@
+// Fixed-size disk pages for the simulated storage substrate.
+//
+// The paper's efficiency experiments (Section 6.2, Figures 8-9) measure I/O
+// with a page size of 4096 bytes and a memory capacity of 50 pages. We
+// reproduce that environment with a simulated disk whose unit of transfer is
+// this Page.
+
+#ifndef ANATOMY_STORAGE_PAGE_H_
+#define ANATOMY_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace anatomy {
+
+/// Bytes per disk page (the paper's configuration).
+inline constexpr size_t kPageSize = 4096;
+
+/// Identifier of a page on the simulated disk.
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = static_cast<PageId>(-1);
+
+/// Raw page payload.
+struct Page {
+  std::array<uint8_t, kPageSize> bytes{};
+
+  void Clear() { bytes.fill(0); }
+
+  /// Typed access helpers for int32 records.
+  int32_t ReadInt32(size_t offset) const {
+    int32_t v;
+    std::memcpy(&v, bytes.data() + offset, sizeof(v));
+    return v;
+  }
+  void WriteInt32(size_t offset, int32_t v) {
+    std::memcpy(bytes.data() + offset, &v, sizeof(v));
+  }
+};
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_STORAGE_PAGE_H_

@@ -1,0 +1,87 @@
+#include "storage/page_file.h"
+
+#include "common/check.h"
+
+namespace anatomy {
+
+RecordFile::RecordFile(SimulatedDisk* disk, size_t fields_per_record)
+    : disk_(disk),
+      fields_(fields_per_record),
+      records_per_page_(RecordPageLayout::RecordsPerPage(fields_per_record)) {
+  ANATOMY_CHECK(disk_ != nullptr);
+  ANATOMY_CHECK(fields_ > 0);
+  ANATOMY_CHECK(records_per_page_ > 0);
+}
+
+Status RecordFile::FreeAll(BufferPool* pool) {
+  ANATOMY_CHECK(pool != nullptr);
+  for (PageId id : pages_) {
+    // Discard drops any cached frame and frees the page on disk.
+    ANATOMY_RETURN_IF_ERROR(pool->Discard(id));
+  }
+  pages_.clear();
+  num_records_ = 0;
+  return Status::OK();
+}
+
+RecordWriter::RecordWriter(BufferPool* pool, RecordFile* file)
+    : pool_(pool), file_(file) {
+  ANATOMY_CHECK(pool_ != nullptr);
+  ANATOMY_CHECK(file_ != nullptr);
+}
+
+Status RecordWriter::Append(std::span<const int32_t> record) {
+  ANATOMY_CHECK(record.size() == file_->fields_per_record());
+  Page* page = nullptr;
+  if (current_id_ == kInvalidPageId ||
+      records_in_page_ == file_->records_per_page()) {
+    ANATOMY_ASSIGN_OR_RETURN(page, pool_->PinNew(&current_id_));
+    file_->pages_.push_back(current_id_);
+    records_in_page_ = 0;
+  } else {
+    // Re-pin the tail page; a pool hit costs nothing, an evicted page is
+    // honestly re-read.
+    ANATOMY_ASSIGN_OR_RETURN(page, pool_->Pin(current_id_));
+  }
+  const size_t offset =
+      RecordPageLayout::RecordOffset(records_in_page_, record.size());
+  for (size_t f = 0; f < record.size(); ++f) {
+    page->WriteInt32(offset + f * sizeof(int32_t), record[f]);
+  }
+  ++records_in_page_;
+  ++file_->num_records_;
+  page->WriteInt32(0, static_cast<int32_t>(records_in_page_));
+  return pool_->Unpin(current_id_, /*dirty=*/true);
+}
+
+RecordReader::RecordReader(BufferPool* pool, const RecordFile* file)
+    : pool_(pool), file_(file) {
+  ANATOMY_CHECK(pool_ != nullptr);
+  ANATOMY_CHECK(file_ != nullptr);
+}
+
+StatusOr<bool> RecordReader::Next(std::span<int32_t> out) {
+  ANATOMY_CHECK(out.size() == file_->fields_per_record());
+  while (page_index_ < file_->num_pages()) {
+    const PageId id = file_->pages()[page_index_];
+    ANATOMY_ASSIGN_OR_RETURN(Page * page, pool_->Pin(id));
+    const size_t page_count = static_cast<size_t>(page->ReadInt32(0));
+    if (record_in_page_ < page_count) {
+      const size_t offset =
+          RecordPageLayout::RecordOffset(record_in_page_, out.size());
+      for (size_t f = 0; f < out.size(); ++f) {
+        out[f] = page->ReadInt32(offset + f * sizeof(int32_t));
+      }
+      ++record_in_page_;
+      ++consumed_;
+      ANATOMY_RETURN_IF_ERROR(pool_->Unpin(id, /*dirty=*/false));
+      return true;
+    }
+    ANATOMY_RETURN_IF_ERROR(pool_->Unpin(id, /*dirty=*/false));
+    ++page_index_;
+    record_in_page_ = 0;
+  }
+  return false;
+}
+
+}  // namespace anatomy

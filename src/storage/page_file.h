@@ -1,0 +1,112 @@
+// Record-oriented sequential files over the simulated disk.
+//
+// A RecordFile stores fixed-width records of int32 fields (a microdata tuple
+// is d QI codes + 1 sensitive code, plus bookkeeping fields). Pages hold a
+// record-count header followed by packed records.
+//
+// Readers and writers pin a page in the BufferPool only for the duration of
+// one record operation and unpin it immediately, so an algorithm may hold
+// cursors into many files (e.g. one per hash bucket) without exceeding the
+// pool capacity; the pool's LRU decides which of those hot pages actually
+// stay in memory, and any thrashing shows up as honest I/O.
+
+#ifndef ANATOMY_STORAGE_PAGE_FILE_H_
+#define ANATOMY_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "storage/simulated_disk.h"
+
+namespace anatomy {
+
+/// Metadata of a record file: ordered page list + record geometry. The page
+/// list itself is catalog metadata (not counted as data I/O), matching how
+/// the paper counts only tuple transfer.
+class RecordFile {
+ public:
+  RecordFile(SimulatedDisk* disk, size_t fields_per_record);
+
+  size_t fields_per_record() const { return fields_; }
+  size_t records_per_page() const { return records_per_page_; }
+  uint64_t num_records() const { return num_records_; }
+  size_t num_pages() const { return pages_.size(); }
+  const std::vector<PageId>& pages() const { return pages_; }
+  SimulatedDisk* disk() const { return disk_; }
+
+  /// Releases every page back to the disk, discarding any cached frames the
+  /// pool still holds for them (so later allocations can recycle the page
+  /// ids without colliding with stale cache entries). Pages must be
+  /// unpinned.
+  Status FreeAll(BufferPool* pool);
+
+ private:
+  friend class RecordWriter;
+
+  SimulatedDisk* disk_;
+  size_t fields_;
+  size_t records_per_page_;
+  std::vector<PageId> pages_;
+  uint64_t num_records_ = 0;
+};
+
+/// Appends records to a RecordFile. The trailing partial page lives in the
+/// pool as a dirty frame; call BufferPool::FlushAll() (or let eviction
+/// happen) to materialize it on disk.
+class RecordWriter {
+ public:
+  RecordWriter(BufferPool* pool, RecordFile* file);
+  RecordWriter(const RecordWriter&) = delete;
+  RecordWriter& operator=(const RecordWriter&) = delete;
+
+  Status Append(std::span<const int32_t> record);
+
+ private:
+  BufferPool* pool_;
+  RecordFile* file_;
+  PageId current_id_ = kInvalidPageId;
+  size_t records_in_page_ = 0;
+};
+
+/// Streams records of a RecordFile in order.
+class RecordReader {
+ public:
+  RecordReader(BufferPool* pool, const RecordFile* file);
+  RecordReader(const RecordReader&) = delete;
+  RecordReader& operator=(const RecordReader&) = delete;
+
+  /// Reads the next record into `out` (must have fields_per_record() slots).
+  /// Returns false at end of file.
+  StatusOr<bool> Next(std::span<int32_t> out);
+
+  /// Records remaining ahead of the cursor.
+  uint64_t remaining() const { return file_->num_records() - consumed_; }
+
+ private:
+  BufferPool* pool_;
+  const RecordFile* file_;
+  size_t page_index_ = 0;
+  size_t record_in_page_ = 0;
+  uint64_t consumed_ = 0;
+};
+
+/// Serialized page layout shared by reader and writer.
+struct RecordPageLayout {
+  static constexpr size_t kCountHeaderBytes = sizeof(int32_t);
+
+  /// Byte offset of record `r` in a page of `fields`-wide records.
+  static size_t RecordOffset(size_t r, size_t fields) {
+    return kCountHeaderBytes + r * fields * sizeof(int32_t);
+  }
+  static size_t RecordsPerPage(size_t fields) {
+    return (kPageSize - kCountHeaderBytes) / (fields * sizeof(int32_t));
+  }
+};
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_STORAGE_PAGE_FILE_H_

@@ -1,0 +1,46 @@
+#include "storage/simulated_disk.h"
+
+namespace anatomy {
+
+PageId SimulatedDisk::AllocatePage() {
+  if (!free_list_.empty()) {
+    PageId id = free_list_.back();
+    free_list_.pop_back();
+    freed_[id] = false;
+    pages_[id]->Clear();
+    return id;
+  }
+  pages_.push_back(std::make_unique<Page>());
+  freed_.push_back(false);
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+void SimulatedDisk::FreePage(PageId id) {
+  if (!IsLive(id)) return;
+  freed_[id] = true;
+  free_list_.push_back(id);
+}
+
+bool SimulatedDisk::IsLive(PageId id) const {
+  return id < pages_.size() && !freed_[id];
+}
+
+Status SimulatedDisk::ReadPage(PageId id, Page& out) {
+  if (!IsLive(id)) {
+    return Status::NotFound("read of unallocated page " + std::to_string(id));
+  }
+  out = *pages_[id];
+  ++stats_.reads;
+  return Status::OK();
+}
+
+Status SimulatedDisk::WritePage(PageId id, const Page& in) {
+  if (!IsLive(id)) {
+    return Status::NotFound("write of unallocated page " + std::to_string(id));
+  }
+  *pages_[id] = in;
+  ++stats_.writes;
+  return Status::OK();
+}
+
+}  // namespace anatomy

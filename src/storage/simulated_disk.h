@@ -1,0 +1,67 @@
+// SimulatedDisk: an in-memory page store that counts physical I/Os.
+//
+// All external algorithms (ExternalAnatomizer, ExternalMondrian) move data
+// exclusively through ReadPage/WritePage, so the counters reproduce the
+// paper's I/O-cost metric exactly, independent of the host machine.
+
+#ifndef ANATOMY_STORAGE_SIMULATED_DISK_H_
+#define ANATOMY_STORAGE_SIMULATED_DISK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace anatomy {
+
+/// Physical I/O counters. `total()` is the number the paper plots.
+struct IoStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+
+  uint64_t total() const { return reads + writes; }
+
+  IoStats operator-(const IoStats& other) const {
+    return {reads - other.reads, writes - other.writes};
+  }
+};
+
+class SimulatedDisk {
+ public:
+  SimulatedDisk() = default;
+  SimulatedDisk(const SimulatedDisk&) = delete;
+  SimulatedDisk& operator=(const SimulatedDisk&) = delete;
+
+  /// Allocates a zeroed page and returns its id. Allocation itself performs
+  /// no I/O (the write that materializes the page is counted separately).
+  PageId AllocatePage();
+
+  /// Releases a page. Freed ids are recycled by later allocations.
+  void FreePage(PageId id);
+
+  /// Copies a page from disk into `out`, counting one read.
+  Status ReadPage(PageId id, Page& out);
+
+  /// Copies `in` to disk, counting one write.
+  Status WritePage(PageId id, const Page& in);
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoStats{}; }
+
+  /// Number of live (allocated, not freed) pages.
+  size_t live_pages() const { return pages_.size() - free_list_.size(); }
+
+ private:
+  bool IsLive(PageId id) const;
+
+  std::vector<std::unique_ptr<Page>> pages_;
+  std::vector<PageId> free_list_;
+  std::vector<bool> freed_;
+  IoStats stats_;
+};
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_STORAGE_SIMULATED_DISK_H_

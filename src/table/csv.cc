@@ -1,0 +1,131 @@
+#include "table/csv.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace anatomy {
+
+Status WriteCsv(const Table& table, std::ostream& os,
+                const CsvOptions& options) {
+  const Schema& schema = table.schema();
+  if (options.header) {
+    for (size_t c = 0; c < schema.num_attributes(); ++c) {
+      if (c > 0) os << options.delimiter;
+      os << schema.attribute(c).name;
+    }
+    os << "\n";
+  }
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < schema.num_attributes(); ++c) {
+      if (c > 0) os << options.delimiter;
+      os << schema.attribute(c).FormatCode(table.at(r, c));
+    }
+    os << "\n";
+  }
+  if (!os) return Status::Internal("CSV write failed");
+  return Status::OK();
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream os(path);
+  if (!os) return Status::NotFound("cannot open '" + path + "' for writing");
+  return WriteCsv(table, os, options);
+}
+
+namespace {
+
+/// Per-attribute decoder from CSV field text to a code.
+class FieldDecoder {
+ public:
+  explicit FieldDecoder(const AttributeDef& def) : def_(&def) {
+    for (size_t i = 0; i < def.labels.size(); ++i) {
+      label_to_code_[def.labels[i]] = static_cast<Code>(i);
+    }
+  }
+
+  StatusOr<Code> Decode(std::string_view field, size_t line) const {
+    std::string text(Trim(field));
+    if (!label_to_code_.empty()) {
+      auto it = label_to_code_.find(text);
+      if (it != label_to_code_.end()) return it->second;
+      // Fall through: allow numeric codes even for labeled attributes.
+    }
+    char* end = nullptr;
+    errno = 0;
+    const long long parsed = std::strtoll(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+      return Status::InvalidArgument("line " + std::to_string(line) +
+                                     ": cannot parse '" + text + "' for " +
+                                     def_->name);
+    }
+    long long code = parsed;
+    if (def_->kind == AttributeKind::kNumerical) {
+      const long long offset = parsed - def_->numeric_base;
+      if (def_->numeric_step == 0 || offset % def_->numeric_step != 0) {
+        return Status::InvalidArgument("line " + std::to_string(line) +
+                                       ": value " + text +
+                                       " not on the grid of " + def_->name);
+      }
+      code = offset / def_->numeric_step;
+    }
+    if (code < 0 || code >= def_->domain_size) {
+      return Status::OutOfRange("line " + std::to_string(line) + ": value " +
+                                text + " outside the domain of " + def_->name);
+    }
+    return static_cast<Code>(code);
+  }
+
+ private:
+  const AttributeDef* def_;
+  std::map<std::string, Code> label_to_code_;
+};
+
+}  // namespace
+
+StatusOr<Table> ReadCsv(SchemaPtr schema, std::istream& is,
+                        const CsvOptions& options) {
+  Table table(schema);
+  std::vector<FieldDecoder> decoders;
+  decoders.reserve(schema->num_attributes());
+  for (size_t c = 0; c < schema->num_attributes(); ++c) {
+    decoders.emplace_back(schema->attribute(c));
+  }
+
+  std::string line;
+  size_t line_no = 0;
+  bool skip_header = options.header;
+  std::vector<Code> row(schema->num_attributes());
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    if (skip_header) {
+      skip_header = false;
+      continue;
+    }
+    std::vector<std::string> fields = Split(line, options.delimiter);
+    if (fields.size() != schema->num_attributes()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": expected " +
+          std::to_string(schema->num_attributes()) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    for (size_t c = 0; c < fields.size(); ++c) {
+      ANATOMY_ASSIGN_OR_RETURN(row[c], decoders[c].Decode(fields[c], line_no));
+    }
+    table.AppendRow(row);
+  }
+  return table;
+}
+
+StatusOr<Table> ReadCsvFile(SchemaPtr schema, const std::string& path,
+                            const CsvOptions& options) {
+  std::ifstream is(path);
+  if (!is) return Status::NotFound("cannot open '" + path + "'");
+  return ReadCsv(std::move(schema), is, options);
+}
+
+}  // namespace anatomy

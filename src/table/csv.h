@@ -1,0 +1,42 @@
+// CSV import/export for tables.
+//
+// Export writes a header row of attribute names and formats codes through the
+// schema (labels for categorical, real values for numerical). Import parses
+// against a caller-supplied schema, mapping labels (or numbers) back to codes
+// and validating domains, so downstream code never sees out-of-domain values.
+
+#ifndef ANATOMY_TABLE_CSV_H_
+#define ANATOMY_TABLE_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace anatomy {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// Write/expect a header row of attribute names.
+  bool header = true;
+};
+
+/// Writes `table` as CSV.
+Status WriteCsv(const Table& table, std::ostream& os,
+                const CsvOptions& options = {});
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+/// Reads a CSV stream into a table with the given schema. Field values may be
+/// labels (for labeled attributes) or integers; integers are interpreted as
+/// real values for numerical attributes (inverse of the affine mapping) and
+/// as raw codes otherwise.
+StatusOr<Table> ReadCsv(SchemaPtr schema, std::istream& is,
+                        const CsvOptions& options = {});
+StatusOr<Table> ReadCsvFile(SchemaPtr schema, const std::string& path,
+                            const CsvOptions& options = {});
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_TABLE_CSV_H_

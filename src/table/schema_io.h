@@ -1,0 +1,38 @@
+// Schema serialization: a small line-oriented text format so published
+// artifacts (QIT/ST CSVs) can travel with their schemas and be reloaded
+// without recompiling attribute definitions.
+//
+// Format (one attribute per line, '|'-separated fields):
+//
+//   # comment / blank lines ignored
+//   Age|numerical|78|15|1
+//   Sex|categorical|2|F,M
+//   Country|categorical|83
+//
+// numerical:   name|numerical|domain|base|step
+// categorical: name|categorical|domain[|label1,label2,...]   (labels optional,
+//              must number exactly `domain` when present; commas in labels
+//              are escaped as '\,' and backslashes as '\\')
+
+#ifndef ANATOMY_TABLE_SCHEMA_IO_H_
+#define ANATOMY_TABLE_SCHEMA_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "table/schema.h"
+
+namespace anatomy {
+
+/// Serializes a schema to the text format above.
+std::string SerializeSchema(const Schema& schema);
+Status WriteSchemaFile(const Schema& schema, const std::string& path);
+
+/// Parses the text format; validates domains, label counts, steps.
+StatusOr<SchemaPtr> ParseSchema(const std::string& text);
+StatusOr<SchemaPtr> ReadSchemaFile(const std::string& path);
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_TABLE_SCHEMA_IO_H_

@@ -1,0 +1,71 @@
+#include "table/stats.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace anatomy {
+
+std::vector<uint32_t> ColumnHistogram(const Table& table, size_t col) {
+  ANATOMY_CHECK(col < table.num_columns());
+  std::vector<uint32_t> hist(table.schema().attribute(col).domain_size, 0);
+  for (Code v : table.column(col)) ++hist[v];
+  return hist;
+}
+
+uint32_t MaxFrequency(const Table& table, size_t col) {
+  uint32_t best = 0;
+  for (uint32_t c : ColumnHistogram(table, col)) best = std::max(best, c);
+  return best;
+}
+
+uint32_t DistinctCount(const Table& table, size_t col) {
+  uint32_t distinct = 0;
+  for (uint32_t c : ColumnHistogram(table, col)) distinct += (c > 0);
+  return distinct;
+}
+
+double ColumnEntropy(const Table& table, size_t col) {
+  const double n = table.num_rows();
+  if (n == 0) return 0.0;
+  double h = 0.0;
+  for (uint32_t c : ColumnHistogram(table, col)) {
+    if (c == 0) continue;
+    const double p = c / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double MutualInformation(const Table& table, size_t col_a, size_t col_b) {
+  ANATOMY_CHECK(col_a < table.num_columns());
+  ANATOMY_CHECK(col_b < table.num_columns());
+  const double n = table.num_rows();
+  if (n == 0) return 0.0;
+
+  const Code da = table.schema().attribute(col_a).domain_size;
+  const auto& a = table.column(col_a);
+  const auto& b = table.column(col_b);
+  std::unordered_map<int64_t, uint32_t> joint;
+  joint.reserve(table.num_rows() / 4 + 16);
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    joint[static_cast<int64_t>(b[r]) * da + a[r]]++;
+  }
+  const std::vector<uint32_t> ha = ColumnHistogram(table, col_a);
+  const std::vector<uint32_t> hb = ColumnHistogram(table, col_b);
+
+  double mi = 0.0;
+  for (const auto& [key, cnt] : joint) {
+    const Code va = static_cast<Code>(key % da);
+    const Code vb = static_cast<Code>(key / da);
+    const double pxy = cnt / n;
+    const double px = ha[va] / n;
+    const double py = hb[vb] / n;
+    mi += pxy * std::log2(pxy / (px * py));
+  }
+  // Clamp tiny negative values from floating-point cancellation.
+  return mi < 0 ? 0.0 : mi;
+}
+
+}  // namespace anatomy

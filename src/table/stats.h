@@ -1,0 +1,34 @@
+// Column statistics: histograms, most-frequent counts (the eligibility
+// condition's input), and mutual information (used to verify the synthetic
+// CENSUS generator actually produces correlated attributes — the property the
+// paper's accuracy gap depends on).
+
+#ifndef ANATOMY_TABLE_STATS_H_
+#define ANATOMY_TABLE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "table/table.h"
+
+namespace anatomy {
+
+/// Frequency of each code of column `col` (indexed by code).
+std::vector<uint32_t> ColumnHistogram(const Table& table, size_t col);
+
+/// Count of the most frequent code in `col`.
+uint32_t MaxFrequency(const Table& table, size_t col);
+
+/// Number of codes of `col` that occur at least once.
+uint32_t DistinctCount(const Table& table, size_t col);
+
+/// Shannon entropy (bits) of the empirical distribution of column `col`.
+double ColumnEntropy(const Table& table, size_t col);
+
+/// Mutual information (bits) between two columns' empirical distributions.
+/// Zero iff the columns are empirically independent.
+double MutualInformation(const Table& table, size_t col_a, size_t col_b);
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_TABLE_STATS_H_

@@ -1,0 +1,178 @@
+#include "taxonomy/taxonomy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace anatomy {
+
+std::string CodeInterval::ToString() const {
+  if (empty()) return "[empty]";
+  if (lo == hi) return std::to_string(lo);
+  return "[" + std::to_string(lo) + ", " + std::to_string(hi) + "]";
+}
+
+Taxonomy Taxonomy::Free(Code domain_size) {
+  ANATOMY_CHECK(domain_size > 0);
+  Taxonomy t;
+  t.domain_size_ = domain_size;
+  t.free_ = true;
+  return t;
+}
+
+StatusOr<Taxonomy> Taxonomy::BuildBalanced(Code domain_size, int height) {
+  if (domain_size <= 0) {
+    return Status::InvalidArgument("domain_size must be positive");
+  }
+  if (height < 1) return Status::InvalidArgument("height must be >= 1");
+  // Fanout so that f^height >= domain_size, but at least 2 so every level
+  // actually coarsens.
+  const double root =
+      std::pow(static_cast<double>(domain_size), 1.0 / height);
+  int64_t fanout = std::max<int64_t>(2, static_cast<int64_t>(std::ceil(root)));
+  while (std::pow(static_cast<double>(fanout), height) <
+         static_cast<double>(domain_size)) {
+    ++fanout;  // Guards against floating-point underestimation of the root.
+  }
+  std::vector<std::vector<Code>> level_starts;
+  int64_t width = 1;
+  for (int level = 1; level <= height; ++level) {
+    width *= fanout;
+    std::vector<Code> starts;
+    for (int64_t s = 0; s < domain_size; s += width) {
+      starts.push_back(static_cast<Code>(s));
+    }
+    level_starts.push_back(std::move(starts));
+  }
+  // Force the top level to be the single root even if rounding left several
+  // intervals (possible when domain_size is not a power of fanout).
+  level_starts.back() = {0};
+  return FromLevelStarts(domain_size, std::move(level_starts));
+}
+
+StatusOr<Taxonomy> Taxonomy::FromLevelStarts(
+    Code domain_size, std::vector<std::vector<Code>> level_starts) {
+  if (domain_size <= 0) {
+    return Status::InvalidArgument("domain_size must be positive");
+  }
+  if (level_starts.empty()) {
+    return Status::InvalidArgument("at least one level is required");
+  }
+  for (size_t j = 0; j < level_starts.size(); ++j) {
+    const auto& starts = level_starts[j];
+    if (starts.empty() || starts[0] != 0) {
+      return Status::InvalidArgument("each level must start at code 0");
+    }
+    for (size_t i = 1; i < starts.size(); ++i) {
+      if (starts[i] <= starts[i - 1] || starts[i] >= domain_size) {
+        return Status::InvalidArgument(
+            "level starts must be strictly increasing within the domain");
+      }
+    }
+    if (j > 0) {
+      // Coarsening: every start of level j must be a start of level j-1.
+      const auto& finer = level_starts[j - 1];
+      for (Code s : starts) {
+        if (!std::binary_search(finer.begin(), finer.end(), s)) {
+          return Status::InvalidArgument(
+              "level " + std::to_string(j + 1) +
+              " does not coarsen the level below it");
+        }
+      }
+    }
+  }
+  if (level_starts.back().size() != 1) {
+    return Status::InvalidArgument("the top level must be a single root");
+  }
+  Taxonomy t;
+  t.domain_size_ = domain_size;
+  t.free_ = false;
+  t.level_starts_ = std::move(level_starts);
+  return t;
+}
+
+size_t Taxonomy::NodeIndex(size_t level_idx, Code code) const {
+  const auto& starts = level_starts_[level_idx];
+  auto it = std::upper_bound(starts.begin(), starts.end(), code);
+  ANATOMY_CHECK(it != starts.begin());
+  return static_cast<size_t>(std::distance(starts.begin(), it)) - 1;
+}
+
+CodeInterval Taxonomy::IntervalAt(int level, Code code) const {
+  ANATOMY_CHECK(!free_);
+  ANATOMY_CHECK(level >= 1 && level <= height());
+  ANATOMY_CHECK(code >= 0 && code < domain_size_);
+  const size_t level_idx = static_cast<size_t>(level - 1);
+  const auto& starts = level_starts_[level_idx];
+  const size_t i = NodeIndex(level_idx, code);
+  const Code lo = starts[i];
+  const Code hi =
+      (i + 1 < starts.size()) ? starts[i + 1] - 1 : domain_size_ - 1;
+  return {lo, hi};
+}
+
+CodeInterval Taxonomy::Snap(const CodeInterval& extent) const {
+  ANATOMY_CHECK(!extent.empty());
+  ANATOMY_CHECK(extent.lo >= 0 && extent.hi < domain_size_);
+  if (free_) return extent;
+  if (extent.lo == extent.hi) return extent;  // A leaf is always a node.
+  for (int level = 1; level <= height(); ++level) {
+    CodeInterval node = IntervalAt(level, extent.lo);
+    if (node.Contains(extent)) return node;
+  }
+  return {0, domain_size_ - 1};
+}
+
+std::vector<Code> Taxonomy::CutsWithin(const CodeInterval& extent) const {
+  ANATOMY_CHECK(!extent.empty());
+  std::vector<Code> cuts;
+  if (extent.lo == extent.hi) return cuts;
+  if (free_) {
+    cuts.reserve(static_cast<size_t>(extent.length() - 1));
+    for (Code c = extent.lo; c < extent.hi; ++c) cuts.push_back(c);
+    return cuts;
+  }
+  const CodeInterval node = Snap(extent);
+  // Child boundaries of `node`: if node is at level L, its children are the
+  // level L-1 intervals inside it (or individual codes when L == 1).
+  int node_level = 1;
+  while (node_level <= height() &&
+         !(IntervalAt(node_level, node.lo) == node)) {
+    ++node_level;
+  }
+  if (node_level > height()) {
+    // extent is a single leaf snapped to itself; no admissible cut.
+    return cuts;
+  }
+  if (node_level == 1) {
+    for (Code c = std::max(extent.lo, node.lo); c < std::min(extent.hi, node.hi);
+         ++c) {
+      cuts.push_back(c);
+    }
+    return cuts;
+  }
+  const auto& child_starts = level_starts_[static_cast<size_t>(node_level) - 2];
+  auto it = std::upper_bound(child_starts.begin(), child_starts.end(), node.lo);
+  for (; it != child_starts.end() && *it <= node.hi; ++it) {
+    const Code cut = *it - 1;  // Left half ends just before the child start.
+    if (cut >= extent.lo && cut < extent.hi) cuts.push_back(cut);
+  }
+  return cuts;
+}
+
+size_t Taxonomy::NodesAtLevel(int level) const {
+  ANATOMY_CHECK(!free_);
+  ANATOMY_CHECK(level >= 1 && level <= height());
+  return level_starts_[static_cast<size_t>(level) - 1].size();
+}
+
+TaxonomySet TaxonomySet::AllFree(const Schema& schema) {
+  TaxonomySet set;
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    set.Add(Taxonomy::Free(schema.attribute(i).domain_size));
+  }
+  return set;
+}
+
+}  // namespace anatomy

@@ -1,0 +1,121 @@
+// Taxonomy trees over discrete attribute domains.
+//
+// Table 6 of the paper gives each QI attribute a generalization method:
+// "free interval" (endpoints may fall anywhere in the domain) or "taxonomy
+// tree (x)" (endpoints must lie on the boundaries of a height-x taxonomy's
+// nodes). A Taxonomy here is a hierarchy of contiguous code intervals: level 0
+// is the individual codes, level height() is the root covering the whole
+// domain, and each level coarsens the one below it.
+//
+// Multidimensional generalization (generalization/mondrian.h) uses two
+// operations: Snap(extent) — the smallest node covering a group's actual
+// value range, which becomes the published interval — and CutsWithin(extent)
+// — the admissible binary split positions, i.e. the child boundaries of the
+// snapped node that fall strictly inside the extent.
+
+#ifndef ANATOMY_TAXONOMY_TAXONOMY_H_
+#define ANATOMY_TAXONOMY_TAXONOMY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/schema.h"
+
+namespace anatomy {
+
+/// Closed interval of attribute codes [lo, hi].
+struct CodeInterval {
+  Code lo = 0;
+  Code hi = -1;
+
+  bool empty() const { return hi < lo; }
+  /// Number of codes covered (the paper's L(QI[i]) for discrete domains).
+  int64_t length() const { return empty() ? 0 : int64_t{hi} - lo + 1; }
+  bool Contains(Code c) const { return c >= lo && c <= hi; }
+  bool Contains(const CodeInterval& other) const {
+    return lo <= other.lo && other.hi <= hi;
+  }
+  bool Intersects(const CodeInterval& other) const {
+    return !empty() && !other.empty() && lo <= other.hi && other.lo <= hi;
+  }
+  bool operator==(const CodeInterval& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+
+  std::string ToString() const;
+};
+
+class Taxonomy {
+ public:
+  /// A "free interval" attribute: modeled as a degenerate taxonomy where every
+  /// cut position is admissible.
+  static Taxonomy Free(Code domain_size);
+
+  /// Builds a balanced taxonomy of the given height: level j consists of
+  /// intervals of f^j codes (last one truncated) with f = ceil(m^(1/height)).
+  /// height must be >= 1; domain_size >= 1.
+  static StatusOr<Taxonomy> BuildBalanced(Code domain_size, int height);
+
+  /// Builds from explicit per-level interval start lists. level_starts[j] must
+  /// begin with 0, be strictly increasing, and each level must coarsen the
+  /// previous (every start at level j also starts an interval at level j-1).
+  /// level_starts[0] (the leaves) is implicit and must not be passed.
+  static StatusOr<Taxonomy> FromLevelStarts(
+      Code domain_size, std::vector<std::vector<Code>> level_starts);
+
+  Code domain_size() const { return domain_size_; }
+  bool is_free() const { return free_; }
+  /// Number of levels above the leaves (0 for Free taxonomies).
+  int height() const { return static_cast<int>(level_starts_.size()); }
+
+  /// The interval at `level` (1..height) containing `code`.
+  CodeInterval IntervalAt(int level, Code code) const;
+
+  /// Smallest taxonomy node covering `extent` (the whole domain at worst).
+  /// For Free taxonomies returns `extent` unchanged.
+  CodeInterval Snap(const CodeInterval& extent) const;
+
+  /// Admissible cut positions strictly inside `extent`: position c means
+  /// left = [extent.lo, c], right = [c+1, extent.hi]. For Free taxonomies
+  /// every c in [lo, hi-1]; otherwise the child boundaries of Snap(extent)
+  /// lying inside the extent.
+  std::vector<Code> CutsWithin(const CodeInterval& extent) const;
+
+  /// Number of nodes at `level` (1..height).
+  size_t NodesAtLevel(int level) const;
+
+ private:
+  Taxonomy() = default;
+
+  /// Index of the interval containing `code` in level_starts_[level_idx].
+  size_t NodeIndex(size_t level_idx, Code code) const;
+
+  Code domain_size_ = 0;
+  bool free_ = false;
+  /// level_starts_[j] = sorted interval start codes of level j+1 (level 1 is
+  /// index 0). Leaves (level 0) are implicit.
+  std::vector<std::vector<Code>> level_starts_;
+};
+
+/// Per-attribute generalization constraints for a whole relation, mirroring
+/// the last column of Table 6.
+class TaxonomySet {
+ public:
+  TaxonomySet() = default;
+
+  void Add(Taxonomy taxonomy) { taxonomies_.push_back(std::move(taxonomy)); }
+  size_t size() const { return taxonomies_.size(); }
+  const Taxonomy& at(size_t i) const { return taxonomies_[i]; }
+
+  /// Free taxonomies for every attribute of `schema` (no constraints).
+  static TaxonomySet AllFree(const Schema& schema);
+
+ private:
+  std::vector<Taxonomy> taxonomies_;
+};
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_TAXONOMY_TAXONOMY_H_

@@ -1,0 +1,47 @@
+#include "workload/runner.h"
+
+#include <cmath>
+
+namespace anatomy {
+
+StatusOr<WorkloadResult> RunWorkload(const Microdata& microdata,
+                                     const AnatomizedTables& anatomized,
+                                     const GeneralizedTable& generalized,
+                                     const WorkloadOptions& options,
+                                     const RunnerOptions& runner_options) {
+  ANATOMY_ASSIGN_OR_RETURN(WorkloadGenerator generator,
+                           WorkloadGenerator::Create(microdata, options));
+  ExactEvaluator exact(microdata);
+  AnatomyEstimator anatomy_estimator(anatomized);
+  GeneralizationEstimator generalization_estimator(generalized);
+
+  WorkloadResult result;
+  double anatomy_total = 0.0;
+  double generalization_total = 0.0;
+  size_t consecutive_skips = 0;
+  while (result.queries_evaluated < options.num_queries) {
+    const CountQuery query = generator.Next();
+    const uint64_t act = exact.Count(query);
+    if (act == 0) {
+      ++result.zero_actual_skipped;
+      if (++consecutive_skips > runner_options.max_consecutive_skips) {
+        return Status::FailedPrecondition(
+            "workload keeps producing empty-answer queries; raise s or qd");
+      }
+      continue;
+    }
+    consecutive_skips = 0;
+    const double actual = static_cast<double>(act);
+    anatomy_total +=
+        std::abs(anatomy_estimator.Estimate(query) - actual) / actual;
+    generalization_total +=
+        std::abs(generalization_estimator.Estimate(query) - actual) / actual;
+    ++result.queries_evaluated;
+  }
+  result.anatomy_error = anatomy_total / result.queries_evaluated;
+  result.generalization_error =
+      generalization_total / result.queries_evaluated;
+  return result;
+}
+
+}  // namespace anatomy

@@ -1,0 +1,75 @@
+// Runs a workload against both publication methods and reports the paper's
+// metric: average relative error |act - est| / act over the workload.
+
+#ifndef ANATOMY_WORKLOAD_RUNNER_H_
+#define ANATOMY_WORKLOAD_RUNNER_H_
+
+#include <cmath>
+#include <optional>
+
+#include "anatomy/anatomized_tables.h"
+#include "common/status.h"
+#include "generalization/generalized_table.h"
+#include "query/anatomy_estimator.h"
+#include "query/exact_evaluator.h"
+#include "query/generalization_estimator.h"
+#include "workload/workload.h"
+
+namespace anatomy {
+
+struct WorkloadResult {
+  double anatomy_error = 0.0;         // average relative error, in [0, inf)
+  double generalization_error = 0.0;  // ditto
+  size_t queries_evaluated = 0;
+  /// Queries whose actual answer was 0 (relative error undefined); they are
+  /// skipped and replaced, and their count reported for transparency.
+  size_t zero_actual_skipped = 0;
+};
+
+struct RunnerOptions {
+  /// Give up after this many consecutive zero-actual queries (degenerate
+  /// workload configurations).
+  size_t max_consecutive_skips = 1000;
+};
+
+/// Evaluates `options.num_queries` queries with nonzero actual answers.
+StatusOr<WorkloadResult> RunWorkload(const Microdata& microdata,
+                                     const AnatomizedTables& anatomized,
+                                     const GeneralizedTable& generalized,
+                                     const WorkloadOptions& options,
+                                     const RunnerOptions& runner_options = {});
+
+/// Single-method variant used by ablations: returns the average relative
+/// error of one estimator callable (double(const CountQuery&)).
+template <typename Estimator>
+StatusOr<double> RunWorkloadAgainst(const Microdata& microdata,
+                                    const WorkloadOptions& options,
+                                    const Estimator& estimate,
+                                    const RunnerOptions& runner_options = {}) {
+  ANATOMY_ASSIGN_OR_RETURN(WorkloadGenerator generator,
+                           WorkloadGenerator::Create(microdata, options));
+  ExactEvaluator exact(microdata);
+  double total = 0.0;
+  size_t done = 0;
+  size_t consecutive_skips = 0;
+  while (done < options.num_queries) {
+    const CountQuery query = generator.Next();
+    const uint64_t act = exact.Count(query);
+    if (act == 0) {
+      if (++consecutive_skips > runner_options.max_consecutive_skips) {
+        return Status::FailedPrecondition(
+            "workload keeps producing empty-answer queries");
+      }
+      continue;
+    }
+    consecutive_skips = 0;
+    total += std::abs(estimate(query) - static_cast<double>(act)) /
+             static_cast<double>(act);
+    ++done;
+  }
+  return total / static_cast<double>(done);
+}
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_WORKLOAD_RUNNER_H_

@@ -1,0 +1,57 @@
+#include "workload/workload.h"
+
+#include <cmath>
+
+namespace anatomy {
+
+size_t PredicateCardinality(Code domain_size, double s, int qd) {
+  const double b =
+      std::ceil(domain_size * std::pow(s, 1.0 / (qd + 1)));
+  if (b < 1.0) return 1;
+  if (b > domain_size) return static_cast<size_t>(domain_size);
+  return static_cast<size_t>(b);
+}
+
+StatusOr<WorkloadGenerator> WorkloadGenerator::Create(
+    const Microdata& microdata, const WorkloadOptions& options) {
+  ANATOMY_RETURN_IF_ERROR(microdata.Validate());
+  int qd = options.qd;
+  if (qd == 0) qd = static_cast<int>(microdata.d());
+  if (qd < 1 || qd > static_cast<int>(microdata.d())) {
+    return Status::InvalidArgument("qd must be in [1, d]");
+  }
+  if (!(options.s > 0.0 && options.s <= 1.0)) {
+    return Status::InvalidArgument("selectivity must be in (0, 1]");
+  }
+  return WorkloadGenerator(microdata, options, qd);
+}
+
+WorkloadGenerator::WorkloadGenerator(const Microdata& microdata,
+                                     const WorkloadOptions& options, int qd)
+    : microdata_(&microdata), options_(options), qd_(qd), rng_(options.seed) {}
+
+AttributePredicate WorkloadGenerator::RandomPredicate(size_t qi_index,
+                                                      Code domain_size) {
+  const size_t b = PredicateCardinality(domain_size, options_.s, qd_);
+  std::vector<uint32_t> picks = rng_.SampleWithoutReplacement(
+      static_cast<uint32_t>(domain_size), static_cast<uint32_t>(b));
+  std::vector<Code> values(picks.begin(), picks.end());
+  return AttributePredicate(qi_index, std::move(values));
+}
+
+CountQuery WorkloadGenerator::Next() {
+  CountQuery query;
+  // qd random QI attributes (a random qd-sized subset, Section 6.1).
+  std::vector<uint32_t> attrs = rng_.SampleWithoutReplacement(
+      static_cast<uint32_t>(microdata_->d()), static_cast<uint32_t>(qd_));
+  query.qi_predicates.reserve(attrs.size());
+  for (uint32_t i : attrs) {
+    query.qi_predicates.push_back(
+        RandomPredicate(i, microdata_->qi_attribute(i).domain_size));
+  }
+  query.sensitive_predicate = RandomPredicate(
+      0, microdata_->sensitive_attribute().domain_size);
+  return query;
+}
+
+}  // namespace anatomy

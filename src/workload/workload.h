@@ -1,0 +1,59 @@
+// Workload generation per Section 6.1 and Table 7.
+//
+// A query touches qd random QI attributes plus the sensitive attribute; each
+// predicate is an OR of b random domain values with
+//   b = ceil(|A| * s^(1/(qd+1)))                     (Equation 14)
+// so that the query's expected selectivity is s.
+
+#ifndef ANATOMY_WORKLOAD_WORKLOAD_H_
+#define ANATOMY_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "query/predicate.h"
+#include "table/table.h"
+
+namespace anatomy {
+
+struct WorkloadOptions {
+  /// Query dimensionality: number of QI attributes involved (1..d).
+  int qd = 0;  // 0 means "all d QI attributes" (the paper's default qd = d)
+  /// Expected selectivity (the paper's default s = 5%).
+  double s = 0.05;
+  /// Queries per workload (the paper uses 10,000).
+  size_t num_queries = 10000;
+  uint64_t seed = 7;
+};
+
+/// Equation 14.
+size_t PredicateCardinality(Code domain_size, double s, int qd);
+
+class WorkloadGenerator {
+ public:
+  /// Validates qd in [1, d] (after resolving qd = 0 to d) and s in (0, 1].
+  static StatusOr<WorkloadGenerator> Create(const Microdata& microdata,
+                                            const WorkloadOptions& options);
+
+  /// Generates the next random query.
+  CountQuery Next();
+
+  int qd() const { return qd_; }
+
+ private:
+  WorkloadGenerator(const Microdata& microdata, const WorkloadOptions& options,
+                    int qd);
+
+  AttributePredicate RandomPredicate(size_t qi_index, Code domain_size);
+
+  const Microdata* microdata_;
+  WorkloadOptions options_;
+  int qd_;
+  Rng rng_;
+};
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_WORKLOAD_WORKLOAD_H_

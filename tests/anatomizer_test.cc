@@ -1,0 +1,249 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "anatomy/anatomizer.h"
+#include "anatomy/eligibility.h"
+#include "anatomy/partition.h"
+#include "data/census.h"
+#include "test_util.h"
+
+namespace anatomy {
+namespace {
+
+using testing_util::MakeRoundRobinMicrodata;
+using testing_util::MakeSimpleMicrodata;
+
+// ----------------------------------------------------------- Partition --
+
+TEST(PartitionTest, ValidateCoverCatchesDefects) {
+  Partition p;
+  p.groups = {{0, 1}, {2}};
+  EXPECT_TRUE(p.ValidateCover(3).ok());
+  EXPECT_EQ(p.TotalRows(), 3u);
+
+  Partition missing;
+  missing.groups = {{0, 2}};
+  EXPECT_FALSE(missing.ValidateCover(3).ok());
+
+  Partition duplicated;
+  duplicated.groups = {{0, 1}, {1, 2}};
+  EXPECT_FALSE(duplicated.ValidateCover(3).ok());
+
+  Partition empty_group;
+  empty_group.groups = {{0, 1, 2}, {}};
+  EXPECT_FALSE(empty_group.ValidateCover(3).ok());
+
+  Partition out_of_range;
+  out_of_range.groups = {{0, 5}};
+  EXPECT_FALSE(out_of_range.ValidateCover(3).ok());
+}
+
+TEST(PartitionTest, GroupOfRowInverse) {
+  Partition p;
+  p.groups = {{2, 0}, {1, 3}};
+  auto owner = p.GroupOfRow(4);
+  EXPECT_EQ(owner[0], 0u);
+  EXPECT_EQ(owner[1], 1u);
+  EXPECT_EQ(owner[2], 0u);
+  EXPECT_EQ(owner[3], 1u);
+}
+
+TEST(PartitionTest, LDiversityCheck) {
+  // Values: rows 0,1 carry 5; rows 2,3 carry 6.
+  Microdata md = MakeSimpleMicrodata({{0, 5}, {1, 5}, {2, 6}, {3, 6}});
+  // Grouping by value: each group is pure -> only 1-diverse.
+  Partition p;
+  p.groups = {{0, 1}, {2, 3}};
+  EXPECT_TRUE(p.ValidateLDiverse(md, 1).ok());
+  EXPECT_FALSE(p.ValidateLDiverse(md, 2).ok());
+  EXPECT_EQ(p.MaxDiversity(md), 1);
+
+  // Mixing values: 2-diverse.
+  Partition q;
+  q.groups = {{0, 2}, {1, 3}};
+  EXPECT_TRUE(q.ValidateLDiverse(md, 2).ok());
+  EXPECT_EQ(q.MaxDiversity(md), 2);
+}
+
+TEST(PartitionTest, GroupSensitiveHistogramSortedAndComplete) {
+  Microdata md = MakeSimpleMicrodata({{0, 7}, {1, 3}, {2, 7}, {3, 7}});
+  auto hist = GroupSensitiveHistogram(md, {0, 1, 2, 3});
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_EQ(hist[0], (std::pair<Code, uint32_t>{3, 1}));
+  EXPECT_EQ(hist[1], (std::pair<Code, uint32_t>{7, 3}));
+}
+
+// ---------------------------------------------------------- Eligibility --
+
+TEST(EligibilityTest, ThresholdExact) {
+  // 10 rows, most frequent sensitive value occurs 5 times: eligible for
+  // l = 2 (5 * 2 <= 10) but not l = 3.
+  std::vector<std::pair<Code, Code>> rows;
+  for (int i = 0; i < 5; ++i) rows.push_back({i, 0});
+  for (int i = 0; i < 5; ++i) rows.push_back({i, static_cast<Code>(1 + i)});
+  Microdata md = MakeSimpleMicrodata(rows);
+  EXPECT_TRUE(CheckEligibility(md, 2).ok());
+  EXPECT_FALSE(CheckEligibility(md, 3).ok());
+  EXPECT_EQ(MaxEligibleL(md), 2);
+}
+
+TEST(EligibilityTest, RejectsTrivialL) {
+  Microdata md = MakeSimpleMicrodata({{0, 0}, {1, 1}});
+  EXPECT_FALSE(CheckEligibility(md, 1).ok());
+  EXPECT_FALSE(CheckEligibility(md, 0).ok());
+}
+
+// ----------------------------------------------------------- Anatomizer --
+
+TEST(AnatomizerTest, HospitalExampleTwoDiverse) {
+  const Microdata md = HospitalExample();
+  Anatomizer anatomizer(AnatomizerOptions{.l = 2, .seed = 3});
+  auto partition = anatomizer.ComputePartition(md);
+  ASSERT_TRUE(partition.ok()) << partition.status().ToString();
+  const Partition& p = partition.value();
+  // n = 8, l = 2: exactly 4 groups of 2, no residue.
+  EXPECT_EQ(p.num_groups(), 4u);
+  for (const auto& g : p.groups) EXPECT_EQ(g.size(), 2u);
+  EXPECT_TRUE(p.ValidateCover(8).ok());
+  EXPECT_TRUE(p.ValidateLDiverse(md, 2).ok());
+}
+
+TEST(AnatomizerTest, FailsOnIneligibleInput) {
+  // All tuples share one disease: no 2-diverse partition exists.
+  Microdata md = MakeSimpleMicrodata({{0, 1}, {1, 1}, {2, 1}, {3, 1}});
+  Anatomizer anatomizer(AnatomizerOptions{.l = 2});
+  EXPECT_EQ(anatomizer.ComputePartition(md).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(AnatomizerTest, FailsBelowCardinality) {
+  Microdata md = MakeSimpleMicrodata({{0, 1}});
+  Anatomizer anatomizer(AnatomizerOptions{.l = 2});
+  EXPECT_FALSE(anatomizer.ComputePartition(md).ok());
+}
+
+TEST(AnatomizerTest, DeterministicInSeed) {
+  const Microdata md = MakeRoundRobinMicrodata(500);
+  Anatomizer anatomizer(AnatomizerOptions{.l = 4, .seed = 11});
+  auto a = anatomizer.ComputePartition(md);
+  auto b = anatomizer.ComputePartition(md);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().groups, b.value().groups);
+}
+
+TEST(AnatomizerTest, SeedsProduceDifferentDraws) {
+  const Microdata md = MakeRoundRobinMicrodata(500);
+  auto a = Anatomizer(AnatomizerOptions{.l = 4, .seed = 1}).ComputePartition(md);
+  auto b = Anatomizer(AnatomizerOptions{.l = 4, .seed = 2}).ComputePartition(md);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value().groups, b.value().groups);
+}
+
+// Figure 3's guarantees, swept over l and skew (TEST_P property suite).
+
+struct AnatomizeCase {
+  int l;
+  RowId n;
+  Code sens_domain;
+  uint64_t seed;
+};
+
+class AnatomizePropertyTest : public ::testing::TestWithParam<AnatomizeCase> {
+ protected:
+  /// Skewed but eligible data: sensitive value frequencies decay
+  /// geometrically, capped at n/l.
+  Microdata MakeSkewedEligible(const AnatomizeCase& c) {
+    Rng rng(c.seed);
+    std::vector<std::pair<Code, Code>> rows;
+    std::vector<double> weights = GeometricWeights(c.sens_domain, 0.8);
+    std::vector<uint32_t> counts(c.sens_domain, 0);
+    const uint32_t cap = c.n / c.l;
+    while (rows.size() < c.n) {
+      Code s = static_cast<Code>(rng.NextDiscrete(weights));
+      if (counts[s] >= cap) {
+        // Redirect overflow to the rarest value.
+        s = static_cast<Code>(
+            std::min_element(counts.begin(), counts.end()) - counts.begin());
+      }
+      ++counts[s];
+      rows.push_back({static_cast<Code>(rng.NextBounded(64)), s});
+    }
+    return testing_util::MakeSimpleMicrodata(rows, 64, c.sens_domain);
+  }
+};
+
+TEST_P(AnatomizePropertyTest, Figure3Guarantees) {
+  const AnatomizeCase c = GetParam();
+  const Microdata md = MakeSkewedEligible(c);
+  ASSERT_TRUE(CheckEligibility(md, c.l).ok());
+
+  Anatomizer anatomizer(AnatomizerOptions{.l = c.l, .seed = c.seed});
+  auto result = anatomizer.ComputePartition(md);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Partition& p = result.value();
+
+  // Definition 1: partition covers the table.
+  EXPECT_TRUE(p.ValidateCover(md.n()).ok());
+  // Definition 2: l-diverse.
+  EXPECT_TRUE(p.ValidateLDiverse(md, c.l).ok());
+  // Exactly floor(n/l) groups are created (Lines 3-8 run bn/lc iterations).
+  EXPECT_EQ(p.num_groups(), md.n() / c.l);
+
+  size_t oversized = 0;
+  for (const auto& group : p.groups) {
+    // Property 3: at least l tuples, all with distinct sensitive values.
+    EXPECT_GE(group.size(), static_cast<size_t>(c.l));
+    std::set<Code> values;
+    for (RowId r : group) values.insert(md.sensitive_value(r));
+    EXPECT_EQ(values.size(), group.size());
+    oversized += group.size() > static_cast<size_t>(c.l) ? group.size() - c.l
+                                                         : 0;
+  }
+  // Property 1: at most l-1 residue tuples in total.
+  EXPECT_EQ(oversized, md.n() % c.l);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AnatomizePropertyTest,
+    ::testing::Values(AnatomizeCase{2, 100, 8, 1},
+                      AnatomizeCase{3, 101, 8, 2},    // residues
+                      AnatomizeCase{5, 503, 12, 3},   // residues
+                      AnatomizeCase{10, 5000, 50, 4},
+                      AnatomizeCase{10, 5007, 50, 5},  // residues
+                      AnatomizeCase{7, 700, 7, 6},     // lambda == l
+                      AnatomizeCase{4, 997, 30, 7}));
+
+TEST(AnatomizerAblationTest, RoundRobinPolicyIsWeaker) {
+  // Skew that the greedy policy absorbs but round-robin mishandles: one value
+  // holds exactly n/l tuples. Round-robin drains buckets evenly and leaves
+  // the big bucket with more than one tuple at the end.
+  const int l = 4;
+  std::vector<std::pair<Code, Code>> rows;
+  for (int i = 0; i < 25; ++i) rows.push_back({0, 0});
+  for (int i = 0; i < 75; ++i) {
+    rows.push_back({1, static_cast<Code>(1 + (i % 15))});
+  }
+  Microdata md = MakeSimpleMicrodata(rows, 4, 16);
+  ASSERT_TRUE(CheckEligibility(md, l).ok());
+
+  Anatomizer anatomizer(AnatomizerOptions{.l = l, .seed = 1});
+  auto greedy = anatomizer.ComputePartitionWithPolicy(
+      md, BucketPolicy::kLargestFirst);
+  ASSERT_TRUE(greedy.ok()) << greedy.status().ToString();
+  EXPECT_TRUE(greedy.value().ValidateLDiverse(md, l).ok());
+
+  auto naive =
+      anatomizer.ComputePartitionWithPolicy(md, BucketPolicy::kRoundRobin);
+  // The naive policy either fails outright or still happens to produce an
+  // l-diverse partition; it must never return a non-diverse one.
+  if (naive.ok()) {
+    EXPECT_TRUE(naive.value().ValidateLDiverse(md, l).ok());
+  }
+}
+
+}  // namespace
+}  // namespace anatomy

@@ -1,0 +1,101 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "anatomy/multi_sensitive.h"
+#include "data/census.h"
+#include "data/census_generator.h"
+
+namespace anatomy {
+namespace {
+
+MultiMicrodata CensusMulti(RowId n, uint64_t seed) {
+  MultiMicrodata md;
+  md.table = GenerateCensus(n, seed);
+  md.qi_columns = {kAge, kGender, kEducation, kMarital, kRace};
+  md.sensitive_columns = {kOccupation, kSalaryClass};
+  return md;
+}
+
+TEST(MultiMicrodataTest, ValidateRejectsOverlap) {
+  MultiMicrodata md = CensusMulti(100, 1);
+  EXPECT_TRUE(md.Validate().ok());
+  md.sensitive_columns.push_back(kAge);  // also a QI
+  EXPECT_FALSE(md.Validate().ok());
+
+  md = CensusMulti(100, 1);
+  md.sensitive_columns = {};
+  EXPECT_FALSE(md.Validate().ok());
+
+  md = CensusMulti(100, 1);
+  md.sensitive_columns = {kOccupation, kOccupation};
+  EXPECT_FALSE(md.Validate().ok());
+}
+
+TEST(MultiMicrodataTest, WithSensitiveViews) {
+  const MultiMicrodata md = CensusMulti(100, 1);
+  const Microdata occ = md.WithSensitive(0);
+  EXPECT_EQ(occ.sensitive_column, kOccupation);
+  const Microdata sal = md.WithSensitive(1);
+  EXPECT_EQ(sal.sensitive_column, kSalaryClass);
+  EXPECT_EQ(occ.qi_columns, md.qi_columns);
+}
+
+TEST(MultiAnatomizerTest, SimultaneousDiversityOnCensus) {
+  const MultiMicrodata md = CensusMulti(8000, 42);
+  MultiAnatomizer anatomizer(MultiAnatomizerOptions{.l = 8, .seed = 3});
+  auto partition = anatomizer.ComputePartition(md);
+  ASSERT_TRUE(partition.ok()) << partition.status().ToString();
+  EXPECT_TRUE(ValidateMultiLDiverse(md, partition.value(), 8).ok());
+  // Every group carries pairwise-distinct values on BOTH attributes.
+  for (const auto& group : partition.value().groups) {
+    EXPECT_GE(group.size(), 8u);
+    for (size_t s = 0; s < md.sensitive_columns.size(); ++s) {
+      std::set<Code> values;
+      for (RowId r : group) {
+        values.insert(md.table.at(r, md.sensitive_columns[s]));
+      }
+      EXPECT_EQ(values.size(), group.size());
+    }
+  }
+}
+
+TEST(MultiAnatomizerTest, FailsWhenAnyAttributeIneligible) {
+  MultiMicrodata md = CensusMulti(1000, 5);
+  // Make Salary-class constant: not even 2-eligible.
+  for (RowId r = 0; r < md.table.num_rows(); ++r) {
+    md.table.set(r, kSalaryClass, 0);
+  }
+  MultiAnatomizer anatomizer(MultiAnatomizerOptions{.l = 2});
+  EXPECT_EQ(anatomizer.ComputePartition(md).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(MultiAnatomizerTest, SingleAttributeDegeneratesToAnatomy) {
+  MultiMicrodata md = CensusMulti(3000, 7);
+  md.sensitive_columns = {kOccupation};
+  MultiAnatomizer anatomizer(MultiAnatomizerOptions{.l = 10, .seed = 1});
+  auto partition = anatomizer.ComputePartition(md);
+  ASSERT_TRUE(partition.ok()) << partition.status().ToString();
+  EXPECT_TRUE(ValidateMultiLDiverse(md, partition.value(), 10).ok());
+}
+
+TEST(MultiAnatomizerTest, BuildsOneStPerAttribute) {
+  const MultiMicrodata md = CensusMulti(2000, 9);
+  MultiAnatomizer anatomizer(MultiAnatomizerOptions{.l = 5, .seed = 1});
+  auto partition = anatomizer.ComputePartition(md);
+  ASSERT_TRUE(partition.ok()) << partition.status().ToString();
+  const std::vector<Table> sts = BuildMultiSt(md, partition.value());
+  ASSERT_EQ(sts.size(), 2u);
+  EXPECT_EQ(sts[0].schema().attribute(1).name, "Occupation");
+  EXPECT_EQ(sts[1].schema().attribute(1).name, "Salary-class");
+  // Total counts in each ST equal the cardinality.
+  for (const Table& st : sts) {
+    uint64_t total = 0;
+    for (RowId r = 0; r < st.num_rows(); ++r) total += st.at(r, 2);
+    EXPECT_EQ(total, md.n());
+  }
+}
+
+}  // namespace
+}  // namespace anatomy

@@ -1,0 +1,297 @@
+// Randomized property and stress tests: many small random instances pushed
+// through the full pipeline, plus a reference-model check of the buffer pool.
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "anatomy/anatomized_tables.h"
+#include "anatomy/anatomizer.h"
+#include "anatomy/eligibility.h"
+#include "anatomy/external_anatomizer.h"
+#include "anatomy/rce.h"
+#include "common/rng.h"
+#include "generalization/generalized_table.h"
+#include "generalization/mondrian.h"
+#include "privacy/breach.h"
+#include "query/anatomy_estimator.h"
+#include "query/exact_evaluator.h"
+#include "query/generalization_estimator.h"
+#include "storage/buffer_pool.h"
+#include "table/csv.h"
+#include "test_util.h"
+#include "workload/runner.h"
+#include "workload/workload.h"
+
+namespace anatomy {
+namespace {
+
+/// Random microdata with 1-3 QI attributes, random domains and skew.
+/// Eligibility for the requested l is enforced by value redirection.
+Microdata RandomMicrodata(Rng& rng, int l) {
+  const size_t d = 1 + rng.NextBounded(3);
+  const Code sens_domain = static_cast<Code>(l + rng.NextBounded(30));
+  const RowId n =
+      static_cast<RowId>(l) * static_cast<RowId>(5 + rng.NextBounded(60)) +
+      static_cast<RowId>(rng.NextBounded(static_cast<uint64_t>(l)));
+
+  std::vector<AttributeDef> defs;
+  for (size_t i = 0; i < d; ++i) {
+    defs.push_back(MakeNumerical("Q" + std::to_string(i),
+                                 static_cast<Code>(2 + rng.NextBounded(60))));
+  }
+  defs.push_back(MakeCategorical("S", sens_domain));
+
+  Microdata md;
+  md.table = Table(std::make_shared<Schema>(std::move(defs)));
+  std::vector<double> weights = GeometricWeights(sens_domain, 0.85);
+  std::vector<uint32_t> counts(sens_domain, 0);
+  const uint32_t cap = n / static_cast<uint32_t>(l);
+  std::vector<Code> row(d + 1);
+  for (RowId i = 0; i < n; ++i) {
+    for (size_t c = 0; c < d; ++c) {
+      row[c] = static_cast<Code>(
+          rng.NextBounded(md.table.schema().attribute(c).domain_size));
+    }
+    Code s = static_cast<Code>(rng.NextDiscrete(weights));
+    if (counts[s] >= cap) {
+      s = static_cast<Code>(
+          std::min_element(counts.begin(), counts.end()) - counts.begin());
+    }
+    ++counts[s];
+    row[d] = s;
+    md.table.AppendRow(row);
+  }
+  for (size_t c = 0; c < d; ++c) md.qi_columns.push_back(c);
+  md.sensitive_column = d;
+  return md;
+}
+
+class PipelinePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PipelinePropertyTest, RandomInstanceInvariants) {
+  Rng rng(GetParam());
+  const int l = 2 + static_cast<int>(rng.NextBounded(10));
+  const Microdata md = RandomMicrodata(rng, l);
+  ASSERT_TRUE(CheckEligibility(md, l).ok());
+
+  // --- Anatomize invariants. ---
+  Anatomizer anatomizer(AnatomizerOptions{.l = l, .seed = GetParam()});
+  auto partition = anatomizer.ComputePartition(md);
+  ASSERT_TRUE(partition.ok()) << partition.status().ToString();
+  ASSERT_TRUE(partition.value().ValidateCover(md.n()).ok());
+  ASSERT_TRUE(partition.value().ValidateLDiverse(md, l).ok());
+
+  auto tables = AnatomizedTables::Build(md, partition.value());
+  ASSERT_TRUE(tables.ok());
+  // Corollary 1 and Theorem 4 hold on every instance.
+  EXPECT_LE(MaxTupleBreachProbability(tables.value()), 1.0 / l + 1e-12);
+  EXPECT_NEAR(AnatomyRce(tables.value()), AnatomizeRceGuarantee(md.n(), l),
+              1e-6);
+
+  // ST counts per group sum to the group size.
+  for (GroupId g = 0; g < tables.value().num_groups(); ++g) {
+    uint64_t total = 0;
+    for (const auto& [value, count] : tables.value().group_histogram(g)) {
+      total += count;
+    }
+    EXPECT_EQ(total, tables.value().group_size(g));
+  }
+
+  // --- Estimator sanity on random queries. ---
+  ExactEvaluator exact(md);
+  AnatomyEstimator estimator(tables.value());
+  WorkloadOptions options;
+  options.qd = static_cast<int>(md.d());
+  options.s = 0.2;
+  options.seed = GetParam() + 1;
+  auto generator = WorkloadGenerator::Create(md, options);
+  ASSERT_TRUE(generator.ok());
+  for (int q = 0; q < 10; ++q) {
+    const CountQuery query = generator.value().Next();
+    const double est = estimator.Estimate(query);
+    EXPECT_GE(est, 0.0);
+    EXPECT_LE(est, md.n());
+    // QI-unrestricted version of the query is exact.
+    CountQuery unrestricted;
+    unrestricted.sensitive_predicate = query.sensitive_predicate;
+    EXPECT_NEAR(estimator.Estimate(unrestricted),
+                static_cast<double>(exact.Count(unrestricted)), 1e-6);
+  }
+
+  // --- Mondrian invariants on the same instance. ---
+  const TaxonomySet taxonomies = TaxonomySet::AllFree(md.table.schema());
+  Mondrian mondrian(MondrianOptions{l});
+  auto general = mondrian.ComputePartition(md, taxonomies);
+  ASSERT_TRUE(general.ok()) << general.status().ToString();
+  ASSERT_TRUE(general.value().ValidateCover(md.n()).ok());
+  ASSERT_TRUE(general.value().ValidateLDiverse(md, l).ok());
+  auto generalized = GeneralizedTable::Build(md, general.value(), taxonomies);
+  ASSERT_TRUE(generalized.ok());
+  GeneralizationEstimator general_estimator(generalized.value());
+  for (int q = 0; q < 5; ++q) {
+    const CountQuery query = generator.value().Next();
+    const double est = general_estimator.Estimate(query);
+    EXPECT_GE(est, 0.0);
+    EXPECT_LE(est, md.n() + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelinePropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST(ExternalAnatomizerPropertyTest, MatchesInMemoryInvariantsAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed * 1000);
+    const int l = 2 + static_cast<int>(rng.NextBounded(8));
+    const Microdata md = RandomMicrodata(rng, l);
+    SimulatedDisk disk;
+    BufferPool pool(&disk, 54);
+    ExternalAnatomizer anatomizer(AnatomizerOptions{.l = l, .seed = seed});
+    auto result = anatomizer.Run(md, &disk, &pool);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result.value().partition.ValidateCover(md.n()).ok());
+    EXPECT_TRUE(result.value().partition.ValidateLDiverse(md, l).ok());
+    EXPECT_EQ(disk.live_pages(), 0u);
+  }
+}
+
+// -------------------------------------------------- CSV round-trip fuzz --
+
+TEST(CsvPropertyTest, RandomTablesRoundTrip) {
+  Rng rng(404);
+  for (int trial = 0; trial < 25; ++trial) {
+    // Random schema: 1-5 attributes mixing labeled, plain categorical, and
+    // numerical with random bases/steps.
+    const size_t num_attrs = 1 + rng.NextBounded(5);
+    std::vector<AttributeDef> defs;
+    for (size_t a = 0; a < num_attrs; ++a) {
+      const Code domain = static_cast<Code>(2 + rng.NextBounded(40));
+      const uint64_t kind = rng.NextBounded(3);
+      const std::string name = "A" + std::to_string(a);
+      if (kind == 0) {
+        std::vector<std::string> labels;
+        for (Code v = 0; v < domain; ++v) {
+          labels.push_back(name + "_v" + std::to_string(v));
+        }
+        defs.push_back(MakeLabeled(name, std::move(labels)));
+      } else if (kind == 1) {
+        defs.push_back(MakeCategorical(name, domain));
+      } else {
+        defs.push_back(MakeNumerical(name, domain,
+                                     rng.NextInRange(-50, 50),
+                                     1 + rng.NextInRange(0, 9)));
+      }
+    }
+    Table table(std::make_shared<Schema>(std::move(defs)));
+    const RowId rows = static_cast<RowId>(rng.NextBounded(200));
+    std::vector<Code> row(num_attrs);
+    for (RowId r = 0; r < rows; ++r) {
+      for (size_t a = 0; a < num_attrs; ++a) {
+        row[a] = static_cast<Code>(
+            rng.NextBounded(table.schema().attribute(a).domain_size));
+      }
+      table.AppendRow(row);
+    }
+    std::ostringstream os;
+    ASSERT_TRUE(WriteCsv(table, os).ok());
+    std::istringstream is(os.str());
+    auto parsed = ReadCsv(table.schema_ptr(), is);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    ASSERT_EQ(parsed.value().num_rows(), table.num_rows());
+    for (size_t a = 0; a < num_attrs; ++a) {
+      EXPECT_EQ(parsed.value().column(a), table.column(a)) << "trial " << trial;
+    }
+  }
+}
+
+// ---------------------------------------------- workload skip reporting --
+
+TEST(WorkloadPropertyTest, SkippedQueriesAreCountedDeterministically) {
+  Rng rng(11);
+  const Microdata md = RandomMicrodata(rng, 3);
+  Anatomizer anatomizer(AnatomizerOptions{.l = 3, .seed = 1});
+  auto partition = anatomizer.ComputePartition(md);
+  ASSERT_TRUE(partition.ok());
+  auto tables = AnatomizedTables::Build(md, partition.value());
+  ASSERT_TRUE(tables.ok());
+  auto generalized = GeneralizedTable::Build(
+      md, partition.value(), TaxonomySet::AllFree(md.table.schema()));
+  ASSERT_TRUE(generalized.ok());
+
+  WorkloadOptions options;
+  options.qd = static_cast<int>(md.d());
+  options.s = 0.02;  // small: zero-answer queries will occur
+  options.num_queries = 50;
+  options.seed = 2;
+  auto a = RunWorkload(md, tables.value(), generalized.value(), options);
+  auto b = RunWorkload(md, tables.value(), generalized.value(), options);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().queries_evaluated, 50u);
+  EXPECT_EQ(a.value().zero_actual_skipped, b.value().zero_actual_skipped);
+}
+
+// ------------------------------------------- buffer pool reference model --
+
+TEST(BufferPoolModelTest, RandomOpsAgainstReferenceModel) {
+  // Drive the pool with random pin/unpin/flush traffic and check the data
+  // it serves against a plain map<PageId, content> reference.
+  Rng rng(77);
+  SimulatedDisk disk;
+  BufferPool pool(&disk, 8);
+  std::map<PageId, int32_t> model;  // expected first int32 of each page
+  std::vector<PageId> pinned;
+  std::vector<PageId> all_pages;
+
+  for (int op = 0; op < 5000; ++op) {
+    const uint64_t kind = rng.NextBounded(100);
+    if (kind < 30 || all_pages.empty()) {
+      if (pinned.size() + 1 >= pool.capacity()) continue;
+      PageId id;
+      auto page = pool.PinNew(&id);
+      ASSERT_TRUE(page.ok());
+      const int32_t value = static_cast<int32_t>(rng.Next() & 0x7fffffff);
+      (*page.value()).WriteInt32(0, value);
+      model[id] = value;
+      all_pages.push_back(id);
+      pinned.push_back(id);
+    } else if (kind < 60 && !pinned.empty()) {
+      const size_t i = rng.NextBounded(pinned.size());
+      const PageId id = pinned[i];
+      ASSERT_TRUE(pool.Unpin(id, /*dirty=*/true).ok());
+      pinned.erase(pinned.begin() + static_cast<ptrdiff_t>(i));
+    } else if (kind < 90) {
+      const PageId id =
+          all_pages[rng.NextBounded(all_pages.size())];
+      if (pinned.size() + 1 >= pool.capacity()) continue;
+      auto page = pool.Pin(id);
+      ASSERT_TRUE(page.ok()) << page.status().ToString();
+      ASSERT_EQ((*page.value()).ReadInt32(0), model[id]) << "page " << id;
+      // Sometimes rewrite.
+      if (rng.NextBool(0.5)) {
+        const int32_t value = static_cast<int32_t>(rng.Next() & 0x7fffffff);
+        (*page.value()).WriteInt32(0, value);
+        model[id] = value;
+        ASSERT_TRUE(pool.Unpin(id, /*dirty=*/true).ok());
+      } else {
+        ASSERT_TRUE(pool.Unpin(id, /*dirty=*/false).ok());
+      }
+    } else if (pinned.empty()) {
+      ASSERT_TRUE(pool.FlushAll().ok());
+    }
+  }
+  // Drain and verify everything straight from the disk.
+  for (PageId id : pinned) ASSERT_TRUE(pool.Unpin(id, true).ok());
+  ASSERT_TRUE(pool.FlushAll().ok());
+  for (const auto& [id, value] : model) {
+    Page page;
+    ASSERT_TRUE(disk.ReadPage(id, page).ok());
+    EXPECT_EQ(page.ReadInt32(0), value) << "page " << id;
+  }
+}
+
+}  // namespace
+}  // namespace anatomy

@@ -1,0 +1,171 @@
+// Analyst-side publication loading (AnatomizedTables::FromPublishedTables),
+// the CSV round trip of a full publication, and the extra l-diversity
+// instantiations (entropy l-diversity).
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "anatomy/anatomized_tables.h"
+#include "anatomy/anatomizer.h"
+#include "data/census.h"
+#include "data/census_generator.h"
+#include "data/dataset.h"
+#include "privacy/ldiversity.h"
+#include "query/anatomy_estimator.h"
+#include "query/exact_evaluator.h"
+#include "table/csv.h"
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace anatomy {
+namespace {
+
+Partition PaperPartition() {
+  Partition p;
+  p.groups = {{0, 1, 2, 3}, {4, 5, 6, 7}};
+  return p;
+}
+
+AnatomizedTables PaperTables() {
+  auto tables = AnatomizedTables::Build(HospitalExample(), PaperPartition());
+  ANATOMY_CHECK_OK(tables.status());
+  return std::move(tables).value();
+}
+
+TEST(PublishedTablesTest, RoundTripThroughTables) {
+  const AnatomizedTables original = PaperTables();
+  auto loaded = AnatomizedTables::FromPublishedTables(original.qit(),
+                                                      original.st());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const AnatomizedTables& view = loaded.value();
+  EXPECT_EQ(view.num_groups(), original.num_groups());
+  EXPECT_EQ(view.num_rows(), original.num_rows());
+  for (GroupId g = 0; g < view.num_groups(); ++g) {
+    EXPECT_EQ(view.group_size(g), original.group_size(g));
+    EXPECT_EQ(view.group_histogram(g), original.group_histogram(g));
+  }
+  for (RowId r = 0; r < view.num_rows(); ++r) {
+    EXPECT_EQ(view.group_of_row(r), original.group_of_row(r));
+  }
+}
+
+TEST(PublishedTablesTest, RoundTripThroughCsv) {
+  const AnatomizedTables original = PaperTables();
+  std::ostringstream qit_csv;
+  std::ostringstream st_csv;
+  ASSERT_TRUE(WriteCsv(original.qit(), qit_csv).ok());
+  ASSERT_TRUE(WriteCsv(original.st(), st_csv).ok());
+
+  std::istringstream qit_in(qit_csv.str());
+  std::istringstream st_in(st_csv.str());
+  auto qit = ReadCsv(original.qit().schema_ptr(), qit_in);
+  auto st = ReadCsv(original.st().schema_ptr(), st_in);
+  ASSERT_TRUE(qit.ok()) << qit.status().ToString();
+  ASSERT_TRUE(st.ok()) << st.status().ToString();
+
+  auto loaded = AnatomizedTables::FromPublishedTables(qit.value(), st.value());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(VerifyAnatomizedLDiversity(loaded.value(), 2).ok());
+}
+
+TEST(PublishedTablesTest, AnalystGetsIdenticalEstimates) {
+  // An analyst holding only the published files computes exactly what the
+  // publisher-side estimator computes.
+  const Table census = GenerateCensus(5000, 31);
+  auto dataset = MakeExperimentDataset(census, SensitiveFamily::kOccupation, 4);
+  ASSERT_TRUE(dataset.ok());
+  const Microdata& md = dataset.value().microdata;
+  Anatomizer anatomizer(AnatomizerOptions{.l = 10, .seed = 8});
+  auto partition = anatomizer.ComputePartition(md);
+  ASSERT_TRUE(partition.ok());
+  auto original = AnatomizedTables::Build(md, partition.value());
+  ASSERT_TRUE(original.ok());
+  auto loaded = AnatomizedTables::FromPublishedTables(original.value().qit(),
+                                                      original.value().st());
+  ASSERT_TRUE(loaded.ok());
+
+  AnatomyEstimator publisher_side(original.value());
+  AnatomyEstimator analyst_side(loaded.value());
+  WorkloadOptions options;
+  options.qd = 3;
+  options.s = 0.07;
+  options.seed = 5;
+  auto generator = WorkloadGenerator::Create(md, options);
+  ASSERT_TRUE(generator.ok());
+  for (int i = 0; i < 40; ++i) {
+    const CountQuery query = generator.value().Next();
+    EXPECT_DOUBLE_EQ(publisher_side.Estimate(query),
+                     analyst_side.Estimate(query));
+  }
+}
+
+TEST(PublishedTablesTest, RejectsInconsistentPublications) {
+  const AnatomizedTables original = PaperTables();
+
+  // ST count not matching the QIT group size.
+  {
+    Table st = original.st();
+    st.set(0, 2, st.at(0, 2) + 1);
+    EXPECT_FALSE(
+        AnatomizedTables::FromPublishedTables(original.qit(), st).ok());
+  }
+  // Non-positive ST count.
+  {
+    Table st = original.st();
+    st.set(0, 2, 0);
+    EXPECT_FALSE(
+        AnatomizedTables::FromPublishedTables(original.qit(), st).ok());
+  }
+  // Wrong ST arity.
+  {
+    EXPECT_FALSE(
+        AnatomizedTables::FromPublishedTables(original.qit(), original.qit())
+            .ok());
+  }
+  // QIT without a Group-ID column.
+  {
+    const Table bare = original.qit().ProjectColumns({0, 1, 2});
+    EXPECT_FALSE(
+        AnatomizedTables::FromPublishedTables(bare, original.st()).ok());
+  }
+}
+
+// ------------------------------------------------- entropy l-diversity --
+
+TEST(EntropyDiversityTest, GroupSemantics) {
+  // Uniform over 4 values: entropy = log 4 -> entropy 4-diverse.
+  std::vector<std::pair<Code, uint32_t>> uniform = {
+      {0, 2}, {1, 2}, {2, 2}, {3, 2}};
+  EXPECT_TRUE(GroupIsEntropyLDiverse(uniform, 4.0));
+  EXPECT_FALSE(GroupIsEntropyLDiverse(uniform, 4.5));
+
+  // Skewed: {5, 1, 1, 1}: entropy < log 4 but > log 2.
+  std::vector<std::pair<Code, uint32_t>> skewed = {
+      {0, 5}, {1, 1}, {2, 1}, {3, 1}};
+  EXPECT_FALSE(GroupIsEntropyLDiverse(skewed, 4.0));
+  EXPECT_TRUE(GroupIsEntropyLDiverse(skewed, 2.0));
+}
+
+TEST(EntropyDiversityTest, AnatomizeOutputIsEntropyDiverse) {
+  // Anatomize groups are uniform over >= l distinct values: entropy
+  // l-diversity holds with room to spare.
+  const Microdata md = testing_util::MakeRoundRobinMicrodata(800, 64, 16);
+  Anatomizer anatomizer(AnatomizerOptions{.l = 8, .seed = 3});
+  auto partition = anatomizer.ComputePartition(md);
+  ASSERT_TRUE(partition.ok());
+  auto tables = AnatomizedTables::Build(md, partition.value());
+  ASSERT_TRUE(tables.ok());
+  EXPECT_TRUE(VerifyEntropyLDiversity(tables.value(), 8.0).ok());
+}
+
+TEST(EntropyDiversityTest, PaperTablesAreEntropyTwoDiverse) {
+  // Group 1 is uniform over 2 diseases (entropy log 2); group 2 has entropy
+  // above log 2 as well (three values). Entropy 3-diversity fails.
+  const AnatomizedTables tables = PaperTables();
+  EXPECT_TRUE(VerifyEntropyLDiversity(tables, 2.0).ok());
+  EXPECT_FALSE(VerifyEntropyLDiversity(tables, 3.0).ok());
+}
+
+}  // namespace
+}  // namespace anatomy

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+#include "storage/simulated_disk.h"
+
+namespace anatomy {
+namespace {
+
+// -------------------------------------------------------- SimulatedDisk --
+
+TEST(SimulatedDiskTest, ReadWriteCountsIo) {
+  SimulatedDisk disk;
+  const PageId id = disk.AllocatePage();
+  Page page;
+  page.WriteInt32(0, 42);
+  ASSERT_TRUE(disk.WritePage(id, page).ok());
+  Page out;
+  ASSERT_TRUE(disk.ReadPage(id, out).ok());
+  EXPECT_EQ(out.ReadInt32(0), 42);
+  EXPECT_EQ(disk.stats().reads, 1u);
+  EXPECT_EQ(disk.stats().writes, 1u);
+  EXPECT_EQ(disk.stats().total(), 2u);
+}
+
+TEST(SimulatedDiskTest, FreeAndRecyclePages) {
+  SimulatedDisk disk;
+  const PageId a = disk.AllocatePage();
+  disk.FreePage(a);
+  EXPECT_EQ(disk.live_pages(), 0u);
+  Page page;
+  EXPECT_FALSE(disk.ReadPage(a, page).ok());
+  const PageId b = disk.AllocatePage();
+  EXPECT_EQ(a, b);  // recycled
+  EXPECT_EQ(disk.live_pages(), 1u);
+}
+
+TEST(SimulatedDiskTest, ResetStats) {
+  SimulatedDisk disk;
+  const PageId id = disk.AllocatePage();
+  Page page;
+  ASSERT_TRUE(disk.WritePage(id, page).ok());
+  disk.ResetStats();
+  EXPECT_EQ(disk.stats().total(), 0u);
+}
+
+// ------------------------------------------------------------ BufferPool --
+
+TEST(BufferPoolTest, PinMissReadsPinHitDoesNot) {
+  SimulatedDisk disk;
+  BufferPool pool(&disk, 4);
+  const PageId id = disk.AllocatePage();
+  Page init;
+  ASSERT_TRUE(disk.WritePage(id, init).ok());
+  disk.ResetStats();
+
+  auto first = pool.Pin(id);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(pool.Unpin(id, false).ok());
+  EXPECT_EQ(disk.stats().reads, 1u);
+
+  auto second = pool.Pin(id);
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(pool.Unpin(id, false).ok());
+  EXPECT_EQ(disk.stats().reads, 1u);  // cached
+}
+
+TEST(BufferPoolTest, EvictionWritesBackDirtyLru) {
+  SimulatedDisk disk;
+  BufferPool pool(&disk, 2);
+  PageId a;
+  PageId b;
+  PageId c;
+  ASSERT_TRUE(pool.PinNew(&a).ok());
+  (*pool.Pin(a).value()).WriteInt32(0, 7);  // already pinned twice now
+  ASSERT_TRUE(pool.Unpin(a, true).ok());
+  ASSERT_TRUE(pool.Unpin(a, true).ok());
+  ASSERT_TRUE(pool.PinNew(&b).ok());
+  ASSERT_TRUE(pool.Unpin(b, true).ok());
+  disk.ResetStats();
+
+  // Pool full (a, b unpinned). Pinning a new page evicts LRU = a (dirty).
+  ASSERT_TRUE(pool.PinNew(&c).ok());
+  ASSERT_TRUE(pool.Unpin(c, true).ok());
+  EXPECT_EQ(disk.stats().writes, 1u);
+
+  // Re-pinning a must re-read it and see the written value.
+  auto again = pool.Pin(a);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again.value()).ReadInt32(0), 7);
+  ASSERT_TRUE(pool.Unpin(a, false).ok());
+  EXPECT_EQ(disk.stats().reads, 1u);
+}
+
+TEST(BufferPoolTest, FailsWhenAllFramesPinned) {
+  SimulatedDisk disk;
+  BufferPool pool(&disk, 2);
+  PageId a;
+  PageId b;
+  PageId c;
+  ASSERT_TRUE(pool.PinNew(&a).ok());
+  ASSERT_TRUE(pool.PinNew(&b).ok());
+  EXPECT_FALSE(pool.PinNew(&c).ok());
+  EXPECT_EQ(pool.pinned_frames(), 2u);
+  ASSERT_TRUE(pool.Unpin(a, false).ok());
+  EXPECT_TRUE(pool.PinNew(&c).ok());
+  ASSERT_TRUE(pool.Unpin(b, false).ok());
+  ASSERT_TRUE(pool.Unpin(c, false).ok());
+}
+
+TEST(BufferPoolTest, UnpinErrors) {
+  SimulatedDisk disk;
+  BufferPool pool(&disk, 2);
+  EXPECT_FALSE(pool.Unpin(0, false).ok());
+  PageId a;
+  ASSERT_TRUE(pool.PinNew(&a).ok());
+  ASSERT_TRUE(pool.Unpin(a, false).ok());
+  EXPECT_FALSE(pool.Unpin(a, false).ok());  // already unpinned
+}
+
+TEST(BufferPoolTest, FlushAllWritesDirtyOnce) {
+  SimulatedDisk disk;
+  BufferPool pool(&disk, 4);
+  PageId a;
+  PageId b;
+  ASSERT_TRUE(pool.PinNew(&a).ok());
+  ASSERT_TRUE(pool.PinNew(&b).ok());
+  ASSERT_TRUE(pool.Unpin(a, true).ok());
+  ASSERT_TRUE(pool.Unpin(b, false).ok());
+  disk.ResetStats();
+  ASSERT_TRUE(pool.FlushAll().ok());
+  // Both frames were created by PinNew, hence dirty-by-construction.
+  EXPECT_EQ(disk.stats().writes, 2u);
+  EXPECT_EQ(pool.frames_in_use(), 0u);
+}
+
+TEST(BufferPoolTest, DiscardSkipsWriteBack) {
+  SimulatedDisk disk;
+  BufferPool pool(&disk, 4);
+  PageId a;
+  ASSERT_TRUE(pool.PinNew(&a).ok());
+  ASSERT_TRUE(pool.Unpin(a, true).ok());
+  disk.ResetStats();
+  ASSERT_TRUE(pool.Discard(a).ok());
+  EXPECT_EQ(disk.stats().writes, 0u);
+  EXPECT_EQ(disk.live_pages(), 0u);
+}
+
+// ------------------------------------------------------------ RecordFile --
+
+TEST(RecordFileTest, LayoutGeometry) {
+  // 3-field records: 4-byte header + floor(4092 / 12) = 341 records/page.
+  EXPECT_EQ(RecordPageLayout::RecordsPerPage(3), 341u);
+  SimulatedDisk disk;
+  RecordFile file(&disk, 3);
+  EXPECT_EQ(file.records_per_page(), 341u);
+}
+
+TEST(RecordFileTest, WriteReadRoundTrip) {
+  SimulatedDisk disk;
+  BufferPool pool(&disk, 8);
+  RecordFile file(&disk, 2);
+  RecordWriter writer(&pool, &file);
+  const int kRecords = 5000;  // spans several pages
+  for (int i = 0; i < kRecords; ++i) {
+    const int32_t rec[2] = {i, i * 3};
+    ASSERT_TRUE(writer.Append(rec).ok());
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(file.num_records(), static_cast<uint64_t>(kRecords));
+  EXPECT_EQ(file.num_pages(),
+            (kRecords + file.records_per_page() - 1) / file.records_per_page());
+
+  RecordReader reader(&pool, &file);
+  int32_t rec[2];
+  for (int i = 0; i < kRecords; ++i) {
+    auto more = reader.Next(rec);
+    ASSERT_TRUE(more.ok());
+    ASSERT_TRUE(more.value());
+    EXPECT_EQ(rec[0], i);
+    EXPECT_EQ(rec[1], i * 3);
+  }
+  auto end = reader.Next(rec);
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(end.value());
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(RecordFileTest, SequentialIoCountIsOnePassEach) {
+  SimulatedDisk disk;
+  BufferPool pool(&disk, 8);
+  RecordFile file(&disk, 4);
+  const size_t rpp = file.records_per_page();
+  RecordWriter writer(&pool, &file);
+  const size_t kRecords = rpp * 10;
+  for (size_t i = 0; i < kRecords; ++i) {
+    const int32_t rec[4] = {static_cast<int32_t>(i), 0, 0, 0};
+    ASSERT_TRUE(writer.Append(rec).ok());
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(disk.stats().writes, 10u);  // one write per page
+  EXPECT_EQ(disk.stats().reads, 0u);
+
+  disk.ResetStats();
+  RecordReader reader(&pool, &file);
+  int32_t rec[4];
+  for (;;) {
+    auto more = reader.Next(rec);
+    ASSERT_TRUE(more.ok());
+    if (!more.value()) break;
+  }
+  EXPECT_EQ(disk.stats().reads, 10u);  // one read per page
+  EXPECT_EQ(disk.stats().writes, 0u);
+}
+
+TEST(RecordFileTest, ManyConcurrentWritersStayWithinPool) {
+  // 60 writers against a 50-page pool: the LRU absorbs the pressure and any
+  // thrash is honest I/O, never an error.
+  SimulatedDisk disk;
+  BufferPool pool(&disk, 50);
+  std::vector<std::unique_ptr<RecordFile>> files;
+  std::vector<std::unique_ptr<RecordWriter>> writers;
+  for (int i = 0; i < 60; ++i) {
+    files.push_back(std::make_unique<RecordFile>(&disk, 2));
+    writers.push_back(std::make_unique<RecordWriter>(&pool, files[i].get()));
+  }
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 60; ++i) {
+      const int32_t rec[2] = {round, i};
+      ASSERT_TRUE(writers[i]->Append(rec).ok());
+    }
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_EQ(files[i]->num_records(), 100u);
+  }
+}
+
+TEST(RecordFileTest, FreeAllReleasesPages) {
+  SimulatedDisk disk;
+  BufferPool pool(&disk, 8);
+  RecordFile file(&disk, 2);
+  RecordWriter writer(&pool, &file);
+  const int32_t rec[2] = {1, 2};
+  ASSERT_TRUE(writer.Append(rec).ok());
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_GT(disk.live_pages(), 0u);
+  ASSERT_TRUE(file.FreeAll(&pool).ok());
+  EXPECT_EQ(disk.live_pages(), 0u);
+  EXPECT_EQ(file.num_records(), 0u);
+}
+
+}  // namespace
+}  // namespace anatomy

@@ -1,0 +1,172 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "anatomy/anatomized_tables.h"
+#include "anatomy/anatomizer.h"
+#include "anatomy/external_join.h"
+#include "anatomy/join.h"
+#include "anatomy/streaming.h"
+#include "data/census.h"
+#include "data/census_generator.h"
+#include "data/dataset.h"
+#include "test_util.h"
+
+namespace anatomy {
+namespace {
+
+// ----------------------------------------------------------- streaming --
+
+TEST(StreamingAnatomizerTest, EmitsGroupsBeforeStreamEnd) {
+  StreamingAnatomizer streaming(
+      StreamingAnatomizerOptions{.l = 4, .seed = 1, .emit_threshold = 8},
+      /*sensitive_domain=*/10);
+  // Feed a balanced stream: groups must appear long before Finish.
+  for (RowId i = 0; i < 64; ++i) {
+    ASSERT_TRUE(streaming.Add(i, static_cast<Code>(i % 10)).ok());
+  }
+  EXPECT_GT(streaming.emitted_groups(), 0u);
+  EXPECT_LT(streaming.buffered(), 64u);
+  auto partition = streaming.Finish();
+  ASSERT_TRUE(partition.ok()) << partition.status().ToString();
+  EXPECT_TRUE(partition.value().ValidateCover(64).ok());
+}
+
+TEST(StreamingAnatomizerTest, FinalPartitionIsLDiverse) {
+  const Table census = GenerateCensus(8000, 23);
+  auto dataset = MakeExperimentDataset(census, SensitiveFamily::kOccupation, 3);
+  ASSERT_TRUE(dataset.ok());
+  const Microdata& md = dataset.value().microdata;
+
+  StreamingAnatomizer streaming(
+      StreamingAnatomizerOptions{.l = 10, .seed = 2},
+      md.sensitive_attribute().domain_size);
+  for (RowId r = 0; r < md.n(); ++r) {
+    ASSERT_TRUE(streaming.Add(r, md.sensitive_value(r)).ok());
+  }
+  auto partition = streaming.Finish();
+  ASSERT_TRUE(partition.ok()) << partition.status().ToString();
+  EXPECT_TRUE(partition.value().ValidateCover(md.n()).ok());
+  EXPECT_TRUE(partition.value().ValidateLDiverse(md, 10).ok());
+  // Every group has pairwise-distinct sensitive values.
+  for (const auto& group : partition.value().groups) {
+    std::set<Code> values;
+    for (RowId r : group) values.insert(md.sensitive_value(r));
+    EXPECT_EQ(values.size(), group.size());
+  }
+}
+
+TEST(StreamingAnatomizerTest, RejectsBadUsage) {
+  StreamingAnatomizer streaming(StreamingAnatomizerOptions{.l = 2, .seed = 1},
+                                4);
+  EXPECT_FALSE(streaming.Add(0, 9).ok());   // out of domain
+  EXPECT_FALSE(streaming.Add(0, -1).ok());  // out of domain
+  ASSERT_TRUE(streaming.Add(0, 0).ok());
+  ASSERT_TRUE(streaming.Add(1, 1).ok());
+  auto partition = streaming.Finish();
+  ASSERT_TRUE(partition.ok());
+  EXPECT_FALSE(streaming.Finish().ok());    // double Finish
+  EXPECT_FALSE(streaming.Add(2, 0).ok());   // Add after Finish
+}
+
+TEST(StreamingAnatomizerTest, FailsOnHopelessTail) {
+  // All tuples share one value: no group can ever form, and the tail cannot
+  // be absorbed.
+  StreamingAnatomizer streaming(StreamingAnatomizerOptions{.l = 2, .seed = 1},
+                                4);
+  for (RowId i = 0; i < 10; ++i) {
+    ASSERT_TRUE(streaming.Add(i, 2).ok());
+  }
+  EXPECT_EQ(streaming.emitted_groups(), 0u);
+  EXPECT_EQ(streaming.Finish().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(StreamingAnatomizerTest, MatchesBatchOnSkewedStream) {
+  // Adversarial arrival order: all heavy-value tuples first. The emit
+  // threshold must keep enough diversity in the buffer to absorb them.
+  const int l = 5;
+  std::vector<std::pair<RowId, Code>> stream;
+  RowId next_row = 0;
+  for (int i = 0; i < 40; ++i) stream.push_back({next_row++, 0});
+  for (int i = 0; i < 160; ++i) {
+    stream.push_back({next_row++, static_cast<Code>(1 + i % 19)});
+  }
+  StreamingAnatomizer streaming(
+      StreamingAnatomizerOptions{.l = l, .seed = 3, .emit_threshold = 64},
+      20);
+  for (const auto& [row, value] : stream) {
+    ASSERT_TRUE(streaming.Add(row, value).ok());
+  }
+  auto partition = streaming.Finish();
+  ASSERT_TRUE(partition.ok()) << partition.status().ToString();
+  EXPECT_TRUE(partition.value().ValidateCover(next_row).ok());
+  // l-diversity via distinct values per group.
+  for (const auto& group : partition.value().groups) {
+    EXPECT_GE(group.size(), static_cast<size_t>(l));
+  }
+}
+
+// -------------------------------------------------------- external join --
+
+TEST(ExternalJoinTest, MatchesInMemoryJoin) {
+  const Microdata md = HospitalExample();
+  Partition p;
+  p.groups = {{0, 1, 2, 3}, {4, 5, 6, 7}};
+  auto tables = AnatomizedTables::Build(md, p);
+  ASSERT_TRUE(tables.ok());
+  const Table expected = JoinQitSt(tables.value());
+
+  SimulatedDisk disk;
+  BufferPool pool(&disk, 8);
+  auto result = ExternalJoinQitSt(tables.value(), &disk, &pool);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().records, expected.num_rows());
+  EXPECT_GT(result.value().io.total(), 0u);
+
+  // Collect the join records and compare as multisets (the external join
+  // orders by group, the in-memory one by QIT row).
+  std::multiset<std::vector<int32_t>> expected_set;
+  for (RowId r = 0; r < expected.num_rows(); ++r) {
+    std::vector<Code> row;
+    expected.GetRow(r, row);
+    expected_set.insert(std::vector<int32_t>(row.begin(), row.end()));
+  }
+  std::multiset<std::vector<int32_t>> actual_set;
+  RecordReader reader(&pool, result.value().joined.get());
+  std::vector<int32_t> rec(result.value().joined->fields_per_record());
+  for (;;) {
+    auto more = reader.Next(rec);
+    ASSERT_TRUE(more.ok());
+    if (!more.value()) break;
+    actual_set.insert(rec);
+  }
+  EXPECT_EQ(actual_set, expected_set);
+  ASSERT_TRUE(result.value().joined->FreeAll(&pool).ok());
+  EXPECT_EQ(disk.live_pages(), 0u);
+}
+
+TEST(ExternalJoinTest, ScalesOnCensus) {
+  const Table census = GenerateCensus(20000, 3);
+  auto dataset = MakeExperimentDataset(census, SensitiveFamily::kOccupation, 5);
+  ASSERT_TRUE(dataset.ok());
+  const Microdata& md = dataset.value().microdata;
+  Anatomizer anatomizer(AnatomizerOptions{.l = 10, .seed = 6});
+  auto partition = anatomizer.ComputePartition(md);
+  ASSERT_TRUE(partition.ok());
+  auto tables = AnatomizedTables::Build(md, partition.value());
+  ASSERT_TRUE(tables.ok());
+
+  SimulatedDisk disk;
+  BufferPool pool(&disk, 50);
+  auto result = ExternalJoinQitSt(tables.value(), &disk, &pool);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Anatomize groups have l distinct values each, so the join has n * l
+  // records (every tuple joins its group's l ST records).
+  EXPECT_EQ(result.value().records, static_cast<uint64_t>(md.n()) * 10);
+  ASSERT_TRUE(result.value().joined->FreeAll(&pool).ok());
+  EXPECT_EQ(disk.live_pages(), 0u);
+}
+
+}  // namespace
+}  // namespace anatomy

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "taxonomy/taxonomy.h"
+
+namespace anatomy {
+namespace {
+
+// ------------------------------------------------------------ Interval --
+
+TEST(CodeIntervalTest, Basics) {
+  CodeInterval i{3, 7};
+  EXPECT_EQ(i.length(), 5);
+  EXPECT_TRUE(i.Contains(3));
+  EXPECT_TRUE(i.Contains(7));
+  EXPECT_FALSE(i.Contains(8));
+  EXPECT_TRUE(i.Contains(CodeInterval{4, 6}));
+  EXPECT_FALSE(i.Contains(CodeInterval{4, 8}));
+  EXPECT_TRUE(i.Intersects(CodeInterval{7, 9}));
+  EXPECT_FALSE(i.Intersects(CodeInterval{8, 9}));
+  EXPECT_EQ(i.ToString(), "[3, 7]");
+  EXPECT_EQ((CodeInterval{4, 4}).ToString(), "4");
+
+  CodeInterval empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.length(), 0);
+}
+
+// ---------------------------------------------------------------- Free --
+
+TEST(TaxonomyTest, FreeAllowsEveryCut) {
+  Taxonomy t = Taxonomy::Free(10);
+  EXPECT_TRUE(t.is_free());
+  EXPECT_EQ(t.Snap(CodeInterval{2, 5}), (CodeInterval{2, 5}));
+  auto cuts = t.CutsWithin(CodeInterval{2, 5});
+  EXPECT_EQ(cuts, (std::vector<Code>{2, 3, 4}));
+  EXPECT_TRUE(t.CutsWithin(CodeInterval{4, 4}).empty());
+}
+
+// ------------------------------------------------------------ Balanced --
+
+TEST(TaxonomyTest, BalancedGenderHeightTwo) {
+  // Table 6: Gender has taxonomy tree (2) over a 2-value domain.
+  auto t = Taxonomy::BuildBalanced(2, 2);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t.value().height(), 2);
+  // Splitting M|F is admissible at the leaf boundary.
+  auto cuts = t.value().CutsWithin(CodeInterval{0, 1});
+  EXPECT_EQ(cuts, std::vector<Code>{0});
+}
+
+TEST(TaxonomyTest, BalancedCountryHeightThree) {
+  // Country: 83 values, height 3 => fanout 5, levels of width 5, 25, root.
+  auto t = Taxonomy::BuildBalanced(83, 3);
+  ASSERT_TRUE(t.ok());
+  const Taxonomy& tax = t.value();
+  EXPECT_EQ(tax.height(), 3);
+  EXPECT_EQ(tax.NodesAtLevel(1), 17u);  // ceil(83/5)
+  EXPECT_EQ(tax.NodesAtLevel(2), 4u);   // ceil(83/25)
+  EXPECT_EQ(tax.NodesAtLevel(3), 1u);
+  EXPECT_EQ(tax.IntervalAt(1, 7), (CodeInterval{5, 9}));
+  EXPECT_EQ(tax.IntervalAt(2, 7), (CodeInterval{0, 24}));
+  EXPECT_EQ(tax.IntervalAt(3, 7), (CodeInterval{0, 82}));
+  // The last level-1 node is truncated to the domain.
+  EXPECT_EQ(tax.IntervalAt(1, 82), (CodeInterval{80, 82}));
+}
+
+TEST(TaxonomyTest, SnapFindsSmallestCoveringNode) {
+  auto t = Taxonomy::BuildBalanced(83, 3);
+  ASSERT_TRUE(t.ok());
+  const Taxonomy& tax = t.value();
+  // Inside one level-1 node.
+  EXPECT_EQ(tax.Snap(CodeInterval{6, 8}), (CodeInterval{5, 9}));
+  // Across level-1 nodes within a level-2 node.
+  EXPECT_EQ(tax.Snap(CodeInterval{4, 6}), (CodeInterval{0, 24}));
+  // Across level-2 nodes: the root.
+  EXPECT_EQ(tax.Snap(CodeInterval{20, 30}), (CodeInterval{0, 82}));
+  // A leaf snaps to itself.
+  EXPECT_EQ(tax.Snap(CodeInterval{6, 6}), (CodeInterval{6, 6}));
+}
+
+TEST(TaxonomyTest, CutsAreChildBoundariesOfSnappedNode) {
+  auto t = Taxonomy::BuildBalanced(83, 3);
+  ASSERT_TRUE(t.ok());
+  const Taxonomy& tax = t.value();
+  // Extent inside a level-2 node [0, 24]: cuts at its level-1 children.
+  auto cuts = tax.CutsWithin(CodeInterval{0, 24});
+  EXPECT_EQ(cuts, (std::vector<Code>{4, 9, 14, 19}));
+  // Extent that only spans part of the node: only interior cuts remain.
+  cuts = tax.CutsWithin(CodeInterval{4, 6});
+  EXPECT_EQ(cuts, (std::vector<Code>{4}));
+  // Extent spanning level-2 nodes snaps to the root; cuts at 24, 49, 74.
+  cuts = tax.CutsWithin(CodeInterval{20, 80});
+  EXPECT_EQ(cuts, (std::vector<Code>{24, 49, 74}));
+  // Level-1 node: every internal position is a (leaf) cut.
+  cuts = tax.CutsWithin(CodeInterval{5, 9});
+  EXPECT_EQ(cuts, (std::vector<Code>{5, 6, 7, 8}));
+}
+
+TEST(TaxonomyTest, BuildBalancedRejectsBadArgs) {
+  EXPECT_FALSE(Taxonomy::BuildBalanced(0, 2).ok());
+  EXPECT_FALSE(Taxonomy::BuildBalanced(10, 0).ok());
+}
+
+// ------------------------------------------------------ FromLevelStarts --
+
+TEST(TaxonomyTest, FromLevelStartsValidates) {
+  // Good: levels coarsen properly.
+  auto good = Taxonomy::FromLevelStarts(6, {{0, 2, 4}, {0}});
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_EQ(good.value().IntervalAt(1, 3), (CodeInterval{2, 3}));
+
+  // Top level must be the root.
+  EXPECT_FALSE(Taxonomy::FromLevelStarts(6, {{0, 2, 4}}).ok());
+  // Levels must start at 0.
+  EXPECT_FALSE(Taxonomy::FromLevelStarts(6, {{1, 3}, {0}}).ok());
+  // Strictly increasing within the domain.
+  EXPECT_FALSE(Taxonomy::FromLevelStarts(6, {{0, 4, 4}, {0}}).ok());
+  EXPECT_FALSE(Taxonomy::FromLevelStarts(6, {{0, 7}, {0}}).ok());
+  // Level 2 must coarsen level 1 (3 is not a level-1 start).
+  EXPECT_FALSE(Taxonomy::FromLevelStarts(6, {{0, 2, 4}, {0, 3}, {0}}).ok());
+}
+
+TEST(TaxonomyTest, UnbalancedCustomTree) {
+  // Levels: {[0,1], [2,5]} then root.
+  auto t = Taxonomy::FromLevelStarts(6, {{0, 2}, {0}});
+  ASSERT_TRUE(t.ok());
+  const Taxonomy& tax = t.value();
+  EXPECT_EQ(tax.Snap(CodeInterval{3, 5}), (CodeInterval{2, 5}));
+  EXPECT_EQ(tax.Snap(CodeInterval{1, 2}), (CodeInterval{0, 5}));
+  EXPECT_EQ(tax.CutsWithin(CodeInterval{0, 5}), std::vector<Code>{1});
+}
+
+// ------------------------------------------------- Property-style sweep --
+
+struct BalancedCase {
+  Code domain;
+  int height;
+};
+
+class BalancedTaxonomyTest : public ::testing::TestWithParam<BalancedCase> {};
+
+TEST_P(BalancedTaxonomyTest, StructuralInvariants) {
+  const auto [domain, height] = GetParam();
+  auto t = Taxonomy::BuildBalanced(domain, height);
+  ASSERT_TRUE(t.ok());
+  const Taxonomy& tax = t.value();
+  EXPECT_EQ(tax.height(), height);
+  EXPECT_EQ(tax.NodesAtLevel(height), 1u);
+
+  for (int level = 1; level <= height; ++level) {
+    // Intervals at each level tile the domain.
+    Code expected_lo = 0;
+    size_t nodes = 0;
+    while (expected_lo < domain) {
+      const CodeInterval node = tax.IntervalAt(level, expected_lo);
+      EXPECT_EQ(node.lo, expected_lo);
+      EXPECT_GT(node.length(), 0);
+      expected_lo = node.hi + 1;
+      ++nodes;
+    }
+    EXPECT_EQ(nodes, tax.NodesAtLevel(level));
+    // Each level coarsens the one below.
+    if (level > 1) {
+      EXPECT_LE(tax.NodesAtLevel(level), tax.NodesAtLevel(level - 1));
+    }
+  }
+  // Snap of any extent contains the extent.
+  for (Code lo = 0; lo < domain; lo += std::max(1, domain / 7)) {
+    for (Code hi = lo; hi < domain; hi += std::max(1, domain / 5)) {
+      const CodeInterval extent{lo, hi};
+      const CodeInterval node = tax.Snap(extent);
+      EXPECT_TRUE(node.Contains(extent));
+      // Every cut is strictly inside the extent.
+      for (Code cut : tax.CutsWithin(extent)) {
+        EXPECT_GE(cut, extent.lo);
+        EXPECT_LT(cut, extent.hi);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table6Shapes, BalancedTaxonomyTest,
+    ::testing::Values(BalancedCase{2, 2},    // Gender
+                      BalancedCase{6, 3},    // Marital
+                      BalancedCase{9, 2},    // Race
+                      BalancedCase{10, 4},   // Work-class
+                      BalancedCase{83, 3},   // Country
+                      BalancedCase{17, 1},   // degenerate height
+                      BalancedCase{64, 6},   // power-of-two
+                      BalancedCase{100, 2}));
+
+TEST(TaxonomySetTest, AllFreeMatchesSchema) {
+  std::vector<AttributeDef> defs;
+  defs.push_back(MakeNumerical("A", 10));
+  defs.push_back(MakeCategorical("B", 4));
+  Schema schema(std::move(defs));
+  TaxonomySet set = TaxonomySet::AllFree(schema);
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.at(0).is_free());
+  EXPECT_EQ(set.at(1).domain_size(), 4);
+}
+
+}  // namespace
+}  // namespace anatomy
