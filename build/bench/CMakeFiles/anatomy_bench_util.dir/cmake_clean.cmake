@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anatomy_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/anatomy_bench_util.dir/bench_util.cc.o.d"
+  "libanatomy_bench_util.a"
+  "libanatomy_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anatomy_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_error_vs_qd.dir/bench_fig5_error_vs_qd.cc.o"
+  "CMakeFiles/bench_fig5_error_vs_qd.dir/bench_fig5_error_vs_qd.cc.o.d"
+  "bench_fig5_error_vs_qd"
+  "bench_fig5_error_vs_qd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_error_vs_qd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

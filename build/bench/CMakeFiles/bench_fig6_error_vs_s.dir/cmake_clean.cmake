@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_error_vs_s.dir/bench_fig6_error_vs_s.cc.o"
+  "CMakeFiles/bench_fig6_error_vs_s.dir/bench_fig6_error_vs_s.cc.o.d"
+  "bench_fig6_error_vs_s"
+  "bench_fig6_error_vs_s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_error_vs_s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

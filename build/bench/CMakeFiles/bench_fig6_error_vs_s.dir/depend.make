@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig6_error_vs_s.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_error_vs_n.cc" "bench/CMakeFiles/bench_fig7_error_vs_n.dir/bench_fig7_error_vs_n.cc.o" "gcc" "bench/CMakeFiles/bench_fig7_error_vs_n.dir/bench_fig7_error_vs_n.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/anatomy_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_generalization.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

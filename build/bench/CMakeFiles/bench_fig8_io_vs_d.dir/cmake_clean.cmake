@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_io_vs_d.dir/bench_fig8_io_vs_d.cc.o"
+  "CMakeFiles/bench_fig8_io_vs_d.dir/bench_fig8_io_vs_d.cc.o.d"
+  "bench_fig8_io_vs_d"
+  "bench_fig8_io_vs_d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_io_vs_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

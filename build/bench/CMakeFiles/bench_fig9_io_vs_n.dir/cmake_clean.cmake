@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_io_vs_n.dir/bench_fig9_io_vs_n.cc.o"
+  "CMakeFiles/bench_fig9_io_vs_n.dir/bench_fig9_io_vs_n.cc.o.d"
+  "bench_fig9_io_vs_n"
+  "bench_fig9_io_vs_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_io_vs_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rce_quality.dir/bench_rce_quality.cc.o"
+  "CMakeFiles/bench_rce_quality.dir/bench_rce_quality.cc.o.d"
+  "bench_rce_quality"
+  "bench_rce_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rce_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

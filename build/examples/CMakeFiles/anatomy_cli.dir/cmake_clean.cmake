@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anatomy_cli.dir/anatomy_cli.cpp.o"
+  "CMakeFiles/anatomy_cli.dir/anatomy_cli.cpp.o.d"
+  "anatomy_cli"
+  "anatomy_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anatomy_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

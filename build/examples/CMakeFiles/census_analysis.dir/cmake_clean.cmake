@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_analysis.dir/census_analysis.cpp.o"
+  "CMakeFiles/census_analysis.dir/census_analysis.cpp.o.d"
+  "census_analysis"
+  "census_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

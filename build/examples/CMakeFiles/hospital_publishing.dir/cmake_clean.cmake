@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hospital_publishing.dir/hospital_publishing.cpp.o"
+  "CMakeFiles/hospital_publishing.dir/hospital_publishing.cpp.o.d"
+  "hospital_publishing"
+  "hospital_publishing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hospital_publishing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

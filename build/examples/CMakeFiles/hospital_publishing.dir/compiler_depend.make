@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hospital_publishing.
+# This may be replaced when dependencies are built.

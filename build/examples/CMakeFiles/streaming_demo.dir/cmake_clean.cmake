@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_demo.dir/streaming_demo.cpp.o"
+  "CMakeFiles/streaming_demo.dir/streaming_demo.cpp.o.d"
+  "streaming_demo"
+  "streaming_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anatomy_common.dir/common/flags.cc.o"
+  "CMakeFiles/anatomy_common.dir/common/flags.cc.o.d"
+  "CMakeFiles/anatomy_common.dir/common/printer.cc.o"
+  "CMakeFiles/anatomy_common.dir/common/printer.cc.o.d"
+  "CMakeFiles/anatomy_common.dir/common/rng.cc.o"
+  "CMakeFiles/anatomy_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/anatomy_common.dir/common/status.cc.o"
+  "CMakeFiles/anatomy_common.dir/common/status.cc.o.d"
+  "CMakeFiles/anatomy_common.dir/common/string_util.cc.o"
+  "CMakeFiles/anatomy_common.dir/common/string_util.cc.o.d"
+  "libanatomy_common.a"
+  "libanatomy_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anatomy_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

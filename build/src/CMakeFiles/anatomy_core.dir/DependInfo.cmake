@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anatomy/anatomized_tables.cc" "src/CMakeFiles/anatomy_core.dir/anatomy/anatomized_tables.cc.o" "gcc" "src/CMakeFiles/anatomy_core.dir/anatomy/anatomized_tables.cc.o.d"
+  "/root/repo/src/anatomy/anatomizer.cc" "src/CMakeFiles/anatomy_core.dir/anatomy/anatomizer.cc.o" "gcc" "src/CMakeFiles/anatomy_core.dir/anatomy/anatomizer.cc.o.d"
+  "/root/repo/src/anatomy/bundle.cc" "src/CMakeFiles/anatomy_core.dir/anatomy/bundle.cc.o" "gcc" "src/CMakeFiles/anatomy_core.dir/anatomy/bundle.cc.o.d"
+  "/root/repo/src/anatomy/eligibility.cc" "src/CMakeFiles/anatomy_core.dir/anatomy/eligibility.cc.o" "gcc" "src/CMakeFiles/anatomy_core.dir/anatomy/eligibility.cc.o.d"
+  "/root/repo/src/anatomy/external_anatomizer.cc" "src/CMakeFiles/anatomy_core.dir/anatomy/external_anatomizer.cc.o" "gcc" "src/CMakeFiles/anatomy_core.dir/anatomy/external_anatomizer.cc.o.d"
+  "/root/repo/src/anatomy/external_join.cc" "src/CMakeFiles/anatomy_core.dir/anatomy/external_join.cc.o" "gcc" "src/CMakeFiles/anatomy_core.dir/anatomy/external_join.cc.o.d"
+  "/root/repo/src/anatomy/join.cc" "src/CMakeFiles/anatomy_core.dir/anatomy/join.cc.o" "gcc" "src/CMakeFiles/anatomy_core.dir/anatomy/join.cc.o.d"
+  "/root/repo/src/anatomy/multi_sensitive.cc" "src/CMakeFiles/anatomy_core.dir/anatomy/multi_sensitive.cc.o" "gcc" "src/CMakeFiles/anatomy_core.dir/anatomy/multi_sensitive.cc.o.d"
+  "/root/repo/src/anatomy/partition.cc" "src/CMakeFiles/anatomy_core.dir/anatomy/partition.cc.o" "gcc" "src/CMakeFiles/anatomy_core.dir/anatomy/partition.cc.o.d"
+  "/root/repo/src/anatomy/rce.cc" "src/CMakeFiles/anatomy_core.dir/anatomy/rce.cc.o" "gcc" "src/CMakeFiles/anatomy_core.dir/anatomy/rce.cc.o.d"
+  "/root/repo/src/anatomy/streaming.cc" "src/CMakeFiles/anatomy_core.dir/anatomy/streaming.cc.o" "gcc" "src/CMakeFiles/anatomy_core.dir/anatomy/streaming.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/anatomy_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

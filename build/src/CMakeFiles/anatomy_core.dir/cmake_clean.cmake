@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anatomy_core.dir/anatomy/anatomized_tables.cc.o"
+  "CMakeFiles/anatomy_core.dir/anatomy/anatomized_tables.cc.o.d"
+  "CMakeFiles/anatomy_core.dir/anatomy/anatomizer.cc.o"
+  "CMakeFiles/anatomy_core.dir/anatomy/anatomizer.cc.o.d"
+  "CMakeFiles/anatomy_core.dir/anatomy/bundle.cc.o"
+  "CMakeFiles/anatomy_core.dir/anatomy/bundle.cc.o.d"
+  "CMakeFiles/anatomy_core.dir/anatomy/eligibility.cc.o"
+  "CMakeFiles/anatomy_core.dir/anatomy/eligibility.cc.o.d"
+  "CMakeFiles/anatomy_core.dir/anatomy/external_anatomizer.cc.o"
+  "CMakeFiles/anatomy_core.dir/anatomy/external_anatomizer.cc.o.d"
+  "CMakeFiles/anatomy_core.dir/anatomy/external_join.cc.o"
+  "CMakeFiles/anatomy_core.dir/anatomy/external_join.cc.o.d"
+  "CMakeFiles/anatomy_core.dir/anatomy/join.cc.o"
+  "CMakeFiles/anatomy_core.dir/anatomy/join.cc.o.d"
+  "CMakeFiles/anatomy_core.dir/anatomy/multi_sensitive.cc.o"
+  "CMakeFiles/anatomy_core.dir/anatomy/multi_sensitive.cc.o.d"
+  "CMakeFiles/anatomy_core.dir/anatomy/partition.cc.o"
+  "CMakeFiles/anatomy_core.dir/anatomy/partition.cc.o.d"
+  "CMakeFiles/anatomy_core.dir/anatomy/rce.cc.o"
+  "CMakeFiles/anatomy_core.dir/anatomy/rce.cc.o.d"
+  "CMakeFiles/anatomy_core.dir/anatomy/streaming.cc.o"
+  "CMakeFiles/anatomy_core.dir/anatomy/streaming.cc.o.d"
+  "libanatomy_core.a"
+  "libanatomy_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anatomy_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

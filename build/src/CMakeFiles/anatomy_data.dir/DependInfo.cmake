@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/census.cc" "src/CMakeFiles/anatomy_data.dir/data/census.cc.o" "gcc" "src/CMakeFiles/anatomy_data.dir/data/census.cc.o.d"
+  "/root/repo/src/data/census_generator.cc" "src/CMakeFiles/anatomy_data.dir/data/census_generator.cc.o" "gcc" "src/CMakeFiles/anatomy_data.dir/data/census_generator.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/anatomy_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/anatomy_data.dir/data/dataset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/anatomy_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anatomy_data.dir/data/census.cc.o"
+  "CMakeFiles/anatomy_data.dir/data/census.cc.o.d"
+  "CMakeFiles/anatomy_data.dir/data/census_generator.cc.o"
+  "CMakeFiles/anatomy_data.dir/data/census_generator.cc.o.d"
+  "CMakeFiles/anatomy_data.dir/data/dataset.cc.o"
+  "CMakeFiles/anatomy_data.dir/data/dataset.cc.o.d"
+  "libanatomy_data.a"
+  "libanatomy_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anatomy_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/generalization/external_mondrian.cc" "src/CMakeFiles/anatomy_generalization.dir/generalization/external_mondrian.cc.o" "gcc" "src/CMakeFiles/anatomy_generalization.dir/generalization/external_mondrian.cc.o.d"
+  "/root/repo/src/generalization/full_domain.cc" "src/CMakeFiles/anatomy_generalization.dir/generalization/full_domain.cc.o" "gcc" "src/CMakeFiles/anatomy_generalization.dir/generalization/full_domain.cc.o.d"
+  "/root/repo/src/generalization/generalized_io.cc" "src/CMakeFiles/anatomy_generalization.dir/generalization/generalized_io.cc.o" "gcc" "src/CMakeFiles/anatomy_generalization.dir/generalization/generalized_io.cc.o.d"
+  "/root/repo/src/generalization/generalized_table.cc" "src/CMakeFiles/anatomy_generalization.dir/generalization/generalized_table.cc.o" "gcc" "src/CMakeFiles/anatomy_generalization.dir/generalization/generalized_table.cc.o.d"
+  "/root/repo/src/generalization/info_loss.cc" "src/CMakeFiles/anatomy_generalization.dir/generalization/info_loss.cc.o" "gcc" "src/CMakeFiles/anatomy_generalization.dir/generalization/info_loss.cc.o.d"
+  "/root/repo/src/generalization/mondrian.cc" "src/CMakeFiles/anatomy_generalization.dir/generalization/mondrian.cc.o" "gcc" "src/CMakeFiles/anatomy_generalization.dir/generalization/mondrian.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/anatomy_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anatomy_generalization.dir/generalization/external_mondrian.cc.o"
+  "CMakeFiles/anatomy_generalization.dir/generalization/external_mondrian.cc.o.d"
+  "CMakeFiles/anatomy_generalization.dir/generalization/full_domain.cc.o"
+  "CMakeFiles/anatomy_generalization.dir/generalization/full_domain.cc.o.d"
+  "CMakeFiles/anatomy_generalization.dir/generalization/generalized_io.cc.o"
+  "CMakeFiles/anatomy_generalization.dir/generalization/generalized_io.cc.o.d"
+  "CMakeFiles/anatomy_generalization.dir/generalization/generalized_table.cc.o"
+  "CMakeFiles/anatomy_generalization.dir/generalization/generalized_table.cc.o.d"
+  "CMakeFiles/anatomy_generalization.dir/generalization/info_loss.cc.o"
+  "CMakeFiles/anatomy_generalization.dir/generalization/info_loss.cc.o.d"
+  "CMakeFiles/anatomy_generalization.dir/generalization/mondrian.cc.o"
+  "CMakeFiles/anatomy_generalization.dir/generalization/mondrian.cc.o.d"
+  "libanatomy_generalization.a"
+  "libanatomy_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anatomy_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

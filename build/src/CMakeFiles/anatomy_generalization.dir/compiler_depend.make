@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for anatomy_generalization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anatomy_privacy.dir/privacy/breach.cc.o"
+  "CMakeFiles/anatomy_privacy.dir/privacy/breach.cc.o.d"
+  "CMakeFiles/anatomy_privacy.dir/privacy/ldiversity.cc.o"
+  "CMakeFiles/anatomy_privacy.dir/privacy/ldiversity.cc.o.d"
+  "CMakeFiles/anatomy_privacy.dir/privacy/voter_attack.cc.o"
+  "CMakeFiles/anatomy_privacy.dir/privacy/voter_attack.cc.o.d"
+  "libanatomy_privacy.a"
+  "libanatomy_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anatomy_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/aggregate.cc" "src/CMakeFiles/anatomy_query.dir/query/aggregate.cc.o" "gcc" "src/CMakeFiles/anatomy_query.dir/query/aggregate.cc.o.d"
+  "/root/repo/src/query/anatomy_estimator.cc" "src/CMakeFiles/anatomy_query.dir/query/anatomy_estimator.cc.o" "gcc" "src/CMakeFiles/anatomy_query.dir/query/anatomy_estimator.cc.o.d"
+  "/root/repo/src/query/bitmap.cc" "src/CMakeFiles/anatomy_query.dir/query/bitmap.cc.o" "gcc" "src/CMakeFiles/anatomy_query.dir/query/bitmap.cc.o.d"
+  "/root/repo/src/query/bitmap_index.cc" "src/CMakeFiles/anatomy_query.dir/query/bitmap_index.cc.o" "gcc" "src/CMakeFiles/anatomy_query.dir/query/bitmap_index.cc.o.d"
+  "/root/repo/src/query/exact_evaluator.cc" "src/CMakeFiles/anatomy_query.dir/query/exact_evaluator.cc.o" "gcc" "src/CMakeFiles/anatomy_query.dir/query/exact_evaluator.cc.o.d"
+  "/root/repo/src/query/generalization_estimator.cc" "src/CMakeFiles/anatomy_query.dir/query/generalization_estimator.cc.o" "gcc" "src/CMakeFiles/anatomy_query.dir/query/generalization_estimator.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/anatomy_query.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/anatomy_query.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "src/CMakeFiles/anatomy_query.dir/query/predicate.cc.o" "gcc" "src/CMakeFiles/anatomy_query.dir/query/predicate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/anatomy_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_generalization.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anatomy_query.dir/query/aggregate.cc.o"
+  "CMakeFiles/anatomy_query.dir/query/aggregate.cc.o.d"
+  "CMakeFiles/anatomy_query.dir/query/anatomy_estimator.cc.o"
+  "CMakeFiles/anatomy_query.dir/query/anatomy_estimator.cc.o.d"
+  "CMakeFiles/anatomy_query.dir/query/bitmap.cc.o"
+  "CMakeFiles/anatomy_query.dir/query/bitmap.cc.o.d"
+  "CMakeFiles/anatomy_query.dir/query/bitmap_index.cc.o"
+  "CMakeFiles/anatomy_query.dir/query/bitmap_index.cc.o.d"
+  "CMakeFiles/anatomy_query.dir/query/exact_evaluator.cc.o"
+  "CMakeFiles/anatomy_query.dir/query/exact_evaluator.cc.o.d"
+  "CMakeFiles/anatomy_query.dir/query/generalization_estimator.cc.o"
+  "CMakeFiles/anatomy_query.dir/query/generalization_estimator.cc.o.d"
+  "CMakeFiles/anatomy_query.dir/query/parser.cc.o"
+  "CMakeFiles/anatomy_query.dir/query/parser.cc.o.d"
+  "CMakeFiles/anatomy_query.dir/query/predicate.cc.o"
+  "CMakeFiles/anatomy_query.dir/query/predicate.cc.o.d"
+  "libanatomy_query.a"
+  "libanatomy_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anatomy_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libanatomy_query.a"
+)

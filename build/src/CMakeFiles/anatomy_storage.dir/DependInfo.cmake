@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/anatomy_storage.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/anatomy_storage.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/external_sort.cc" "src/CMakeFiles/anatomy_storage.dir/storage/external_sort.cc.o" "gcc" "src/CMakeFiles/anatomy_storage.dir/storage/external_sort.cc.o.d"
+  "/root/repo/src/storage/page_file.cc" "src/CMakeFiles/anatomy_storage.dir/storage/page_file.cc.o" "gcc" "src/CMakeFiles/anatomy_storage.dir/storage/page_file.cc.o.d"
+  "/root/repo/src/storage/simulated_disk.cc" "src/CMakeFiles/anatomy_storage.dir/storage/simulated_disk.cc.o" "gcc" "src/CMakeFiles/anatomy_storage.dir/storage/simulated_disk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/anatomy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anatomy_storage.dir/storage/buffer_pool.cc.o"
+  "CMakeFiles/anatomy_storage.dir/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/anatomy_storage.dir/storage/external_sort.cc.o"
+  "CMakeFiles/anatomy_storage.dir/storage/external_sort.cc.o.d"
+  "CMakeFiles/anatomy_storage.dir/storage/page_file.cc.o"
+  "CMakeFiles/anatomy_storage.dir/storage/page_file.cc.o.d"
+  "CMakeFiles/anatomy_storage.dir/storage/simulated_disk.cc.o"
+  "CMakeFiles/anatomy_storage.dir/storage/simulated_disk.cc.o.d"
+  "libanatomy_storage.a"
+  "libanatomy_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anatomy_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/table/csv.cc" "src/CMakeFiles/anatomy_table.dir/table/csv.cc.o" "gcc" "src/CMakeFiles/anatomy_table.dir/table/csv.cc.o.d"
+  "/root/repo/src/table/schema.cc" "src/CMakeFiles/anatomy_table.dir/table/schema.cc.o" "gcc" "src/CMakeFiles/anatomy_table.dir/table/schema.cc.o.d"
+  "/root/repo/src/table/schema_io.cc" "src/CMakeFiles/anatomy_table.dir/table/schema_io.cc.o" "gcc" "src/CMakeFiles/anatomy_table.dir/table/schema_io.cc.o.d"
+  "/root/repo/src/table/stats.cc" "src/CMakeFiles/anatomy_table.dir/table/stats.cc.o" "gcc" "src/CMakeFiles/anatomy_table.dir/table/stats.cc.o.d"
+  "/root/repo/src/table/table.cc" "src/CMakeFiles/anatomy_table.dir/table/table.cc.o" "gcc" "src/CMakeFiles/anatomy_table.dir/table/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/anatomy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

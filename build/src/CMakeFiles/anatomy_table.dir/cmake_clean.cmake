@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anatomy_table.dir/table/csv.cc.o"
+  "CMakeFiles/anatomy_table.dir/table/csv.cc.o.d"
+  "CMakeFiles/anatomy_table.dir/table/schema.cc.o"
+  "CMakeFiles/anatomy_table.dir/table/schema.cc.o.d"
+  "CMakeFiles/anatomy_table.dir/table/schema_io.cc.o"
+  "CMakeFiles/anatomy_table.dir/table/schema_io.cc.o.d"
+  "CMakeFiles/anatomy_table.dir/table/stats.cc.o"
+  "CMakeFiles/anatomy_table.dir/table/stats.cc.o.d"
+  "CMakeFiles/anatomy_table.dir/table/table.cc.o"
+  "CMakeFiles/anatomy_table.dir/table/table.cc.o.d"
+  "libanatomy_table.a"
+  "libanatomy_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anatomy_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

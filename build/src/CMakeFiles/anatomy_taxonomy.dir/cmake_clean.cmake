@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anatomy_taxonomy.dir/taxonomy/taxonomy.cc.o"
+  "CMakeFiles/anatomy_taxonomy.dir/taxonomy/taxonomy.cc.o.d"
+  "libanatomy_taxonomy.a"
+  "libanatomy_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anatomy_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

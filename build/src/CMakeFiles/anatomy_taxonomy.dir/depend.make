@@ -1,0 +1,2 @@
+# Empty dependencies file for anatomy_taxonomy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anatomy_workload.dir/workload/runner.cc.o"
+  "CMakeFiles/anatomy_workload.dir/workload/runner.cc.o.d"
+  "CMakeFiles/anatomy_workload.dir/workload/workload.cc.o"
+  "CMakeFiles/anatomy_workload.dir/workload/workload.cc.o.d"
+  "libanatomy_workload.a"
+  "libanatomy_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anatomy_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anatomized_tables_test.dir/anatomized_tables_test.cc.o"
+  "CMakeFiles/anatomized_tables_test.dir/anatomized_tables_test.cc.o.d"
+  "anatomized_tables_test"
+  "anatomized_tables_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anatomized_tables_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

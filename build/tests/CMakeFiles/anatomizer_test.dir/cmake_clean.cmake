@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anatomizer_test.dir/anatomizer_test.cc.o"
+  "CMakeFiles/anatomizer_test.dir/anatomizer_test.cc.o.d"
+  "anatomizer_test"
+  "anatomizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anatomizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bundle_test.dir/bundle_test.cc.o"
+  "CMakeFiles/bundle_test.dir/bundle_test.cc.o.d"
+  "bundle_test"
+  "bundle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bundle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_test.dir/estimator_test.cc.o"
+  "CMakeFiles/estimator_test.dir/estimator_test.cc.o.d"
+  "estimator_test"
+  "estimator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_anatomizer_test.dir/external_anatomizer_test.cc.o"
+  "CMakeFiles/external_anatomizer_test.dir/external_anatomizer_test.cc.o.d"
+  "external_anatomizer_test"
+  "external_anatomizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_anatomizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_sort_test.dir/external_sort_test.cc.o"
+  "CMakeFiles/external_sort_test.dir/external_sort_test.cc.o.d"
+  "external_sort_test"
+  "external_sort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

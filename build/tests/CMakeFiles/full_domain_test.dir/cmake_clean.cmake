@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_domain_test.dir/full_domain_test.cc.o"
+  "CMakeFiles/full_domain_test.dir/full_domain_test.cc.o.d"
+  "full_domain_test"
+  "full_domain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_domain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/generalized_io_test.cc" "tests/CMakeFiles/generalized_io_test.dir/generalized_io_test.cc.o" "gcc" "tests/CMakeFiles/generalized_io_test.dir/generalized_io_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/anatomy_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_generalization.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/anatomy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

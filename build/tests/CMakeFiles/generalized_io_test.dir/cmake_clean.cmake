@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generalized_io_test.dir/generalized_io_test.cc.o"
+  "CMakeFiles/generalized_io_test.dir/generalized_io_test.cc.o.d"
+  "generalized_io_test"
+  "generalized_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generalized_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

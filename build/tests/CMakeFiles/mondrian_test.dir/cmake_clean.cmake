@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mondrian_test.dir/mondrian_test.cc.o"
+  "CMakeFiles/mondrian_test.dir/mondrian_test.cc.o.d"
+  "mondrian_test"
+  "mondrian_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mondrian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_sensitive_test.dir/multi_sensitive_test.cc.o"
+  "CMakeFiles/multi_sensitive_test.dir/multi_sensitive_test.cc.o.d"
+  "multi_sensitive_test"
+  "multi_sensitive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_sensitive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

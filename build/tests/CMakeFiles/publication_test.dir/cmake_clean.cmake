@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/publication_test.dir/publication_test.cc.o"
+  "CMakeFiles/publication_test.dir/publication_test.cc.o.d"
+  "publication_test"
+  "publication_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/publication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

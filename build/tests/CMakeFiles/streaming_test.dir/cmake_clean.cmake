@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_test.dir/streaming_test.cc.o"
+  "CMakeFiles/streaming_test.dir/streaming_test.cc.o.d"
+  "streaming_test"
+  "streaming_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
