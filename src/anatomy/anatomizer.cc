@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <queue>
+#include <unordered_set>
 
 #include "anatomy/eligibility.h"
 #include "common/check.h"
@@ -95,7 +96,9 @@ StatusOr<Partition> Anatomizer::ComputePartitionWithPolicy(
 
   Partition partition;
   /// Sensitive values present in each group, parallel to partition.groups.
-  std::vector<std::vector<Code>> group_values;
+  /// A hash set per group so residue assignment tests membership in O(1)
+  /// instead of scanning the group's value list.
+  std::vector<std::unordered_set<Code>> group_values;
 
   // ---- Group-creation step (Lines 3-8). ----
   LargestBucketQueue queue(buckets);
@@ -106,23 +109,43 @@ StatusOr<Partition> Anatomizer::ComputePartitionWithPolicy(
     if (policy == BucketPolicy::kLargestFirst) {
       for (size_t k = 0; k < l; ++k) drawn.push_back(queue.PopLargest(buckets));
     } else {
-      // Ablation: take the next l non-empty buckets in cyclic order.
-      while (drawn.size() < l) {
+      // Ablation: take the next l non-empty buckets in cyclic order. The
+      // scan is bounded to one full cycle: if a cycle cannot produce l
+      // distinct non-empty buckets, the running `non_empty` count has
+      // drifted from reality and an unbounded scan would spin forever.
+      size_t scanned = 0;
+      while (drawn.size() < l && scanned < buckets.size()) {
         const size_t idx = round_robin_cursor++ % buckets.size();
+        ++scanned;
         if (!buckets[idx].rows.empty() &&
             std::find(drawn.begin(), drawn.end(), idx) == drawn.end()) {
           drawn.push_back(idx);
         }
       }
+      if (drawn.size() < l) {
+        // Nothing was popped this round, so the drawn buckets are intact;
+        // recount, hand the remaining tuples to residue assignment, and
+        // flag genuine bookkeeping corruption (a recount that still admits
+        // another group means the cycle scan itself is broken).
+        non_empty = static_cast<size_t>(
+            std::count_if(buckets.begin(), buckets.end(),
+                          [](const Bucket& b) { return !b.rows.empty(); }));
+        if (non_empty >= l) {
+          return Status::Internal(
+              "round-robin policy found fewer than l distinct non-empty "
+              "buckets although a recount says l exist");
+        }
+        break;
+      }
     }
     std::vector<RowId> group;
-    std::vector<Code> values;
+    std::unordered_set<Code> values;
     group.reserve(l);
     values.reserve(l);
     for (size_t idx : drawn) {
       Bucket& bucket = buckets[idx];
       group.push_back(bucket.PopRandom(rng));
-      values.push_back(bucket.value);
+      values.insert(bucket.value);
       if (bucket.rows.empty()) {
         --non_empty;
       } else if (policy == BucketPolicy::kLargestFirst) {
@@ -140,12 +163,13 @@ StatusOr<Partition> Anatomizer::ComputePartitionWithPolicy(
   // and may correctly fail.
   for (const Bucket& bucket : buckets) {
     for (RowId r : bucket.rows) {
-      // S' = groups without this sensitive value (Line 11).
+      // S' = groups without this sensitive value (Line 11). Candidates are
+      // collected in ascending group order so the rng draw below sees the
+      // same sequence as the original linear-scan implementation — the
+      // output partition is byte-identical for a fixed seed.
       std::vector<GroupId> candidates;
       for (GroupId g = 0; g < partition.groups.size(); ++g) {
-        const auto& values = group_values[g];
-        if (std::find(values.begin(), values.end(), bucket.value) ==
-            values.end()) {
+        if (!group_values[g].contains(bucket.value)) {
           candidates.push_back(g);
         }
       }
@@ -156,7 +180,7 @@ StatusOr<Partition> Anatomizer::ComputePartitionWithPolicy(
       }
       const GroupId g = candidates[rng.NextBounded(candidates.size())];
       partition.groups[g].push_back(r);
-      group_values[g].push_back(bucket.value);
+      group_values[g].insert(bucket.value);
     }
   }
 

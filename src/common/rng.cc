@@ -6,21 +6,23 @@ namespace anatomy {
 
 namespace {
 
-uint64_t SplitMix64(uint64_t& state) {
-  state += 0x9E3779B97F4A7C15ULL;
-  uint64_t z = state;
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t x) {
+  uint64_t z = x + 0x9E3779B97F4A7C15ULL;
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
   return z ^ (z >> 31);
 }
 
-uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
-}  // namespace
-
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
-  for (auto& s : s_) s = SplitMix64(sm);
+  for (auto& s : s_) {
+    s = SplitMix64(sm);
+    sm += 0x9E3779B97F4A7C15ULL;
+  }
   // Guard against the (astronomically unlikely) all-zero state.
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }

@@ -16,10 +16,26 @@
 
 namespace anatomy {
 
+/// One step of the SplitMix64 sequence starting at `x`: advances by the
+/// golden-ratio increment and applies the finalizer. Stateless; used to
+/// derive independent child seeds (per-worker streams, forked generators)
+/// with full avalanche, so nearby inputs (seed ^ 0, seed ^ 1, ...) yield
+/// uncorrelated streams.
+uint64_t SplitMix64(uint64_t x);
+
 /// xoshiro256** PRNG with convenience sampling helpers.
 class Rng {
  public:
   explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// The canonical seed derivation for parallel workers: stream `stream_id`
+  /// of master seed `seed` is Rng(SplitMix64(seed ^ stream_id)). Every
+  /// component that shards work across threads derives its per-worker
+  /// generators this way so results are reproducible from (seed, shard)
+  /// alone, independent of thread scheduling.
+  static Rng ForStream(uint64_t seed, uint64_t stream_id) {
+    return Rng(SplitMix64(seed ^ stream_id));
+  }
 
   /// Uniform 64-bit value.
   uint64_t Next();

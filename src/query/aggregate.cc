@@ -62,36 +62,37 @@ AnatomyAggregateEstimator::AnatomyAggregateEstimator(
       postings_[value].push_back({g, count});
     }
   }
-  group_mass_.assign(tables.num_groups(), 0.0);
 }
 
-AnatomyAggregateEstimator::CountSum
-AnatomyAggregateEstimator::EstimateCountSum(const AggregateQuery& query) const {
+AnatomyAggregateEstimator::CountSum AnatomyAggregateEstimator::EstimateCountSum(
+    const AggregateQuery& query, EstimatorScratch& scratch) const {
   CountSum out;
-  touched_groups_.clear();
+  scratch.EnsureGroupMass(tables_->num_groups());
+  scratch.touched_groups.clear();
   for (Code v : query.predicates.sensitive_predicate.values()) {
+    // Out-of-domain sensitive codes qualify no tuples.
     if (v < 0 || static_cast<size_t>(v) >= postings_.size()) continue;
     for (const auto& [g, count] : postings_[v]) {
-      if (group_mass_[g] == 0.0) touched_groups_.push_back(g);
-      group_mass_[g] += count;
+      if (scratch.group_mass[g] == 0.0) scratch.touched_groups.push_back(g);
+      scratch.group_mass[g] += count;
     }
   }
-  if (touched_groups_.empty()) return out;
+  if (scratch.touched_groups.empty()) return out;
 
-  qi_match_ = Bitmap(qit_index_->num_rows());
-  qi_match_.SetAll();
+  scratch.qi_match.Reset(qit_index_->num_rows());
+  scratch.qi_match.SetAll();
   for (const AttributePredicate& pred : query.predicates.qi_predicates) {
-    qit_index_->PredicateBitmap(pred.qi_index(), pred, pred_bits_);
-    qi_match_.AndWith(pred_bits_);
+    qit_index_->PredicateBitmap(pred.qi_index(), pred, scratch.pred_bits);
+    scratch.qi_match.AndWith(scratch.pred_bits);
   }
 
   const Table& qit = tables_->qit();
   const bool need_sum = query.kind != AggregateKind::kCount;
   const AttributeDef& measure =
       qit.schema().attribute(need_sum ? query.measure_qi : 0);
-  qi_match_.ForEachSetBit([&](size_t row) {
+  scratch.qi_match.ForEachSetBit([&](size_t row) {
     const GroupId g = tables_->group_of_row(static_cast<RowId>(row));
-    const double mass = group_mass_[g];
+    const double mass = scratch.group_mass[g];
     if (mass == 0.0) return;
     const double weight = mass / tables_->group_size(g);
     out.count += weight;
@@ -101,12 +102,13 @@ AnatomyAggregateEstimator::EstimateCountSum(const AggregateQuery& query) const {
                                               query.measure_qi));
     }
   });
-  for (GroupId g : touched_groups_) group_mass_[g] = 0.0;
+  for (GroupId g : scratch.touched_groups) scratch.group_mass[g] = 0.0;
   return out;
 }
 
-double AnatomyAggregateEstimator::Estimate(const AggregateQuery& query) const {
-  const CountSum cs = EstimateCountSum(query);
+double AnatomyAggregateEstimator::Estimate(const AggregateQuery& query,
+                                           EstimatorScratch& scratch) const {
+  const CountSum cs = EstimateCountSum(query, scratch);
   switch (query.kind) {
     case AggregateKind::kCount:
       return cs.count;
@@ -138,24 +140,25 @@ GeneralizationAggregateEstimator::GeneralizationAggregateEstimator(
       postings_[value].push_back({g, count});
     }
   }
-  group_mass_.assign(table.num_groups(), 0.0);
 }
 
 GeneralizationAggregateEstimator::CountSum
 GeneralizationAggregateEstimator::EstimateCountSum(
-    const AggregateQuery& query) const {
+    const AggregateQuery& query, EstimatorScratch& scratch) const {
   CountSum out;
-  touched_groups_.clear();
+  scratch.EnsureGroupMass(table_->num_groups());
+  scratch.touched_groups.clear();
   for (Code v : query.predicates.sensitive_predicate.values()) {
+    // Out-of-domain sensitive codes qualify no tuples.
     if (v < 0 || static_cast<size_t>(v) >= postings_.size()) continue;
     for (const auto& [g, count] : postings_[v]) {
-      if (group_mass_[g] == 0.0) touched_groups_.push_back(g);
-      group_mass_[g] += count;
+      if (scratch.group_mass[g] == 0.0) scratch.touched_groups.push_back(g);
+      scratch.group_mass[g] += count;
     }
   }
   const bool need_sum = query.kind != AggregateKind::kCount;
 
-  for (GroupId g : touched_groups_) {
+  for (GroupId g : scratch.touched_groups) {
     const GeneralizedGroup& group = table_->group(g);
     double p = 1.0;
     const AttributePredicate* measure_pred = nullptr;
@@ -170,7 +173,7 @@ GeneralizationAggregateEstimator::EstimateCountSum(
       p *= static_cast<double>(overlap) / static_cast<double>(extent.length());
     }
     if (p != 0.0) {
-      const double expected_matches = p * group_mass_[g];
+      const double expected_matches = p * scratch.group_mass[g];
       out.count += expected_matches;
       if (need_sum) {
         // Conditional mean of the measure for a uniformly-spread matching
@@ -197,14 +200,14 @@ GeneralizationAggregateEstimator::EstimateCountSum(
         out.sum += expected_matches * mean;
       }
     }
-    group_mass_[g] = 0.0;
+    scratch.group_mass[g] = 0.0;
   }
   return out;
 }
 
 double GeneralizationAggregateEstimator::Estimate(
-    const AggregateQuery& query) const {
-  const CountSum cs = EstimateCountSum(query);
+    const AggregateQuery& query, EstimatorScratch& scratch) const {
+  const CountSum cs = EstimateCountSum(query, scratch);
   switch (query.kind) {
     case AggregateKind::kCount:
       return cs.count;

@@ -17,6 +17,7 @@
 #include "anatomy/anatomized_tables.h"
 #include "generalization/generalized_table.h"
 #include "query/bitmap_index.h"
+#include "query/estimator_scratch.h"
 #include "query/predicate.h"
 #include "table/table.h"
 
@@ -43,50 +44,62 @@ double NumericValue(const AttributeDef& attr, Code code);
 /// Ground truth by table scan. AVG over an empty match set is 0.
 double ExactAggregate(const Microdata& microdata, const AggregateQuery& query);
 
-/// Aggregate estimation from anatomized tables.
+/// Aggregate estimation from anatomized tables. Immutable after
+/// construction; safe to share across threads.
 class AnatomyAggregateEstimator {
  public:
   explicit AnatomyAggregateEstimator(const AnatomizedTables& tables);
 
-  double Estimate(const AggregateQuery& query) const;
+  /// Re-entrant core: all per-call state lives in `scratch`.
+  double Estimate(const AggregateQuery& query, EstimatorScratch& scratch) const;
+
+  /// Thread-safe convenience: borrows an arena from an internal pool.
+  double Estimate(const AggregateQuery& query) const {
+    return Estimate(query, *scratch_pool_.Acquire());
+  }
 
  private:
   struct CountSum {
     double count = 0.0;
     double sum = 0.0;
   };
-  CountSum EstimateCountSum(const AggregateQuery& query) const;
+  CountSum EstimateCountSum(const AggregateQuery& query,
+                            EstimatorScratch& scratch) const;
 
   const AnatomizedTables* tables_;
   std::unique_ptr<BitmapIndex> qit_index_;
   std::vector<std::vector<std::pair<GroupId, uint32_t>>> postings_;
-  mutable std::vector<double> group_mass_;
-  mutable std::vector<GroupId> touched_groups_;
-  mutable Bitmap qi_match_;
-  mutable Bitmap pred_bits_;
+  mutable ScratchPool scratch_pool_;
 };
 
-/// Aggregate estimation from a generalized table.
+/// Aggregate estimation from a generalized table. Immutable after
+/// construction; safe to share across threads.
 class GeneralizationAggregateEstimator {
  public:
   GeneralizationAggregateEstimator(const GeneralizedTable& table,
                                    const Microdata& microdata);
 
-  double Estimate(const AggregateQuery& query) const;
+  /// Re-entrant core: all per-call state lives in `scratch`.
+  double Estimate(const AggregateQuery& query, EstimatorScratch& scratch) const;
+
+  /// Thread-safe convenience: borrows an arena from an internal pool.
+  double Estimate(const AggregateQuery& query) const {
+    return Estimate(query, *scratch_pool_.Acquire());
+  }
 
  private:
   struct CountSum {
     double count = 0.0;
     double sum = 0.0;
   };
-  CountSum EstimateCountSum(const AggregateQuery& query) const;
+  CountSum EstimateCountSum(const AggregateQuery& query,
+                            EstimatorScratch& scratch) const;
 
   const GeneralizedTable* table_;
   /// QI attribute definitions (for the numeric mapping of measures).
   std::vector<AttributeDef> qi_attributes_;
   std::vector<std::vector<std::pair<GroupId, uint32_t>>> postings_;
-  mutable std::vector<double> group_mass_;
-  mutable std::vector<GroupId> touched_groups_;
+  mutable ScratchPool scratch_pool_;
 };
 
 }  // namespace anatomy

@@ -20,39 +20,43 @@ AnatomyEstimator::AnatomyEstimator(const AnatomizedTables& tables)
       postings_[value].push_back({g, count});
     }
   }
-  group_mass_.assign(tables.num_groups(), 0.0);
 }
 
-double AnatomyEstimator::Estimate(const CountQuery& query) const {
+double AnatomyEstimator::Estimate(const CountQuery& query,
+                                  EstimatorScratch& scratch) const {
+  scratch.EnsureGroupMass(tables_->num_groups());
+
   // S_j for the groups that have any qualifying sensitive mass.
-  touched_groups_.clear();
+  scratch.touched_groups.clear();
   for (Code v : query.sensitive_predicate.values()) {
+    // Out-of-domain sensitive codes qualify no tuples (Code is signed, so
+    // both directions must be checked before indexing the postings).
     if (v < 0 || static_cast<size_t>(v) >= postings_.size()) continue;
     for (const auto& [g, count] : postings_[v]) {
-      if (group_mass_[g] == 0.0) touched_groups_.push_back(g);
-      group_mass_[g] += count;
+      if (scratch.group_mass[g] == 0.0) scratch.touched_groups.push_back(g);
+      scratch.group_mass[g] += count;
     }
   }
-  if (touched_groups_.empty()) return 0.0;
+  if (scratch.touched_groups.empty()) return 0.0;
 
   // Exact per-group QI match fractions from the QIT.
-  qi_match_ = Bitmap(qit_index_->num_rows());
-  qi_match_.SetAll();
+  scratch.qi_match.Reset(qit_index_->num_rows());
+  scratch.qi_match.SetAll();
   for (const AttributePredicate& pred : query.qi_predicates) {
-    qit_index_->PredicateBitmap(pred.qi_index(), pred, pred_bits_);
-    qi_match_.AndWith(pred_bits_);
+    qit_index_->PredicateBitmap(pred.qi_index(), pred, scratch.pred_bits);
+    scratch.qi_match.AndWith(scratch.pred_bits);
   }
 
   double estimate = 0.0;
-  qi_match_.ForEachSetBit([&](size_t row) {
+  scratch.qi_match.ForEachSetBit([&](size_t row) {
     const GroupId g = tables_->group_of_row(static_cast<RowId>(row));
-    const double mass = group_mass_[g];
+    const double mass = scratch.group_mass[g];
     if (mass != 0.0) {
       estimate += mass / tables_->group_size(g);
     }
   });
 
-  for (GroupId g : touched_groups_) group_mass_[g] = 0.0;
+  for (GroupId g : scratch.touched_groups) scratch.group_mass[g] = 0.0;
   return estimate;
 }
 

@@ -17,28 +17,34 @@
 
 #include "anatomy/anatomized_tables.h"
 #include "query/bitmap_index.h"
+#include "query/estimator_scratch.h"
 #include "query/predicate.h"
 
 namespace anatomy {
 
+/// Immutable after construction; one instance may serve any number of
+/// threads concurrently.
 class AnatomyEstimator {
  public:
   /// Builds its own bitmap index over the QIT's QI columns and per-sensitive-
   /// value postings over the ST — i.e. strictly from the published tables.
   explicit AnatomyEstimator(const AnatomizedTables& tables);
 
-  double Estimate(const CountQuery& query) const;
+  /// Re-entrant core: all per-call state lives in `scratch`, which the
+  /// caller owns (typically one arena per worker thread).
+  double Estimate(const CountQuery& query, EstimatorScratch& scratch) const;
+
+  /// Thread-safe convenience: borrows an arena from an internal pool.
+  double Estimate(const CountQuery& query) const {
+    return Estimate(query, *scratch_pool_.Acquire());
+  }
 
  private:
   const AnatomizedTables* tables_;
   std::unique_ptr<BitmapIndex> qit_index_;
   /// postings_[v] = (group, count) pairs with c_group(v) = count > 0.
   std::vector<std::vector<std::pair<GroupId, uint32_t>>> postings_;
-  /// Scratch, reused across queries: qualifying sensitive mass per group.
-  mutable std::vector<double> group_mass_;
-  mutable std::vector<GroupId> touched_groups_;
-  mutable Bitmap qi_match_;
-  mutable Bitmap pred_bits_;
+  mutable ScratchPool scratch_pool_;
 };
 
 }  // namespace anatomy

@@ -23,6 +23,11 @@ void Bitmap::ClearAll() {
   std::fill(words_.begin(), words_.end(), 0);
 }
 
+void Bitmap::Reset(size_t num_bits) {
+  num_bits_ = num_bits;
+  words_.assign((num_bits + 63) / 64, 0);
+}
+
 void Bitmap::SetAll() {
   std::fill(words_.begin(), words_.end(), ~uint64_t{0});
   // Clear the bits beyond num_bits_ so Count() stays exact.

@@ -21,6 +21,11 @@ class Bitmap {
   void ClearAll();
   void SetAll();
 
+  /// Resizes to `num_bits` with every bit clear. Unlike assigning a fresh
+  /// Bitmap(num_bits), this reuses the existing word storage, so scratch
+  /// bitmaps reach a zero-allocation steady state.
+  void Reset(size_t num_bits);
+
   /// this |= other. Sizes must match.
   void OrWith(const Bitmap& other);
   /// this &= other. Sizes must match.

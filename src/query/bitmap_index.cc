@@ -38,9 +38,11 @@ const Bitmap& BitmapIndex::ValueBitmap(size_t column, Code code) const {
 void BitmapIndex::PredicateBitmap(size_t column, const AttributePredicate& pred,
                                   Bitmap& out) const {
   const size_t slot = SlotFor(column);
-  out = Bitmap(num_rows_);
+  out.Reset(num_rows_);
   for (Code v : pred.values()) {
-    ANATOMY_CHECK(v >= 0 && static_cast<size_t>(v) < bitmaps_[slot].size());
+    // Predicate values outside the column's domain match no rows; skip them
+    // instead of indexing out of bounds (Code is signed — check both ends).
+    if (v < 0 || static_cast<size_t>(v) >= bitmaps_[slot].size()) continue;
     out.OrWith(bitmaps_[slot][v]);
   }
 }

@@ -1,0 +1,108 @@
+// Per-call scratch arenas for the query estimators.
+//
+// Every estimator needs the same transient state while answering one query:
+// a per-group accumulator of qualifying sensitive mass, the list of groups
+// actually touched (so only those are re-zeroed), and bitmap workspace for
+// the QI predicates. Historically this state lived in `mutable` members of
+// each estimator, which made a logically-const Estimate() silently
+// non-reentrant: two threads sharing one estimator corrupted each other's
+// group masses and produced wrong counts. The state now lives in an
+// EstimatorScratch arena that is either passed in explicitly (parallel
+// callers own one arena per worker) or borrowed from a small pool (the
+// single-argument Estimate() convenience overloads), so estimators are
+// immutable after construction and safe to share across threads.
+//
+// Invariant between calls: `group_mass` is all-zero. Every estimator
+// restores the zeros for the groups it touched before returning, which is
+// what keeps a query O(touched) instead of O(groups). `EnsureGroupMass`
+// re-establishes the invariant wholesale whenever an arena migrates between
+// estimators with different group counts.
+
+#ifndef ANATOMY_QUERY_ESTIMATOR_SCRATCH_H_
+#define ANATOMY_QUERY_ESTIMATOR_SCRATCH_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "anatomy/partition.h"
+#include "query/bitmap.h"
+
+namespace anatomy {
+
+struct EstimatorScratch {
+  /// Qualifying sensitive mass per group (S_j accumulator). All-zero
+  /// between calls; sized lazily via EnsureGroupMass.
+  std::vector<double> group_mass;
+  /// Groups with nonzero group_mass this call; used to restore the zeros.
+  std::vector<GroupId> touched_groups;
+  /// Rows matching the conjunction of QI predicates.
+  Bitmap qi_match;
+  /// Workspace for one predicate's bitmap OR.
+  Bitmap pred_bits;
+
+  /// Makes group_mass an all-zero vector of `num_groups` entries. A no-op
+  /// when the size already matches (the all-zero invariant holds between
+  /// calls), so the steady state allocates nothing.
+  void EnsureGroupMass(size_t num_groups) {
+    if (group_mass.size() != num_groups) group_mass.assign(num_groups, 0.0);
+  }
+};
+
+/// A mutex-guarded freelist of scratch arenas. Estimators own one pool and
+/// borrow an arena per Estimate() call, so concurrent callers of the
+/// convenience overload each get a private arena while the steady state
+/// (sequential or per-thread) reuses the same warm arena with zero
+/// allocation. Contention is a brief push/pop; callers that care (the
+/// parallel runner) bypass the pool entirely with per-worker arenas.
+class ScratchPool {
+ public:
+  /// Move-only RAII borrow; returns the arena to the pool on destruction.
+  class Lease {
+   public:
+    Lease(ScratchPool* pool, std::unique_ptr<EstimatorScratch> scratch)
+        : pool_(pool), scratch_(std::move(scratch)) {}
+    ~Lease() {
+      if (scratch_ != nullptr) pool_->Release(std::move(scratch_));
+    }
+    Lease(Lease&&) = default;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+
+    EstimatorScratch& operator*() { return *scratch_; }
+    EstimatorScratch* operator->() { return scratch_.get(); }
+
+   private:
+    ScratchPool* pool_;
+    std::unique_ptr<EstimatorScratch> scratch_;
+  };
+
+  Lease Acquire() {
+    std::unique_ptr<EstimatorScratch> scratch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        scratch = std::move(free_.back());
+        free_.pop_back();
+      }
+    }
+    if (scratch == nullptr) scratch = std::make_unique<EstimatorScratch>();
+    return Lease(this, std::move(scratch));
+  }
+
+ private:
+  friend class Lease;
+
+  void Release(std::unique_ptr<EstimatorScratch> scratch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(scratch));
+  }
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<EstimatorScratch>> free_;
+};
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_QUERY_ESTIMATOR_SCRATCH_H_

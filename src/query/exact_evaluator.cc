@@ -20,14 +20,19 @@ void ExactEvaluator::QiMatchBitmap(const CountQuery& query, Bitmap& out) const {
   }
 }
 
-uint64_t ExactEvaluator::Count(const CountQuery& query) const {
-  Bitmap result;
-  QiMatchBitmap(query, result);
-  Bitmap sens;
+uint64_t ExactEvaluator::Count(const CountQuery& query,
+                               EstimatorScratch& scratch) const {
+  scratch.qi_match.Reset(microdata_->n());
+  scratch.qi_match.SetAll();
+  for (const AttributePredicate& pred : query.qi_predicates) {
+    const size_t column = microdata_->qi_columns[pred.qi_index()];
+    index_->PredicateBitmap(column, pred, scratch.pred_bits);
+    scratch.qi_match.AndWith(scratch.pred_bits);
+  }
   index_->PredicateBitmap(microdata_->sensitive_column,
-                          query.sensitive_predicate, sens);
-  result.AndWith(sens);
-  return result.Count();
+                          query.sensitive_predicate, scratch.pred_bits);
+  scratch.qi_match.AndWith(scratch.pred_bits);
+  return scratch.qi_match.Count();
 }
 
 uint64_t CountByScan(const Microdata& microdata, const CountQuery& query) {

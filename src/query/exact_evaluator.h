@@ -7,18 +7,27 @@
 #include <memory>
 
 #include "query/bitmap_index.h"
+#include "query/estimator_scratch.h"
 #include "query/predicate.h"
 #include "table/table.h"
 
 namespace anatomy {
 
+/// Immutable after construction; one instance may serve any number of
+/// threads concurrently.
 class ExactEvaluator {
  public:
   /// Builds a bitmap index over all QI columns and the sensitive column.
   explicit ExactEvaluator(const Microdata& microdata);
 
-  /// Exact result of the query on the microdata.
-  uint64_t Count(const CountQuery& query) const;
+  /// Re-entrant core: bitmap workspace lives in `scratch`, so repeated calls
+  /// with a warm arena allocate nothing.
+  uint64_t Count(const CountQuery& query, EstimatorScratch& scratch) const;
+
+  /// Thread-safe convenience: borrows an arena from an internal pool.
+  uint64_t Count(const CountQuery& query) const {
+    return Count(query, *scratch_pool_.Acquire());
+  }
 
   /// Bitmap of rows satisfying the QI predicates only (shared with the
   /// anatomy estimator, whose QIT carries identical QI columns in identical
@@ -31,6 +40,7 @@ class ExactEvaluator {
  private:
   const Microdata* microdata_;
   std::unique_ptr<BitmapIndex> index_;
+  mutable ScratchPool scratch_pool_;
 };
 
 /// Reference implementation: a full table scan. O(n * predicates); used by

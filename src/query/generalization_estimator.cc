@@ -18,21 +18,23 @@ GeneralizationEstimator::GeneralizationEstimator(const GeneralizedTable& table)
       postings_[value].push_back({g, count});
     }
   }
-  group_mass_.assign(table.num_groups(), 0.0);
 }
 
-double GeneralizationEstimator::Estimate(const CountQuery& query) const {
-  touched_groups_.clear();
+double GeneralizationEstimator::Estimate(const CountQuery& query,
+                                         EstimatorScratch& scratch) const {
+  scratch.EnsureGroupMass(table_->num_groups());
+  scratch.touched_groups.clear();
   for (Code v : query.sensitive_predicate.values()) {
+    // Out-of-domain sensitive codes qualify no tuples.
     if (v < 0 || static_cast<size_t>(v) >= postings_.size()) continue;
     for (const auto& [g, count] : postings_[v]) {
-      if (group_mass_[g] == 0.0) touched_groups_.push_back(g);
-      group_mass_[g] += count;
+      if (scratch.group_mass[g] == 0.0) scratch.touched_groups.push_back(g);
+      scratch.group_mass[g] += count;
     }
   }
 
   double estimate = 0.0;
-  for (GroupId g : touched_groups_) {
+  for (GroupId g : scratch.touched_groups) {
     const GeneralizedGroup& group = table_->group(g);
     double p = 1.0;
     for (const AttributePredicate& pred : query.qi_predicates) {
@@ -44,8 +46,8 @@ double GeneralizationEstimator::Estimate(const CountQuery& query) const {
       }
       p *= static_cast<double>(overlap) / static_cast<double>(extent.length());
     }
-    estimate += p * group_mass_[g];
-    group_mass_[g] = 0.0;
+    estimate += p * scratch.group_mass[g];
+    scratch.group_mass[g] = 0.0;
   }
   return estimate;
 }

@@ -17,22 +17,30 @@
 #include <vector>
 
 #include "generalization/generalized_table.h"
+#include "query/estimator_scratch.h"
 #include "query/predicate.h"
 
 namespace anatomy {
 
+/// Immutable after construction; one instance may serve any number of
+/// threads concurrently.
 class GeneralizationEstimator {
  public:
   explicit GeneralizationEstimator(const GeneralizedTable& table);
 
-  double Estimate(const CountQuery& query) const;
+  /// Re-entrant core: all per-call state lives in `scratch`.
+  double Estimate(const CountQuery& query, EstimatorScratch& scratch) const;
+
+  /// Thread-safe convenience: borrows an arena from an internal pool.
+  double Estimate(const CountQuery& query) const {
+    return Estimate(query, *scratch_pool_.Acquire());
+  }
 
  private:
   const GeneralizedTable* table_;
   /// postings_[v] = (group, count) pairs with count tuples of value v.
   std::vector<std::vector<std::pair<GroupId, uint32_t>>> postings_;
-  mutable std::vector<double> group_mass_;
-  mutable std::vector<GroupId> touched_groups_;
+  mutable ScratchPool scratch_pool_;
 };
 
 }  // namespace anatomy

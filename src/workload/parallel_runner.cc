@@ -1,0 +1,121 @@
+#include "workload/parallel_runner.h"
+
+#include <cmath>
+#include <utility>
+
+namespace anatomy {
+
+ParallelRunner::ParallelRunner(const ParallelRunnerOptions& options)
+    : pool_(options.num_threads) {
+  worker_scratch_.resize(pool_.num_threads());
+  worker_rngs_.reserve(pool_.num_threads());
+  for (size_t w = 0; w < pool_.num_threads(); ++w) {
+    worker_rngs_.push_back(Rng::ForStream(options.seed, w));
+  }
+}
+
+std::vector<double> ParallelRunner::Map(const std::vector<CountQuery>& queries,
+                                        const QueryFn& fn) {
+  std::vector<double> results(queries.size());
+  pool_.ParallelFor(queries.size(),
+                    [&](size_t shard, size_t begin, size_t end) {
+                      EstimatorScratch& scratch = worker_scratch_[shard];
+                      Rng& rng = worker_rngs_[shard];
+                      for (size_t i = begin; i < end; ++i) {
+                        results[i] = fn(queries[i], scratch, rng);
+                      }
+                    });
+  return results;
+}
+
+std::vector<uint64_t> ParallelRunner::CountAll(
+    const ExactEvaluator& exact, const std::vector<CountQuery>& queries) {
+  std::vector<uint64_t> results(queries.size());
+  pool_.ParallelFor(queries.size(),
+                    [&](size_t shard, size_t begin, size_t end) {
+                      EstimatorScratch& scratch = worker_scratch_[shard];
+                      for (size_t i = begin; i < end; ++i) {
+                        results[i] = exact.Count(queries[i], scratch);
+                      }
+                    });
+  return results;
+}
+
+StatusOr<MaterializedWorkload> ParallelRunner::Materialize(
+    const Microdata& microdata, const ExactEvaluator& exact,
+    const WorkloadOptions& options, const RunnerOptions& runner_options) {
+  ANATOMY_ASSIGN_OR_RETURN(WorkloadGenerator generator,
+                           WorkloadGenerator::Create(microdata, options));
+  MaterializedWorkload out;
+  out.queries.reserve(options.num_queries);
+  out.actuals.reserve(options.num_queries);
+
+  // Generate candidate batches from the single generator stream, evaluate
+  // their ground truth in parallel, then accept/skip scanning in generation
+  // order — exactly the sequential runner's semantics. Candidates generated
+  // beyond the final accepted query are discarded without being counted.
+  size_t consecutive_skips = 0;
+  std::vector<CountQuery> batch;
+  while (out.queries.size() < options.num_queries) {
+    const size_t remaining = options.num_queries - out.queries.size();
+    // Oversample a little so one round usually suffices despite skips.
+    const size_t batch_size = remaining + remaining / 4 + 16;
+    batch.clear();
+    batch.reserve(batch_size);
+    for (size_t i = 0; i < batch_size; ++i) batch.push_back(generator.Next());
+    const std::vector<uint64_t> actuals = CountAll(exact, batch);
+    for (size_t i = 0;
+         i < batch.size() && out.queries.size() < options.num_queries; ++i) {
+      if (actuals[i] == 0) {
+        ++out.zero_actual_skipped;
+        if (++consecutive_skips > runner_options.max_consecutive_skips) {
+          return Status::FailedPrecondition(
+              "workload keeps producing empty-answer queries; raise s or qd");
+        }
+        continue;
+      }
+      consecutive_skips = 0;
+      out.queries.push_back(std::move(batch[i]));
+      out.actuals.push_back(actuals[i]);
+    }
+  }
+  return out;
+}
+
+StatusOr<ParallelWorkloadResult> ParallelRunner::RunWorkload(
+    const Microdata& microdata, const AnatomizedTables& anatomized,
+    const GeneralizedTable& generalized, const WorkloadOptions& options,
+    const RunnerOptions& runner_options) {
+  ExactEvaluator exact(microdata);
+  ANATOMY_ASSIGN_OR_RETURN(
+      MaterializedWorkload workload,
+      Materialize(microdata, exact, options, runner_options));
+
+  AnatomyEstimator anatomy_estimator(anatomized);
+  GeneralizationEstimator generalization_estimator(generalized);
+
+  ParallelWorkloadResult result;
+  result.anatomy_estimates = EstimateAll(anatomy_estimator, workload.queries);
+  result.generalization_estimates =
+      EstimateAll(generalization_estimator, workload.queries);
+  result.actuals = std::move(workload.actuals);
+
+  // Sequential reduction in query order: bit-identical to RunWorkload().
+  double anatomy_total = 0.0;
+  double generalization_total = 0.0;
+  for (size_t i = 0; i < result.actuals.size(); ++i) {
+    const double actual = static_cast<double>(result.actuals[i]);
+    anatomy_total += std::abs(result.anatomy_estimates[i] - actual) / actual;
+    generalization_total +=
+        std::abs(result.generalization_estimates[i] - actual) / actual;
+  }
+  result.summary.queries_evaluated = result.actuals.size();
+  result.summary.zero_actual_skipped = workload.zero_actual_skipped;
+  result.summary.anatomy_error =
+      anatomy_total / static_cast<double>(result.actuals.size());
+  result.summary.generalization_error =
+      generalization_total / static_cast<double>(result.actuals.size());
+  return result;
+}
+
+}  // namespace anatomy

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Configure, build, and run the tier-1 test suite under ThreadSanitizer and
+# AddressSanitizer(+UBSan). Part of the tier-1 verify loop (see README.md):
+# the multi-threaded estimator hammer tests in parallel_query_test are only
+# a real race detector under TSan.
+#
+# Usage:
+#   tools/check_sanitizers.sh              # both sanitizers, full suite
+#   tools/check_sanitizers.sh tsan         # one sanitizer only
+#   tools/check_sanitizers.sh tsan -R parallel_query_test
+#                                          # extra args passed to ctest
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+presets=(tsan asan)
+if [[ $# -ge 1 && ( "$1" == "tsan" || "$1" == "asan" ) ]]; then
+  presets=("$1")
+  shift
+fi
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+for preset in "${presets[@]}"; do
+  echo "==== [${preset}] configure ===="
+  cmake --preset "${preset}"
+  echo "==== [${preset}] build ===="
+  cmake --build --preset "${preset}" -j "${jobs}"
+  echo "==== [${preset}] ctest ===="
+  ctest --preset "${preset}" -j "${jobs}" "$@"
+  echo "==== [${preset}] OK ===="
+done
+
+echo "All sanitizer runs passed: ${presets[*]}"
