@@ -1,0 +1,155 @@
+// bench_fault_overhead: cost of the fault-tolerance layer.
+//
+// Part 1 — zero-fault overhead. ExternalAnatomizer::Run is timed on a plain
+// SimulatedDisk and again through a FaultInjectingDisk whose every rate is
+// zero. The delta is the full price of the decorator plus the buffer pool's
+// retry plumbing; the acceptance target is < 3%.
+//
+// Part 2 — fault-rate sweep. RunPublished is executed at rates
+// {1e-4, 1e-3, 1e-2} x seeds, printing how many runs succeeded (always
+// bit-identical, enforced by the test suite), how many failed cleanly, how
+// many transients the retries absorbed, and how many corruptions were
+// injected.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "anatomy/external_anatomizer.h"
+#include "bench_util.h"
+#include "common/printer.h"
+#include "data/census_generator.h"
+#include "storage/fault_injection.h"
+#include "storage/simulated_disk.h"
+
+namespace anatomy {
+namespace bench {
+namespace {
+
+constexpr size_t kPoolFrames = 54;  // lambda + 4, as in Figures 8-9
+
+double MedianMillis(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+template <typename Fn>
+double TimeMillis(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+void RunOverheadComparison(const ExperimentDataset& dataset,
+                           const BenchConfig& config) {
+  const int l = static_cast<int>(config.l);
+  const int repeats = 7;
+  ExternalAnatomizer anatomizer(AnatomizerOptions{l});
+
+  std::vector<double> plain_ms;
+  std::vector<double> decorated_ms;
+  for (int r = 0; r < repeats; ++r) {
+    {
+      SimulatedDisk disk;
+      BufferPool pool(&disk, kPoolFrames);
+      plain_ms.push_back(TimeMillis([&] {
+        ValueOrDie(anatomizer.Run(dataset.microdata, &disk, &pool));
+      }));
+    }
+    {
+      SimulatedDisk base;
+      FaultInjectingDisk disk(&base, FaultSpec{});  // all rates zero
+      BufferPool pool(&disk, kPoolFrames);
+      decorated_ms.push_back(TimeMillis([&] {
+        ValueOrDie(anatomizer.Run(dataset.microdata, &disk, &pool));
+      }));
+    }
+  }
+  const double plain = MedianMillis(plain_ms);
+  const double decorated = MedianMillis(decorated_ms);
+  const double overhead_pct = (decorated / plain - 1.0) * 100.0;
+
+  TablePrinter printer({"disk", "median ms", "overhead %"});
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", plain);
+  printer.AddRow({"SimulatedDisk", buf, "-"});
+  std::snprintf(buf, sizeof(buf), "%.2f", decorated);
+  char pct[64];
+  std::snprintf(pct, sizeof(pct), "%+.2f", overhead_pct);
+  printer.AddRow({"FaultInjectingDisk (rate 0)", buf, pct});
+  std::printf("Zero-fault overhead (Anatomize, n=%lld, %d repeats, target < 3%%)\n",
+              static_cast<long long>(config.n), repeats);
+  printer.Print();
+  MaybeWriteSeriesCsv(config, "fault_overhead", printer);
+  std::printf("\n");
+}
+
+void RunFaultSweep(const ExperimentDataset& dataset,
+                   const BenchConfig& config) {
+  const int l = static_cast<int>(config.l);
+  const uint64_t seeds = 8;
+  ExternalAnatomizer anatomizer(AnatomizerOptions{l});
+
+  TablePrinter printer({"fault rate", "runs", "ok", "failed",
+                        "retries absorbed", "corruptions injected"});
+  for (double rate : {1e-4, 1e-3, 1e-2}) {
+    uint64_t ok = 0, failed = 0, retries = 0, corruptions = 0;
+    for (uint64_t seed = 1; seed <= seeds; ++seed) {
+      SimulatedDisk base;
+      FaultSpec spec;
+      spec.seed = seed;
+      spec.read_transient_rate = rate;
+      spec.write_transient_rate = rate;
+      spec.torn_write_rate = rate;
+      spec.bit_flip_rate = rate;
+      FaultInjectingDisk disk(&base, spec);
+      BufferPool pool(&disk, kPoolFrames);
+      auto result = anatomizer.RunPublished(dataset.microdata, &disk, &pool);
+      if (result.ok()) {
+        ++ok;
+        DieIfError(DiscardPublication(&disk, &pool, result.value().manifest));
+      } else {
+        ++failed;
+      }
+      if (base.live_pages() != 0) {
+        std::fprintf(stderr, "LEAK: %zu live pages after run\n",
+                     base.live_pages());
+        std::exit(1);
+      }
+      retries += pool.io_retries();
+      corruptions +=
+          disk.fault_stats().torn_writes + disk.fault_stats().bit_flips;
+    }
+    char rate_buf[32];
+    std::snprintf(rate_buf, sizeof(rate_buf), "%.0e", rate);
+    printer.AddRow({rate_buf, std::to_string(seeds), std::to_string(ok),
+                    std::to_string(failed), std::to_string(retries),
+                    std::to_string(corruptions)});
+  }
+  std::printf("Fault sweep (RunPublished, %llu seeds per rate)\n",
+              static_cast<unsigned long long>(seeds));
+  printer.Print();
+  MaybeWriteSeriesCsv(config, "fault_sweep", printer);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace anatomy
+
+int main(int argc, char** argv) {
+  using namespace anatomy;
+  using namespace anatomy::bench;
+  const BenchConfig config = ParseBenchFlags(
+      argc, argv,
+      "bench_fault_overhead: fault-tolerance layer overhead and fault sweep");
+  const Table census =
+      GenerateCensus(static_cast<RowId>(config.n), config.seed);
+  ExperimentDataset dataset = ValueOrDie(
+      MakeExperimentDataset(census, SensitiveFamily::kOccupation, 3));
+  RunOverheadComparison(dataset, config);
+  RunFaultSweep(dataset, config);
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include "common/printer.h"
 #include "data/census_generator.h"
 #include "generalization/external_mondrian.h"
+#include "storage/simulated_disk.h"
 
 namespace anatomy {
 namespace bench {

@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "data/census_generator.h"
 #include "generalization/external_mondrian.h"
+#include "storage/simulated_disk.h"
 
 namespace anatomy {
 namespace bench {

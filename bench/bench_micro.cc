@@ -18,6 +18,7 @@
 #include "storage/external_sort.h"
 #include "storage/page_file.h"
 #include "workload/workload.h"
+#include "storage/simulated_disk.h"
 
 namespace anatomy {
 namespace {

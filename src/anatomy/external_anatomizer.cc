@@ -9,6 +9,7 @@
 #include "anatomy/eligibility.h"
 #include "common/check.h"
 #include "storage/page_file.h"
+#include "storage/recovery.h"
 
 namespace anatomy {
 
@@ -30,16 +31,15 @@ struct BucketCursor {
   uint64_t remaining() const { return reader->remaining(); }
 };
 
-}  // namespace
-
-ExternalAnatomizer::ExternalAnatomizer(const AnatomizerOptions& options)
-    : options_(options) {}
-
-StatusOr<ExternalAnatomizeResult> ExternalAnatomizer::Run(
-    const Microdata& microdata, SimulatedDisk* disk, BufferPool* pool) const {
-  ANATOMY_RETURN_IF_ERROR(microdata.Validate());
-  ANATOMY_RETURN_IF_ERROR(CheckEligibility(microdata, options_.l));
-  const size_t l = static_cast<size_t>(options_.l);
+/// The full pipeline (Stages 0-3). Runs inside the caller's PipelineGuard:
+/// any early return leaves pages behind that the guard reclaims. With
+/// `publish` set, the QIT/ST files are committed via a manifest and left on
+/// disk; otherwise they are freed (the Figures 8-9 benchmark contract).
+StatusOr<ExternalAnatomizeResult> RunPipeline(const AnatomizerOptions& options,
+                                              const Microdata& microdata,
+                                              Disk* disk, BufferPool* pool,
+                                              bool publish) {
+  const size_t l = static_cast<size_t>(options.l);
   const size_t d = microdata.d();
   const size_t tuple_fields = d + 2;
 
@@ -156,7 +156,11 @@ StatusOr<ExternalAnatomizeResult> ExternalAnatomizer::Run(
   while (non_empty >= l) {
     drawn.clear();
     while (drawn.size() < l) {
-      ANATOMY_CHECK(!heap.empty());
+      if (heap.empty()) {
+        return Status::Internal(
+            "group-creation heap exhausted with non_empty >= l; bucket size "
+            "accounting bug");
+      }
       auto [size, idx] = heap.top();
       heap.pop();
       if (size == cursor_list[idx]->remaining() && size > 0) {
@@ -170,7 +174,11 @@ StatusOr<ExternalAnatomizeResult> ExternalAnatomizer::Run(
     for (size_t idx : drawn) {
       BucketCursor* cursor = cursor_list[idx];
       ANATOMY_ASSIGN_OR_RETURN(bool more, cursor->reader->Next(rec));
-      ANATOMY_CHECK(more);
+      if (!more) {
+        return Status::Internal(
+            "bucket cursor exhausted before its remaining() count; reader "
+            "bookkeeping bug");
+      }
       group_rec[0] = gcnt;
       std::copy(rec.begin(), rec.end(), group_rec.begin() + 1);
       ANATOMY_RETURN_IF_ERROR(group_writer.Append(group_rec));
@@ -200,7 +208,11 @@ StatusOr<ExternalAnatomizeResult> ExternalAnatomizer::Run(
   for (BucketCursor* cursor : cursor_list) {
     while (cursor->remaining() > 0) {
       ANATOMY_ASSIGN_OR_RETURN(bool more, cursor->reader->Next(rec));
-      ANATOMY_CHECK(more);
+      if (!more) {
+        return Status::Internal(
+            "residue cursor exhausted before its remaining() count; reader "
+            "bookkeeping bug");
+      }
       Residue res;
       res.row = static_cast<RowId>(rec[0]);
       res.value = rec[1];
@@ -292,11 +304,64 @@ StatusOr<ExternalAnatomizeResult> ExternalAnatomizer::Run(
   result.io = disk->stats();
   result.qit_pages = qit_file.num_pages();
   result.st_pages = st_file.num_pages();
+
+  if (publish) {
+    // Crash-consistent commit: data pages are on disk (FlushAll above), so
+    // write the manifest chain root-last and audit the result. A failure
+    // anywhere here propagates and the caller's guard reclaims everything —
+    // the publication is then cleanly absent.
+    ANATOMY_ASSIGN_OR_RETURN(
+        result.manifest,
+        CommitPublication(disk, qit_file, st_file, options.l,
+                          pool->retry_policy()));
+    ANATOMY_RETURN_IF_ERROR(
+        VerifyPublication(disk, result.manifest, pool->retry_policy()));
+    result.commit_io = disk->stats() - result.io;
+    return result;
+  }
+
   // The published files themselves are left on disk only conceptually; free
   // them so repeated benchmark runs do not grow the simulated disk.
   ANATOMY_RETURN_IF_ERROR(qit_file.FreeAll(pool));
   ANATOMY_RETURN_IF_ERROR(st_file.FreeAll(pool));
   return result;
+}
+
+StatusOr<ExternalAnatomizeResult> GuardedRun(const AnatomizerOptions& options,
+                                             const Microdata& microdata,
+                                             Disk* disk, BufferPool* pool,
+                                             bool publish) {
+  ANATOMY_RETURN_IF_ERROR(microdata.Validate());
+  ANATOMY_RETURN_IF_ERROR(CheckEligibility(microdata, options.l));
+
+  PipelineGuard guard(disk, pool);
+  auto result = RunPipeline(options, microdata, disk, pool, publish);
+  if (!result.ok()) {
+    guard.Abort();
+    return result.status();
+  }
+  if (pool->pinned_frames() != 0) {
+    guard.Abort();
+    return Status::Internal("pipeline finished with " +
+                            std::to_string(pool->pinned_frames()) +
+                            " frames still pinned");
+  }
+  return result;
+}
+
+}  // namespace
+
+ExternalAnatomizer::ExternalAnatomizer(const AnatomizerOptions& options)
+    : options_(options) {}
+
+StatusOr<ExternalAnatomizeResult> ExternalAnatomizer::Run(
+    const Microdata& microdata, Disk* disk, BufferPool* pool) const {
+  return GuardedRun(options_, microdata, disk, pool, /*publish=*/false);
+}
+
+StatusOr<ExternalAnatomizeResult> ExternalAnatomizer::RunPublished(
+    const Microdata& microdata, Disk* disk, BufferPool* pool) const {
+  return GuardedRun(options_, microdata, disk, pool, /*publish=*/true);
 }
 
 }  // namespace anatomy

@@ -16,6 +16,12 @@
 //   3. Residue-assignment + publication: the <= l-1 residue tuples stay in
 //      memory; one scan of the group file assigns them to admissible groups
 //      and emits the QIT and ST files.
+//
+// Fault handling: the pipeline runs against any Disk (including a
+// FaultInjectingDisk). Transient faults are absorbed by the pool's retry
+// policy; permanent failures propagate as Status, and the abort path
+// (PipelineGuard) reclaims every page the run allocated — a failed Run leaves
+// the disk and pool exactly as it found them.
 
 #ifndef ANATOMY_ANATOMY_EXTERNAL_ANATOMIZER_H_
 #define ANATOMY_ANATOMY_EXTERNAL_ANATOMIZER_H_
@@ -24,7 +30,8 @@
 #include "anatomy/partition.h"
 #include "common/status.h"
 #include "storage/buffer_pool.h"
-#include "storage/simulated_disk.h"
+#include "storage/disk.h"
+#include "storage/publication.h"
 #include "table/table.h"
 
 namespace anatomy {
@@ -37,6 +44,11 @@ struct ExternalAnatomizeResult {
   /// Page counts of the published files.
   size_t qit_pages = 0;
   size_t st_pages = 0;
+  /// Set by RunPublished only: manifest of the committed publication, and the
+  /// extra I/O spent committing the manifest chain and running the read-back
+  /// audit (kept out of `io` so Figures 8-9 measure the bare algorithm).
+  StorageManifest manifest;
+  IoStats commit_io;
 };
 
 class ExternalAnatomizer {
@@ -45,10 +57,20 @@ class ExternalAnatomizer {
 
   /// Loads `microdata` onto `disk` (not counted, like the paper's
   /// pre-existing table), resets the disk counters, runs the pipeline through
-  /// `pool`, and reports the I/O cost.
-  StatusOr<ExternalAnatomizeResult> Run(const Microdata& microdata,
-                                        SimulatedDisk* disk,
+  /// `pool`, and reports the I/O cost. The published files are freed before
+  /// returning (repeated benchmark runs must not grow the disk). On failure
+  /// every page the run allocated is reclaimed and the pool is emptied.
+  StatusOr<ExternalAnatomizeResult> Run(const Microdata& microdata, Disk* disk,
                                         BufferPool* pool) const;
+
+  /// Like Run, but leaves the QIT/ST on disk and commits them crash-
+  /// consistently: manifest chain written root-last (the commit point), then
+  /// a VerifyPublication read-back audit. On any failure — including a
+  /// corrupted published page caught by the audit — the publication is
+  /// reclaimed and an error returned; there is no half-published state.
+  StatusOr<ExternalAnatomizeResult> RunPublished(const Microdata& microdata,
+                                                 Disk* disk,
+                                                 BufferPool* pool) const;
 
  private:
   AnatomizerOptions options_;

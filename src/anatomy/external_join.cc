@@ -4,12 +4,14 @@
 
 #include "common/check.h"
 #include "storage/external_sort.h"
+#include "storage/recovery.h"
 
 namespace anatomy {
 
-StatusOr<ExternalJoinResult> ExternalJoinQitSt(const AnatomizedTables& tables,
-                                               SimulatedDisk* disk,
-                                               BufferPool* pool) {
+namespace {
+
+StatusOr<ExternalJoinResult> JoinPipeline(const AnatomizedTables& tables,
+                                          Disk* disk, BufferPool* pool) {
   const Table& qit = tables.qit();
   const Table& st = tables.st();
   const size_t d = qit.num_columns() - 1;
@@ -98,6 +100,25 @@ StatusOr<ExternalJoinResult> ExternalJoinQitSt(const AnatomizedTables& tables,
   ANATOMY_RETURN_IF_ERROR(sorted_qit->FreeAll(pool));
   ANATOMY_RETURN_IF_ERROR(sorted_st->FreeAll(pool));
   result.io = disk->stats();
+  return result;
+}
+
+}  // namespace
+
+StatusOr<ExternalJoinResult> ExternalJoinQitSt(const AnatomizedTables& tables,
+                                               Disk* disk, BufferPool* pool) {
+  PipelineGuard guard(disk, pool);
+  auto result = JoinPipeline(tables, disk, pool);
+  if (!result.ok()) {
+    guard.Abort();
+    return result.status();
+  }
+  if (pool->pinned_frames() != 0) {
+    guard.Abort();
+    return Status::Internal("join finished with " +
+                            std::to_string(pool->pinned_frames()) +
+                            " frames still pinned");
+  }
   return result;
 }
 

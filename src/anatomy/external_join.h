@@ -16,8 +16,8 @@
 #include "anatomy/anatomized_tables.h"
 #include "common/status.h"
 #include "storage/buffer_pool.h"
+#include "storage/disk.h"
 #include "storage/page_file.h"
-#include "storage/simulated_disk.h"
 
 namespace anatomy {
 
@@ -34,10 +34,10 @@ struct ExternalJoinResult {
 /// Materializes `tables` as QIT/ST record files on `disk` (uncounted, like a
 /// pre-existing publication), then computes the sort-merge join through
 /// `pool`. The QIT is shuffled to disk in row order (which for published
-/// tables is arbitrary), so the sort phase does real work.
+/// tables is arbitrary), so the sort phase does real work. On failure every
+/// page the join allocated is reclaimed and the pool is emptied.
 StatusOr<ExternalJoinResult> ExternalJoinQitSt(const AnatomizedTables& tables,
-                                               SimulatedDisk* disk,
-                                               BufferPool* pool);
+                                               Disk* disk, BufferPool* pool);
 
 }  // namespace anatomy
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "storage/recovery.h"
 
 namespace anatomy {
 
@@ -64,6 +65,39 @@ void StreamingAnatomizer::MaybeEmit() {
     groups_.push_back(std::move(group));
     group_values_.push_back(std::move(values));
   }
+}
+
+StatusOr<std::unique_ptr<RecordFile>> StreamingAnatomizer::FlushWindow(
+    Disk* disk, BufferPool* pool) {
+  if (finished_) {
+    return Status::FailedPrecondition("FlushWindow after Finish");
+  }
+  PipelineGuard guard(disk, pool);
+  auto file = std::make_unique<RecordFile>(disk, 3);
+  auto write_window = [&]() -> Status {
+    RecordWriter writer(pool, file.get());
+    std::vector<int32_t> rec(3);
+    for (size_t g = flushed_groups_; g < groups_.size(); ++g) {
+      for (size_t k = 0; k < groups_[g].size(); ++k) {
+        rec[0] = static_cast<int32_t>(g);
+        rec[1] = static_cast<int32_t>(groups_[g][k]);
+        rec[2] = group_values_[g][k];
+        ANATOMY_RETURN_IF_ERROR(writer.Append(rec));
+      }
+    }
+    return pool->FlushAll();
+  };
+  const Status status = write_window();
+  if (!status.ok()) {
+    // Reclaim the partial window; the flush cursor stays where it was, so
+    // the caller can retry the identical window after the fault clears. The
+    // in-memory state (buckets, groups) is untouched — the streamer keeps
+    // accepting Add()s.
+    guard.Abort();
+    return status;
+  }
+  flushed_groups_ = groups_.size();
+  return file;
 }
 
 StatusOr<Partition> StreamingAnatomizer::Finish() {

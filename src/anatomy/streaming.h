@@ -18,11 +18,14 @@
 #ifndef ANATOMY_ANATOMY_STREAMING_H_
 #define ANATOMY_ANATOMY_STREAMING_H_
 
+#include <memory>
 #include <vector>
 
 #include "anatomy/partition.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
 #include "table/schema.h"
 
 namespace anatomy {
@@ -53,6 +56,20 @@ class StreamingAnatomizer {
   /// Tuples still buffered (not yet part of any group).
   size_t buffered() const { return buffered_; }
 
+  /// Durably checkpoints the window of groups emitted since the last
+  /// successful flush: writes them as [group_id, row_id, sensitive] records
+  /// into a fresh RecordFile on `disk` and advances the flush cursor. On any
+  /// I/O failure (e.g. an injected disk fault) the partial file is reclaimed,
+  /// the pool is emptied, the cursor stays put, and the streamer remains
+  /// fully usable — the same window can be re-flushed once the fault clears.
+  /// The caller owns the returned file (free with FreeAll) and must give this
+  /// call exclusive use of `pool`.
+  StatusOr<std::unique_ptr<RecordFile>> FlushWindow(Disk* disk,
+                                                    BufferPool* pool);
+
+  /// Groups already durably flushed by FlushWindow.
+  size_t flushed_groups() const { return flushed_groups_; }
+
   /// Ends the stream: anatomizes the buffered tail and returns the complete
   /// partition over every row ever Added.
   StatusOr<Partition> Finish();
@@ -67,6 +84,7 @@ class StreamingAnatomizer {
   size_t non_empty_ = 0;
   std::vector<std::vector<RowId>> groups_;
   std::vector<std::vector<Code>> group_values_;
+  size_t flushed_groups_ = 0;
   bool finished_ = false;
 };
 

@@ -22,10 +22,23 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kUnimplemented,
+  /// A resource is temporarily unreachable (e.g. a transient I/O fault).
+  /// The operation may succeed if retried; see storage/recovery.h.
+  kUnavailable,
+  /// Stored data is unrecoverably lost or corrupted (e.g. a page failed its
+  /// checksum). Retrying cannot help; the data must be re-derived.
+  kDataLoss,
 };
 
 /// Returns a human-readable name for a status code ("OK", "InvalidArgument"...).
 const char* StatusCodeName(StatusCode code);
+
+/// True for failures that may succeed on retry (currently only kUnavailable).
+/// kDataLoss is deliberately not transient: re-reading a corrupt page yields
+/// the same corrupt bytes.
+inline bool IsTransient(StatusCode code) {
+  return code == StatusCode::kUnavailable;
+}
 
 /// A success-or-error result. Cheap to copy on the success path (no message
 /// allocation), carries a code + message on failure.
@@ -54,8 +67,16 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  /// True if this failure may succeed on retry (see IsTransient(StatusCode)).
+  bool IsTransient() const { return ::anatomy::IsTransient(code_); }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

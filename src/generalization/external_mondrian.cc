@@ -7,6 +7,7 @@
 #include "anatomy/eligibility.h"
 #include "common/check.h"
 #include "storage/page_file.h"
+#include "storage/recovery.h"
 
 namespace anatomy {
 
@@ -20,9 +21,8 @@ namespace {
 class ExternalMondrianDriver {
  public:
   ExternalMondrianDriver(const Microdata& microdata,
-                         const TaxonomySet& taxonomies, int l,
-                         SimulatedDisk* disk, BufferPool* pool,
-                         size_t memory_budget_pages)
+                         const TaxonomySet& taxonomies, int l, Disk* disk,
+                         BufferPool* pool, size_t memory_budget_pages)
       : microdata_(microdata),
         taxonomies_(taxonomies),
         l_(l),
@@ -232,7 +232,7 @@ class ExternalMondrianDriver {
   const Microdata& microdata_;
   const TaxonomySet& taxonomies_;
   int l_;
-  SimulatedDisk* disk_;
+  Disk* disk_;
   BufferPool* pool_;
   size_t d_;
   size_t tuple_fields_;
@@ -243,17 +243,13 @@ class ExternalMondrianDriver {
   Mondrian mondrian_;
 };
 
-}  // namespace
-
-ExternalMondrian::ExternalMondrian(const MondrianOptions& options,
-                                   size_t memory_budget_pages)
-    : options_(options), memory_budget_pages_(memory_budget_pages) {}
-
-StatusOr<ExternalMondrianResult> ExternalMondrian::Run(
-    const Microdata& microdata, const TaxonomySet& taxonomies,
-    SimulatedDisk* disk, BufferPool* pool) const {
-  ANATOMY_RETURN_IF_ERROR(microdata.Validate());
-  ANATOMY_RETURN_IF_ERROR(CheckEligibility(microdata, options_.l));
+/// The full run (Stage 0 + recursion). Any early return leaves pages behind
+/// that the caller's PipelineGuard reclaims.
+StatusOr<ExternalMondrianResult> RunPipeline(const MondrianOptions& options,
+                                             size_t memory_budget_pages,
+                                             const Microdata& microdata,
+                                             const TaxonomySet& taxonomies,
+                                             Disk* disk, BufferPool* pool) {
   const size_t d = microdata.d();
   const size_t tuple_fields = d + 2;
 
@@ -273,12 +269,40 @@ StatusOr<ExternalMondrianResult> ExternalMondrian::Run(
   disk->ResetStats();
 
   ExternalMondrianResult result;
-  ExternalMondrianDriver driver(microdata, taxonomies, options_.l, disk, pool,
-                                memory_budget_pages_);
+  ExternalMondrianDriver driver(microdata, taxonomies, options.l, disk, pool,
+                                memory_budget_pages);
   ANATOMY_RETURN_IF_ERROR(driver.Process(&input, &result.partition));
   result.output_pages = driver.output_pages();
   ANATOMY_RETURN_IF_ERROR(driver.Finalize());
   result.io = disk->stats();
+  return result;
+}
+
+}  // namespace
+
+ExternalMondrian::ExternalMondrian(const MondrianOptions& options,
+                                   size_t memory_budget_pages)
+    : options_(options), memory_budget_pages_(memory_budget_pages) {}
+
+StatusOr<ExternalMondrianResult> ExternalMondrian::Run(
+    const Microdata& microdata, const TaxonomySet& taxonomies, Disk* disk,
+    BufferPool* pool) const {
+  ANATOMY_RETURN_IF_ERROR(microdata.Validate());
+  ANATOMY_RETURN_IF_ERROR(CheckEligibility(microdata, options_.l));
+
+  PipelineGuard guard(disk, pool);
+  auto result = RunPipeline(options_, memory_budget_pages_, microdata,
+                            taxonomies, disk, pool);
+  if (!result.ok()) {
+    guard.Abort();
+    return result.status();
+  }
+  if (pool->pinned_frames() != 0) {
+    guard.Abort();
+    return Status::Internal("pipeline finished with " +
+                            std::to_string(pool->pinned_frames()) +
+                            " frames still pinned");
+  }
   return result;
 }
 

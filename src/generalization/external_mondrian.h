@@ -17,7 +17,7 @@
 #include "common/status.h"
 #include "generalization/mondrian.h"
 #include "storage/buffer_pool.h"
-#include "storage/simulated_disk.h"
+#include "storage/disk.h"
 #include "table/table.h"
 #include "taxonomy/taxonomy.h"
 
@@ -45,10 +45,11 @@ class ExternalMondrian {
 
   /// Loads `microdata` onto `disk` (uncounted, like the pre-existing table),
   /// resets counters, then runs the recursive partitioning through `pool`.
+  /// On failure (including injected I/O faults) every page the run allocated
+  /// is reclaimed and the pool is emptied.
   StatusOr<ExternalMondrianResult> Run(const Microdata& microdata,
                                        const TaxonomySet& taxonomies,
-                                       SimulatedDisk* disk,
-                                       BufferPool* pool) const;
+                                       Disk* disk, BufferPool* pool) const;
 
  private:
   MondrianOptions options_;

@@ -4,7 +4,7 @@
 
 namespace anatomy {
 
-BufferPool::BufferPool(SimulatedDisk* disk, size_t capacity_pages)
+BufferPool::BufferPool(Disk* disk, size_t capacity_pages)
     : disk_(disk), capacity_(capacity_pages) {
   ANATOMY_CHECK(disk_ != nullptr);
   ANATOMY_CHECK(capacity_ > 0);
@@ -16,6 +16,16 @@ size_t BufferPool::pinned_frames() const {
   return n;
 }
 
+Status BufferPool::ReadWithRetry(PageId id, Page& out) {
+  return RunWithRetry(retry_policy_, &io_retries_,
+                      [&] { return disk_->ReadPage(id, out); });
+}
+
+Status BufferPool::WriteWithRetry(PageId id, const Page& in) {
+  return RunWithRetry(retry_policy_, &io_retries_,
+                      [&] { return disk_->WritePage(id, in); });
+}
+
 Status BufferPool::EvictOne() {
   if (lru_.empty()) {
     return Status::FailedPrecondition(
@@ -23,12 +33,17 @@ Status BufferPool::EvictOne() {
         " frames are pinned");
   }
   const PageId victim = lru_.front();
-  lru_.pop_front();
   auto it = frames_.find(victim);
-  ANATOMY_CHECK(it != frames_.end());
-  if (it->second.dirty) {
-    ANATOMY_RETURN_IF_ERROR(disk_->WritePage(victim, it->second.page));
+  if (it == frames_.end()) {
+    return Status::Internal("LRU victim page " + std::to_string(victim) +
+                            " is missing from the frame table");
   }
+  if (it->second.dirty) {
+    // Write back before unhooking anything: on failure the victim stays at
+    // the LRU front, still cached and still evictable once the disk heals.
+    ANATOMY_RETURN_IF_ERROR(WriteWithRetry(victim, it->second.page));
+  }
+  lru_.pop_front();
   frames_.erase(it);
   return Status::OK();
 }
@@ -49,7 +64,11 @@ StatusOr<Page*> BufferPool::Pin(PageId id) {
   }
   Frame& frame = frames_[id];
   frame.pin_count = 1;
-  ANATOMY_RETURN_IF_ERROR(disk_->ReadPage(id, frame.page));
+  Status read = ReadWithRetry(id, frame.page);
+  if (!read.ok()) {
+    frames_.erase(id);  // a failed Pin must not leak a pinned frame
+    return read;
+  }
   return &frame.page;
 }
 
@@ -88,7 +107,7 @@ Status BufferPool::FlushAll() {
                                         std::to_string(id));
     }
     if (frame.dirty) {
-      ANATOMY_RETURN_IF_ERROR(disk_->WritePage(id, frame.page));
+      ANATOMY_RETURN_IF_ERROR(WriteWithRetry(id, frame.page));
     }
   }
   frames_.clear();
@@ -108,6 +127,11 @@ Status BufferPool::Discard(PageId id) {
   }
   disk_->FreePage(id);
   return Status::OK();
+}
+
+void BufferPool::DropAll() {
+  frames_.clear();
+  lru_.clear();
 }
 
 }  // namespace anatomy

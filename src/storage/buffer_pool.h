@@ -1,10 +1,16 @@
-// BufferPool: a pin-counted LRU page cache over a SimulatedDisk.
+// BufferPool: a pin-counted LRU page cache over a Disk.
 //
 // Reproduces the paper's "memory capacity of 50 pages": every in-flight page
 // an external algorithm touches must be pinned in a frame, and the pool
 // refuses to exceed its capacity, so algorithms are forced into the same
 // memory discipline the paper's experiments assume (e.g. one buffer page per
 // hash bucket plus one input page in Anatomize).
+//
+// Fault handling: all disk I/O goes through a bounded retry-with-backoff
+// (storage/recovery.h) that absorbs transient kUnavailable faults; permanent
+// failures (kDataLoss from a corrupt page, exhausted retries) propagate as
+// Status with the pool left consistent — a failed Pin takes no pin, a failed
+// eviction leaves the victim cached and evictable.
 
 #ifndef ANATOMY_STORAGE_BUFFER_POOL_H_
 #define ANATOMY_STORAGE_BUFFER_POOL_H_
@@ -15,8 +21,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/disk.h"
 #include "storage/page.h"
-#include "storage/simulated_disk.h"
+#include "storage/recovery.h"
 
 namespace anatomy {
 
@@ -25,12 +32,13 @@ inline constexpr size_t kDefaultPoolPages = 50;
 
 class BufferPool {
  public:
-  BufferPool(SimulatedDisk* disk, size_t capacity_pages = kDefaultPoolPages);
+  BufferPool(Disk* disk, size_t capacity_pages = kDefaultPoolPages);
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Pins `id` into a frame, reading it from disk on a miss, and returns the
-  /// frame's page. Fails with FailedPrecondition if every frame is pinned.
+  /// frame's page. Fails with FailedPrecondition if every frame is pinned;
+  /// on any failure no pin is taken.
   StatusOr<Page*> Pin(PageId id);
 
   /// Pins a freshly allocated page without a disk read (its first content
@@ -47,6 +55,19 @@ class BufferPool {
   /// The page must not be pinned.
   Status Discard(PageId id);
 
+  /// Abort-path reset: drops every frame, pinned or not, without write-back.
+  /// Any unflushed data is lost by design — callers use this only when the
+  /// run's output is being discarded (see PipelineGuard).
+  void DropAll();
+
+  /// Policy for retrying transient disk faults; applies to all reads and
+  /// write-backs issued by this pool.
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  /// Transient I/O faults absorbed by retries so far.
+  uint64_t io_retries() const { return io_retries_; }
+
   size_t capacity() const { return capacity_; }
   size_t frames_in_use() const { return frames_.size(); }
   size_t pinned_frames() const;
@@ -61,11 +82,17 @@ class BufferPool {
     bool in_lru = false;
   };
 
-  /// Evicts one unpinned frame (LRU order); error if none exists.
+  Status ReadWithRetry(PageId id, Page& out);
+  Status WriteWithRetry(PageId id, const Page& in);
+
+  /// Evicts one unpinned frame (LRU order); error if none exists. On a
+  /// write-back failure the victim is left cached and evictable.
   Status EvictOne();
 
-  SimulatedDisk* disk_;
+  Disk* disk_;
   size_t capacity_;
+  RetryPolicy retry_policy_;
+  uint64_t io_retries_ = 0;
   std::unordered_map<PageId, Frame> frames_;
   /// Unpinned pages, least recently used first.
   std::list<PageId> lru_;

@@ -1,0 +1,84 @@
+// Disk: the abstract page-store every external algorithm runs against.
+//
+// The concrete store is SimulatedDisk (storage/simulated_disk.h), an
+// in-memory page array that counts physical I/Os so the paper's cost metric
+// is reproduced exactly. Decorators such as FaultInjectingDisk
+// (storage/fault_injection.h) interpose on this interface to model transient
+// failures, torn writes, bit rot, and crashes without the algorithms above
+// knowing; BufferPool, RecordFile, and the external pipelines all speak Disk.
+//
+// Contract:
+//   - ReadPage/WritePage may fail with kNotFound (unallocated id),
+//     kUnavailable (transient fault; retryable, see storage/recovery.h), or
+//     kDataLoss (the stored page failed checksum verification; permanent).
+//   - AllocatePage/FreePage are catalog metadata operations: they never fail
+//     and perform no counted I/O, matching how the paper counts only tuple
+//     transfer.
+
+#ifndef ANATOMY_STORAGE_DISK_H_
+#define ANATOMY_STORAGE_DISK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace anatomy {
+
+/// Physical I/O counters. `total()` is the number the paper plots.
+struct IoStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+
+  uint64_t total() const { return reads + writes; }
+
+  IoStats operator-(const IoStats& other) const {
+    return {reads - other.reads, writes - other.writes};
+  }
+};
+
+class Disk {
+ public:
+  Disk() = default;
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+  virtual ~Disk() = default;
+
+  /// Allocates a zeroed page and returns its id. Allocation itself performs
+  /// no I/O (the write that materializes the page is counted separately).
+  virtual PageId AllocatePage() = 0;
+
+  /// Releases a page. Freed ids are recycled by later allocations.
+  virtual void FreePage(PageId id) = 0;
+
+  /// Copies a page from disk into `out`, counting one read. Verifies the
+  /// stored checksum; corruption is reported as kDataLoss.
+  virtual Status ReadPage(PageId id, Page& out) = 0;
+
+  /// Copies `in` to disk (sealing its checksum), counting one write.
+  virtual Status WritePage(PageId id, const Page& in) = 0;
+
+  virtual const IoStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+
+  /// Number of live (allocated, not freed) pages.
+  virtual size_t live_pages() const = 0;
+
+  /// Ids of every live page, ascending.
+  virtual std::vector<PageId> LivePages() const = 0;
+
+  /// Monotonic count of allocations performed so far. Together with
+  /// PagesAllocatedSince this lets abort-path recovery (storage/recovery.h)
+  /// reclaim exactly the pages a failed pipeline allocated, even when freed
+  /// ids were recycled in between.
+  virtual uint64_t allocation_epoch() const = 0;
+
+  /// Live pages whose most recent allocation happened at or after `epoch`,
+  /// ascending.
+  virtual std::vector<PageId> PagesAllocatedSince(uint64_t epoch) const = 0;
+};
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_STORAGE_DISK_H_

@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/check.h"
+#include "storage/recovery.h"
 
 namespace anatomy {
 
@@ -61,7 +62,7 @@ StatusOr<std::vector<std::unique_ptr<RecordFile>>> GenerateRuns(
 /// Phase 2: one k-way merge of `runs` into a single output file.
 StatusOr<std::unique_ptr<RecordFile>> MergeRuns(
     std::vector<std::unique_ptr<RecordFile>> runs, const SortSpec& spec,
-    BufferPool* pool, SimulatedDisk* disk, size_t fields) {
+    BufferPool* pool, Disk* disk, size_t fields) {
   struct Cursor {
     std::unique_ptr<RecordReader> reader;
     std::vector<int32_t> current;
@@ -107,21 +108,14 @@ StatusOr<std::unique_ptr<RecordFile>> MergeRuns(
   return output;
 }
 
-}  // namespace
-
-StatusOr<std::unique_ptr<RecordFile>> ExternalSort(RecordFile* input,
-                                                   const SortSpec& spec,
-                                                   BufferPool* pool) {
-  ANATOMY_CHECK(input != nullptr);
-  for (size_t f : spec.key_fields) {
-    if (f >= input->fields_per_record()) {
-      return Status::InvalidArgument("sort key field out of range");
-    }
-  }
+/// The sort pipeline proper; ExternalSort wraps it with abort-path cleanup.
+StatusOr<std::unique_ptr<RecordFile>> ExternalSortImpl(RecordFile* input,
+                                                       const SortSpec& spec,
+                                                       BufferPool* pool) {
   const size_t budget = pool->capacity() > 4 ? pool->capacity() - 2 : 2;
   ANATOMY_ASSIGN_OR_RETURN(auto runs,
                            GenerateRuns(input, spec, pool, budget));
-  SimulatedDisk* disk = input->disk();
+  Disk* disk = input->disk();
   const size_t fields = input->fields_per_record();
   ANATOMY_RETURN_IF_ERROR(input->FreeAll(pool));
 
@@ -147,6 +141,29 @@ StatusOr<std::unique_ptr<RecordFile>> ExternalSort(RecordFile* input,
     runs = std::move(next);
   }
   return std::move(runs[0]);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<RecordFile>> ExternalSort(RecordFile* input,
+                                                   const SortSpec& spec,
+                                                   BufferPool* pool) {
+  if (input == nullptr) {
+    return Status::InvalidArgument("ExternalSort input file is null");
+  }
+  for (size_t f : spec.key_fields) {
+    if (f >= input->fields_per_record()) {
+      return Status::InvalidArgument("sort key field out of range");
+    }
+  }
+  PipelineGuard guard(input->disk(), pool);
+  auto sorted = ExternalSortImpl(input, spec, pool);
+  if (!sorted.ok()) {
+    // Reclaim every run and partial output; the (possibly half-consumed)
+    // input keeps whatever pages it still owns.
+    guard.Abort();
+  }
+  return sorted;
 }
 
 StatusOr<bool> IsSorted(const RecordFile& file, const SortSpec& spec,

@@ -1,0 +1,98 @@
+#include "storage/fault_injection.h"
+
+#include "common/check.h"
+
+namespace anatomy {
+
+FaultInjectingDisk::FaultInjectingDisk(SimulatedDisk* base,
+                                       const FaultSpec& spec)
+    : base_(base), spec_(spec), rng_(SplitMix64(spec.seed ^ 0xFA177ED)) {
+  ANATOMY_CHECK(base_ != nullptr);
+}
+
+void FaultInjectingDisk::FreePage(PageId id) {
+  corrupted_.erase(id);
+  base_->FreePage(id);
+}
+
+void FaultInjectingDisk::Heal() {
+  fault_stats_.crashed = false;
+  healed_ = true;
+}
+
+void FaultInjectingDisk::RecordCorruptionState(PageId id) {
+  // A torn write whose stale suffix coincides with the new content is not
+  // actually corrupt; ask the store rather than assuming.
+  if (base_->StoredPageIntact(id)) {
+    corrupted_.erase(id);
+  } else {
+    corrupted_.insert(id);
+  }
+}
+
+Status FaultInjectingDisk::ReadPage(PageId id, Page& out) {
+  if (!healed_) {
+    if (fault_stats_.crashed) {
+      return Status::Unavailable("disk crashed: read of page " +
+                                 std::to_string(id) + " failed");
+    }
+    if (spec_.read_transient_rate > 0 &&
+        rng_.NextBool(spec_.read_transient_rate)) {
+      ++fault_stats_.read_transients;
+      return Status::Unavailable("transient read fault on page " +
+                                 std::to_string(id));
+    }
+  }
+  return base_->ReadPage(id, out);
+}
+
+Status FaultInjectingDisk::WritePage(PageId id, const Page& in) {
+  if (!healed_) {
+    if (fault_stats_.crashed) {
+      return Status::Unavailable("disk crashed: write of page " +
+                                 std::to_string(id) + " failed");
+    }
+    if (spec_.write_transient_rate > 0 &&
+        rng_.NextBool(spec_.write_transient_rate)) {
+      ++fault_stats_.write_transients;
+      return Status::Unavailable("transient write fault on page " +
+                                 std::to_string(id));
+    }
+    if (spec_.torn_write_rate > 0 && rng_.NextBool(spec_.torn_write_rate)) {
+      // Persist a proper prefix of the payload (at least one byte short).
+      const size_t persisted =
+          1 + static_cast<size_t>(rng_.NextBounded(kPageSize - 1));
+      Status s = base_->WriteTornPage(id, in, persisted);
+      if (s.ok()) {
+        ++fault_stats_.torn_writes;
+        RecordCorruptionState(id);
+        ++fault_stats_.writes_observed;
+        if (spec_.crash_after_writes > 0 &&
+            fault_stats_.writes_observed >= spec_.crash_after_writes) {
+          fault_stats_.crashed = true;
+        }
+      }
+      return s;
+    }
+  }
+  Status s = base_->WritePage(id, in);
+  if (!s.ok()) return s;
+  if (!healed_ && spec_.bit_flip_rate > 0 &&
+      rng_.NextBool(spec_.bit_flip_rate)) {
+    const size_t offset = static_cast<size_t>(rng_.NextBounded(kPageSize));
+    const uint8_t mask = static_cast<uint8_t>(1u << rng_.NextBounded(8));
+    base_->CorruptStoredPage(id, offset, mask);
+    ++fault_stats_.bit_flips;
+    RecordCorruptionState(id);
+  } else {
+    corrupted_.erase(id);  // a clean full write repairs earlier corruption
+  }
+  ++fault_stats_.writes_observed;
+  if (!healed_ && spec_.crash_after_writes > 0 &&
+      fault_stats_.writes_observed >= spec_.crash_after_writes) {
+    fault_stats_.crashed = true;
+  }
+  return Status::OK();
+}
+
+}  // namespace anatomy

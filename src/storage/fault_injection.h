@@ -1,0 +1,110 @@
+// FaultInjectingDisk: a Disk decorator with a seeded, deterministic fault
+// schedule.
+//
+// Wraps a SimulatedDisk and injects, per I/O and reproducibly from a seed:
+//   - transient read/write failures (kUnavailable; retryable),
+//   - torn writes (a prefix of the payload lands, the rest is stale, the
+//     intended checksum commits — silent until the next read of the page),
+//   - bit flips (the write lands, then one stored bit rots — silent until
+//     the next read),
+//   - a crash point (after N successful writes the device goes down and all
+//     further reads/writes fail with kUnavailable until Heal()).
+//
+// Catalog operations (AllocatePage/FreePage) never fault: they model
+// in-memory metadata, and abort-path recovery must always be able to reclaim
+// pages (storage/recovery.h). The decorator also tracks exactly which live
+// pages are currently corrupted, so tests can assert that every injected
+// corruption is caught by checksum verification (no silent escapes).
+
+#ifndef ANATOMY_STORAGE_FAULT_INJECTION_H_
+#define ANATOMY_STORAGE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <set>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/simulated_disk.h"
+
+namespace anatomy {
+
+/// The deterministic fault schedule. All rates are per-I/O probabilities in
+/// [0, 1]; a rate of 1.0 makes the fault permanent (useful for hard-failure
+/// tests), 0 disables it.
+struct FaultSpec {
+  uint64_t seed = 1;
+  /// ReadPage fails with kUnavailable (nothing is transferred).
+  double read_transient_rate = 0.0;
+  /// WritePage fails with kUnavailable (nothing is persisted).
+  double write_transient_rate = 0.0;
+  /// WritePage "succeeds" but persists only a random proper prefix.
+  double torn_write_rate = 0.0;
+  /// WritePage succeeds, then one random stored bit flips.
+  double bit_flip_rate = 0.0;
+  /// After this many successful writes the disk crashes: every subsequent
+  /// read/write fails with kUnavailable until Heal(). 0 disables.
+  uint64_t crash_after_writes = 0;
+};
+
+/// Counters of injected faults (not of caller-visible failures: torn writes
+/// and bit flips look like successes to the writer).
+struct FaultStats {
+  uint64_t read_transients = 0;
+  uint64_t write_transients = 0;
+  uint64_t torn_writes = 0;
+  uint64_t bit_flips = 0;
+  /// Successful (possibly corrupting) writes observed, for crash placement.
+  uint64_t writes_observed = 0;
+  bool crashed = false;
+};
+
+class FaultInjectingDisk : public Disk {
+ public:
+  /// `base` must outlive this decorator.
+  FaultInjectingDisk(SimulatedDisk* base, const FaultSpec& spec);
+
+  PageId AllocatePage() override { return base_->AllocatePage(); }
+  void FreePage(PageId id) override;
+  Status ReadPage(PageId id, Page& out) override;
+  Status WritePage(PageId id, const Page& in) override;
+
+  const IoStats& stats() const override { return base_->stats(); }
+  void ResetStats() override { base_->ResetStats(); }
+  size_t live_pages() const override { return base_->live_pages(); }
+  std::vector<PageId> LivePages() const override {
+    return base_->LivePages();
+  }
+  uint64_t allocation_epoch() const override {
+    return base_->allocation_epoch();
+  }
+  std::vector<PageId> PagesAllocatedSince(uint64_t epoch) const override {
+    return base_->PagesAllocatedSince(epoch);
+  }
+
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
+  /// Live pages whose stored bytes currently fail checksum verification.
+  /// A clean rewrite of a page repairs it (removes it from this set).
+  const std::set<PageId>& corrupted_pages() const { return corrupted_; }
+
+  /// Repairs the device: clears the crashed state and stops injecting any
+  /// further faults. Already-corrupted stored pages stay corrupted — healing
+  /// the device does not resurrect lost bits.
+  void Heal();
+
+  SimulatedDisk* base() const { return base_; }
+
+ private:
+  void RecordCorruptionState(PageId id);
+
+  SimulatedDisk* base_;
+  FaultSpec spec_;
+  Rng rng_;
+  FaultStats fault_stats_;
+  std::set<PageId> corrupted_;
+  bool healed_ = false;
+};
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_STORAGE_FAULT_INJECTION_H_

@@ -4,6 +4,11 @@
 // with a page size of 4096 bytes and a memory capacity of 50 pages. We
 // reproduce that environment with a simulated disk whose unit of transfer is
 // this Page.
+//
+// Every page carries an out-of-band checksum over its payload (think of it as
+// the per-sector CRC a real drive keeps). The disk seals pages at write time
+// and verifies the seal at read time, so torn writes and bit flips surface as
+// StatusCode::kDataLoss instead of silently corrupting a publication.
 
 #ifndef ANATOMY_STORAGE_PAGE_H_
 #define ANATOMY_STORAGE_PAGE_H_
@@ -21,11 +26,32 @@ inline constexpr size_t kPageSize = 4096;
 using PageId = uint32_t;
 inline constexpr PageId kInvalidPageId = static_cast<PageId>(-1);
 
-/// Raw page payload.
+/// Raw page payload plus its integrity checksum.
 struct Page {
   std::array<uint8_t, kPageSize> bytes{};
+  /// FNV-1a over `bytes`, maintained by the disk layer (Seal/ChecksumOk).
+  /// Not part of the 4096-byte payload, so record geometry is unchanged.
+  uint64_t checksum = 0;
 
-  void Clear() { bytes.fill(0); }
+  void Clear() {
+    bytes.fill(0);
+    checksum = 0;
+  }
+
+  /// FNV-1a 64 over the payload, folded word-at-a-time.
+  uint64_t ComputeChecksum() const {
+    uint64_t h = 14695981039346656037ULL;
+    for (size_t i = 0; i < kPageSize; i += sizeof(uint64_t)) {
+      uint64_t word;
+      std::memcpy(&word, bytes.data() + i, sizeof(word));
+      h ^= word;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+
+  void Seal() { checksum = ComputeChecksum(); }
+  bool ChecksumOk() const { return checksum == ComputeChecksum(); }
 
   /// Typed access helpers for int32 records.
   int32_t ReadInt32(size_t offset) const {

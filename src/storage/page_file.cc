@@ -4,13 +4,13 @@
 
 namespace anatomy {
 
-RecordFile::RecordFile(SimulatedDisk* disk, size_t fields_per_record)
+RecordFile::RecordFile(Disk* disk, size_t fields_per_record)
     : disk_(disk),
       fields_(fields_per_record),
-      records_per_page_(RecordPageLayout::RecordsPerPage(fields_per_record)) {
+      records_per_page_(fields_per_record > 0
+                            ? RecordPageLayout::RecordsPerPage(fields_per_record)
+                            : 0) {
   ANATOMY_CHECK(disk_ != nullptr);
-  ANATOMY_CHECK(fields_ > 0);
-  ANATOMY_CHECK(records_per_page_ > 0);
 }
 
 Status RecordFile::FreeAll(BufferPool* pool) {
@@ -24,6 +24,12 @@ Status RecordFile::FreeAll(BufferPool* pool) {
   return Status::OK();
 }
 
+void RecordFile::DropPages() {
+  for (PageId id : pages_) disk_->FreePage(id);
+  pages_.clear();
+  num_records_ = 0;
+}
+
 RecordWriter::RecordWriter(BufferPool* pool, RecordFile* file)
     : pool_(pool), file_(file) {
   ANATOMY_CHECK(pool_ != nullptr);
@@ -31,7 +37,16 @@ RecordWriter::RecordWriter(BufferPool* pool, RecordFile* file)
 }
 
 Status RecordWriter::Append(std::span<const int32_t> record) {
-  ANATOMY_CHECK(record.size() == file_->fields_per_record());
+  if (record.size() != file_->fields_per_record()) {
+    return Status::InvalidArgument(
+        "append of " + std::to_string(record.size()) + "-field record to a " +
+        std::to_string(file_->fields_per_record()) + "-field file");
+  }
+  if (file_->records_per_page() == 0) {
+    return Status::InvalidArgument(
+        "record of " + std::to_string(file_->fields_per_record()) +
+        " fields does not fit a " + std::to_string(kPageSize) + "-byte page");
+  }
   Page* page = nullptr;
   if (current_id_ == kInvalidPageId ||
       records_in_page_ == file_->records_per_page()) {
@@ -61,7 +76,11 @@ RecordReader::RecordReader(BufferPool* pool, const RecordFile* file)
 }
 
 StatusOr<bool> RecordReader::Next(std::span<int32_t> out) {
-  ANATOMY_CHECK(out.size() == file_->fields_per_record());
+  if (out.size() != file_->fields_per_record()) {
+    return Status::InvalidArgument(
+        "read of " + std::to_string(out.size()) + "-field record from a " +
+        std::to_string(file_->fields_per_record()) + "-field file");
+  }
   while (page_index_ < file_->num_pages()) {
     const PageId id = file_->pages()[page_index_];
     ANATOMY_ASSIGN_OR_RETURN(Page * page, pool_->Pin(id));

@@ -19,8 +19,8 @@
 
 #include "common/status.h"
 #include "storage/buffer_pool.h"
+#include "storage/disk.h"
 #include "storage/page.h"
-#include "storage/simulated_disk.h"
 
 namespace anatomy {
 
@@ -29,14 +29,14 @@ namespace anatomy {
 /// the paper counts only tuple transfer.
 class RecordFile {
  public:
-  RecordFile(SimulatedDisk* disk, size_t fields_per_record);
+  RecordFile(Disk* disk, size_t fields_per_record);
 
   size_t fields_per_record() const { return fields_; }
   size_t records_per_page() const { return records_per_page_; }
   uint64_t num_records() const { return num_records_; }
   size_t num_pages() const { return pages_.size(); }
   const std::vector<PageId>& pages() const { return pages_; }
-  SimulatedDisk* disk() const { return disk_; }
+  Disk* disk() const { return disk_; }
 
   /// Releases every page back to the disk, discarding any cached frames the
   /// pool still holds for them (so later allocations can recycle the page
@@ -44,10 +44,15 @@ class RecordFile {
   /// unpinned.
   Status FreeAll(BufferPool* pool);
 
+  /// Abort-path variant of FreeAll: frees the pages directly on disk without
+  /// touching a pool. The caller must have dropped any cached frames first
+  /// (BufferPool::DropAll), or recycled ids would collide with stale frames.
+  void DropPages();
+
  private:
   friend class RecordWriter;
 
-  SimulatedDisk* disk_;
+  Disk* disk_;
   size_t fields_;
   size_t records_per_page_;
   std::vector<PageId> pages_;

@@ -1,0 +1,299 @@
+#include "storage/publication.h"
+
+#include <algorithm>
+#include <map>
+
+namespace anatomy {
+
+namespace {
+
+// Manifest page layout, int32 slots:
+//   [0] magic 'ANAT'   [1] version   [2] next chain page (-1 = end)
+//   [3] number of page-id entries in THIS page
+// root page only:
+//   [4] l   [5] qit fields   [6] st fields
+//   [7..8] qit records (lo, hi)   [9..10] st records (lo, hi)
+//   [11] qit total page count     [12] st total page count
+// entries (page ids of the QIT followed by the ST) start at kRootEntrySlot on
+// the root and kContEntrySlot on continuations.
+constexpr int32_t kManifestMagic = 0x414E4154;  // 'ANAT'
+constexpr int32_t kManifestVersion = 1;
+constexpr size_t kSlots = kPageSize / sizeof(int32_t);
+constexpr size_t kRootEntrySlot = 13;
+constexpr size_t kContEntrySlot = 4;
+
+int32_t Slot(const Page& page, size_t slot) {
+  return page.ReadInt32(slot * sizeof(int32_t));
+}
+void SetSlot(Page& page, size_t slot, int32_t v) {
+  page.WriteInt32(slot * sizeof(int32_t), v);
+}
+void SetSlot64(Page& page, size_t slot, uint64_t v) {
+  SetSlot(page, slot, static_cast<int32_t>(v & 0xFFFFFFFFu));
+  SetSlot(page, slot + 1, static_cast<int32_t>(v >> 32));
+}
+uint64_t Slot64(const Page& page, size_t slot) {
+  const uint64_t lo = static_cast<uint32_t>(Slot(page, slot));
+  const uint64_t hi = static_cast<uint32_t>(Slot(page, slot + 1));
+  return lo | (hi << 32);
+}
+
+Status ReadWithRetry(Disk* disk, const RetryPolicy& retry, PageId id,
+                     Page& out) {
+  return RunWithRetry(retry, nullptr,
+                      [&] { return disk->ReadPage(id, out); });
+}
+
+Status WriteWithRetry(Disk* disk, const RetryPolicy& retry, PageId id,
+                      const Page& in) {
+  return RunWithRetry(retry, nullptr,
+                      [&] { return disk->WritePage(id, in); });
+}
+
+}  // namespace
+
+StatusOr<StorageManifest> CommitPublication(Disk* disk, const RecordFile& qit,
+                                            const RecordFile& st, int32_t l,
+                                            const RetryPolicy& retry) {
+  StorageManifest manifest;
+  manifest.l = l;
+  manifest.qit = {static_cast<uint32_t>(qit.fields_per_record()),
+                  qit.num_records(), qit.pages()};
+  manifest.st = {static_cast<uint32_t>(st.fields_per_record()),
+                 st.num_records(), st.pages()};
+
+  std::vector<PageId> entries = manifest.qit.pages;
+  entries.insert(entries.end(), manifest.st.pages.begin(),
+                 manifest.st.pages.end());
+
+  // Chunk the entry list: the root takes the first kRootEntrySlot..kSlots
+  // slots, continuations the rest. All chain pages are allocated up front
+  // (metadata, no I/O) so each page can name its successor before any write.
+  std::vector<std::pair<size_t, size_t>> chunks;  // [begin, end) into entries
+  size_t begin = 0;
+  size_t room = kSlots - kRootEntrySlot;
+  do {
+    const size_t end = std::min(entries.size(), begin + room);
+    chunks.emplace_back(begin, end);
+    begin = end;
+    room = kSlots - kContEntrySlot;
+  } while (begin < entries.size());
+
+  manifest.manifest_pages.reserve(chunks.size());
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    manifest.manifest_pages.push_back(disk->AllocatePage());
+  }
+  manifest.root = manifest.manifest_pages.front();
+
+  // Write tail-to-head: the publication exists only once the root lands.
+  for (size_t i = chunks.size(); i-- > 0;) {
+    Page page;
+    page.Clear();
+    SetSlot(page, 0, kManifestMagic);
+    SetSlot(page, 1, kManifestVersion);
+    SetSlot(page, 2,
+            i + 1 < chunks.size()
+                ? static_cast<int32_t>(manifest.manifest_pages[i + 1])
+                : -1);
+    const auto [lo, hi] = chunks[i];
+    SetSlot(page, 3, static_cast<int32_t>(hi - lo));
+    size_t slot = kContEntrySlot;
+    if (i == 0) {
+      SetSlot(page, 4, l);
+      SetSlot(page, 5, static_cast<int32_t>(manifest.qit.fields));
+      SetSlot(page, 6, static_cast<int32_t>(manifest.st.fields));
+      SetSlot64(page, 7, manifest.qit.records);
+      SetSlot64(page, 9, manifest.st.records);
+      SetSlot(page, 11, static_cast<int32_t>(manifest.qit.pages.size()));
+      SetSlot(page, 12, static_cast<int32_t>(manifest.st.pages.size()));
+      slot = kRootEntrySlot;
+    }
+    for (size_t e = lo; e < hi; ++e, ++slot) {
+      SetSlot(page, slot, static_cast<int32_t>(entries[e]));
+    }
+    ANATOMY_RETURN_IF_ERROR(
+        WriteWithRetry(disk, retry, manifest.manifest_pages[i], page));
+  }
+  return manifest;
+}
+
+StatusOr<StorageManifest> LoadPublication(Disk* disk, PageId root,
+                                          const RetryPolicy& retry) {
+  StorageManifest manifest;
+  manifest.root = root;
+
+  std::vector<PageId> entries;
+  PageId next = root;
+  bool is_root = true;
+  size_t qit_page_count = 0;
+  size_t st_page_count = 0;
+  while (next != static_cast<PageId>(-1)) {
+    Page page;
+    ANATOMY_RETURN_IF_ERROR(ReadWithRetry(disk, retry, next, page));
+    if (Slot(page, 0) != kManifestMagic) {
+      return Status::DataLoss("page " + std::to_string(next) +
+                              " is not a manifest page");
+    }
+    if (Slot(page, 1) != kManifestVersion) {
+      return Status::Unimplemented("unsupported manifest version " +
+                                   std::to_string(Slot(page, 1)));
+    }
+    manifest.manifest_pages.push_back(next);
+    const size_t count = static_cast<size_t>(Slot(page, 3));
+    size_t slot = kContEntrySlot;
+    if (is_root) {
+      manifest.l = Slot(page, 4);
+      manifest.qit.fields = static_cast<uint32_t>(Slot(page, 5));
+      manifest.st.fields = static_cast<uint32_t>(Slot(page, 6));
+      manifest.qit.records = Slot64(page, 7);
+      manifest.st.records = Slot64(page, 9);
+      qit_page_count = static_cast<size_t>(Slot(page, 11));
+      st_page_count = static_cast<size_t>(Slot(page, 12));
+      slot = kRootEntrySlot;
+      is_root = false;
+    }
+    if (count > kSlots - slot) {
+      return Status::DataLoss("manifest page " + std::to_string(next) +
+                              " claims an impossible entry count");
+    }
+    for (size_t e = 0; e < count; ++e, ++slot) {
+      entries.push_back(static_cast<PageId>(Slot(page, slot)));
+    }
+    next = static_cast<PageId>(Slot(page, 2));
+    if (manifest.manifest_pages.size() > entries.capacity() + kSlots) {
+      return Status::DataLoss("manifest chain does not terminate");
+    }
+  }
+  if (entries.size() != qit_page_count + st_page_count) {
+    return Status::DataLoss(
+        "manifest chain lists " + std::to_string(entries.size()) +
+        " pages, header claims " +
+        std::to_string(qit_page_count + st_page_count));
+  }
+  manifest.qit.pages.assign(entries.begin(),
+                            entries.begin() + static_cast<ptrdiff_t>(qit_page_count));
+  manifest.st.pages.assign(entries.begin() + static_cast<ptrdiff_t>(qit_page_count),
+                           entries.end());
+  return manifest;
+}
+
+StatusOr<std::vector<std::vector<int32_t>>> ReadPublishedFile(
+    Disk* disk, const PublishedFileMeta& meta, const RetryPolicy& retry) {
+  if (meta.fields == 0) {
+    return Status::InvalidArgument("published file has zero-width records");
+  }
+  const size_t per_page = RecordPageLayout::RecordsPerPage(meta.fields);
+  std::vector<std::vector<int32_t>> records;
+  records.reserve(static_cast<size_t>(meta.records));
+  for (PageId id : meta.pages) {
+    Page page;
+    ANATOMY_RETURN_IF_ERROR(ReadWithRetry(disk, retry, id, page));
+    const size_t count = static_cast<size_t>(page.ReadInt32(0));
+    if (count > per_page) {
+      return Status::DataLoss("page " + std::to_string(id) +
+                              " claims more records than fit");
+    }
+    for (size_t r = 0; r < count; ++r) {
+      std::vector<int32_t> rec(meta.fields);
+      const size_t offset = RecordPageLayout::RecordOffset(r, meta.fields);
+      for (size_t f = 0; f < meta.fields; ++f) {
+        rec[f] = page.ReadInt32(offset + f * sizeof(int32_t));
+      }
+      records.push_back(std::move(rec));
+    }
+  }
+  if (records.size() != meta.records) {
+    return Status::DataLoss("published file holds " +
+                            std::to_string(records.size()) +
+                            " records, manifest claims " +
+                            std::to_string(meta.records));
+  }
+  return records;
+}
+
+Status VerifyPublication(Disk* disk, const StorageManifest& manifest,
+                         const RetryPolicy& retry) {
+  // Re-load the chain from the root: this re-reads (and checksum-verifies)
+  // every manifest page and re-derives the page lists independently.
+  ANATOMY_ASSIGN_OR_RETURN(StorageManifest loaded,
+                           LoadPublication(disk, manifest.root, retry));
+  if (loaded.qit.pages != manifest.qit.pages ||
+      loaded.st.pages != manifest.st.pages) {
+    return Status::DataLoss("manifest chain does not match the publication");
+  }
+
+  ANATOMY_ASSIGN_OR_RETURN(auto qit_records,
+                           ReadPublishedFile(disk, loaded.qit, retry));
+  ANATOMY_ASSIGN_OR_RETURN(auto st_records,
+                           ReadPublishedFile(disk, loaded.st, retry));
+  if (loaded.st.fields != 3) {
+    return Status::FailedPrecondition("ST records must be [group, value, count]");
+  }
+
+  // Group-file consistency: per-group QIT cardinality must equal the group's
+  // ST count sum, groups must match across the two files, and each group
+  // must satisfy the l-diversity bound the manifest claims.
+  std::map<int32_t, uint64_t> qit_group_sizes;
+  const size_t gid_field = loaded.qit.fields - 1;
+  for (const auto& rec : qit_records) {
+    const int32_t g = rec[gid_field];
+    if (g < 0) {
+      return Status::FailedPrecondition("QIT record with negative group id");
+    }
+    ++qit_group_sizes[g];
+  }
+  struct StGroup {
+    uint64_t size = 0;
+    uint64_t max_count = 0;
+    uint64_t distinct = 0;
+  };
+  std::map<int32_t, StGroup> st_groups;
+  for (const auto& rec : st_records) {
+    if (rec[2] <= 0) {
+      return Status::FailedPrecondition("ST record with non-positive count");
+    }
+    StGroup& g = st_groups[rec[0]];
+    g.size += static_cast<uint64_t>(rec[2]);
+    g.max_count = std::max(g.max_count, static_cast<uint64_t>(rec[2]));
+    ++g.distinct;
+  }
+  if (qit_group_sizes.size() != st_groups.size()) {
+    return Status::FailedPrecondition(
+        "QIT has " + std::to_string(qit_group_sizes.size()) +
+        " groups, ST has " + std::to_string(st_groups.size()));
+  }
+  for (const auto& [gid, size] : qit_group_sizes) {
+    auto it = st_groups.find(gid);
+    if (it == st_groups.end()) {
+      return Status::FailedPrecondition("group " + std::to_string(gid) +
+                                        " missing from the ST");
+    }
+    if (it->second.size != size) {
+      return Status::FailedPrecondition(
+          "group " + std::to_string(gid) + ": QIT has " +
+          std::to_string(size) + " tuples, ST counts sum to " +
+          std::to_string(it->second.size));
+    }
+    if (manifest.l > 0 &&
+        it->second.max_count * static_cast<uint64_t>(manifest.l) >
+            it->second.size) {
+      return Status::FailedPrecondition(
+          "group " + std::to_string(gid) + " violates " +
+          std::to_string(manifest.l) + "-diversity");
+    }
+  }
+  return Status::OK();
+}
+
+Status DiscardPublication(Disk* disk, BufferPool* pool,
+                          const StorageManifest& manifest) {
+  (void)disk;  // pages are freed through the pool, which drops cached frames
+  for (PageId id : manifest.qit.pages) ANATOMY_RETURN_IF_ERROR(pool->Discard(id));
+  for (PageId id : manifest.st.pages) ANATOMY_RETURN_IF_ERROR(pool->Discard(id));
+  for (PageId id : manifest.manifest_pages) {
+    ANATOMY_RETURN_IF_ERROR(pool->Discard(id));
+  }
+  return Status::OK();
+}
+
+}  // namespace anatomy

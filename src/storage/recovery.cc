@@ -1,0 +1,23 @@
+#include "storage/recovery.h"
+
+#include "common/check.h"
+#include "storage/buffer_pool.h"
+
+namespace anatomy {
+
+PipelineGuard::PipelineGuard(Disk* disk, BufferPool* pool)
+    : disk_(disk), pool_(pool), epoch_(disk->allocation_epoch() + 1) {
+  ANATOMY_CHECK(disk_ != nullptr);
+  ANATOMY_CHECK(pool_ != nullptr);
+}
+
+size_t PipelineGuard::Abort() {
+  // Frames first: a cached frame for a page we are about to free would
+  // collide with a later allocation that recycles the id.
+  pool_->DropAll();
+  const std::vector<PageId> leaked = disk_->PagesAllocatedSince(epoch_);
+  for (PageId id : leaked) disk_->FreePage(id);
+  return leaked.size();
+}
+
+}  // namespace anatomy

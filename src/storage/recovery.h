@@ -1,0 +1,84 @@
+// Fault recovery for the storage substrate: bounded retry-with-backoff for
+// transient I/O faults, and abort-path reclamation so a failed external
+// pipeline never leaks pages or pool frames.
+//
+// Retry policy: only transient failures (IsTransient, i.e. kUnavailable) are
+// retried, up to max_attempts total attempts with exponential backoff.
+// Permanent classes (kDataLoss, kNotFound, kInternal, ...) are returned
+// immediately — retrying a checksum failure re-reads the same rotten bits.
+// The default backoff is zero because the simulated disk's transients clear
+// per-attempt; against a real device set initial_backoff > 0.
+//
+// PipelineGuard: snapshot the disk's allocation epoch at pipeline entry; on
+// failure, Abort() drops every pool frame (no write-back — the run's data is
+// being discarded) and frees every still-live page allocated since the
+// snapshot. The epoch (not a live-id set) makes the reclaim exact even when
+// the pipeline freed caller pages whose ids were then recycled. The pipeline
+// must have exclusive use of the pool, which every external operator here
+// already assumes.
+
+#ifndef ANATOMY_STORAGE_RECOVERY_H_
+#define ANATOMY_STORAGE_RECOVERY_H_
+
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk.h"
+
+namespace anatomy {
+
+struct RetryPolicy {
+  /// Total attempts, including the first (so 4 = one try + three retries).
+  int max_attempts = 4;
+  /// Sleep before the first retry; doubles (see multiplier) per retry.
+  std::chrono::microseconds initial_backoff{0};
+  double backoff_multiplier = 2.0;
+};
+
+/// Runs `op` (a callable returning Status) under `policy`. Each retry of a
+/// transient failure increments `*retries` when non-null. Returns the first
+/// non-transient status, or the last transient one once attempts run out.
+template <typename Op>
+Status RunWithRetry(const RetryPolicy& policy, uint64_t* retries, Op&& op) {
+  auto backoff = policy.initial_backoff;
+  Status status;
+  const int attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    status = op();
+    if (!status.IsTransient()) return status;
+    if (attempt + 1 == attempts) break;
+    if (retries != nullptr) ++*retries;
+    if (backoff.count() > 0) {
+      std::this_thread::sleep_for(backoff);
+      backoff = std::chrono::microseconds(static_cast<int64_t>(
+          static_cast<double>(backoff.count()) * policy.backoff_multiplier));
+    }
+  }
+  return status;
+}
+
+class BufferPool;
+
+/// Abort-path cleanup for external pipelines. Construct at pipeline entry;
+/// call Abort() on the failure path. Destruction without Abort() is a no-op
+/// (the success path keeps its pages).
+class PipelineGuard {
+ public:
+  PipelineGuard(Disk* disk, BufferPool* pool);
+
+  /// Drops all pool frames without write-back and frees every page allocated
+  /// since construction. Returns the number of pages reclaimed.
+  size_t Abort();
+
+ private:
+  Disk* disk_;
+  BufferPool* pool_;
+  uint64_t epoch_;  // first allocation serial that belongs to the pipeline
+};
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_STORAGE_RECOVERY_H_

@@ -1,17 +1,24 @@
 #include "storage/simulated_disk.h"
 
+#include <algorithm>
+
 namespace anatomy {
 
 PageId SimulatedDisk::AllocatePage() {
+  ++alloc_counter_;
   if (!free_list_.empty()) {
     PageId id = free_list_.back();
     free_list_.pop_back();
     freed_[id] = false;
     pages_[id]->Clear();
+    pages_[id]->Seal();
+    alloc_serial_[id] = alloc_counter_;
     return id;
   }
   pages_.push_back(std::make_unique<Page>());
+  pages_.back()->Seal();
   freed_.push_back(false);
+  alloc_serial_.push_back(alloc_counter_);
   return static_cast<PageId>(pages_.size() - 1);
 }
 
@@ -25,12 +32,33 @@ bool SimulatedDisk::IsLive(PageId id) const {
   return id < pages_.size() && !freed_[id];
 }
 
+std::vector<PageId> SimulatedDisk::LivePages() const {
+  std::vector<PageId> live;
+  live.reserve(live_pages());
+  for (PageId id = 0; id < pages_.size(); ++id) {
+    if (!freed_[id]) live.push_back(id);
+  }
+  return live;
+}
+
+std::vector<PageId> SimulatedDisk::PagesAllocatedSince(uint64_t epoch) const {
+  std::vector<PageId> pages;
+  for (PageId id = 0; id < pages_.size(); ++id) {
+    if (!freed_[id] && alloc_serial_[id] >= epoch) pages.push_back(id);
+  }
+  return pages;
+}
+
 Status SimulatedDisk::ReadPage(PageId id, Page& out) {
   if (!IsLive(id)) {
     return Status::NotFound("read of unallocated page " + std::to_string(id));
   }
-  out = *pages_[id];
   ++stats_.reads;
+  if (!pages_[id]->ChecksumOk()) {
+    return Status::DataLoss("page " + std::to_string(id) +
+                            " failed checksum verification");
+  }
+  out = *pages_[id];
   return Status::OK();
 }
 
@@ -39,8 +67,32 @@ Status SimulatedDisk::WritePage(PageId id, const Page& in) {
     return Status::NotFound("write of unallocated page " + std::to_string(id));
   }
   *pages_[id] = in;
+  pages_[id]->Seal();
   ++stats_.writes;
   return Status::OK();
+}
+
+void SimulatedDisk::CorruptStoredPage(PageId id, size_t offset, uint8_t mask) {
+  if (!IsLive(id) || mask == 0) return;
+  pages_[id]->bytes[offset % kPageSize] ^= mask;
+}
+
+Status SimulatedDisk::WriteTornPage(PageId id, const Page& in,
+                                    size_t bytes_persisted) {
+  if (!IsLive(id)) {
+    return Status::NotFound("write of unallocated page " + std::to_string(id));
+  }
+  Page& stored = *pages_[id];
+  const size_t n = std::min(bytes_persisted, kPageSize);
+  std::copy(in.bytes.begin(), in.bytes.begin() + static_cast<ptrdiff_t>(n),
+            stored.bytes.begin());
+  stored.checksum = in.ComputeChecksum();  // the seal of the intended page
+  ++stats_.writes;
+  return Status::OK();
+}
+
+bool SimulatedDisk::StoredPageIntact(PageId id) const {
+  return IsLive(id) && pages_[id]->ChecksumOk();
 }
 
 }  // namespace anatomy

@@ -3,6 +3,13 @@
 // All external algorithms (ExternalAnatomizer, ExternalMondrian) move data
 // exclusively through ReadPage/WritePage, so the counters reproduce the
 // paper's I/O-cost metric exactly, independent of the host machine.
+//
+// Integrity model: WritePage seals the stored copy (checksum over the
+// payload); ReadPage verifies the seal and reports corruption as kDataLoss.
+// The corruption backdoors (CorruptStoredPage, WriteTornPage) mutate stored
+// bytes without re-sealing — they exist solely so FaultInjectingDisk
+// (storage/fault_injection.h) can model bit rot and torn writes that the
+// checksum must then catch.
 
 #ifndef ANATOMY_STORAGE_SIMULATED_DISK_H_
 #define ANATOMY_STORAGE_SIMULATED_DISK_H_
@@ -12,46 +19,42 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/disk.h"
 #include "storage/page.h"
 
 namespace anatomy {
 
-/// Physical I/O counters. `total()` is the number the paper plots.
-struct IoStats {
-  uint64_t reads = 0;
-  uint64_t writes = 0;
-
-  uint64_t total() const { return reads + writes; }
-
-  IoStats operator-(const IoStats& other) const {
-    return {reads - other.reads, writes - other.writes};
-  }
-};
-
-class SimulatedDisk {
+class SimulatedDisk : public Disk {
  public:
   SimulatedDisk() = default;
-  SimulatedDisk(const SimulatedDisk&) = delete;
-  SimulatedDisk& operator=(const SimulatedDisk&) = delete;
 
-  /// Allocates a zeroed page and returns its id. Allocation itself performs
-  /// no I/O (the write that materializes the page is counted separately).
-  PageId AllocatePage();
+  PageId AllocatePage() override;
+  void FreePage(PageId id) override;
+  Status ReadPage(PageId id, Page& out) override;
+  Status WritePage(PageId id, const Page& in) override;
 
-  /// Releases a page. Freed ids are recycled by later allocations.
-  void FreePage(PageId id);
+  const IoStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = IoStats{}; }
+  size_t live_pages() const override { return pages_.size() - free_list_.size(); }
+  std::vector<PageId> LivePages() const override;
+  uint64_t allocation_epoch() const override { return alloc_counter_; }
+  std::vector<PageId> PagesAllocatedSince(uint64_t epoch) const override;
 
-  /// Copies a page from disk into `out`, counting one read.
-  Status ReadPage(PageId id, Page& out);
+  // ---- Fault-injection backdoors (not part of the Disk interface) ----
 
-  /// Copies `in` to disk, counting one write.
-  Status WritePage(PageId id, const Page& in);
+  /// XORs `mask` into one stored byte without updating the stored checksum,
+  /// modelling bit rot. No-op on dead pages or a zero mask. Not counted as I/O.
+  void CorruptStoredPage(PageId id, size_t offset, uint8_t mask);
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IoStats{}; }
+  /// Models a torn write: only the first `bytes_persisted` payload bytes of
+  /// `in` land, the rest keeps the old content, yet the checksum of the full
+  /// intended page is recorded (as if the sector trailer committed before the
+  /// data tore). Counts one write. The caller-visible result is OK — the
+  /// corruption is only discovered by a later ReadPage.
+  Status WriteTornPage(PageId id, const Page& in, size_t bytes_persisted);
 
-  /// Number of live (allocated, not freed) pages.
-  size_t live_pages() const { return pages_.size() - free_list_.size(); }
+  /// True if the stored copy of a live page passes checksum verification.
+  bool StoredPageIntact(PageId id) const;
 
  private:
   bool IsLive(PageId id) const;
@@ -59,6 +62,9 @@ class SimulatedDisk {
   std::vector<std::unique_ptr<Page>> pages_;
   std::vector<PageId> free_list_;
   std::vector<bool> freed_;
+  /// Serial number of each page's most recent allocation (1-based).
+  std::vector<uint64_t> alloc_serial_;
+  uint64_t alloc_counter_ = 0;
   IoStats stats_;
 };
 

@@ -1,5 +1,6 @@
 #include "table/csv.h"
 
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -31,9 +32,32 @@ Status WriteCsv(const Table& table, std::ostream& os,
 
 Status WriteCsvFile(const Table& table, const std::string& path,
                     const CsvOptions& options) {
-  std::ofstream os(path);
-  if (!os) return Status::NotFound("cannot open '" + path + "' for writing");
-  return WriteCsv(table, os, options);
+  // Write-to-temp + rename so a crash or write failure never leaves a
+  // truncated file at `path`: readers see either the old content or the
+  // complete new one.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp);
+    if (!os) return Status::NotFound("cannot open '" + tmp + "' for writing");
+    const Status status = WriteCsv(table, os, options);
+    if (!status.ok()) {
+      os.close();
+      std::remove(tmp.c_str());
+      return status;
+    }
+    os.flush();
+    if (!os) {
+      os.close();
+      std::remove(tmp.c_str());
+      return Status::Internal("flush of '" + tmp + "' failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename of '" + tmp + "' to '" + path +
+                            "' failed");
+  }
+  return Status::OK();
 }
 
 namespace {

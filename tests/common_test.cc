@@ -34,9 +34,39 @@ TEST(StatusTest, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kInvalidArgument,
         StatusCode::kFailedPrecondition, StatusCode::kNotFound,
         StatusCode::kOutOfRange, StatusCode::kInternal,
-        StatusCode::kUnimplemented}) {
+        StatusCode::kUnimplemented, StatusCode::kUnavailable,
+        StatusCode::kDataLoss}) {
     EXPECT_STRNE(StatusCodeName(code), "Unknown");
   }
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "DataLoss");
+}
+
+TEST(StatusTest, FaultCodeFactories) {
+  Status unavailable = Status::Unavailable("disk offline");
+  EXPECT_FALSE(unavailable.ok());
+  EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(unavailable.ToString(), "Unavailable: disk offline");
+
+  Status data_loss = Status::DataLoss("checksum mismatch");
+  EXPECT_FALSE(data_loss.ok());
+  EXPECT_EQ(data_loss.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(data_loss.ToString(), "DataLoss: checksum mismatch");
+}
+
+TEST(StatusTest, OnlyUnavailableIsTransient) {
+  EXPECT_TRUE(Status::Unavailable("x").IsTransient());
+  EXPECT_TRUE(IsTransient(StatusCode::kUnavailable));
+  // kDataLoss is permanent: re-reading corrupt bits cannot help.
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument,
+        StatusCode::kFailedPrecondition, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kInternal,
+        StatusCode::kUnimplemented, StatusCode::kDataLoss}) {
+    EXPECT_FALSE(IsTransient(code)) << StatusCodeName(code);
+  }
+  EXPECT_FALSE(Status::DataLoss("x").IsTransient());
+  EXPECT_FALSE(Status::OK().IsTransient());
 }
 
 StatusOr<int> ParsePositive(int v) {

@@ -9,6 +9,7 @@
 #include "data/census_generator.h"
 #include "data/dataset.h"
 #include "test_util.h"
+#include "storage/simulated_disk.h"
 
 namespace anatomy {
 namespace {

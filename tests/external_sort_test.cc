@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "storage/external_sort.h"
+#include "storage/simulated_disk.h"
 
 namespace anatomy {
 namespace {

@@ -17,6 +17,7 @@
 #include "privacy/breach.h"
 #include "privacy/ldiversity.h"
 #include "workload/runner.h"
+#include "storage/simulated_disk.h"
 
 namespace anatomy {
 namespace {

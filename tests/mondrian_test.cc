@@ -11,6 +11,7 @@
 #include "generalization/info_loss.h"
 #include "generalization/mondrian.h"
 #include "test_util.h"
+#include "storage/simulated_disk.h"
 
 namespace anatomy {
 namespace {

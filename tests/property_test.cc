@@ -24,6 +24,7 @@
 #include "test_util.h"
 #include "workload/runner.h"
 #include "workload/workload.h"
+#include "storage/simulated_disk.h"
 
 namespace anatomy {
 namespace {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "storage/buffer_pool.h"
 #include "storage/page_file.h"
 #include "storage/simulated_disk.h"
@@ -248,6 +251,122 @@ TEST(RecordFileTest, FreeAllReleasesPages) {
   ASSERT_TRUE(file.FreeAll(&pool).ok());
   EXPECT_EQ(disk.live_pages(), 0u);
   EXPECT_EQ(file.num_records(), 0u);
+}
+
+// -------------------------------------------------------- Page checksums --
+
+TEST(PageChecksumTest, SealAndVerify) {
+  Page page;
+  page.WriteInt32(100, 7);
+  page.Seal();
+  EXPECT_TRUE(page.ChecksumOk());
+  page.WriteInt32(100, 8);  // mutate after sealing
+  EXPECT_FALSE(page.ChecksumOk());
+  page.Seal();
+  EXPECT_TRUE(page.ChecksumOk());
+}
+
+TEST(PageChecksumTest, SingleBitFlipIsDetected) {
+  Page page;
+  for (size_t i = 0; i < 32; ++i) page.WriteInt32(4 * i, static_cast<int32_t>(i));
+  page.Seal();
+  page.bytes[kPageSize - 1] ^= 0x10;
+  EXPECT_FALSE(page.ChecksumOk());
+}
+
+TEST(SimulatedDiskTest, CorruptedPageReadsAsDataLoss) {
+  SimulatedDisk disk;
+  const PageId id = disk.AllocatePage();
+  Page page;
+  page.WriteInt32(0, 42);
+  ASSERT_TRUE(disk.WritePage(id, page).ok());
+  disk.CorruptStoredPage(id, /*offset=*/17, /*mask=*/0x01);
+  Page out;
+  const Status status = disk.ReadPage(id, out);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  // A clean rewrite repairs the page.
+  ASSERT_TRUE(disk.WritePage(id, page).ok());
+  EXPECT_TRUE(disk.ReadPage(id, out).ok());
+  EXPECT_EQ(out.ReadInt32(0), 42);
+}
+
+TEST(SimulatedDiskTest, FreshlyAllocatedPageIsReadable) {
+  SimulatedDisk disk;
+  const PageId id = disk.AllocatePage();
+  Page out;
+  EXPECT_TRUE(disk.ReadPage(id, out).ok());
+  EXPECT_EQ(out.ReadInt32(0), 0);
+}
+
+TEST(SimulatedDiskTest, PagesAllocatedSinceTracksEpochs) {
+  SimulatedDisk disk;
+  const PageId a = disk.AllocatePage();
+  const uint64_t epoch = disk.allocation_epoch() + 1;
+  const PageId b = disk.AllocatePage();
+  // Free `a` and reallocate: the recycled id now belongs to the new epoch.
+  disk.FreePage(a);
+  const PageId c = disk.AllocatePage();
+  EXPECT_EQ(a, c);
+  const auto since = disk.PagesAllocatedSince(epoch);
+  EXPECT_EQ(since.size(), 2u);
+  EXPECT_NE(std::find(since.begin(), since.end(), b), since.end());
+  EXPECT_NE(std::find(since.begin(), since.end(), c), since.end());
+}
+
+// ------------------------------------------------- BufferPool fault paths --
+
+TEST(BufferPoolTest, DropAllDiscardsDirtyAndPinnedFrames) {
+  SimulatedDisk disk;
+  BufferPool pool(&disk, 4);
+  PageId dirty_id = kInvalidPageId;
+  auto dirty = pool.PinNew(&dirty_id);
+  ASSERT_TRUE(dirty.ok());
+  ASSERT_TRUE(pool.Unpin(dirty_id, /*dirty=*/true).ok());
+  PageId pinned_id = kInvalidPageId;
+  ASSERT_TRUE(pool.PinNew(&pinned_id).ok());  // left pinned on purpose
+  disk.ResetStats();
+
+  pool.DropAll();
+  EXPECT_EQ(pool.frames_in_use(), 0u);
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+  EXPECT_EQ(disk.stats().writes, 0u);  // no write-back on the abort path
+}
+
+TEST(RecordFileTest, DropPagesFreesWithoutPool) {
+  SimulatedDisk disk;
+  BufferPool pool(&disk, 4);
+  RecordFile file(&disk, 2);
+  {
+    RecordWriter writer(&pool, &file);
+    const int32_t rec[2] = {1, 2};
+    ASSERT_TRUE(writer.Append(rec).ok());
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  pool.DropAll();
+  file.DropPages();
+  EXPECT_EQ(disk.live_pages(), 0u);
+  EXPECT_EQ(file.num_pages(), 0u);
+}
+
+TEST(RecordFileTest, RecordTooWideForPageIsRejected) {
+  SimulatedDisk disk;
+  BufferPool pool(&disk, 4);
+  const size_t too_many = kPageSize / sizeof(int32_t) + 1;
+  RecordFile file(&disk, too_many);
+  RecordWriter writer(&pool, &file);
+  std::vector<int32_t> rec(too_many, 0);
+  const Status status = writer.Append(rec);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(disk.live_pages(), 0u);
+}
+
+TEST(RecordWriterTest, WrongWidthAppendIsRejected) {
+  SimulatedDisk disk;
+  BufferPool pool(&disk, 4);
+  RecordFile file(&disk, 3);
+  RecordWriter writer(&pool, &file);
+  const int32_t rec[2] = {1, 2};
+  EXPECT_EQ(writer.Append(rec).code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

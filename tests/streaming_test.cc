@@ -10,6 +10,8 @@
 #include "data/census.h"
 #include "data/census_generator.h"
 #include "data/dataset.h"
+#include "storage/fault_injection.h"
+#include "storage/simulated_disk.h"
 #include "test_util.h"
 
 namespace anatomy {
@@ -108,6 +110,79 @@ TEST(StreamingAnatomizerTest, MatchesBatchOnSkewedStream) {
 }
 
 // -------------------------------------------------------- external join --
+
+TEST(StreamingAnatomizerTest, FlushWindowWritesEmittedGroups) {
+  StreamingAnatomizer streaming(
+      StreamingAnatomizerOptions{.l = 4, .seed = 1, .emit_threshold = 8},
+      /*sensitive_domain=*/10);
+  for (RowId i = 0; i < 64; ++i) {
+    ASSERT_TRUE(streaming.Add(i, static_cast<Code>(i % 10)).ok());
+  }
+  ASSERT_GT(streaming.emitted_groups(), 0u);
+
+  SimulatedDisk disk;
+  BufferPool pool(&disk, 8);
+  auto window = streaming.FlushWindow(&disk, &pool);
+  ASSERT_TRUE(window.ok()) << window.status().ToString();
+  EXPECT_EQ(streaming.flushed_groups(), streaming.emitted_groups());
+  // Each emitted group contributes l = 4 records of [group_id, row, value].
+  EXPECT_EQ(window.value()->num_records(), 4 * streaming.emitted_groups());
+
+  // A second flush with no new groups is an empty window.
+  auto empty = streaming.FlushWindow(&disk, &pool);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.value()->num_records(), 0u);
+
+  ASSERT_TRUE(window.value()->FreeAll(&pool).ok());
+  ASSERT_TRUE(empty.value()->FreeAll(&pool).ok());
+  EXPECT_EQ(disk.live_pages(), 0u);
+}
+
+TEST(StreamingAnatomizerTest, FlushWindowSurvivesMidStreamFault) {
+  StreamingAnatomizer streaming(
+      StreamingAnatomizerOptions{.l = 4, .seed = 7, .emit_threshold = 8},
+      /*sensitive_domain=*/10);
+  RowId next_row = 0;
+  for (; next_row < 64; ++next_row) {
+    ASSERT_TRUE(streaming.Add(next_row, static_cast<Code>(next_row % 10)).ok());
+  }
+  const size_t emitted_before = streaming.emitted_groups();
+  ASSERT_GT(emitted_before, 0u);
+
+  // A disk that refuses every write: the flush must fail with a clean
+  // Status (never abort), reclaim its partial file, and leave the streamer
+  // fully usable.
+  SimulatedDisk base;
+  FaultSpec spec;
+  spec.write_transient_rate = 1.0;  // permanent: retries cannot absorb it
+  FaultInjectingDisk faulty(&base, spec);
+  BufferPool pool(&faulty, 8);
+  const size_t live_before = base.live_pages();
+  auto failed = streaming.FlushWindow(&faulty, &pool);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(base.live_pages(), live_before);     // partial window reclaimed
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+  EXPECT_EQ(streaming.flushed_groups(), 0u);     // cursor did not advance
+
+  // The streamer keeps accepting tuples after the fault...
+  for (; next_row < 96; ++next_row) {
+    ASSERT_TRUE(streaming.Add(next_row, static_cast<Code>(next_row % 10)).ok());
+  }
+  EXPECT_GE(streaming.emitted_groups(), emitted_before);
+
+  // ...and the identical window flushes cleanly once the device heals.
+  faulty.Heal();
+  auto window = streaming.FlushWindow(&faulty, &pool);
+  ASSERT_TRUE(window.ok()) << window.status().ToString();
+  EXPECT_EQ(streaming.flushed_groups(), streaming.emitted_groups());
+  EXPECT_EQ(window.value()->num_records(), 4 * streaming.emitted_groups());
+  ASSERT_TRUE(window.value()->FreeAll(&pool).ok());
+
+  auto partition = streaming.Finish();
+  ASSERT_TRUE(partition.ok()) << partition.status().ToString();
+  EXPECT_TRUE(partition.value().ValidateCover(96).ok());
+}
 
 TEST(ExternalJoinTest, MatchesInMemoryJoin) {
   const Microdata md = HospitalExample();

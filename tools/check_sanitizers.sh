@@ -2,11 +2,14 @@
 # Configure, build, and run the tier-1 test suite under ThreadSanitizer and
 # AddressSanitizer(+UBSan). Part of the tier-1 verify loop (see README.md):
 # the multi-threaded estimator hammer tests in parallel_query_test are only
-# a real race detector under TSan.
+# a real race detector under TSan, and the fault-injection sweep
+# (fault_injection_test) only proves its "never abort, never leak" claim when
+# every injected-fault error path also runs clean under ASan+UBSan.
 #
 # Usage:
 #   tools/check_sanitizers.sh              # both sanitizers, full suite
 #   tools/check_sanitizers.sh tsan         # one sanitizer only
+#   tools/check_sanitizers.sh faults       # both sanitizers, fault sweep only
 #   tools/check_sanitizers.sh tsan -R parallel_query_test
 #                                          # extra args passed to ctest
 set -euo pipefail
@@ -14,9 +17,20 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 presets=(tsan asan)
-if [[ $# -ge 1 && ( "$1" == "tsan" || "$1" == "asan" ) ]]; then
-  presets=("$1")
-  shift
+extra=()
+if [[ $# -ge 1 ]]; then
+  case "$1" in
+    tsan|asan)
+      presets=("$1")
+      shift
+      ;;
+    faults)
+      # The fault sweep drives every retry/abort/reclaim path in the storage
+      # layer; running it under both sanitizers is the cheap smoke check.
+      extra=(-R fault_injection_test)
+      shift
+      ;;
+  esac
 fi
 
 jobs="$(nproc 2>/dev/null || echo 2)"
@@ -27,7 +41,7 @@ for preset in "${presets[@]}"; do
   echo "==== [${preset}] build ===="
   cmake --build --preset "${preset}" -j "${jobs}"
   echo "==== [${preset}] ctest ===="
-  ctest --preset "${preset}" -j "${jobs}" "$@"
+  ctest --preset "${preset}" -j "${jobs}" "${extra[@]}" "$@"
   echo "==== [${preset}] OK ===="
 done
 
