@@ -28,6 +28,9 @@ struct IoPoint {
   uint64_t anatomy = 0;
 };
 
+// Each point is sourced from the metrics registry (counter deltas around the
+// run) and cross-checked against the pipeline's own IoStats — see
+// RegistryIoProbe.
 IoPoint MeasureIo(const ExperimentDataset& dataset, const BenchConfig& config) {
   IoPoint point;
   const int l = static_cast<int>(config.l);
@@ -35,27 +38,30 @@ IoPoint MeasureIo(const ExperimentDataset& dataset, const BenchConfig& config) {
     SimulatedDisk disk;
     BufferPool pool(&disk, kPoolFrames);
     ExternalMondrian naive(MondrianOptions{l}, /*memory_budget_pages=*/0);
-    point.generalization_naive =
+    RegistryIoProbe probe("external_mondrian");
+    point.generalization_naive = probe.TotalOrDie(
         ValueOrDie(naive.Run(dataset.microdata, dataset.taxonomies, &disk,
                              &pool))
-            .io.total();
+            .io);
   }
   {
     SimulatedDisk disk;
     BufferPool pool(&disk, kPoolFrames);
     ExternalMondrian buffered(MondrianOptions{l});
-    point.generalization_buffered =
+    RegistryIoProbe probe("external_mondrian");
+    point.generalization_buffered = probe.TotalOrDie(
         ValueOrDie(buffered.Run(dataset.microdata, dataset.taxonomies, &disk,
                                 &pool))
-            .io.total();
+            .io);
   }
   {
     SimulatedDisk disk;
     BufferPool pool(&disk, kPoolFrames);
     ExternalAnatomizer anatomizer(
         AnatomizerOptions{.l = l, .seed = static_cast<uint64_t>(config.seed)});
-    point.anatomy =
-        ValueOrDie(anatomizer.Run(dataset.microdata, &disk, &pool)).io.total();
+    RegistryIoProbe probe("external_anatomize");
+    point.anatomy = probe.TotalOrDie(
+        ValueOrDie(anatomizer.Run(dataset.microdata, &disk, &pool)).io);
   }
   return point;
 }
@@ -94,5 +100,6 @@ int main(int argc, char** argv) {
       GenerateCensus(static_cast<RowId>(config.n), config.seed);
   RunFamily(census, SensitiveFamily::kOccupation, config, 'a');
   RunFamily(census, SensitiveFamily::kSalaryClass, config, 'b');
+  MaybeWriteObs(config);
   return 0;
 }

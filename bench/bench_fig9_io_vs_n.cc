@@ -28,6 +28,8 @@ void RunFamily(const Table& census, SensitiveFamily family,
                         "anatomy"});
   for (RowId n : CardinalitySweep(config)) {
     ExperimentDataset dataset = ValueOrDie(SampleDataset(full, n, rng));
+    // Each point is sourced from the metrics registry and cross-checked
+    // against the pipeline's own IoStats — see RegistryIoProbe.
     uint64_t naive_io = 0;
     uint64_t buffered_io = 0;
     uint64_t anatomy_io = 0;
@@ -35,26 +37,30 @@ void RunFamily(const Table& census, SensitiveFamily family,
       SimulatedDisk disk;
       BufferPool pool(&disk, kPoolFrames);
       ExternalMondrian naive(MondrianOptions{l}, /*memory_budget_pages=*/0);
-      naive_io = ValueOrDie(naive.Run(dataset.microdata, dataset.taxonomies,
-                                      &disk, &pool))
-                     .io.total();
+      RegistryIoProbe probe("external_mondrian");
+      naive_io = probe.TotalOrDie(
+          ValueOrDie(naive.Run(dataset.microdata, dataset.taxonomies, &disk,
+                               &pool))
+              .io);
     }
     {
       SimulatedDisk disk;
       BufferPool pool(&disk, kPoolFrames);
       ExternalMondrian buffered(MondrianOptions{l});
-      buffered_io = ValueOrDie(buffered.Run(dataset.microdata,
-                                            dataset.taxonomies, &disk, &pool))
-                        .io.total();
+      RegistryIoProbe probe("external_mondrian");
+      buffered_io = probe.TotalOrDie(
+          ValueOrDie(buffered.Run(dataset.microdata, dataset.taxonomies,
+                                  &disk, &pool))
+              .io);
     }
     {
       SimulatedDisk disk;
       BufferPool pool(&disk, kPoolFrames);
       ExternalAnatomizer anatomizer(AnatomizerOptions{
           .l = l, .seed = static_cast<uint64_t>(config.seed)});
-      anatomy_io =
-          ValueOrDie(anatomizer.Run(dataset.microdata, &disk, &pool))
-              .io.total();
+      RegistryIoProbe probe("external_anatomize");
+      anatomy_io = probe.TotalOrDie(
+          ValueOrDie(anatomizer.Run(dataset.microdata, &disk, &pool)).io);
     }
     printer.AddRow({FormatCount(n), std::to_string(naive_io),
                     std::to_string(buffered_io), std::to_string(anatomy_io)});
@@ -80,5 +86,6 @@ int main(int argc, char** argv) {
   const Table census = GenerateCensus(sweep.back(), config.seed);
   RunFamily(census, SensitiveFamily::kOccupation, config, 'a');
   RunFamily(census, SensitiveFamily::kSalaryClass, config, 'b');
+  MaybeWriteObs(config);
   return 0;
 }

@@ -11,7 +11,6 @@
 
 #include "bench_util.h"
 #include "common/printer.h"
-#include "common/stopwatch.h"
 #include "data/census_generator.h"
 #include "query/anatomy_estimator.h"
 #include "query/exact_evaluator.h"
@@ -46,10 +45,9 @@ void Run(const BenchConfig& config) {
   // of every speedup figure.
   ParallelRunner single(ParallelRunnerOptions{.num_threads = 1});
   single.EstimateAll(estimator, workload.queries);  // warm caches/arenas
-  Stopwatch base_watch;
-  const std::vector<double> reference =
-      single.EstimateAll(estimator, workload.queries);
-  const double base_seconds = base_watch.ElapsedSeconds();
+  std::vector<double> reference;
+  const double base_seconds = TimeSeconds(
+      [&] { reference = single.EstimateAll(estimator, workload.queries); });
   const double base_qps =
       static_cast<double>(workload.queries.size()) / base_seconds;
 
@@ -58,10 +56,9 @@ void Run(const BenchConfig& config) {
   for (size_t threads : {1, 2, 4, 8}) {
     ParallelRunner runner(ParallelRunnerOptions{.num_threads = threads});
     runner.EstimateAll(estimator, workload.queries);  // warm worker arenas
-    Stopwatch watch;
-    const std::vector<double> estimates =
-        runner.EstimateAll(estimator, workload.queries);
-    const double seconds = watch.ElapsedSeconds();
+    std::vector<double> estimates;
+    const double seconds = TimeSeconds(
+        [&] { estimates = runner.EstimateAll(estimator, workload.queries); });
     size_t mismatches = 0;
     for (size_t i = 0; i < estimates.size(); ++i) {
       if (estimates[i] != reference[i]) ++mismatches;
@@ -89,6 +86,7 @@ void Run(const BenchConfig& config) {
       workload.queries.size(), static_cast<long long>(config.n), base_qps);
   printer.Print();
   MaybeWriteSeriesCsv(config, "parallel_queries", printer);
+  MaybeWriteObs(config);
 }
 
 }  // namespace

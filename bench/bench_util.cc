@@ -5,7 +5,10 @@
 #include <fstream>
 
 #include "anatomy/anatomizer.h"
+#include "common/stopwatch.h"
 #include "generalization/mondrian.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace anatomy {
 namespace bench {
@@ -21,6 +24,10 @@ BenchConfig ParseBenchFlags(int argc, char** argv, const std::string& banner) {
                  "full Table 7 scale: n = 300k (sweeps to 500k), 10k queries");
   parser.AddString("csv_dir", &config.csv_dir,
                    "also write each series as <dir>/<figure>.csv");
+  parser.AddString("metrics_out", &config.metrics_out,
+                   "write a final metrics snapshot (.prom/.json/text)");
+  parser.AddString("trace_out", &config.trace_out,
+                   "enable tracing; write Chrome trace-event JSON here");
   const Status status = parser.Parse(argc, argv);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
@@ -34,6 +41,9 @@ BenchConfig ParseBenchFlags(int argc, char** argv, const std::string& banner) {
   if (config.paper) {
     config.n = 300000;
     config.queries = 10000;
+  }
+  if (!config.trace_out.empty()) {
+    obs::TraceRecorder::Global().SetEnabled(true);
   }
   std::printf("%s\n", banner.c_str());
   std::printf("preset: n=%lld, queries=%lld, l=%lld, seed=%lld%s\n\n",
@@ -114,6 +124,77 @@ void MaybeWriteSeriesCsv(const BenchConfig& config, const std::string& figure,
   }
   os << printer.ToCsv();
   std::printf("(series written to %s)\n", path.c_str());
+}
+
+namespace {
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+void MaybeWriteObs(const BenchConfig& config) {
+  if (!config.metrics_out.empty()) {
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricRegistry::Global().Snapshot();
+    std::string body;
+    if (HasSuffix(config.metrics_out, ".prom")) {
+      body = snapshot.ToPrometheus();
+    } else if (HasSuffix(config.metrics_out, ".json")) {
+      body = snapshot.ToJson();
+    } else {
+      body = snapshot.ToText();
+    }
+    std::ofstream os(config.metrics_out);
+    if (os) {
+      os << body;
+      std::printf("(metrics written to %s)\n", config.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "warning: cannot write %s\n",
+                   config.metrics_out.c_str());
+    }
+  }
+  if (!config.trace_out.empty()) {
+    const Status status =
+        obs::TraceRecorder::Global().WriteChromeJson(config.trace_out);
+    if (status.ok()) {
+      std::printf("(trace written to %s)\n", config.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
+    }
+  }
+}
+
+double TimeSeconds(const std::function<void()>& fn) {
+  Stopwatch watch;
+  fn();
+  return watch.ElapsedSeconds();
+}
+
+RegistryIoProbe::RegistryIoProbe(const std::string& pipeline)
+    : pipeline_(pipeline),
+      reads_(obs::MetricRegistry::Global().GetCounter(pipeline + ".io.reads")),
+      writes_(
+          obs::MetricRegistry::Global().GetCounter(pipeline + ".io.writes")),
+      reads_before_(reads_->value()),
+      writes_before_(writes_->value()) {}
+
+uint64_t RegistryIoProbe::TotalOrDie(const IoStats& expected) const {
+  const uint64_t reads = reads_->value() - reads_before_;
+  const uint64_t writes = writes_->value() - writes_before_;
+  if (reads != expected.reads || writes != expected.writes) {
+    std::fprintf(stderr,
+                 "fatal: registry I/O for %s (reads=%llu writes=%llu) "
+                 "disagrees with IoStats (reads=%llu writes=%llu)\n",
+                 pipeline_.c_str(), static_cast<unsigned long long>(reads),
+                 static_cast<unsigned long long>(writes),
+                 static_cast<unsigned long long>(expected.reads),
+                 static_cast<unsigned long long>(expected.writes));
+    std::exit(1);
+  }
+  return reads + writes;
 }
 
 }  // namespace bench

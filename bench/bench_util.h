@@ -9,6 +9,7 @@
 #define ANATOMY_BENCH_BENCH_UTIL_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,8 @@
 #include "common/status.h"
 #include "data/dataset.h"
 #include "generalization/generalized_table.h"
+#include "obs/metrics.h"
+#include "storage/disk.h"
 #include "workload/runner.h"
 
 namespace anatomy {
@@ -37,6 +40,14 @@ struct BenchConfig {
   /// When non-empty, every printed series is also written to
   /// <csv_dir>/<figure>.csv for plotting.
   std::string csv_dir;
+  /// When non-empty, a final metrics snapshot is written here on exit via
+  /// MaybeWriteObs (.prom -> Prometheus exposition, .json -> JSON, anything
+  /// else -> aligned text table).
+  std::string metrics_out;
+  /// When non-empty, tracing is enabled at flag-parse time and a Chrome
+  /// trace-event JSON file is written here by MaybeWriteObs (load it in
+  /// chrome://tracing or https://ui.perfetto.dev).
+  std::string trace_out;
 };
 
 /// Parses the standard bench flags (plus --help). Exits the process on bad
@@ -87,6 +98,34 @@ std::string FamilyName(SensitiveFamily family);
 /// given; silently does nothing otherwise.
 void MaybeWriteSeriesCsv(const BenchConfig& config, const std::string& figure,
                          const TablePrinter& printer);
+
+/// Writes the global metrics snapshot to --metrics_out and the trace to
+/// --trace_out, whichever were given. Call once at the end of main.
+void MaybeWriteObs(const BenchConfig& config);
+
+/// Sources a pipeline's I/O count from the metrics registry: snapshots the
+/// `<pipeline>.io.reads/writes` counters at construction and returns the
+/// delta afterwards, cross-checked against the pipeline's own IoStats. The
+/// figure benches report the registry numbers, and abort if the two
+/// accountings ever disagree — so the printed I/O is provably registry-fed.
+class RegistryIoProbe {
+ public:
+  explicit RegistryIoProbe(const std::string& pipeline);
+
+  /// Counter delta since construction; dies unless it equals `expected`.
+  uint64_t TotalOrDie(const IoStats& expected) const;
+
+ private:
+  std::string pipeline_;
+  obs::Counter* reads_;
+  obs::Counter* writes_;
+  uint64_t reads_before_;
+  uint64_t writes_before_;
+};
+
+/// Wall-clock seconds `fn` takes — the shared replacement for per-bench
+/// stopwatch bookkeeping.
+double TimeSeconds(const std::function<void()>& fn);
 
 }  // namespace bench
 }  // namespace anatomy

@@ -21,7 +21,10 @@
 #include "anatomy/bundle.h"
 #include "anatomy/eligibility.h"
 #include "common/flags.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "privacy/ldiversity.h"
 #include "query/anatomy_estimator.h"
 #include "query/parser.h"
@@ -103,6 +106,46 @@ StatusOr<std::vector<size_t>> ParseColumnList(const std::string& spec,
   return out;
 }
 
+/// Writes the final metrics snapshot / trace if the corresponding output
+/// flags were given (format by extension: .prom, .json, else text table).
+void MaybeWriteObs(const std::string& metrics_out,
+                   const std::string& trace_out) {
+  if (!metrics_out.empty()) {
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricRegistry::Global().Snapshot();
+    std::string body;
+    auto has_suffix = [&](const char* suffix) {
+      const std::string s(suffix);
+      return metrics_out.size() >= s.size() &&
+             metrics_out.compare(metrics_out.size() - s.size(), s.size(), s) ==
+                 0;
+    };
+    if (has_suffix(".prom")) {
+      body = snapshot.ToPrometheus();
+    } else if (has_suffix(".json")) {
+      body = snapshot.ToJson();
+    } else {
+      body = snapshot.ToText();
+    }
+    std::ofstream os(metrics_out);
+    if (!os) {
+      std::fprintf(stderr, "warning: cannot write %s\n", metrics_out.c_str());
+    } else {
+      os << body;
+      std::printf("wrote metrics snapshot        : %s\n", metrics_out.c_str());
+    }
+  }
+  if (!trace_out.empty()) {
+    const Status status =
+        obs::TraceRecorder::Global().WriteChromeJson(trace_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
+    } else {
+      std::printf("wrote trace (chrome://tracing): %s\n", trace_out.c_str());
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -117,6 +160,8 @@ int main(int argc, char** argv) {
   std::string bundle;
   std::string query_text;
   bool check_only = false;
+  std::string metrics_out;
+  std::string trace_out;
 
   FlagParser parser;
   parser.AddString("input", &input, "integer-coded CSV with a header row");
@@ -133,10 +178,17 @@ int main(int argc, char** argv) {
                    "query mode: COUNT [WHERE ...] to estimate");
   parser.AddBool("check_only", &check_only,
                  "only report eligibility; write nothing");
+  parser.AddString("metrics_out", &metrics_out,
+                   "write a final metrics snapshot (.prom/.json/text)");
+  parser.AddString("trace_out", &trace_out,
+                   "enable tracing; write Chrome trace-event JSON here");
   Die(parser.Parse(argc, argv));
   if (parser.help_requested()) {
     std::printf("%s", parser.Usage(argv[0]).c_str());
     return 0;
+  }
+  if (!trace_out.empty()) {
+    obs::TraceRecorder::Global().SetEnabled(true);
   }
 
   // ---- Query mode: answer a COUNT query from a publication bundle. ----
@@ -152,7 +204,18 @@ int main(int argc, char** argv) {
     const QuerySchema schema = QuerySchema::FromPublication(loaded.tables);
     const CountQuery query = OrDie(ParseCountQuery(query_text, schema));
     AnatomyEstimator estimator(loaded.tables);
-    std::printf("estimate: %.3f\n", estimator.Estimate(query));
+    double estimate = 0.0;
+    {
+      obs::ScopedSpan span("cli.query", "cli");
+      obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+      ScopedTimer<obs::Histogram> timer(
+          obs::MetricsEnabled() ? registry.GetHistogram("query.latency_ns")
+                                : nullptr);
+      estimate = estimator.Estimate(query);
+      if (obs::MetricsEnabled()) registry.GetCounter("query.count")->Increment();
+    }
+    std::printf("estimate: %.3f\n", estimate);
+    MaybeWriteObs(metrics_out, trace_out);
     return 0;
   }
 
@@ -201,5 +264,6 @@ int main(int argc, char** argv) {
                 "manifest)\n",
                 bundle_out.c_str());
   }
+  MaybeWriteObs(metrics_out, trace_out);
   return 0;
 }

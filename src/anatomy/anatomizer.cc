@@ -6,6 +6,9 @@
 
 #include "anatomy/eligibility.h"
 #include "common/check.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace anatomy {
 
@@ -91,7 +94,20 @@ StatusOr<Partition> Anatomizer::ComputePartitionWithPolicy(
   const size_t l = static_cast<size_t>(options_.l);
   Rng rng(options_.seed);
 
-  std::vector<Bucket> buckets = HashBySensitiveValue(microdata);
+  // Phase timings go to the registry only when metrics are on; a null
+  // recorder disarms the ScopedTimer so the disabled path skips the clock.
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  const bool metrics_on = obs::MetricsEnabled();
+
+  obs::ScopedSpan bucketize_span("anatomize.bucketize", "anatomize");
+  std::vector<Bucket> buckets;
+  {
+    ScopedTimer<obs::Histogram> timer(
+        metrics_on ? registry.GetHistogram("anatomize.phase.bucketize_ns")
+                   : nullptr);
+    buckets = HashBySensitiveValue(microdata);
+  }
+  bucketize_span.End();
   size_t non_empty = buckets.size();
 
   Partition partition;
@@ -101,6 +117,8 @@ StatusOr<Partition> Anatomizer::ComputePartitionWithPolicy(
   std::vector<std::unordered_set<Code>> group_values;
 
   // ---- Group-creation step (Lines 3-8). ----
+  obs::ScopedSpan group_draw_span("anatomize.group_draw", "anatomize");
+  Stopwatch group_draw_watch;
   LargestBucketQueue queue(buckets);
   size_t round_robin_cursor = 0;
   std::vector<size_t> drawn;  // bucket indices used by this iteration
@@ -155,8 +173,15 @@ StatusOr<Partition> Anatomizer::ComputePartitionWithPolicy(
     partition.groups.push_back(std::move(group));
     group_values.push_back(std::move(values));
   }
+  group_draw_span.End();
+  if (metrics_on) {
+    registry.GetHistogram("anatomize.phase.group_draw_ns")
+        ->Record(group_draw_watch.ElapsedNanos());
+  }
 
   // ---- Residue-assignment step (Lines 9-12). ----
+  obs::ScopedSpan residue_span("anatomize.residue_assign", "anatomize");
+  Stopwatch residue_watch;
   // Under eligibility each remaining bucket holds exactly one tuple
   // (Property 1) when running the paper's policy; the round-robin ablation
   // can leave more, in which case the same per-tuple assignment is attempted
@@ -182,6 +207,17 @@ StatusOr<Partition> Anatomizer::ComputePartitionWithPolicy(
       partition.groups[g].push_back(r);
       group_values[g].insert(bucket.value);
     }
+  }
+  residue_span.End();
+  if (metrics_on) {
+    registry.GetHistogram("anatomize.phase.residue_ns")
+        ->Record(residue_watch.ElapsedNanos());
+    size_t residues = 0;
+    for (const Bucket& bucket : buckets) residues += bucket.rows.size();
+    registry.GetCounter("anatomize.runs")->Increment();
+    registry.GetCounter("anatomize.groups")
+        ->Increment(partition.groups.size());
+    registry.GetCounter("anatomize.residues")->Increment(residues);
   }
 
   if (partition.groups.empty()) {

@@ -8,6 +8,8 @@
 
 #include "anatomy/eligibility.h"
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/page_file.h"
 #include "storage/recovery.h"
 
@@ -45,6 +47,8 @@ StatusOr<ExternalAnatomizeResult> RunPipeline(const AnatomizerOptions& options,
 
   // ---- Stage 0 (uncounted): materialize T on disk, as in the paper where
   // the microdata pre-exists as a table. ----
+  obs::ScopedSpan stage0_span("external_anatomize.stage0_load",
+                              "external_anatomize");
   RecordFile input(disk, tuple_fields);
   {
     RecordWriter writer(pool, &input);
@@ -58,7 +62,10 @@ StatusOr<ExternalAnatomizeResult> RunPipeline(const AnatomizerOptions& options,
   }
   ANATOMY_RETURN_IF_ERROR(pool->FlushAll());
   disk->ResetStats();
+  stage0_span.End();
 
+  obs::ScopedSpan stage1_span("external_anatomize.stage1_partition",
+                              "external_anatomize");
   // ---- Stage 1: hash-partition by sensitive value (Line 2 of Figure 3).
   // Fan-out limited to capacity - 2 buffer pages (one input cursor + slack);
   // overflowing partitions are refined by a second pass. ----
@@ -127,7 +134,10 @@ StatusOr<ExternalAnatomizeResult> RunPipeline(const AnatomizerOptions& options,
   for (auto& [v, cursor] : buckets) {
     cursor.reader = std::make_unique<RecordReader>(pool, cursor.file.get());
   }
+  stage1_span.End();
 
+  obs::ScopedSpan stage2_span("external_anatomize.stage2_group_draw",
+                              "external_anatomize");
   // ---- Stage 2: group-creation (Lines 3-8). Bucket sizes are O(lambda)
   // in-memory counters; tuples stream through the pool. ----
   ExternalAnatomizeResult result;
@@ -224,7 +234,10 @@ StatusOr<ExternalAnatomizeResult> RunPipeline(const AnatomizerOptions& options,
   if (residues.size() >= l) {
     return Status::Internal("more than l-1 residue tuples; eligibility bug");
   }
+  stage2_span.End();
 
+  obs::ScopedSpan stage3_span("external_anatomize.stage3_residue_publish",
+                              "external_anatomize");
   // ---- Stage 3: residue-assignment fused with QIT/ST publication
   // (Lines 9-18): one scan of the group file. A residue joins the first
   // scanned group lacking its sensitive value (Property 2 guarantees one
@@ -304,6 +317,16 @@ StatusOr<ExternalAnatomizeResult> RunPipeline(const AnatomizerOptions& options,
   result.io = disk->stats();
   result.qit_pages = qit_file.num_pages();
   result.st_pages = st_file.num_pages();
+  stage3_span.End();
+
+  // Publish the measured (counted, post-stage-0) I/O to the registry so
+  // benches can reproduce the paper's I/O numbers from registry reads alone.
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  registry.GetCounter("external_anatomize.runs")->Increment();
+  registry.GetCounter("external_anatomize.io.reads")
+      ->Increment(result.io.reads);
+  registry.GetCounter("external_anatomize.io.writes")
+      ->Increment(result.io.writes);
 
   if (publish) {
     // Crash-consistent commit: data pages are on disk (FlushAll above), so

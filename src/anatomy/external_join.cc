@@ -3,6 +3,8 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/external_sort.h"
 #include "storage/recovery.h"
 
@@ -39,6 +41,7 @@ StatusOr<ExternalJoinResult> JoinPipeline(const AnatomizedTables& tables,
   ANATOMY_RETURN_IF_ERROR(pool->FlushAll());
   disk->ResetStats();
 
+  obs::ScopedSpan join_span("external_join.sort_merge", "external_join");
   // ---- Sort both sides by Group-ID. The ST is written grouped already,
   // but a robust implementation must not rely on that. ----
   SortSpec qit_spec;
@@ -100,6 +103,12 @@ StatusOr<ExternalJoinResult> JoinPipeline(const AnatomizedTables& tables,
   ANATOMY_RETURN_IF_ERROR(sorted_qit->FreeAll(pool));
   ANATOMY_RETURN_IF_ERROR(sorted_st->FreeAll(pool));
   result.io = disk->stats();
+  join_span.End();
+
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  registry.GetCounter("external_join.runs")->Increment();
+  registry.GetCounter("external_join.io.reads")->Increment(result.io.reads);
+  registry.GetCounter("external_join.io.writes")->Increment(result.io.writes);
   return result;
 }
 

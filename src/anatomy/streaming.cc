@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/recovery.h"
 
 namespace anatomy {
@@ -72,6 +74,7 @@ StatusOr<std::unique_ptr<RecordFile>> StreamingAnatomizer::FlushWindow(
   if (finished_) {
     return Status::FailedPrecondition("FlushWindow after Finish");
   }
+  obs::ScopedSpan flush_span("streaming.flush_window", "streaming");
   PipelineGuard guard(disk, pool);
   auto file = std::make_unique<RecordFile>(disk, 3);
   auto write_window = [&]() -> Status {
@@ -96,6 +99,10 @@ StatusOr<std::unique_ptr<RecordFile>> StreamingAnatomizer::FlushWindow(
     guard.Abort();
     return status;
   }
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  registry.GetCounter("streaming.windows_flushed")->Increment();
+  registry.GetCounter("streaming.groups_flushed")
+      ->Increment(groups_.size() - flushed_groups_);
   flushed_groups_ = groups_.size();
   return file;
 }

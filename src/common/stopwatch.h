@@ -5,6 +5,8 @@
 #define ANATOMY_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
+#include <optional>
 
 namespace anatomy {
 
@@ -13,6 +15,13 @@ class Stopwatch {
   Stopwatch() : start_(Clock::now()) {}
 
   void Reset() { start_ = Clock::now(); }
+
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
 
   double ElapsedSeconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
@@ -23,6 +32,29 @@ class Stopwatch {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// RAII timer: records the scope's duration in nanoseconds into any recorder
+/// exposing `void Record(uint64_t)` — in practice an obs::Histogram — on
+/// destruction. A null recorder disarms it completely (no clock is ever
+/// read), so call sites can gate on obs::MetricsEnabled() by passing null.
+/// Templated so common/ does not depend on obs/.
+template <typename Recorder>
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Recorder* recorder) : recorder_(recorder) {
+    if (recorder_ != nullptr) watch_.emplace();
+  }
+  ~ScopedTimer() {
+    if (recorder_ != nullptr) recorder_->Record(watch_->ElapsedNanos());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Recorder* recorder_;
+  std::optional<Stopwatch> watch_;
 };
 
 }  // namespace anatomy

@@ -6,6 +6,8 @@
 
 #include "anatomy/eligibility.h"
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/page_file.h"
 #include "storage/recovery.h"
 
@@ -115,6 +117,7 @@ class ExternalMondrianDriver {
       // Unsplittable oversized node: it becomes one (huge) QI-group.
       return EmitGroupFromFile(file, extents, partition);
     }
+    obs_splits_->Increment();
 
     // ---- Redistribution scan. ----
     RecordFile left(disk_, tuple_fields_);
@@ -241,6 +244,10 @@ class ExternalMondrianDriver {
   RecordFile output_;
   RecordWriter output_writer_;
   Mondrian mondrian_;
+  /// Out-of-disk splits taken by the recursive descent
+  /// (`external_mondrian.splits`; in-memory leaf splits are not counted).
+  obs::Counter* obs_splits_ = obs::MetricRegistry::Global().GetCounter(
+      "external_mondrian.splits");
 };
 
 /// The full run (Stage 0 + recursion). Any early return leaves pages behind
@@ -254,6 +261,8 @@ StatusOr<ExternalMondrianResult> RunPipeline(const MondrianOptions& options,
   const size_t tuple_fields = d + 2;
 
   // Stage 0 (uncounted): materialize T on disk.
+  obs::ScopedSpan stage0_span("external_mondrian.stage0_load",
+                              "external_mondrian");
   RecordFile input(disk, tuple_fields);
   {
     RecordWriter writer(pool, &input);
@@ -267,7 +276,10 @@ StatusOr<ExternalMondrianResult> RunPipeline(const MondrianOptions& options,
   }
   ANATOMY_RETURN_IF_ERROR(pool->FlushAll());
   disk->ResetStats();
+  stage0_span.End();
 
+  obs::ScopedSpan recurse_span("external_mondrian.recurse",
+                               "external_mondrian");
   ExternalMondrianResult result;
   ExternalMondrianDriver driver(microdata, taxonomies, options.l, disk, pool,
                                 memory_budget_pages);
@@ -275,6 +287,15 @@ StatusOr<ExternalMondrianResult> RunPipeline(const MondrianOptions& options,
   result.output_pages = driver.output_pages();
   ANATOMY_RETURN_IF_ERROR(driver.Finalize());
   result.io = disk->stats();
+  recurse_span.End();
+
+  // Publish the measured (counted, post-stage-0) I/O to the registry so
+  // benches can reproduce the paper's I/O numbers from registry reads alone.
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  registry.GetCounter("external_mondrian.runs")->Increment();
+  registry.GetCounter("external_mondrian.io.reads")->Increment(result.io.reads);
+  registry.GetCounter("external_mondrian.io.writes")
+      ->Increment(result.io.writes);
   return result;
 }
 

@@ -1,0 +1,255 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace anatomy {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+/// 63 - clz, for v != 0 (portable bit_width - 1).
+size_t Log2Floor(uint64_t v) {
+  size_t log = 0;
+  while (v >>= 1) ++log;
+  return log;
+}
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "anatomy_";
+  for (char c : name) {
+    out.push_back((c == '.' || c == '-') ? '_' : c);
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------- Histogram --
+
+size_t Histogram::BucketIndex(uint64_t v) {
+  if (v == 0) return 0;
+  return Log2Floor(v) + 1;
+}
+
+uint64_t Histogram::BucketUpperBound(size_t i) {
+  if (i == 0) return 0;
+  if (i >= 64) return UINT64_MAX;
+  return (uint64_t{1} << i) - 1;
+}
+
+void Histogram::Record(uint64_t v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  // Relaxed CAS min/max: exact under quiescence, monotone under contention.
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (v < seen &&
+         !min_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::min() const {
+  const uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(n) + 0.5));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += bucket_count(i);
+    if (cumulative >= rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// -------------------------------------------------------- MetricRegistry --
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramEntry entry;
+    entry.name = name;
+    entry.count = histogram->count();
+    entry.sum = histogram->sum();
+    entry.min = histogram->min();
+    entry.max = histogram->max();
+    entry.mean = histogram->Mean();
+    entry.p50 = histogram->Quantile(0.5);
+    entry.p99 = histogram->Quantile(0.99);
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      const uint64_t c = histogram->bucket_count(i);
+      if (c > 0) entry.buckets.emplace_back(Histogram::BucketUpperBound(i), c);
+    }
+    snapshot.histograms.push_back(std::move(entry));
+  }
+  return snapshot;
+}
+
+void MetricRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+// ------------------------------------------------------------- Exporters --
+
+std::string MetricsSnapshot::ToText() const {
+  std::ostringstream os;
+  size_t width = 8;
+  for (const auto& c : counters) width = std::max(width, c.name.size());
+  for (const auto& g : gauges) width = std::max(width, g.name.size());
+  for (const auto& h : histograms) width = std::max(width, h.name.size());
+  auto pad = [&](const std::string& name) {
+    return name + std::string(width + 2 - name.size(), ' ');
+  };
+  for (const auto& c : counters) {
+    os << pad(c.name) << c.value << "\n";
+  }
+  for (const auto& g : gauges) {
+    os << pad(g.name) << g.value << "\n";
+  }
+  for (const auto& h : histograms) {
+    os << pad(h.name) << "count=" << h.count << " sum=" << h.sum
+       << " min=" << h.min << " mean=" << h.mean << " p50<=" << h.p50
+       << " p99<=" << h.p99 << " max=" << h.max << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::ostringstream os;
+  for (const auto& c : counters) {
+    const std::string name = PrometheusName(c.name);
+    os << "# TYPE " << name << " counter\n" << name << " " << c.value << "\n";
+  }
+  for (const auto& g : gauges) {
+    const std::string name = PrometheusName(g.name);
+    os << "# TYPE " << name << " gauge\n" << name << " " << g.value << "\n";
+  }
+  for (const auto& h : histograms) {
+    const std::string name = PrometheusName(h.name);
+    os << "# TYPE " << name << " histogram\n";
+    uint64_t cumulative = 0;
+    for (const auto& [upper, count] : h.buckets) {
+      cumulative += count;
+      os << name << "_bucket{le=\"" << upper << "\"} " << cumulative << "\n";
+    }
+    os << name << "_bucket{le=\"+Inf\"} " << h.count << "\n"
+       << name << "_sum " << h.sum << "\n"
+       << name << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i) os << ",";
+    os << "\"" << JsonEscape(counters[i].name) << "\":" << counters[i].value;
+  }
+  os << "},\"gauges\":{";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    if (i) os << ",";
+    os << "\"" << JsonEscape(gauges[i].name) << "\":" << gauges[i].value;
+  }
+  os << "},\"histograms\":{";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const auto& h = histograms[i];
+    if (i) os << ",";
+    os << "\"" << JsonEscape(h.name) << "\":{\"count\":" << h.count
+       << ",\"sum\":" << h.sum << ",\"min\":" << h.min << ",\"max\":" << h.max
+       << ",\"mean\":" << h.mean << ",\"p50\":" << h.p50 << ",\"p99\":" << h.p99
+       << ",\"buckets\":[";
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b) os << ",";
+      os << "[" << h.buckets[b].first << "," << h.buckets[b].second << "]";
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace anatomy

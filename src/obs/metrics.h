@@ -1,0 +1,179 @@
+// Observability metrics: process-wide (or explicitly injected) registry of
+// Counter / Gauge / Histogram primitives.
+//
+// Design constraints, in order:
+//   1. Out-of-band: metrics are read-only observers. Nothing in the registry
+//      ever feeds back into partitioning, RNG streams, or query answers —
+//      enabling or disabling metrics leaves every published table and every
+//      estimate bit-identical (asserted by parallel_query_test).
+//   2. Thread-safe and TSan-clean: all mutation is relaxed atomics, so any
+//      number of worker shards can record into one histogram concurrently
+//      with no lost increments (asserted by obs_test's ThreadPool hammer).
+//      Per-shard recordings merge deterministically because counter addition
+//      is exact and commutative.
+//   3. Near-zero cost: an enabled counter increment is one relaxed
+//      fetch_add. Hot paths that need a clock read (per-query latency) gate
+//      on MetricsEnabled() so the disabled mode costs one relaxed load.
+//
+// Naming scheme (see DESIGN.md §7): lowercase dotted paths,
+// `<subsystem>.<object>.<what>`, with `_ns` suffixing duration histograms —
+// e.g. `storage.pool.hits`, `query.latency_ns`, `anatomize.phase.bucketize_ns`.
+
+#ifndef ANATOMY_OBS_METRICS_H_
+#define ANATOMY_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace anatomy {
+namespace obs {
+
+/// Process-wide kill switch for metric *recording at instrumented call
+/// sites that pay a measurable cost* (clock reads, per-query work). Cheap
+/// counter increments are always live. Default: enabled.
+void SetMetricsEnabled(bool enabled);
+bool MetricsEnabled();
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time signed level (pool occupancy, buffered tuples, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log-bucketed (power-of-two) histogram over uint64 samples. Bucket i == 0
+/// holds exactly the value 0; bucket i >= 1 holds [2^(i-1), 2^i - 1]. That
+/// gives ~2x resolution over the full 64-bit range in 65 fixed buckets —
+/// coarse, but allocation-free and mergeable by pure addition.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 65;
+
+  /// Bucket index a value lands in (0 for 0, else 64 - countl_zero(v)).
+  static size_t BucketIndex(uint64_t v);
+
+  /// Largest value bucket i admits (inclusive). Bucket 64 saturates at
+  /// UINT64_MAX.
+  static uint64_t BucketUpperBound(size_t i);
+
+  void Record(uint64_t v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// 0 when the histogram is empty.
+  uint64_t min() const;
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  double Mean() const;
+
+  /// Upper bound of the bucket containing the q-quantile (q in [0, 1]) —
+  /// an over-estimate by at most 2x, which is all the log bucketing admits.
+  /// Returns 0 when empty.
+  uint64_t Quantile(double q) const;
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  /// UINT64_MAX sentinel while empty.
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// One consistent-enough read of a registry (each metric is read atomically;
+/// cross-metric skew is possible while writers are live). Sorted by name.
+struct MetricsSnapshot {
+  struct CounterEntry {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeEntry {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct HistogramEntry {
+    std::string name;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    double mean = 0.0;
+    uint64_t p50 = 0;
+    uint64_t p99 = 0;
+    /// (inclusive upper bound, count) for every non-empty bucket, ascending.
+    std::vector<std::pair<uint64_t, uint64_t>> buckets;
+  };
+
+  std::vector<CounterEntry> counters;
+  std::vector<GaugeEntry> gauges;
+  std::vector<HistogramEntry> histograms;
+
+  /// Human-readable aligned table (the --metrics_out default).
+  std::string ToText() const;
+  /// Prometheus text exposition (names have dots mapped to underscores and
+  /// an `anatomy_` prefix; histograms emit cumulative `_bucket{le=...}`).
+  std::string ToPrometheus() const;
+  std::string ToJson() const;
+};
+
+/// Named metric registry. `Global()` is the process-wide instance every
+/// built-in instrumentation site records into; tests and embedders that want
+/// isolation construct their own and inject it (e.g. BufferPool's registry
+/// parameter). Getters are get-or-create and return pointers that remain
+/// valid for the registry's lifetime.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  static MetricRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (the metrics stay registered).
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace anatomy
+
+#endif  // ANATOMY_OBS_METRICS_H_

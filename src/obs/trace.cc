@@ -1,0 +1,144 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace anatomy {
+namespace obs {
+
+namespace {
+
+/// One-entry per-thread cache so the hot Record path skips the registry map.
+struct ThreadCache {
+  const TraceRecorder* recorder = nullptr;
+  void* buffer = nullptr;
+};
+thread_local ThreadCache tl_cache;
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();  // never destroyed
+  return *recorder;
+}
+
+uint64_t TraceRecorder::NowNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
+  if (tl_cache.recorder == this) {
+    return static_cast<ThreadBuffer*>(tl_cache.buffer);
+  }
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  ThreadBuffer*& slot = by_thread_[std::this_thread::get_id()];
+  if (slot == nullptr) {
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->ring.resize(kTraceRingCapacity);
+    buffer->tid = static_cast<uint32_t>(buffers_.size() + 1);
+    slot = buffer.get();
+    buffers_.push_back(std::move(buffer));
+  }
+  tl_cache.recorder = this;
+  tl_cache.buffer = slot;
+  return slot;
+}
+
+void TraceRecorder::Record(const char* name, const char* category,
+                           uint64_t start_ns, uint64_t dur_ns) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->ring[buffer->head % kTraceRingCapacity] =
+      TraceEvent{name, category, start_ns, dur_ns};
+  ++buffer->head;
+}
+
+size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += static_cast<size_t>(
+        std::min<uint64_t>(buffer->head, kTraceRingCapacity));
+  }
+  return total;
+}
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  uint64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    if (buffer->head > kTraceRingCapacity) {
+      total += buffer->head - kTraceRingCapacity;
+    }
+  }
+  return total;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->head = 0;
+  }
+}
+
+std::string TraceRecorder::ExportChromeJson() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    const uint64_t retained =
+        std::min<uint64_t>(buffer->head, kTraceRingCapacity);
+    for (uint64_t k = buffer->head - retained; k < buffer->head; ++k) {
+      const TraceEvent& event = buffer->ring[k % kTraceRingCapacity];
+      if (!first) os << ",";
+      first = false;
+      os << "{\"name\":\"" << event.name << "\",\"cat\":\"" << event.category
+         << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << buffer->tid
+         << ",\"ts\":" << static_cast<double>(event.start_ns) / 1e3
+         << ",\"dur\":" << static_cast<double>(event.dur_ns) / 1e3 << "}";
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+Status TraceRecorder::WriteChromeJson(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    return Status::NotFound("cannot open '" + path + "' for writing");
+  }
+  os << ExportChromeJson();
+  if (!os.good()) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* category)
+    : name_(name), category_(category) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  active_ = recorder.enabled();
+  if (active_) start_ns_ = recorder.NowNs();
+}
+
+void ScopedSpan::End() {
+  if (!active_) return;
+  active_ = false;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  if (!recorder.enabled()) return;  // disabled mid-span: drop the event
+  recorder.Record(name_, category_, start_ns_, recorder.NowNs() - start_ns_);
+}
+
+}  // namespace obs
+}  // namespace anatomy

@@ -1,0 +1,128 @@
+// Lightweight tracing: RAII spans recorded into per-thread ring buffers,
+// exportable as Chrome trace-event JSON (open chrome://tracing or
+// https://ui.perfetto.dev and load the file).
+//
+// Cost model: tracing is off by default. A span on the disabled path is one
+// relaxed atomic load — no clock read, no buffer touch — so instrumented hot
+// paths stay within the bench_obs_overhead budget. When enabled, a span is
+// two steady_clock reads plus one append under a per-thread, essentially
+// uncontended mutex (only the owning thread writes; an exporter reads
+// rarely), which keeps the recorder TSan-clean without a lock-free ring.
+//
+// Span names/categories must be string literals (or otherwise outlive the
+// recorder): events store the pointers, not copies.
+//
+// Determinism contract: like metrics, traces are strictly out-of-band —
+// recording never feeds back into partitioning, RNG streams, or estimates.
+
+#ifndef ANATOMY_OBS_TRACE_H_
+#define ANATOMY_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace anatomy {
+namespace obs {
+
+/// One completed span ("X" phase in the Chrome trace-event format).
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+};
+
+/// Events kept per thread before the oldest are overwritten.
+inline constexpr size_t kTraceRingCapacity = 16384;
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// The recorder every ScopedSpan records into.
+  static TraceRecorder& Global();
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Nanoseconds on the steady clock since this recorder was constructed.
+  uint64_t NowNs() const;
+
+  /// Appends one completed span to the calling thread's ring buffer.
+  void Record(const char* name, const char* category, uint64_t start_ns,
+              uint64_t dur_ns);
+
+  /// Events currently retained across all threads.
+  size_t event_count() const;
+  /// Events overwritten by ring wraparound so far.
+  uint64_t dropped() const;
+
+  /// Drops all retained events and the dropped count; thread buffers stay
+  /// registered, so cached pointers in live threads remain valid.
+  void Clear();
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}; ts/dur in µs). Safe to
+  /// call while spans are still being recorded — concurrent events may or
+  /// may not make the cut, complete ones are never torn.
+  std::string ExportChromeJson() const;
+
+  /// ExportChromeJson to a file.
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> ring;
+    /// Total events ever recorded; slot = head % capacity.
+    uint64_t head = 0;
+    uint32_t tid = 0;
+  };
+
+  ThreadBuffer* BufferForThisThread();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex registry_mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::unordered_map<std::thread::id, ThreadBuffer*> by_thread_;
+};
+
+/// RAII span. Construction samples the clock when tracing is enabled;
+/// destruction (or an early End()) records the completed event. When tracing
+/// is disabled the whole object is a single relaxed load.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* category = "anatomy");
+  ~ScopedSpan() { End(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Ends the span now (idempotent); useful for phase boundaries in linear
+  /// code where scopes would nest awkwardly.
+  void End();
+
+ private:
+  const char* name_;
+  const char* category_;
+  uint64_t start_ns_ = 0;
+  bool active_;
+};
+
+}  // namespace obs
+}  // namespace anatomy
+
+#endif  // ANATOMY_OBS_TRACE_H_

@@ -4,10 +4,17 @@
 
 namespace anatomy {
 
-BufferPool::BufferPool(Disk* disk, size_t capacity_pages)
+BufferPool::BufferPool(Disk* disk, size_t capacity_pages,
+                       obs::MetricRegistry* registry)
     : disk_(disk), capacity_(capacity_pages) {
   ANATOMY_CHECK(disk_ != nullptr);
   ANATOMY_CHECK(capacity_ > 0);
+  if (registry == nullptr) registry = &obs::MetricRegistry::Global();
+  obs_hits_ = registry->GetCounter("storage.pool.hits");
+  obs_misses_ = registry->GetCounter("storage.pool.misses");
+  obs_evictions_ = registry->GetCounter("storage.pool.evictions");
+  obs_writebacks_ = registry->GetCounter("storage.pool.writebacks");
+  obs_retries_ = registry->GetCounter("storage.pool.retries");
 }
 
 size_t BufferPool::pinned_frames() const {
@@ -17,13 +24,19 @@ size_t BufferPool::pinned_frames() const {
 }
 
 Status BufferPool::ReadWithRetry(PageId id, Page& out) {
-  return RunWithRetry(retry_policy_, &io_retries_,
-                      [&] { return disk_->ReadPage(id, out); });
+  const uint64_t before = io_retries_;
+  Status status = RunWithRetry(retry_policy_, &io_retries_,
+                               [&] { return disk_->ReadPage(id, out); });
+  if (io_retries_ != before) obs_retries_->Increment(io_retries_ - before);
+  return status;
 }
 
 Status BufferPool::WriteWithRetry(PageId id, const Page& in) {
-  return RunWithRetry(retry_policy_, &io_retries_,
-                      [&] { return disk_->WritePage(id, in); });
+  const uint64_t before = io_retries_;
+  Status status = RunWithRetry(retry_policy_, &io_retries_,
+                               [&] { return disk_->WritePage(id, in); });
+  if (io_retries_ != before) obs_retries_->Increment(io_retries_ - before);
+  return status;
 }
 
 Status BufferPool::EvictOne() {
@@ -42,9 +55,11 @@ Status BufferPool::EvictOne() {
     // Write back before unhooking anything: on failure the victim stays at
     // the LRU front, still cached and still evictable once the disk heals.
     ANATOMY_RETURN_IF_ERROR(WriteWithRetry(victim, it->second.page));
+    obs_writebacks_->Increment();
   }
   lru_.pop_front();
   frames_.erase(it);
+  obs_evictions_->Increment();
   return Status::OK();
 }
 
@@ -57,8 +72,10 @@ StatusOr<Page*> BufferPool::Pin(PageId id) {
       frame.in_lru = false;
     }
     ++frame.pin_count;
+    obs_hits_->Increment();
     return &frame.page;
   }
+  obs_misses_->Increment();
   if (frames_.size() >= capacity_) {
     ANATOMY_RETURN_IF_ERROR(EvictOne());
   }
@@ -108,6 +125,7 @@ Status BufferPool::FlushAll() {
     }
     if (frame.dirty) {
       ANATOMY_RETURN_IF_ERROR(WriteWithRetry(id, frame.page));
+      obs_writebacks_->Increment();
     }
   }
   frames_.clear();

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/disk.h"
 #include "storage/page.h"
 #include "storage/recovery.h"
@@ -32,7 +33,11 @@ inline constexpr size_t kDefaultPoolPages = 50;
 
 class BufferPool {
  public:
-  BufferPool(Disk* disk, size_t capacity_pages = kDefaultPoolPages);
+  /// `registry` receives the pool's `storage.pool.*` counters (hits, misses,
+  /// evictions, writebacks, retries); null means the process-wide
+  /// obs::MetricRegistry::Global().
+  BufferPool(Disk* disk, size_t capacity_pages = kDefaultPoolPages,
+             obs::MetricRegistry* registry = nullptr);
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
@@ -82,6 +87,9 @@ class BufferPool {
     bool in_lru = false;
   };
 
+  /// Both retry wrappers mirror the retries they absorb into the
+  /// `storage.pool.retries` counter (as a delta of io_retries_) so the
+  /// registry tracks the pre-existing accessor exactly.
   Status ReadWithRetry(PageId id, Page& out);
   Status WriteWithRetry(PageId id, const Page& in);
 
@@ -96,6 +104,11 @@ class BufferPool {
   std::unordered_map<PageId, Frame> frames_;
   /// Unpinned pages, least recently used first.
   std::list<PageId> lru_;
+  obs::Counter* obs_hits_;
+  obs::Counter* obs_misses_;
+  obs::Counter* obs_evictions_;
+  obs::Counter* obs_writebacks_;
+  obs::Counter* obs_retries_;
 };
 
 }  // namespace anatomy

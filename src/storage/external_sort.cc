@@ -4,6 +4,8 @@
 #include <queue>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/recovery.h"
 
 namespace anatomy {
@@ -112,9 +114,13 @@ StatusOr<std::unique_ptr<RecordFile>> MergeRuns(
 StatusOr<std::unique_ptr<RecordFile>> ExternalSortImpl(RecordFile* input,
                                                        const SortSpec& spec,
                                                        BufferPool* pool) {
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
   const size_t budget = pool->capacity() > 4 ? pool->capacity() - 2 : 2;
+  obs::ScopedSpan run_span("external_sort.generate_runs", "external_sort");
   ANATOMY_ASSIGN_OR_RETURN(auto runs,
                            GenerateRuns(input, spec, pool, budget));
+  run_span.End();
+  registry.GetCounter("external_sort.runs_generated")->Increment(runs.size());
   Disk* disk = input->disk();
   const size_t fields = input->fields_per_record();
   ANATOMY_RETURN_IF_ERROR(input->FreeAll(pool));
@@ -124,6 +130,8 @@ StatusOr<std::unique_ptr<RecordFile>> ExternalSortImpl(RecordFile* input,
   }
   // Multi-pass merge when the fan-in exceeds the budget.
   while (runs.size() > 1) {
+    obs::ScopedSpan merge_span("external_sort.merge_pass", "external_sort");
+    registry.GetCounter("external_sort.merge_passes")->Increment();
     std::vector<std::unique_ptr<RecordFile>> next;
     for (size_t start = 0; start < runs.size(); start += budget) {
       std::vector<std::unique_ptr<RecordFile>> batch;

@@ -8,6 +8,20 @@ FaultInjectingDisk::FaultInjectingDisk(SimulatedDisk* base,
                                        const FaultSpec& spec)
     : base_(base), spec_(spec), rng_(SplitMix64(spec.seed ^ 0xFA177ED)) {
   ANATOMY_CHECK(base_ != nullptr);
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  obs_read_transients_ = registry.GetCounter("storage.faults.read_transients");
+  obs_write_transients_ =
+      registry.GetCounter("storage.faults.write_transients");
+  obs_torn_writes_ = registry.GetCounter("storage.faults.torn_writes");
+  obs_bit_flips_ = registry.GetCounter("storage.faults.bit_flips");
+  obs_crashes_ = registry.GetCounter("storage.faults.crashes");
+}
+
+void FaultInjectingDisk::ResetStats() {
+  base_->ResetStats();
+  const bool crashed = fault_stats_.crashed;
+  fault_stats_ = FaultStats{};
+  fault_stats_.crashed = crashed;
 }
 
 void FaultInjectingDisk::FreePage(PageId id) {
@@ -39,6 +53,7 @@ Status FaultInjectingDisk::ReadPage(PageId id, Page& out) {
     if (spec_.read_transient_rate > 0 &&
         rng_.NextBool(spec_.read_transient_rate)) {
       ++fault_stats_.read_transients;
+      obs_read_transients_->Increment();
       return Status::Unavailable("transient read fault on page " +
                                  std::to_string(id));
     }
@@ -55,6 +70,7 @@ Status FaultInjectingDisk::WritePage(PageId id, const Page& in) {
     if (spec_.write_transient_rate > 0 &&
         rng_.NextBool(spec_.write_transient_rate)) {
       ++fault_stats_.write_transients;
+      obs_write_transients_->Increment();
       return Status::Unavailable("transient write fault on page " +
                                  std::to_string(id));
     }
@@ -65,11 +81,14 @@ Status FaultInjectingDisk::WritePage(PageId id, const Page& in) {
       Status s = base_->WriteTornPage(id, in, persisted);
       if (s.ok()) {
         ++fault_stats_.torn_writes;
+        obs_torn_writes_->Increment();
         RecordCorruptionState(id);
         ++fault_stats_.writes_observed;
-        if (spec_.crash_after_writes > 0 &&
-            fault_stats_.writes_observed >= spec_.crash_after_writes) {
+        ++writes_since_construction_;
+        if (spec_.crash_after_writes > 0 && !fault_stats_.crashed &&
+            writes_since_construction_ >= spec_.crash_after_writes) {
           fault_stats_.crashed = true;
+          obs_crashes_->Increment();
         }
       }
       return s;
@@ -83,14 +102,17 @@ Status FaultInjectingDisk::WritePage(PageId id, const Page& in) {
     const uint8_t mask = static_cast<uint8_t>(1u << rng_.NextBounded(8));
     base_->CorruptStoredPage(id, offset, mask);
     ++fault_stats_.bit_flips;
+    obs_bit_flips_->Increment();
     RecordCorruptionState(id);
   } else {
     corrupted_.erase(id);  // a clean full write repairs earlier corruption
   }
   ++fault_stats_.writes_observed;
-  if (!healed_ && spec_.crash_after_writes > 0 &&
-      fault_stats_.writes_observed >= spec_.crash_after_writes) {
+  ++writes_since_construction_;
+  if (!healed_ && spec_.crash_after_writes > 0 && !fault_stats_.crashed &&
+      writes_since_construction_ >= spec_.crash_after_writes) {
     fault_stats_.crashed = true;
+    obs_crashes_->Increment();
   }
   return Status::OK();
 }

@@ -24,6 +24,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/simulated_disk.h"
 
 namespace anatomy {
@@ -69,7 +70,12 @@ class FaultInjectingDisk : public Disk {
   Status WritePage(PageId id, const Page& in) override;
 
   const IoStats& stats() const override { return base_->stats(); }
-  void ResetStats() override { base_->ResetStats(); }
+  /// Zeroes the base disk's IoStats AND this decorator's fault counters.
+  /// The `crashed` flag is device state, not a statistic, so it survives
+  /// (only Heal() repairs a crashed disk); crash placement counts successful
+  /// writes from construction, so a mid-run reset never moves the crash
+  /// point.
+  void ResetStats() override;
   size_t live_pages() const override { return base_->live_pages(); }
   std::vector<PageId> LivePages() const override {
     return base_->LivePages();
@@ -101,8 +107,18 @@ class FaultInjectingDisk : public Disk {
   FaultSpec spec_;
   Rng rng_;
   FaultStats fault_stats_;
+  /// Successful writes since construction — unlike
+  /// fault_stats_.writes_observed this never resets, so the crash point of
+  /// `crash_after_writes` is fixed at construction time.
+  uint64_t writes_since_construction_ = 0;
   std::set<PageId> corrupted_;
   bool healed_ = false;
+  /// Process-wide mirrors (`storage.faults.*`), monotonic across resets.
+  obs::Counter* obs_read_transients_;
+  obs::Counter* obs_write_transients_;
+  obs::Counter* obs_torn_writes_;
+  obs::Counter* obs_bit_flips_;
+  obs::Counter* obs_crashes_;
 };
 
 }  // namespace anatomy

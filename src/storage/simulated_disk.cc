@@ -4,6 +4,11 @@
 
 namespace anatomy {
 
+SimulatedDisk::SimulatedDisk()
+    : obs_reads_(obs::MetricRegistry::Global().GetCounter("storage.disk.reads")),
+      obs_writes_(
+          obs::MetricRegistry::Global().GetCounter("storage.disk.writes")) {}
+
 PageId SimulatedDisk::AllocatePage() {
   ++alloc_counter_;
   if (!free_list_.empty()) {
@@ -54,6 +59,7 @@ Status SimulatedDisk::ReadPage(PageId id, Page& out) {
     return Status::NotFound("read of unallocated page " + std::to_string(id));
   }
   ++stats_.reads;
+  obs_reads_->Increment();
   if (!pages_[id]->ChecksumOk()) {
     return Status::DataLoss("page " + std::to_string(id) +
                             " failed checksum verification");
@@ -69,6 +75,7 @@ Status SimulatedDisk::WritePage(PageId id, const Page& in) {
   *pages_[id] = in;
   pages_[id]->Seal();
   ++stats_.writes;
+  obs_writes_->Increment();
   return Status::OK();
 }
 
@@ -88,6 +95,7 @@ Status SimulatedDisk::WriteTornPage(PageId id, const Page& in,
             stored.bytes.begin());
   stored.checksum = in.ComputeChecksum();  // the seal of the intended page
   ++stats_.writes;
+  obs_writes_->Increment();
   return Status::OK();
 }
 

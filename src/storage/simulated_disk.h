@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/disk.h"
 #include "storage/page.h"
 
@@ -26,7 +27,7 @@ namespace anatomy {
 
 class SimulatedDisk : public Disk {
  public:
-  SimulatedDisk() = default;
+  SimulatedDisk();
 
   PageId AllocatePage() override;
   void FreePage(PageId id) override;
@@ -66,6 +67,12 @@ class SimulatedDisk : public Disk {
   std::vector<uint64_t> alloc_serial_;
   uint64_t alloc_counter_ = 0;
   IoStats stats_;
+  /// Process-wide mirrors of the per-disk counters (`storage.disk.reads` /
+  /// `storage.disk.writes`): monotonic across every disk and unaffected by
+  /// ResetStats(), so dashboards and the --metrics_out exporters see raw I/O
+  /// while the per-disk IoStats keeps the paper's resettable cost metric.
+  obs::Counter* obs_reads_;
+  obs::Counter* obs_writes_;
 };
 
 }  // namespace anatomy

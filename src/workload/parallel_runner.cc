@@ -3,6 +3,10 @@
 #include <cmath>
 #include <utility>
 
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace anatomy {
 
 ParallelRunner::ParallelRunner(const ParallelRunnerOptions& options)
@@ -16,13 +20,31 @@ ParallelRunner::ParallelRunner(const ParallelRunnerOptions& options)
 
 std::vector<double> ParallelRunner::Map(const std::vector<CountQuery>& queries,
                                         const QueryFn& fn) {
+  // Every shard records into the same histogram: atomic adds are exact and
+  // commutative, so the merged distribution is independent of sharding (the
+  // registry never influences what is computed — see the header's
+  // determinism contract).
+  const bool metrics_on = obs::MetricsEnabled();
+  obs::Histogram* latency_ns =
+      metrics_on
+          ? obs::MetricRegistry::Global().GetHistogram("query.latency_ns")
+          : nullptr;
+  obs::Counter* query_count =
+      metrics_on ? obs::MetricRegistry::Global().GetCounter("query.count")
+                 : nullptr;
+
   std::vector<double> results(queries.size());
   pool_.ParallelFor(queries.size(),
                     [&](size_t shard, size_t begin, size_t end) {
+                      obs::ScopedSpan shard_span("query.shard", "query");
                       EstimatorScratch& scratch = worker_scratch_[shard];
                       Rng& rng = worker_rngs_[shard];
                       for (size_t i = begin; i < end; ++i) {
+                        ScopedTimer<obs::Histogram> timer(latency_ns);
                         results[i] = fn(queries[i], scratch, rng);
+                      }
+                      if (query_count != nullptr) {
+                        query_count->Increment(end - begin);
                       }
                     });
   return results;

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
 namespace anatomy {
 
 StatusOr<WorkloadResult> RunWorkload(const Microdata& microdata,
@@ -14,6 +17,17 @@ StatusOr<WorkloadResult> RunWorkload(const Microdata& microdata,
   ExactEvaluator exact(microdata);
   AnatomyEstimator anatomy_estimator(anatomized);
   GeneralizationEstimator generalization_estimator(generalized);
+
+  // Per-query latency is recorded only when metrics are on; the disabled
+  // path pays no clock reads (the histogram/counter pointers stay null).
+  const bool metrics_on = obs::MetricsEnabled();
+  obs::Histogram* latency_ns =
+      metrics_on
+          ? obs::MetricRegistry::Global().GetHistogram("query.latency_ns")
+          : nullptr;
+  obs::Counter* query_count =
+      metrics_on ? obs::MetricRegistry::Global().GetCounter("query.count")
+                 : nullptr;
 
   WorkloadResult result;
   double anatomy_total = 0.0;
@@ -32,10 +46,19 @@ StatusOr<WorkloadResult> RunWorkload(const Microdata& microdata,
     }
     consecutive_skips = 0;
     const double actual = static_cast<double>(act);
-    anatomy_total +=
-        std::abs(anatomy_estimator.Estimate(query) - actual) / actual;
-    generalization_total +=
-        std::abs(generalization_estimator.Estimate(query) - actual) / actual;
+    // One latency sample per estimate served, matching the parallel
+    // runner's per-estimate recording in Map().
+    {
+      ScopedTimer<obs::Histogram> timer(latency_ns);
+      anatomy_total +=
+          std::abs(anatomy_estimator.Estimate(query) - actual) / actual;
+    }
+    {
+      ScopedTimer<obs::Histogram> timer(latency_ns);
+      generalization_total +=
+          std::abs(generalization_estimator.Estimate(query) - actual) / actual;
+    }
+    if (query_count != nullptr) query_count->Increment(2);
     ++result.queries_evaluated;
   }
   result.anatomy_error = anatomy_total / result.queries_evaluated;

@@ -108,6 +108,59 @@ TEST(FaultInjectionTest, TornWriteIsCaughtAtReadTime) {
   EXPECT_EQ(disk.ReadPage(id, out).code(), StatusCode::kDataLoss);
 }
 
+// -------------------------------------------------------------- ResetStats --
+
+TEST(FaultInjectionTest, ResetStatsZeroesFaultCountersToo) {
+  // Regression: ResetStats used to forward to the base disk only, leaving
+  // the decorator's own FaultStats accumulating across runs.
+  SimulatedDisk base;
+  FaultSpec spec;
+  spec.seed = 7;
+  spec.bit_flip_rate = 1.0;
+  FaultInjectingDisk disk(&base, spec);
+  const PageId id = disk.AllocatePage();
+  Page page;
+  page.WriteInt32(0, 1);
+  ASSERT_TRUE(disk.WritePage(id, page).ok());  // "succeeds", then rots
+  ASSERT_EQ(disk.fault_stats().bit_flips, 1u);
+  ASSERT_EQ(disk.fault_stats().writes_observed, 1u);
+  ASSERT_GT(disk.stats().writes, 0u);
+
+  disk.ResetStats();
+  EXPECT_EQ(disk.stats().reads, 0u);
+  EXPECT_EQ(disk.stats().writes, 0u);
+  EXPECT_EQ(disk.fault_stats().bit_flips, 0u);
+  EXPECT_EQ(disk.fault_stats().writes_observed, 0u);
+  EXPECT_FALSE(disk.fault_stats().crashed);
+}
+
+TEST(FaultInjectionTest, ResetStatsPreservesCrashStateAndPlacement) {
+  // Crash after the 3rd successful write. A mid-run ResetStats must neither
+  // move the crash point (placement counts from construction) nor heal a
+  // crashed device (only Heal() does).
+  SimulatedDisk base;
+  FaultSpec spec;
+  spec.crash_after_writes = 3;
+  FaultInjectingDisk disk(&base, spec);
+  const PageId id = disk.AllocatePage();
+  Page page;
+  page.WriteInt32(0, 1);
+  ASSERT_TRUE(disk.WritePage(id, page).ok());
+  disk.ResetStats();
+  ASSERT_TRUE(disk.WritePage(id, page).ok());
+  ASSERT_TRUE(disk.WritePage(id, page).ok());  // 3rd write since construction
+  EXPECT_TRUE(disk.fault_stats().crashed);
+  EXPECT_EQ(disk.WritePage(id, page).code(), StatusCode::kUnavailable);
+
+  disk.ResetStats();
+  EXPECT_TRUE(disk.fault_stats().crashed);
+  Page out;
+  EXPECT_EQ(disk.ReadPage(id, out).code(), StatusCode::kUnavailable);
+  disk.Heal();
+  EXPECT_FALSE(disk.fault_stats().crashed);
+  EXPECT_TRUE(disk.ReadPage(id, out).ok());
+}
+
 // ---------------------------------------------------------------- retries --
 
 TEST(FaultInjectionTest, RunWithRetryAbsorbsTransients) {

@@ -1,0 +1,418 @@
+// Tests for the observability layer: metric primitives and their exact
+// semantics, registry get-or-create behavior, snapshot exporters, trace
+// recording/export, and a ThreadPool hammer asserting that relaxed-atomic
+// recording loses nothing under contention (the property the instrumented
+// hot paths rely on).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace anatomy {
+namespace obs {
+namespace {
+
+// ----------------------------------------------------------------- Counter --
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+// ------------------------------------------------------------------- Gauge --
+
+TEST(GaugeTest, SetAddAndNegativeValues) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.Set(10);
+  g.Add(-15);
+  EXPECT_EQ(g.value(), -5);
+  g.Add(5);
+  EXPECT_EQ(g.value(), 0);
+  g.Set(7);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+// --------------------------------------------------------------- Histogram --
+
+TEST(HistogramTest, BucketIndexBoundaries) {
+  // Bucket 0 holds exactly 0; bucket i >= 1 holds [2^(i-1), 2^i - 1].
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  for (size_t k = 1; k < 64; ++k) {
+    const uint64_t pow = uint64_t{1} << k;
+    EXPECT_EQ(Histogram::BucketIndex(pow), k + 1) << "v = 2^" << k;
+    EXPECT_EQ(Histogram::BucketIndex(pow - 1), k) << "v = 2^" << k << " - 1";
+  }
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), 64u);
+}
+
+TEST(HistogramTest, BucketUpperBoundIsInclusiveAndTight) {
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 7u);
+  EXPECT_EQ(Histogram::BucketUpperBound(64), UINT64_MAX);
+  // Every value is admitted by its own bucket and rejected by the previous.
+  for (uint64_t v : {uint64_t{1}, uint64_t{2}, uint64_t{3}, uint64_t{1000},
+                     uint64_t{1} << 40, UINT64_MAX}) {
+    const size_t i = Histogram::BucketIndex(v);
+    EXPECT_LE(v, Histogram::BucketUpperBound(i));
+    EXPECT_GT(v, Histogram::BucketUpperBound(i - 1));
+  }
+}
+
+TEST(HistogramTest, CountSumMinMaxMean) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);  // empty: sentinel mapped to 0
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{5}, uint64_t{1000}}) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 1006u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 251.5);
+  EXPECT_EQ(h.bucket_count(0), 1u);                           // {0}
+  EXPECT_EQ(h.bucket_count(1), 1u);                           // {1}
+  EXPECT_EQ(h.bucket_count(Histogram::BucketIndex(5)), 1u);   // [4, 7]
+  EXPECT_EQ(h.bucket_count(Histogram::BucketIndex(1000)), 1u);
+}
+
+TEST(HistogramTest, QuantileReturnsBucketUpperBound) {
+  Histogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0u);  // empty
+  for (uint64_t v = 1; v <= 100; ++v) h.Record(v);
+  // Cumulative counts by bucket: {1}:1, {2,3}:3, {4..7}:7, {8..15}:15,
+  // {16..31}:31, {32..63}:63, {64..127}:100. Rank 50 lands in [32, 63],
+  // rank 99 in [64, 127]; the quantile reports the bucket's upper bound.
+  EXPECT_EQ(h.Quantile(0.5), 63u);
+  EXPECT_EQ(h.Quantile(0.99), 127u);
+  // Out-of-range q clamps; q = 0 still means "rank 1" (the minimum's bucket).
+  EXPECT_EQ(h.Quantile(-1.0), 1u);
+  EXPECT_EQ(h.Quantile(2.0), 127u);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.Record(0);
+  h.Record(12345);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_EQ(h.bucket_count(i), 0u) << "bucket " << i;
+  }
+  // Min tracking still works after a reset (the sentinel was restored).
+  h.Record(9);
+  EXPECT_EQ(h.min(), 9u);
+  EXPECT_EQ(h.max(), 9u);
+}
+
+// ---------------------------------------------------------------- Registry --
+
+TEST(MetricRegistryTest, GetOrCreateReturnsStablePointers) {
+  MetricRegistry registry;
+  Counter* c1 = registry.GetCounter("a.b");
+  Counter* c2 = registry.GetCounter("a.b");
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(c1, registry.GetCounter("a.c"));
+  // The three metric kinds are separate namespaces.
+  Gauge* g = registry.GetGauge("a.b");
+  Histogram* h = registry.GetHistogram("a.b");
+  EXPECT_EQ(g, registry.GetGauge("a.b"));
+  EXPECT_EQ(h, registry.GetHistogram("a.b"));
+}
+
+TEST(MetricRegistryTest, SnapshotIsSortedAndComplete) {
+  MetricRegistry registry;
+  registry.GetCounter("z.last")->Increment(2);
+  registry.GetCounter("a.first")->Increment(1);
+  registry.GetGauge("mid")->Set(-7);
+  Histogram* h = registry.GetHistogram("lat_ns");
+  h->Record(1);
+  h->Record(2);
+  h->Record(3);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].name, "a.first");
+  EXPECT_EQ(snapshot.counters[0].value, 1u);
+  EXPECT_EQ(snapshot.counters[1].name, "z.last");
+  EXPECT_EQ(snapshot.counters[1].value, 2u);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].value, -7);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  const auto& entry = snapshot.histograms[0];
+  EXPECT_EQ(entry.count, 3u);
+  EXPECT_EQ(entry.sum, 6u);
+  EXPECT_EQ(entry.min, 1u);
+  EXPECT_EQ(entry.max, 3u);
+  EXPECT_DOUBLE_EQ(entry.mean, 2.0);
+  // Only non-empty buckets appear, as (upper bound, count), ascending.
+  ASSERT_EQ(entry.buckets.size(), 2u);
+  EXPECT_EQ(entry.buckets[0], (std::pair<uint64_t, uint64_t>{1, 1}));
+  EXPECT_EQ(entry.buckets[1], (std::pair<uint64_t, uint64_t>{3, 2}));
+}
+
+TEST(MetricRegistryTest, ResetAllZeroesButKeepsMetricsRegistered) {
+  MetricRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  c->Increment(5);
+  registry.GetHistogram("h")->Record(9);
+  registry.ResetAll();
+  EXPECT_EQ(c->value(), 0u);  // same object, still usable
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].value, 0u);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].count, 0u);
+}
+
+TEST(MetricRegistryTest, GlobalIsProcessWideAndEnabledByDefault) {
+  EXPECT_TRUE(MetricsEnabled());
+  EXPECT_EQ(&MetricRegistry::Global(), &MetricRegistry::Global());
+  SetMetricsEnabled(false);
+  EXPECT_FALSE(MetricsEnabled());
+  SetMetricsEnabled(true);
+  EXPECT_TRUE(MetricsEnabled());
+}
+
+// --------------------------------------------------------------- Exporters --
+
+MetricRegistry* MakeExportRegistry() {
+  auto* registry = new MetricRegistry();
+  registry->GetCounter("storage.pool.hits")->Increment(3);
+  registry->GetGauge("pool.occupancy")->Set(-2);
+  Histogram* h = registry->GetHistogram("query.latency_ns");
+  h->Record(1);
+  h->Record(2);
+  h->Record(3);
+  return registry;
+}
+
+TEST(ExporterTest, TextTableListsEveryMetric) {
+  std::unique_ptr<MetricRegistry> registry(MakeExportRegistry());
+  const std::string text = registry->Snapshot().ToText();
+  EXPECT_NE(text.find("storage.pool.hits"), std::string::npos);
+  EXPECT_NE(text.find("pool.occupancy"), std::string::npos);
+  EXPECT_NE(text.find("-2"), std::string::npos);
+  EXPECT_NE(text.find("count=3 sum=6 min=1 mean=2 p50<=3 p99<=3 max=3"),
+            std::string::npos);
+}
+
+TEST(ExporterTest, PrometheusExposition) {
+  std::unique_ptr<MetricRegistry> registry(MakeExportRegistry());
+  const std::string prom = registry->Snapshot().ToPrometheus();
+  // Dots map to underscores under an anatomy_ prefix, with TYPE comments.
+  EXPECT_NE(prom.find("# TYPE anatomy_storage_pool_hits counter\n"
+                      "anatomy_storage_pool_hits 3\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE anatomy_pool_occupancy gauge\n"
+                      "anatomy_pool_occupancy -2\n"),
+            std::string::npos);
+  // Histogram buckets are cumulative and end with the +Inf catch-all.
+  EXPECT_NE(prom.find("anatomy_query_latency_ns_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("anatomy_query_latency_ns_bucket{le=\"3\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("anatomy_query_latency_ns_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("anatomy_query_latency_ns_sum 6\n"), std::string::npos);
+  EXPECT_NE(prom.find("anatomy_query_latency_ns_count 3\n"),
+            std::string::npos);
+}
+
+TEST(ExporterTest, JsonIsBalancedAndEscaped) {
+  std::unique_ptr<MetricRegistry> registry(MakeExportRegistry());
+  registry->GetCounter("weird\"name")->Increment();
+  const std::string json = registry->Snapshot().ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;  // skip the escaped character
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0) << "unbalanced at offset " << i;
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"weird\\\"name\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"query.latency_ns\":{\"count\":3,\"sum\":6"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[[1,1],[3,2]]"), std::string::npos);
+}
+
+// ------------------------------------------------------------- ScopedTimer --
+
+TEST(ScopedTimerTest, RecordsOnceIntoTheHistogram) {
+  Histogram h;
+  {
+    ScopedTimer<Histogram> timer(&h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(ScopedTimerTest, NullRecorderIsDisarmed) {
+  // Must not crash or record anywhere; also never reads the clock.
+  ScopedTimer<Histogram> timer(nullptr);
+}
+
+// ----------------------------------------------------------------- Tracing --
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  ASSERT_FALSE(recorder.enabled());  // off is the default
+  {
+    ScopedSpan span("never", "test");
+    ScopedSpan early("never2", "test");
+    early.End();
+  }
+  EXPECT_EQ(recorder.event_count(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST(TraceTest, EnabledSpanRecordsOnDestruction) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.SetEnabled(true);
+  {
+    ScopedSpan span("unit.work", "test");
+  }
+  recorder.SetEnabled(false);
+  EXPECT_EQ(recorder.event_count(), 1u);
+}
+
+TEST(TraceTest, EndIsIdempotent) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.SetEnabled(true);
+  {
+    ScopedSpan span("once", "test");
+    span.End();
+    span.End();  // second End and the destructor must not re-record
+  }
+  recorder.SetEnabled(false);
+  EXPECT_EQ(recorder.event_count(), 1u);
+}
+
+TEST(TraceTest, RingWraparoundCountsDrops) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  const uint64_t extra = 100;
+  for (uint64_t i = 0; i < kTraceRingCapacity + extra; ++i) {
+    recorder.Record("wrap", "test", i, 1);
+  }
+  EXPECT_EQ(recorder.event_count(), kTraceRingCapacity);
+  EXPECT_EQ(recorder.dropped(), extra);
+  recorder.Clear();
+  EXPECT_EQ(recorder.event_count(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST(TraceTest, ChromeJsonExportIsWellFormed) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.Record("alpha", "test", 1000, 2000);
+  recorder.Record("beta", "test", 5000, 500);
+  const std::string json = recorder.ExportChromeJson();
+  EXPECT_EQ(json.find("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["), 0u);
+  EXPECT_EQ(json.back(), '}');
+  // Complete events ("X" phase) with microsecond timestamps.
+  EXPECT_NE(json.find("\"name\":\"alpha\",\"cat\":\"test\",\"ph\":\"X\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1,\"dur\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"beta\""), std::string::npos);
+  recorder.Clear();
+}
+
+TEST(TraceTest, SpansFromPoolThreadsAllRetained) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.SetEnabled(true);
+  const size_t kSpans = 1000;
+  ThreadPool pool(4);
+  pool.ParallelFor(kSpans, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      ScopedSpan span("pooled", "test");
+    }
+  });
+  recorder.SetEnabled(false);
+  EXPECT_EQ(recorder.event_count(), kSpans);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  recorder.Clear();
+}
+
+// -------------------------------------------------- Concurrency (hammer) --
+
+TEST(ObsHammerTest, RelaxedAtomicsLoseNothingUnderContention) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 100000;
+  constexpr size_t kTotal = kThreads * kPerThread;
+  MetricRegistry registry;
+  ThreadPool pool(kThreads);
+  ASSERT_EQ(pool.num_threads(), kThreads);
+  pool.ParallelFor(kTotal, [&](size_t, size_t begin, size_t end) {
+    // Get-or-create races with the other shards; all must agree on the
+    // object behind each name.
+    Counter* counter = registry.GetCounter("hammer.count");
+    Gauge* gauge = registry.GetGauge("hammer.level");
+    Histogram* histogram = registry.GetHistogram("hammer.dist");
+    for (size_t i = begin; i < end; ++i) {
+      counter->Increment();
+      gauge->Add(1);
+      histogram->Record((i & 7) + 1);  // values 1..8, kTotal/8 each
+    }
+  });
+  EXPECT_EQ(registry.GetCounter("hammer.count")->value(), kTotal);
+  EXPECT_EQ(registry.GetGauge("hammer.level")->value(),
+            static_cast<int64_t>(kTotal));
+  Histogram* histogram = registry.GetHistogram("hammer.dist");
+  EXPECT_EQ(histogram->count(), kTotal);
+  // Each value v in 1..8 occurs exactly kTotal/8 times: sum = avg * total.
+  EXPECT_EQ(histogram->sum(), kTotal / 8 * (1 + 2 + 3 + 4 + 5 + 6 + 7 + 8));
+  EXPECT_EQ(histogram->min(), 1u);
+  EXPECT_EQ(histogram->max(), 8u);
+  // Per-bucket counts are exact too: {1}:N/8, {2,3}:N/4, {4..7}:N/2, {8}:N/8.
+  EXPECT_EQ(histogram->bucket_count(1), kTotal / 8);
+  EXPECT_EQ(histogram->bucket_count(2), kTotal / 4);
+  EXPECT_EQ(histogram->bucket_count(3), kTotal / 2);
+  EXPECT_EQ(histogram->bucket_count(4), kTotal / 8);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace anatomy

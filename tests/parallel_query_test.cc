@@ -19,6 +19,8 @@
 #include "data/dataset.h"
 #include "generalization/generalized_table.h"
 #include "generalization/mondrian.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/aggregate.h"
 #include "query/anatomy_estimator.h"
 #include "query/exact_evaluator.h"
@@ -162,6 +164,36 @@ TEST(ParallelRunnerTest, OneThreadAndEightThreadsAgreeBitwise) {
     // sharding or on which worker's arena served the query.
     EXPECT_EQ(anatomy_1[i], anatomy_8[i]) << "query " << i;
     EXPECT_EQ(general_1[i], general_8[i]) << "query " << i;
+  }
+}
+
+TEST(ParallelRunnerTest, FullObservabilityLeavesEstimatesBitIdentical) {
+  // The obs layer's determinism contract: metrics and tracing are strictly
+  // out-of-band, so running with everything on must reproduce, bit for bit,
+  // a baseline computed with everything off — sequentially and in parallel.
+  const PublishedCensus published = MakePublishedCensus(5000);
+  const std::vector<CountQuery> queries =
+      MakeQueries(published.dataset.microdata, 300, 29);
+  AnatomyEstimator anatomy(published.anatomized);
+
+  obs::SetMetricsEnabled(false);
+  obs::TraceRecorder::Global().SetEnabled(false);
+  ParallelRunner single(ParallelRunnerOptions{.num_threads = 1});
+  const std::vector<double> baseline = single.EstimateAll(anatomy, queries);
+
+  obs::SetMetricsEnabled(true);
+  obs::TraceRecorder::Global().SetEnabled(true);
+  const std::vector<double> sequential = single.EstimateAll(anatomy, queries);
+  ParallelRunner eight(ParallelRunnerOptions{.num_threads = 8});
+  const std::vector<double> parallel = eight.EstimateAll(anatomy, queries);
+  // Restore the process-wide defaults for the rest of the suite.
+  obs::TraceRecorder::Global().SetEnabled(false);
+
+  ASSERT_EQ(sequential.size(), queries.size());
+  ASSERT_EQ(parallel.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(sequential[i], baseline[i]) << "query " << i;
+    EXPECT_EQ(parallel[i], baseline[i]) << "query " << i;
   }
 }
 

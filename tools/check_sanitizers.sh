@@ -10,6 +10,7 @@
 #   tools/check_sanitizers.sh              # both sanitizers, full suite
 #   tools/check_sanitizers.sh tsan         # one sanitizer only
 #   tools/check_sanitizers.sh faults       # both sanitizers, fault sweep only
+#   tools/check_sanitizers.sh obs          # both sanitizers, obs + query hammer
 #   tools/check_sanitizers.sh tsan -R parallel_query_test
 #                                          # extra args passed to ctest
 set -euo pipefail
@@ -28,6 +29,14 @@ if [[ $# -ge 1 ]]; then
       # The fault sweep drives every retry/abort/reclaim path in the storage
       # layer; running it under both sanitizers is the cheap smoke check.
       extra=(-R fault_injection_test)
+      shift
+      ;;
+    obs)
+      # The observability smoke check: obs_test's ThreadPool hammer proves
+      # the relaxed-atomic metric mutation and per-thread trace rings are
+      # race-free, and parallel_query_test proves instrumented hot paths
+      # stay bit-deterministic while many shards record concurrently.
+      extra=(-R '^(obs_test|parallel_query_test)$')
       shift
       ;;
   esac
