@@ -13,7 +13,7 @@ namespace {
 
 void RunFamily(const Table& census, SensitiveFamily family,
                const BenchConfig& config, char subfigure) {
-  TablePrinter printer({"d", "generalization (%)", "anatomy (%)"});
+  TablePrinter printer({"d", "generalization (%)", "anatomy (%)", "est/s"});
   for (int d = 3; d <= 7; ++d) {
     ExperimentDataset dataset =
         ValueOrDie(MakeExperimentDataset(census, family, d));
@@ -22,9 +22,11 @@ void RunFamily(const Table& census, SensitiveFamily family,
     ErrorPoint point = ValueOrDie(
         MeasureErrors(published, /*qd=*/d, /*s=*/0.05,
                       static_cast<size_t>(config.queries),
-                      config.seed + static_cast<uint64_t>(d)));
+                      config.seed + static_cast<uint64_t>(d),
+                      config.predcache));
     printer.AddRow({std::to_string(d), FormatDouble(point.generalization_pct, 2),
-                    FormatDouble(point.anatomy_pct, 2)});
+                    FormatDouble(point.anatomy_pct, 2),
+                    FormatDouble(point.estimator_qps, 0)});
   }
   std::printf("Figure 4%c: query accuracy vs d  (%s-d, qd = d, s = 5%%)\n",
               subfigure, FamilyName(family).c_str());

@@ -17,15 +17,17 @@ void RunPanel(const Table& census, SensitiveFamily family, int d,
       ValueOrDie(MakeExperimentDataset(census, family, d));
   PublishedDataset published = ValueOrDie(
       Publish(std::move(dataset), static_cast<int>(config.l), config.seed));
-  TablePrinter printer({"qd", "generalization (%)", "anatomy (%)"});
+  TablePrinter printer({"qd", "generalization (%)", "anatomy (%)", "est/s"});
   for (int qd = 1; qd <= d; ++qd) {
     ErrorPoint point = ValueOrDie(
         MeasureErrors(published, qd, /*s=*/0.05,
                       static_cast<size_t>(config.queries),
-                      config.seed + static_cast<uint64_t>(100 * d + qd)));
+                      config.seed + static_cast<uint64_t>(100 * d + qd),
+                      config.predcache));
     printer.AddRow({std::to_string(qd),
                     FormatDouble(point.generalization_pct, 2),
-                    FormatDouble(point.anatomy_pct, 2)});
+                    FormatDouble(point.anatomy_pct, 2),
+                    FormatDouble(point.estimator_qps, 0)});
   }
   std::printf("Figure 5%s: query accuracy vs qd  (%s-%d, s = 5%%)\n", label,
               FamilyName(family).c_str(), d);

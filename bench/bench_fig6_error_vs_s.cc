@@ -19,13 +19,15 @@ void RunPanel(const Table& census, SensitiveFamily family, int d,
       ValueOrDie(MakeExperimentDataset(census, family, d));
   PublishedDataset published = ValueOrDie(
       Publish(std::move(dataset), static_cast<int>(config.l), config.seed));
-  TablePrinter printer({"s", "generalization (%)", "anatomy (%)"});
+  TablePrinter printer({"s", "generalization (%)", "anatomy (%)", "est/s"});
   for (double s : kSelectivities) {
     ErrorPoint point = ValueOrDie(MeasureErrors(
         published, /*qd=*/d, s, static_cast<size_t>(config.queries),
-        config.seed + static_cast<uint64_t>(1000 * d + 100 * s)));
+        config.seed + static_cast<uint64_t>(1000 * d + 100 * s),
+        config.predcache));
     printer.AddRow({FormatPercent(s), FormatDouble(point.generalization_pct, 2),
-                    FormatDouble(point.anatomy_pct, 2)});
+                    FormatDouble(point.anatomy_pct, 2),
+                    FormatDouble(point.estimator_qps, 0)});
   }
   std::printf("Figure 6%s: query accuracy vs s  (%s-%d, qd = d)\n", label,
               FamilyName(family).c_str(), d);

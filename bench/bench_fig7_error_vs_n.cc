@@ -17,16 +17,18 @@ void RunFamily(const Table& census, SensitiveFamily family,
   ExperimentDataset full =
       ValueOrDie(MakeExperimentDataset(census, family, 5));
   Rng rng(config.seed + (family == SensitiveFamily::kOccupation ? 1 : 2));
-  TablePrinter printer({"n", "generalization (%)", "anatomy (%)"});
+  TablePrinter printer({"n", "generalization (%)", "anatomy (%)", "est/s"});
   for (RowId n : CardinalitySweep(config)) {
     ExperimentDataset dataset = ValueOrDie(SampleDataset(full, n, rng));
     PublishedDataset published = ValueOrDie(
         Publish(std::move(dataset), static_cast<int>(config.l), config.seed));
     ErrorPoint point = ValueOrDie(
         MeasureErrors(published, /*qd=*/5, /*s=*/0.05,
-                      static_cast<size_t>(config.queries), config.seed + n));
+                      static_cast<size_t>(config.queries), config.seed + n,
+                      config.predcache));
     printer.AddRow({FormatCount(n), FormatDouble(point.generalization_pct, 2),
-                    FormatDouble(point.anatomy_pct, 2)});
+                    FormatDouble(point.anatomy_pct, 2),
+                    FormatDouble(point.estimator_qps, 0)});
   }
   std::printf("Figure 7%c: query accuracy vs n  (%s-5, qd = 5, s = 5%%)\n",
               subfigure, FamilyName(family).c_str());

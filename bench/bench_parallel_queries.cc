@@ -12,6 +12,7 @@
 #include "bench_util.h"
 #include "common/printer.h"
 #include "data/census_generator.h"
+#include "obs/metrics.h"
 #include "query/anatomy_estimator.h"
 #include "query/exact_evaluator.h"
 #include "workload/parallel_runner.h"
@@ -39,7 +40,9 @@ void Run(const BenchConfig& config) {
   ParallelRunner materializer(ParallelRunnerOptions{.num_threads = 1});
   MaterializedWorkload workload =
       ValueOrDie(materializer.Materialize(md, exact, options));
-  AnatomyEstimator estimator(published.anatomized);
+  EstimatorOptions est_options;
+  est_options.predcache.enabled = config.predcache;
+  AnatomyEstimator estimator(published.anatomized, est_options);
 
   // Single-thread reference pass: the parity baseline and the denominator
   // of every speedup figure.
@@ -51,11 +54,20 @@ void Run(const BenchConfig& config) {
   const double base_qps =
       static_cast<double>(workload.queries.size()) / base_seconds;
 
-  TablePrinter printer(
-      {"threads", "queries/s", "speedup", "bit-identical"});
+  // Per-estimate latency comes from the same `query.latency_ns` histogram
+  // the figure benches record; it is reset before each timed run so each
+  // row's percentiles cover exactly that run.
+  obs::Histogram* latency_ns =
+      obs::MetricsEnabled()
+          ? obs::MetricRegistry::Global().GetHistogram("query.latency_ns")
+          : nullptr;
+
+  TablePrinter printer({"threads", "queries/s", "speedup", "p50 (us)",
+                        "p99 (us)", "est/s (hist)", "bit-identical"});
   for (size_t threads : {1, 2, 4, 8}) {
     ParallelRunner runner(ParallelRunnerOptions{.num_threads = threads});
     runner.EstimateAll(estimator, workload.queries);  // warm worker arenas
+    if (latency_ns != nullptr) latency_ns->Reset();
     std::vector<double> estimates;
     const double seconds = TimeSeconds(
         [&] { estimates = runner.EstimateAll(estimator, workload.queries); });
@@ -65,8 +77,21 @@ void Run(const BenchConfig& config) {
     }
     const double qps =
         static_cast<double>(workload.queries.size()) / seconds;
+    std::string p50 = "-";
+    std::string p99 = "-";
+    std::string hist_qps = "-";
+    if (latency_ns != nullptr && latency_ns->count() > 0) {
+      p50 = FormatDouble(static_cast<double>(latency_ns->Quantile(0.50)) / 1e3,
+                         1);
+      p99 = FormatDouble(static_cast<double>(latency_ns->Quantile(0.99)) / 1e3,
+                         1);
+      hist_qps = FormatDouble(static_cast<double>(latency_ns->count()) /
+                                  (static_cast<double>(latency_ns->sum()) *
+                                   1e-9),
+                              0);
+    }
     printer.AddRow({std::to_string(threads), FormatDouble(qps, 0),
-                    FormatDouble(qps / base_qps, 2) + "x",
+                    FormatDouble(qps / base_qps, 2) + "x", p50, p99, hist_qps,
                     mismatches == 0
                         ? "yes"
                         : "NO (" + std::to_string(mismatches) + ")"});

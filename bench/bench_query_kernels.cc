@@ -1,0 +1,351 @@
+// Group-clustered query kernels vs the scalar reference path: single- and
+// multi-threaded COUNT/SUM throughput on a range-predicate workload
+// (n = 500k, qd = 4 by default — the acceptance configuration), plus the
+// predicate-bitmap cache's hit rate on a Section-6 style replay.
+//
+// Every timed pass self-checks: kernel estimates must match the scalar
+// reference within 1e-9 relative, and the cached path must be bit-identical
+// to the uncached kernel path. Any violation exits nonzero.
+//
+// Results are also written as JSON (--json_out, default
+// BENCH_query_kernels.json): one record per (aggregate, path, threads) with
+// queries/s, rows/s, and the p50/p99 of the `query.latency_ns` histogram
+// for exactly that run (the histogram is reset before each timed section).
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "anatomy/anatomizer.h"
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/printer.h"
+#include "data/census_generator.h"
+#include "data/dataset.h"
+#include "obs/metrics.h"
+#include "query/aggregate.h"
+#include "query/anatomy_estimator.h"
+#include "workload/parallel_runner.h"
+#include "workload/workload.h"
+
+namespace anatomy {
+namespace bench {
+namespace {
+
+struct KernelBenchConfig {
+  int64_t n = 500000;
+  int64_t queries = 256;
+  int64_t qd = 4;
+  double s = 0.05;
+  int64_t l = 10;
+  int64_t seed = 42;
+  /// Passes over the workload per timed section (also what makes the cache
+  /// hit rate meaningful: first pass misses, later passes hit).
+  int64_t replays = 12;
+  int64_t predcache_capacity = 4096;
+  bool range_predicates = true;
+  std::string json_out = "BENCH_query_kernels.json";
+};
+
+struct PathSpec {
+  const char* name;
+  EstimatorOptions options;
+};
+
+struct TimedRun {
+  std::string aggregate;  // "count" or "sum"
+  std::string path;       // "scalar" / "kernel" / "kernel+cache"
+  size_t threads = 0;
+  double qps = 0.0;
+  double rows_per_s = 0.0;
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+};
+
+double MaxRelDiff(const std::vector<double>& a, const std::vector<double>& b) {
+  double worst = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double scale = std::max({1.0, std::abs(a[i]), std::abs(b[i])});
+    worst = std::max(worst, std::abs(a[i] - b[i]) / scale);
+  }
+  return worst;
+}
+
+void Run(const KernelBenchConfig& config) {
+  const Table census =
+      GenerateCensus(static_cast<RowId>(config.n),
+                     static_cast<uint64_t>(config.seed));
+  ExperimentDataset dataset = ValueOrDie(
+      MakeExperimentDataset(census, SensitiveFamily::kOccupation, 5));
+  const Microdata& md = dataset.microdata;
+
+  // Only anatomy is benchmarked here; skip Mondrian entirely.
+  Anatomizer anatomizer(AnatomizerOptions{
+      .l = static_cast<int>(config.l),
+      .seed = static_cast<uint64_t>(config.seed)});
+  Partition partition = ValueOrDie(anatomizer.ComputePartition(md));
+  AnatomizedTables anatomized = ValueOrDie(AnatomizedTables::Build(md, partition));
+
+  WorkloadOptions wl;
+  wl.qd = static_cast<int>(config.qd);
+  wl.s = config.s;
+  wl.num_queries = static_cast<size_t>(config.queries);
+  wl.seed = static_cast<uint64_t>(config.seed) + 1;
+  wl.range_predicates = config.range_predicates;
+  WorkloadGenerator generator = ValueOrDie(WorkloadGenerator::Create(md, wl));
+  std::vector<CountQuery> queries;
+  queries.reserve(wl.num_queries);
+  for (size_t i = 0; i < wl.num_queries; ++i) queries.push_back(generator.Next());
+
+  std::vector<AggregateQuery> sum_queries(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    sum_queries[i].predicates = queries[i];
+    sum_queries[i].kind = AggregateKind::kSum;
+    sum_queries[i].measure_qi = 0;
+  }
+
+  PredicateCacheOptions cache_on;
+  cache_on.enabled = true;
+  cache_on.capacity = static_cast<size_t>(config.predcache_capacity);
+  PredicateCacheOptions cache_off;
+  cache_off.enabled = false;
+  const PathSpec paths[] = {
+      {"scalar", {KernelMode::kScalar, cache_off}},
+      {"kernel", {KernelMode::kGroupClustered, cache_off}},
+      {"kernel+cache", {KernelMode::kGroupClustered, cache_on}},
+  };
+
+  obs::Histogram* latency_ns =
+      obs::MetricsEnabled()
+          ? obs::MetricRegistry::Global().GetHistogram("query.latency_ns")
+          : nullptr;
+
+  const size_t kThreadCounts[] = {1, 4, 8};
+  const double total_queries =
+      static_cast<double>(queries.size()) * static_cast<double>(config.replays);
+
+  std::vector<TimedRun> runs;
+  // reference[aggregate] at 1 thread, per path, for the self-check and the
+  // printed single-thread speedups.
+  std::vector<double> count_ref_scalar, count_ref_kernel;
+  std::vector<double> sum_ref_scalar, sum_ref_kernel;
+  double count_qps_1t[3] = {0, 0, 0};
+  double sum_qps_1t[3] = {0, 0, 0};
+
+  TablePrinter printer({"aggregate", "path", "threads", "queries/s", "rows/s",
+                        "p50 (us)", "p99 (us)"});
+  for (size_t p = 0; p < 3; ++p) {
+    AnatomyEstimator estimator(anatomized, paths[p].options);
+    AnatomyAggregateEstimator agg_estimator(anatomized, paths[p].options);
+    for (size_t threads : kThreadCounts) {
+      ParallelRunner runner(ParallelRunnerOptions{.num_threads = threads});
+      for (int aggregate = 0; aggregate < 2; ++aggregate) {
+        const bool is_sum = aggregate == 1;
+        const auto pass = [&]() -> std::vector<double> {
+          if (!is_sum) return runner.EstimateAll(estimator, queries);
+          return runner.Map(
+              queries, [&](const CountQuery& q, EstimatorScratch& scratch,
+                           Rng&) {
+                const size_t i = static_cast<size_t>(&q - queries.data());
+                return agg_estimator.Estimate(sum_queries[i], scratch);
+              });
+        };
+        std::vector<double> estimates = pass();  // warm arenas + cache
+        if (latency_ns != nullptr) latency_ns->Reset();
+        const double seconds = TimeSeconds([&] {
+          for (int64_t r = 0; r < config.replays; ++r) estimates = pass();
+        });
+
+        TimedRun run;
+        run.aggregate = is_sum ? "sum" : "count";
+        run.path = paths[p].name;
+        run.threads = threads;
+        run.qps = total_queries / seconds;
+        run.rows_per_s = run.qps * static_cast<double>(config.n);
+        if (latency_ns != nullptr && latency_ns->count() > 0) {
+          run.p50_ns = latency_ns->Quantile(0.50);
+          run.p99_ns = latency_ns->Quantile(0.99);
+        }
+        runs.push_back(run);
+        printer.AddRow({run.aggregate, run.path, std::to_string(threads),
+                        FormatDouble(run.qps, 0),
+                        FormatDouble(run.rows_per_s, 0),
+                        FormatDouble(static_cast<double>(run.p50_ns) / 1e3, 1),
+                        FormatDouble(static_cast<double>(run.p99_ns) / 1e3, 1)});
+
+        if (threads == 1) {
+          (is_sum ? sum_qps_1t : count_qps_1t)[p] = run.qps;
+          if (p == 0) (is_sum ? sum_ref_scalar : count_ref_scalar) = estimates;
+          if (p == 1) (is_sum ? sum_ref_kernel : count_ref_kernel) = estimates;
+          if (p >= 1) {
+            // Kernel paths must match the scalar reference within 1e-9.
+            const std::vector<double>& scalar_ref =
+                is_sum ? sum_ref_scalar : count_ref_scalar;
+            const double rel = MaxRelDiff(scalar_ref, estimates);
+            if (rel > 1e-9) {
+              std::fprintf(stderr,
+                           "FATAL: %s/%s diverges from scalar reference "
+                           "(max relative diff %.3e > 1e-9)\n",
+                           run.aggregate.c_str(), run.path.c_str(), rel);
+              std::exit(1);
+            }
+          }
+          if (p == 2) {
+            // The cache must never change a bit, only the time.
+            const std::vector<double>& kernel_ref =
+                is_sum ? sum_ref_kernel : count_ref_kernel;
+            for (size_t i = 0; i < estimates.size(); ++i) {
+              if (estimates[i] != kernel_ref[i]) {
+                std::fprintf(stderr,
+                             "FATAL: cached %s estimate %zu differs from "
+                             "uncached kernel path\n",
+                             run.aggregate.c_str(), i);
+                std::exit(1);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Cache hit rate on a fresh estimator: first replay misses every distinct
+  // QI predicate, the remaining replays hit, so the expected rate is
+  // (replays - 1) / replays when the working set fits the capacity.
+  double hit_rate = 0.0;
+  uint64_t hits_delta = 0, misses_delta = 0;
+  {
+    AnatomyEstimator fresh(anatomized, paths[2].options);
+    obs::Counter* hits =
+        obs::MetricRegistry::Global().GetCounter("query.predcache.hits");
+    obs::Counter* misses =
+        obs::MetricRegistry::Global().GetCounter("query.predcache.misses");
+    const uint64_t h0 = hits->value();
+    const uint64_t m0 = misses->value();
+    ParallelRunner runner(ParallelRunnerOptions{.num_threads = 1});
+    for (int64_t r = 0; r < config.replays; ++r) {
+      runner.EstimateAll(fresh, queries);
+    }
+    hits_delta = hits->value() - h0;
+    misses_delta = misses->value() - m0;
+    if (hits_delta + misses_delta > 0) {
+      hit_rate = static_cast<double>(hits_delta) /
+                 static_cast<double>(hits_delta + misses_delta);
+    }
+  }
+
+  std::printf(
+      "Query kernels: %lld queries (x%lld replays), n = %lld, OCC-5, "
+      "qd = %lld, s = %g, %s predicates\n",
+      static_cast<long long>(config.queries),
+      static_cast<long long>(config.replays), static_cast<long long>(config.n),
+      static_cast<long long>(config.qd), config.s,
+      config.range_predicates ? "range" : "point");
+  printer.Print();
+  std::printf(
+      "\nsingle-thread speedup over scalar: COUNT %.2fx (kernel), %.2fx "
+      "(kernel+cache); SUM %.2fx (kernel), %.2fx (kernel+cache)\n",
+      count_qps_1t[1] / count_qps_1t[0], count_qps_1t[2] / count_qps_1t[0],
+      sum_qps_1t[1] / sum_qps_1t[0], sum_qps_1t[2] / sum_qps_1t[0]);
+  std::printf(
+      "predicate cache replay: %llu hits / %llu misses -> %.1f%% hit rate\n",
+      static_cast<unsigned long long>(hits_delta),
+      static_cast<unsigned long long>(misses_delta), hit_rate * 100.0);
+
+  if (!config.json_out.empty()) {
+    std::ofstream os(config.json_out);
+    if (!os) {
+      std::fprintf(stderr, "warning: cannot write %s\n",
+                   config.json_out.c_str());
+      return;
+    }
+    char buf[256];
+    os << "{\n";
+    std::snprintf(buf, sizeof buf,
+                  "  \"bench\": \"query_kernels\",\n"
+                  "  \"n\": %lld,\n  \"queries\": %lld,\n  \"qd\": %lld,\n"
+                  "  \"s\": %g,\n  \"l\": %lld,\n  \"replays\": %lld,\n"
+                  "  \"range_predicates\": %s,\n",
+                  static_cast<long long>(config.n),
+                  static_cast<long long>(config.queries),
+                  static_cast<long long>(config.qd), config.s,
+                  static_cast<long long>(config.l),
+                  static_cast<long long>(config.replays),
+                  config.range_predicates ? "true" : "false");
+    os << buf;
+    std::snprintf(buf, sizeof buf,
+                  "  \"count_speedup_1t\": {\"kernel\": %.3f, "
+                  "\"kernel_cache\": %.3f},\n"
+                  "  \"sum_speedup_1t\": {\"kernel\": %.3f, "
+                  "\"kernel_cache\": %.3f},\n",
+                  count_qps_1t[1] / count_qps_1t[0],
+                  count_qps_1t[2] / count_qps_1t[0],
+                  sum_qps_1t[1] / sum_qps_1t[0],
+                  sum_qps_1t[2] / sum_qps_1t[0]);
+    os << buf;
+    std::snprintf(buf, sizeof buf,
+                  "  \"predcache\": {\"hits\": %llu, \"misses\": %llu, "
+                  "\"hit_rate\": %.4f},\n",
+                  static_cast<unsigned long long>(hits_delta),
+                  static_cast<unsigned long long>(misses_delta), hit_rate);
+    os << buf;
+    os << "  \"runs\": [\n";
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const TimedRun& r = runs[i];
+      std::snprintf(buf, sizeof buf,
+                    "    {\"aggregate\": \"%s\", \"path\": \"%s\", "
+                    "\"threads\": %zu, \"queries_per_s\": %.1f, "
+                    "\"rows_per_s\": %.0f, \"latency_p50_ns\": %llu, "
+                    "\"latency_p99_ns\": %llu}%s\n",
+                    r.aggregate.c_str(), r.path.c_str(), r.threads, r.qps,
+                    r.rows_per_s, static_cast<unsigned long long>(r.p50_ns),
+                    static_cast<unsigned long long>(r.p99_ns),
+                    i + 1 < runs.size() ? "," : "");
+      os << buf;
+    }
+    os << "  ]\n}\n";
+    std::printf("(results written to %s)\n", config.json_out.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace anatomy
+
+int main(int argc, char** argv) {
+  using namespace anatomy;
+  using namespace anatomy::bench;
+  KernelBenchConfig config;
+  FlagParser parser;
+  parser.AddInt64("n", &config.n, "dataset cardinality");
+  parser.AddInt64("queries", &config.queries, "distinct queries per pass");
+  parser.AddInt64("qd", &config.qd, "query dimensionality");
+  parser.AddDouble("s", &config.s, "expected selectivity");
+  parser.AddInt64("l", &config.l, "l-diversity parameter");
+  parser.AddInt64("seed", &config.seed, "master RNG seed");
+  parser.AddInt64("replays", &config.replays, "passes per timed section");
+  parser.AddInt64("predcache_capacity", &config.predcache_capacity,
+                  "predicate-bitmap cache capacity (entries)");
+  parser.AddBool("range_predicates", &config.range_predicates,
+                 "interval predicates (single prefix-OR run each)");
+  parser.AddString("json_out", &config.json_out,
+                   "write machine-readable results here (empty to skip)");
+  const Status status = parser.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 parser.Usage(argv[0]).c_str());
+    return 2;
+  }
+  if (parser.help_requested()) {
+    std::printf(
+        "bench_query_kernels: group-clustered kernels vs the scalar "
+        "reference, plus predicate-cache hit rate\n%s",
+        parser.Usage(argv[0]).c_str());
+    return 0;
+  }
+  Run(config);
+  return 0;
+}

@@ -22,6 +22,8 @@ BenchConfig ParseBenchFlags(int argc, char** argv, const std::string& banner) {
   parser.AddInt64("seed", &config.seed, "master RNG seed");
   parser.AddBool("paper", &config.paper,
                  "full Table 7 scale: n = 300k (sweeps to 500k), 10k queries");
+  parser.AddBool("predcache", &config.predcache,
+                 "predicate-bitmap cache (--predcache=false disables it)");
   parser.AddString("csv_dir", &config.csv_dir,
                    "also write each series as <dir>/<figure>.csv");
   parser.AddString("metrics_out", &config.metrics_out,
@@ -84,21 +86,24 @@ StatusOr<PublishedDataset> Publish(ExperimentDataset dataset, int l,
 }
 
 StatusOr<ErrorPoint> MeasureErrors(const PublishedDataset& published, int qd,
-                                   double s, size_t num_queries,
-                                   uint64_t seed) {
+                                   double s, size_t num_queries, uint64_t seed,
+                                   bool predcache) {
   WorkloadOptions options;
   options.qd = qd;
   options.s = s;
   options.num_queries = num_queries;
   options.seed = seed;
+  RunnerOptions runner_options;
+  runner_options.estimator.predcache.enabled = predcache;
   ANATOMY_ASSIGN_OR_RETURN(
       WorkloadResult result,
       RunWorkload(published.dataset.microdata, published.anatomized,
-                  published.generalized, options));
+                  published.generalized, options, runner_options));
   ErrorPoint point;
   point.generalization_pct = result.generalization_error * 100.0;
   point.anatomy_pct = result.anatomy_error * 100.0;
   point.skipped = result.zero_actual_skipped;
+  point.estimator_qps = result.estimator_qps;
   return point;
 }
 

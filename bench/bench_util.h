@@ -37,6 +37,8 @@ struct BenchConfig {
   int64_t seed = 42;
   /// Full paper scale (n = 300k / 100k..500k sweeps, 10k queries).
   bool paper = false;
+  /// Predicate-bitmap cache kill switch (--predcache=false disables it).
+  bool predcache = true;
   /// When non-empty, every printed series is also written to
   /// <csv_dir>/<figure>.csv for plotting.
   std::string csv_dir;
@@ -75,11 +77,14 @@ struct ErrorPoint {
   double generalization_pct = 0.0;
   double anatomy_pct = 0.0;
   size_t skipped = 0;
+  /// Estimates per second of pure estimator time (from the
+  /// `query.latency_ns` histogram; 0 when metrics are disabled).
+  double estimator_qps = 0.0;
 };
 
 StatusOr<ErrorPoint> MeasureErrors(const PublishedDataset& published, int qd,
-                                   double s, size_t num_queries,
-                                   uint64_t seed);
+                                   double s, size_t num_queries, uint64_t seed,
+                                   bool predcache = true);
 
 /// Aborts with the status message if not OK (bench binaries have no caller
 /// to propagate to).

@@ -6,14 +6,6 @@
 
 namespace anatomy {
 
-double NumericValue(const AttributeDef& attr, Code code) {
-  if (attr.kind == AttributeKind::kNumerical) {
-    return static_cast<double>(attr.numeric_base +
-                               static_cast<int64_t>(code) * attr.numeric_step);
-  }
-  return static_cast<double>(code);
-}
-
 double ExactAggregate(const Microdata& microdata, const AggregateQuery& query) {
   uint64_t count = 0;
   double sum = 0.0;
@@ -49,66 +41,14 @@ double ExactAggregate(const Microdata& microdata, const AggregateQuery& query) {
 // ---------------------------------------------------------------- anatomy --
 
 AnatomyAggregateEstimator::AnatomyAggregateEstimator(
-    const AnatomizedTables& tables)
-    : tables_(&tables) {
-  const size_t d = tables.qit().num_columns() - 1;
-  std::vector<size_t> columns(d);
-  for (size_t i = 0; i < d; ++i) columns[i] = i;
-  qit_index_ = std::make_unique<BitmapIndex>(tables.qit(), columns);
-  const Code sens_domain = tables.st().schema().attribute(1).domain_size;
-  postings_.resize(sens_domain);
-  for (GroupId g = 0; g < tables.num_groups(); ++g) {
-    for (const auto& [value, count] : tables.group_histogram(g)) {
-      postings_[value].push_back({g, count});
-    }
-  }
-}
-
-AnatomyAggregateEstimator::CountSum AnatomyAggregateEstimator::EstimateCountSum(
-    const AggregateQuery& query, EstimatorScratch& scratch) const {
-  CountSum out;
-  scratch.EnsureGroupMass(tables_->num_groups());
-  scratch.touched_groups.clear();
-  for (Code v : query.predicates.sensitive_predicate.values()) {
-    // Out-of-domain sensitive codes qualify no tuples.
-    if (v < 0 || static_cast<size_t>(v) >= postings_.size()) continue;
-    for (const auto& [g, count] : postings_[v]) {
-      if (scratch.group_mass[g] == 0.0) scratch.touched_groups.push_back(g);
-      scratch.group_mass[g] += count;
-    }
-  }
-  if (scratch.touched_groups.empty()) return out;
-
-  scratch.qi_match.Reset(qit_index_->num_rows());
-  scratch.qi_match.SetAll();
-  for (const AttributePredicate& pred : query.predicates.qi_predicates) {
-    qit_index_->PredicateBitmap(pred.qi_index(), pred, scratch.pred_bits);
-    scratch.qi_match.AndWith(scratch.pred_bits);
-  }
-
-  const Table& qit = tables_->qit();
-  const bool need_sum = query.kind != AggregateKind::kCount;
-  const AttributeDef& measure =
-      qit.schema().attribute(need_sum ? query.measure_qi : 0);
-  scratch.qi_match.ForEachSetBit([&](size_t row) {
-    const GroupId g = tables_->group_of_row(static_cast<RowId>(row));
-    const double mass = scratch.group_mass[g];
-    if (mass == 0.0) return;
-    const double weight = mass / tables_->group_size(g);
-    out.count += weight;
-    if (need_sum) {
-      out.sum += weight * NumericValue(measure,
-                                       qit.at(static_cast<RowId>(row),
-                                              query.measure_qi));
-    }
-  });
-  for (GroupId g : scratch.touched_groups) scratch.group_mass[g] = 0.0;
-  return out;
-}
+    const AnatomizedTables& tables, const EstimatorOptions& options)
+    : engine_(tables, options) {}
 
 double AnatomyAggregateEstimator::Estimate(const AggregateQuery& query,
                                            EstimatorScratch& scratch) const {
-  const CountSum cs = EstimateCountSum(query, scratch);
+  const bool need_sum = query.kind != AggregateKind::kCount;
+  const AnatomyQueryEngine::CountSum cs = engine_.EstimateCountSum(
+      query.predicates, need_sum, query.measure_qi, scratch);
   switch (query.kind) {
     case AggregateKind::kCount:
       return cs.count;

@@ -16,8 +16,8 @@
 
 #include "anatomy/anatomized_tables.h"
 #include "generalization/generalized_table.h"
-#include "query/bitmap_index.h"
 #include "query/estimator_scratch.h"
+#include "query/group_kernels.h"
 #include "query/predicate.h"
 #include "table/table.h"
 
@@ -37,18 +37,19 @@ struct AggregateQuery {
   size_t measure_qi = 0;
 };
 
-/// The real value a code represents (numeric_base + code * numeric_step; for
-/// categorical attributes the code itself).
-double NumericValue(const AttributeDef& attr, Code code);
+// NumericValue (the code -> real-value mapping) lives in group_kernels.h.
 
 /// Ground truth by table scan. AVG over an empty match set is 0.
 double ExactAggregate(const Microdata& microdata, const AggregateQuery& query);
 
 /// Aggregate estimation from anatomized tables. Immutable after
-/// construction; safe to share across threads.
+/// construction (the predicate cache is internally synchronized); safe to
+/// share across threads. Delegates to AnatomyQueryEngine, so COUNT answers
+/// are bit-identical to AnatomyEstimator's under the same options.
 class AnatomyAggregateEstimator {
  public:
-  explicit AnatomyAggregateEstimator(const AnatomizedTables& tables);
+  explicit AnatomyAggregateEstimator(const AnatomizedTables& tables,
+                                     const EstimatorOptions& options = {});
 
   /// Re-entrant core: all per-call state lives in `scratch`.
   double Estimate(const AggregateQuery& query, EstimatorScratch& scratch) const;
@@ -58,17 +59,15 @@ class AnatomyAggregateEstimator {
     return Estimate(query, *scratch_pool_.Acquire());
   }
 
- private:
-  struct CountSum {
-    double count = 0.0;
-    double sum = 0.0;
-  };
-  CountSum EstimateCountSum(const AggregateQuery& query,
-                            EstimatorScratch& scratch) const;
+  /// Exact rows matching the QI predicates per group (property-test hook).
+  std::vector<uint64_t> GroupMatchCounts(const CountQuery& query) const {
+    return engine_.GroupMatchCounts(query, *scratch_pool_.Acquire());
+  }
 
-  const AnatomizedTables* tables_;
-  std::unique_ptr<BitmapIndex> qit_index_;
-  std::vector<std::vector<std::pair<GroupId, uint32_t>>> postings_;
+  const EstimatorOptions& options() const { return engine_.options(); }
+
+ private:
+  AnatomyQueryEngine engine_;
   mutable ScratchPool scratch_pool_;
 };
 

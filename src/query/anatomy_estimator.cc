@@ -1,63 +1,9 @@
 #include "query/anatomy_estimator.h"
 
-#include "common/check.h"
-
 namespace anatomy {
 
-AnatomyEstimator::AnatomyEstimator(const AnatomizedTables& tables)
-    : tables_(&tables) {
-  // QIT columns 0..d-1 are the QI attributes (column d is Group-ID).
-  const size_t d = tables.qit().num_columns() - 1;
-  std::vector<size_t> columns(d);
-  for (size_t i = 0; i < d; ++i) columns[i] = i;
-  qit_index_ = std::make_unique<BitmapIndex>(tables.qit(), columns);
-
-  // Invert the ST: for each sensitive value, the groups carrying it.
-  const Code sens_domain = tables.st().schema().attribute(1).domain_size;
-  postings_.resize(sens_domain);
-  for (GroupId g = 0; g < tables.num_groups(); ++g) {
-    for (const auto& [value, count] : tables.group_histogram(g)) {
-      postings_[value].push_back({g, count});
-    }
-  }
-}
-
-double AnatomyEstimator::Estimate(const CountQuery& query,
-                                  EstimatorScratch& scratch) const {
-  scratch.EnsureGroupMass(tables_->num_groups());
-
-  // S_j for the groups that have any qualifying sensitive mass.
-  scratch.touched_groups.clear();
-  for (Code v : query.sensitive_predicate.values()) {
-    // Out-of-domain sensitive codes qualify no tuples (Code is signed, so
-    // both directions must be checked before indexing the postings).
-    if (v < 0 || static_cast<size_t>(v) >= postings_.size()) continue;
-    for (const auto& [g, count] : postings_[v]) {
-      if (scratch.group_mass[g] == 0.0) scratch.touched_groups.push_back(g);
-      scratch.group_mass[g] += count;
-    }
-  }
-  if (scratch.touched_groups.empty()) return 0.0;
-
-  // Exact per-group QI match fractions from the QIT.
-  scratch.qi_match.Reset(qit_index_->num_rows());
-  scratch.qi_match.SetAll();
-  for (const AttributePredicate& pred : query.qi_predicates) {
-    qit_index_->PredicateBitmap(pred.qi_index(), pred, scratch.pred_bits);
-    scratch.qi_match.AndWith(scratch.pred_bits);
-  }
-
-  double estimate = 0.0;
-  scratch.qi_match.ForEachSetBit([&](size_t row) {
-    const GroupId g = tables_->group_of_row(static_cast<RowId>(row));
-    const double mass = scratch.group_mass[g];
-    if (mass != 0.0) {
-      estimate += mass / tables_->group_size(g);
-    }
-  });
-
-  for (GroupId g : scratch.touched_groups) scratch.group_mass[g] = 0.0;
-  return estimate;
-}
+AnatomyEstimator::AnatomyEstimator(const AnatomizedTables& tables,
+                                   const EstimatorOptions& options)
+    : engine_(tables, options) {}
 
 }  // namespace anatomy

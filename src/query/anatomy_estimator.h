@@ -8,42 +8,54 @@
 // distribution assumption is involved — the only approximation is the loss
 // of the within-group association between QI values and sensitive values,
 // which is exactly what l-diversity hides.
+//
+// The arithmetic lives in AnatomyQueryEngine (see group_kernels.h): by
+// default the group-clustered word kernels, with the original row-at-a-time
+// path selectable as the scalar reference via EstimatorOptions.
 
 #ifndef ANATOMY_QUERY_ANATOMY_ESTIMATOR_H_
 #define ANATOMY_QUERY_ANATOMY_ESTIMATOR_H_
 
-#include <memory>
 #include <vector>
 
 #include "anatomy/anatomized_tables.h"
-#include "query/bitmap_index.h"
 #include "query/estimator_scratch.h"
+#include "query/group_kernels.h"
 #include "query/predicate.h"
 
 namespace anatomy {
 
-/// Immutable after construction; one instance may serve any number of
-/// threads concurrently.
+/// Immutable after construction (the predicate cache is internally
+/// synchronized); one instance may serve any number of threads.
 class AnatomyEstimator {
  public:
   /// Builds its own bitmap index over the QIT's QI columns and per-sensitive-
   /// value postings over the ST — i.e. strictly from the published tables.
-  explicit AnatomyEstimator(const AnatomizedTables& tables);
+  explicit AnatomyEstimator(const AnatomizedTables& tables,
+                            const EstimatorOptions& options = {});
 
   /// Re-entrant core: all per-call state lives in `scratch`, which the
   /// caller owns (typically one arena per worker thread).
-  double Estimate(const CountQuery& query, EstimatorScratch& scratch) const;
+  double Estimate(const CountQuery& query, EstimatorScratch& scratch) const {
+    return engine_.EstimateCountSum(query, /*need_sum=*/false, 0, scratch)
+        .count;
+  }
 
   /// Thread-safe convenience: borrows an arena from an internal pool.
   double Estimate(const CountQuery& query) const {
     return Estimate(query, *scratch_pool_.Acquire());
   }
 
+  /// Exact rows matching the QI predicates per group (property-test hook;
+  /// integer-identical across kernel modes).
+  std::vector<uint64_t> GroupMatchCounts(const CountQuery& query) const {
+    return engine_.GroupMatchCounts(query, *scratch_pool_.Acquire());
+  }
+
+  const EstimatorOptions& options() const { return engine_.options(); }
+
  private:
-  const AnatomizedTables* tables_;
-  std::unique_ptr<BitmapIndex> qit_index_;
-  /// postings_[v] = (group, count) pairs with c_group(v) = count > 0.
-  std::vector<std::vector<std::pair<GroupId, uint32_t>>> postings_;
+  AnatomyQueryEngine engine_;
   mutable ScratchPool scratch_pool_;
 };
 

@@ -47,21 +47,36 @@ void Bitmap::AndWith(const Bitmap& other) {
   for (size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
 }
 
+void Bitmap::AndNotWith(const Bitmap& other) {
+  ANATOMY_CHECK(num_bits_ == other.num_bits_);
+  for (size_t w = 0; w < words_.size(); ++w) words_[w] &= ~other.words_[w];
+}
+
+void Bitmap::OrWithAndNot(const Bitmap& hi, const Bitmap* lo) {
+  ANATOMY_CHECK(num_bits_ == hi.num_bits_);
+  if (lo == nullptr) {
+    for (size_t w = 0; w < words_.size(); ++w) words_[w] |= hi.words_[w];
+    return;
+  }
+  ANATOMY_CHECK(num_bits_ == lo->num_bits_);
+  for (size_t w = 0; w < words_.size(); ++w) {
+    words_[w] |= hi.words_[w] & ~lo->words_[w];
+  }
+}
+
+void Bitmap::AssignAnd(const Bitmap& a, const Bitmap& b) {
+  ANATOMY_CHECK(a.num_bits_ == b.num_bits_);
+  num_bits_ = a.num_bits_;
+  words_.resize(a.words_.size());
+  for (size_t w = 0; w < words_.size(); ++w) {
+    words_[w] = a.words_[w] & b.words_[w];
+  }
+}
+
 uint64_t Bitmap::Count() const {
   uint64_t count = 0;
   for (uint64_t w : words_) count += static_cast<uint64_t>(std::popcount(w));
   return count;
-}
-
-void Bitmap::ForEachSetBit(const std::function<void(size_t)>& fn) const {
-  for (size_t wi = 0; wi < words_.size(); ++wi) {
-    uint64_t w = words_[wi];
-    while (w != 0) {
-      const int bit = std::countr_zero(w);
-      fn((wi << 6) + static_cast<size_t>(bit));
-      w &= w - 1;
-    }
-  }
 }
 
 }  // namespace anatomy

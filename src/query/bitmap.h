@@ -1,10 +1,16 @@
-// Fixed-size bitmaps used by the bitmap index and the exact evaluator.
+// Fixed-size bitmaps used by the bitmap index and the exact evaluator, plus
+// the word-level kernels behind the group-clustered query path: ranged
+// popcounts with partial-word masks, a fused AND+popcount, the AND-NOT
+// combinators the prefix-OR index is built from, and template set-bit
+// iteration that inlines its callback (no std::function, no virtual
+// dispatch on the hot path).
 
 #ifndef ANATOMY_QUERY_BITMAP_H_
 #define ANATOMY_QUERY_BITMAP_H_
 
+#include <bit>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 namespace anatomy {
@@ -30,16 +36,107 @@ class Bitmap {
   void OrWith(const Bitmap& other);
   /// this &= other. Sizes must match.
   void AndWith(const Bitmap& other);
+  /// this &= ~other. Sizes must match.
+  void AndNotWith(const Bitmap& other);
+
+  /// this |= hi & ~*lo in one pass (lo == nullptr means this |= hi). The
+  /// prefix-OR index expresses every consecutive-code run this way:
+  /// rows with code in [lo, hi] = prefix[hi] AND-NOT prefix[lo - 1].
+  void OrWithAndNot(const Bitmap& hi, const Bitmap* lo);
+
+  /// this = a & b in one pass (takes a's size; no SetAll, no copy).
+  void AssignAnd(const Bitmap& a, const Bitmap& b);
 
   /// Number of set bits.
   uint64_t Count() const;
 
-  /// Calls fn(i) for every set bit in ascending order.
-  void ForEachSetBit(const std::function<void(size_t)>& fn) const;
+  /// Number of set bits in the half-open bit range [begin, end); both
+  /// bounds must be <= size(). Partial boundary words are masked, interior
+  /// words are whole-word popcounts.
+  uint64_t CountRange(size_t begin, size_t end) const {
+    if (begin >= end) return 0;
+    const size_t wb = begin >> 6;
+    const size_t we = (end - 1) >> 6;
+    const uint64_t first = kAllOnes << (begin & 63);
+    const uint64_t last = kAllOnes >> (63 - ((end - 1) & 63));
+    if (wb == we) {
+      return static_cast<uint64_t>(
+          std::popcount(words_[wb] & first & last));
+    }
+    uint64_t n = static_cast<uint64_t>(std::popcount(words_[wb] & first)) +
+                 static_cast<uint64_t>(std::popcount(words_[we] & last));
+    for (size_t w = wb + 1; w < we; ++w) {
+      n += static_cast<uint64_t>(std::popcount(words_[w]));
+    }
+    return n;
+  }
+
+  /// Fused kernel: popcount(a & b) over [begin, end) without materializing
+  /// the conjunction. Sizes of a and b must match; bounds as in CountRange.
+  /// This is the per-group COUNT kernel: one call per QI group, zero
+  /// per-row work.
+  static uint64_t AndCountRange(const Bitmap& a, const Bitmap& b,
+                                size_t begin, size_t end) {
+    if (begin >= end) return 0;
+    const uint64_t* wa = a.words_.data();
+    const uint64_t* wb_ = b.words_.data();
+    const size_t wb = begin >> 6;
+    const size_t we = (end - 1) >> 6;
+    const uint64_t first = kAllOnes << (begin & 63);
+    const uint64_t last = kAllOnes >> (63 - ((end - 1) & 63));
+    if (wb == we) {
+      return static_cast<uint64_t>(
+          std::popcount(wa[wb] & wb_[wb] & first & last));
+    }
+    uint64_t n =
+        static_cast<uint64_t>(std::popcount(wa[wb] & wb_[wb] & first)) +
+        static_cast<uint64_t>(std::popcount(wa[we] & wb_[we] & last));
+    for (size_t w = wb + 1; w < we; ++w) {
+      n += static_cast<uint64_t>(std::popcount(wa[w] & wb_[w]));
+    }
+    return n;
+  }
+
+  /// Calls fn(i) for every set bit in ascending order. The callback is a
+  /// template parameter so it inlines (the former std::function signature
+  /// cost an indirect call per row).
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        fn((wi << 6) + static_cast<size_t>(std::countr_zero(w)));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Calls fn(i) for every set bit in [begin, end), ascending. Bounds must
+  /// be <= size(). The SUM/AVG per-row tail iterates one group's bit range
+  /// this way.
+  template <typename Fn>
+  void ForEachSetBitInRange(size_t begin, size_t end, Fn&& fn) const {
+    if (begin >= end) return;
+    const size_t wb = begin >> 6;
+    const size_t we = (end - 1) >> 6;
+    const uint64_t first = kAllOnes << (begin & 63);
+    const uint64_t last = kAllOnes >> (63 - ((end - 1) & 63));
+    for (size_t wi = wb; wi <= we; ++wi) {
+      uint64_t w = words_[wi];
+      if (wi == wb) w &= first;
+      if (wi == we) w &= last;
+      while (w != 0) {
+        fn((wi << 6) + static_cast<size_t>(std::countr_zero(w)));
+        w &= w - 1;
+      }
+    }
+  }
 
   const std::vector<uint64_t>& words() const { return words_; }
 
  private:
+  static constexpr uint64_t kAllOnes = ~uint64_t{0};
+
   size_t num_bits_ = 0;
   std::vector<uint64_t> words_;
 };

@@ -5,46 +5,57 @@
 namespace anatomy {
 
 BitmapIndex::BitmapIndex(const Table& table,
-                         const std::vector<size_t>& columns)
+                         const std::vector<size_t>& columns,
+                         const std::vector<RowId>* row_order)
     : num_rows_(table.num_rows()), columns_(columns) {
-  bitmaps_.resize(columns_.size());
+  if (row_order != nullptr) {
+    ANATOMY_CHECK(row_order->size() == num_rows_);
+  }
+  slot_of_column_.assign(table.num_columns(), -1);
+  prefix_.resize(columns_.size());
   for (size_t slot = 0; slot < columns_.size(); ++slot) {
     const size_t col = columns_[slot];
     ANATOMY_CHECK(col < table.num_columns());
+    slot_of_column_[col] = static_cast<int32_t>(slot);
     const Code domain = table.schema().attribute(col).domain_size;
-    bitmaps_[slot].assign(domain, Bitmap(num_rows_));
+    prefix_[slot].assign(domain, Bitmap(num_rows_));
     const auto& data = table.column(col);
-    for (RowId r = 0; r < num_rows_; ++r) {
-      bitmaps_[slot][data[r]].Set(r);
+    for (RowId i = 0; i < num_rows_; ++i) {
+      const RowId r = row_order != nullptr ? (*row_order)[i] : i;
+      prefix_[slot][data[r]].Set(i);
+    }
+    // In-place prefix OR along the code axis: afterwards prefix_[slot][v]
+    // covers every row with code <= v. Memory is unchanged relative to the
+    // per-value form — same count of n-bit maps, just cumulative contents.
+    for (Code v = 1; v < domain; ++v) {
+      prefix_[slot][v].OrWith(prefix_[slot][v - 1]);
     }
   }
 }
 
 size_t BitmapIndex::SlotFor(size_t column) const {
-  for (size_t slot = 0; slot < columns_.size(); ++slot) {
-    if (columns_[slot] == column) return slot;
-  }
-  ANATOMY_CHECK_MSG(false, "column not indexed");
-  return 0;
+  ANATOMY_CHECK_MSG(
+      column < slot_of_column_.size() && slot_of_column_[column] >= 0,
+      "column not indexed");
+  return static_cast<size_t>(slot_of_column_[column]);
 }
 
-const Bitmap& BitmapIndex::ValueBitmap(size_t column, Code code) const {
+void BitmapIndex::ValueBitmap(size_t column, Code code, Bitmap& out) const {
   const size_t slot = SlotFor(column);
-  ANATOMY_CHECK(code >= 0 &&
-                static_cast<size_t>(code) < bitmaps_[slot].size());
-  return bitmaps_[slot][code];
+  out.Reset(num_rows_);
+  if (code < 0 || static_cast<size_t>(code) >= prefix_[slot].size()) return;
+  out.OrWithAndNot(prefix_[slot][code],
+                   code > 0 ? &prefix_[slot][code - 1] : nullptr);
 }
 
 void BitmapIndex::PredicateBitmap(size_t column, const AttributePredicate& pred,
                                   Bitmap& out) const {
   const size_t slot = SlotFor(column);
+  const std::vector<Bitmap>& prefix = prefix_[slot];
   out.Reset(num_rows_);
-  for (Code v : pred.values()) {
-    // Predicate values outside the column's domain match no rows; skip them
-    // instead of indexing out of bounds (Code is signed — check both ends).
-    if (v < 0 || static_cast<size_t>(v) >= bitmaps_[slot].size()) continue;
-    out.OrWith(bitmaps_[slot][v]);
-  }
+  pred.ForEachRun(static_cast<Code>(prefix.size()), [&](Code lo, Code hi) {
+    out.OrWithAndNot(prefix[hi], lo > 0 ? &prefix[lo - 1] : nullptr);
+  });
 }
 
 }  // namespace anatomy

@@ -40,6 +40,17 @@ struct EstimatorScratch {
   Bitmap qi_match;
   /// Workspace for one predicate's bitmap OR.
   Bitmap pred_bits;
+  /// Dense per-group mass buffer for the group-clustered kernels. Unlike
+  /// group_mass it carries no all-zero invariant: a dense pass assigns
+  /// every entry before reading any, so stale contents are harmless.
+  std::vector<uint32_t> group_mass_u32;
+  /// Per-group weight mass_g / |g| for the weighted set-bit walk. Like
+  /// group_mass_u32, fully assigned before use — no invariant.
+  std::vector<double> group_weight;
+  /// Predicate-cache leases pinning the bitmaps one call reads; refreshed
+  /// at the start of the next call (see PredicateBitmapCache: a lease keeps
+  /// its bitmap alive across eviction).
+  std::vector<std::shared_ptr<const Bitmap>> pred_refs;
 
   /// Makes group_mass an all-zero vector of `num_groups` entries. A no-op
   /// when the size already matches (the all-zero invariant holds between

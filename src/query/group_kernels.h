@@ -1,0 +1,156 @@
+// The shared estimation engine behind both anatomy estimators: group-
+// clustered word-level kernels, with the original row-at-a-time path
+// retained as the scalar reference.
+//
+// Layout (built inside the estimator — publication is untouched): QIT rows
+// are permuted by Group-ID so every QI group occupies one contiguous bit
+// range [group_start_[g], group_start_[g+1]) of every index bitmap. With
+// the prefix-OR index on top of that permutation:
+//
+//   COUNT:  estimate = sum_g mass_g / |g| * matchcount_g. Sparse-mass
+//           queries compute matchcount_g with one fused AndCountRange per
+//           touched group; dense-mass queries either walk the folded
+//           conjunction's set bits with precomputed per-group weights
+//           (selective case) or run one ranged popcount per mass group
+//           (broad case) — the split is kWalkDensityFactor.
+//   SUM:    a per-row tail over matching rows only: the weighted set-bit
+//           walk when selective, otherwise per-group
+//           ForEachSetBitInRange (inlined callback, no division per row —
+//           the 1/|g| weight is precomputed).
+//
+// Sensitive mass S_j comes from either the sparse postings walk (as
+// before) or, for broad predicates, a dense pass over cumulative per-group
+// histograms prefix_mass_[v][g] = sum_{u<=v} c_g(u): each predicate run is
+// one vectorizable subtraction over the group axis. Both paths accumulate
+// exact integers, so the (deterministic, query-only) choice between them
+// never changes a result.
+//
+// Thread safety: immutable after construction except the internally-
+// synchronized predicate-bitmap cache; one engine may serve any number of
+// threads, each bringing its own EstimatorScratch.
+
+#ifndef ANATOMY_QUERY_GROUP_KERNELS_H_
+#define ANATOMY_QUERY_GROUP_KERNELS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "anatomy/anatomized_tables.h"
+#include "query/bitmap_index.h"
+#include "query/estimator_scratch.h"
+#include "query/pred_cache.h"
+#include "query/predicate.h"
+
+namespace anatomy {
+
+/// The real value a code represents (numeric_base + code * numeric_step;
+/// for categorical attributes the code itself).
+double NumericValue(const AttributeDef& attr, Code code);
+
+enum class KernelMode {
+  /// The original row-at-a-time path: SetAll + AND + per-row walk with a
+  /// division per matching row. Retained verbatim as the correctness
+  /// reference the kernels are property-tested against (1e-9 relative).
+  kScalar,
+  /// Group-clustered word kernels — the default serving path.
+  kGroupClustered,
+};
+
+struct EstimatorOptions {
+  KernelMode mode = KernelMode::kGroupClustered;
+  /// Predicate-bitmap cache (consulted only in kGroupClustered mode).
+  PredicateCacheOptions predcache;
+};
+
+class AnatomyQueryEngine {
+ public:
+  struct CountSum {
+    double count = 0.0;
+    double sum = 0.0;
+  };
+
+  AnatomyQueryEngine(const AnatomizedTables& tables,
+                     const EstimatorOptions& options);
+
+  /// The COUNT/SUM core shared by AnatomyEstimator (need_sum = false) and
+  /// AnatomyAggregateEstimator. `measure_qi` is the QI column whose numeric
+  /// value is summed; ignored when need_sum is false.
+  CountSum EstimateCountSum(const CountQuery& query, bool need_sum,
+                            size_t measure_qi, EstimatorScratch& scratch) const;
+
+  /// Exact number of rows matching the QI-predicate conjunction in each
+  /// group. Integer-identical across kernel modes — the property-test hook
+  /// for the fused popcount kernels.
+  std::vector<uint64_t> GroupMatchCounts(const CountQuery& query,
+                                         EstimatorScratch& scratch) const;
+
+  const EstimatorOptions& options() const { return options_; }
+
+ private:
+  CountSum EstimateScalar(const CountQuery& query, bool need_sum,
+                          size_t measure_qi, EstimatorScratch& scratch) const;
+  CountSum EstimateClustered(const CountQuery& query, bool need_sum,
+                             size_t measure_qi,
+                             EstimatorScratch& scratch) const;
+
+  /// Accumulates S_j into scratch.group_mass/touched_groups via the
+  /// postings. Returns false when no group has qualifying mass.
+  bool AccumulateSparseMass(const AttributePredicate& spred,
+                            EstimatorScratch& scratch) const;
+  /// Dense S_j into scratch.group_mass_u32 (every entry assigned).
+  void ComputeDenseMass(const AttributePredicate& spred,
+                        EstimatorScratch& scratch) const;
+  /// Deterministic cost call between the two mass paths.
+  bool UseDenseMass(const AttributePredicate& spred) const;
+  /// scratch.group_weight[g] = S_g(spred) / |g| straight from the prefix
+  /// histograms (dense path only): one vectorizable pass per predicate run,
+  /// no intermediate mass array, so the set-bit walk pays a single load per
+  /// row.
+  void ComputeDenseWeights(const AttributePredicate& spred,
+                           EstimatorScratch& scratch) const;
+
+  /// One predicate's bitmap: a cache lease (pinned in scratch.pred_refs)
+  /// or computed into `storage`.
+  const Bitmap* OnePredicate(const AttributePredicate& pred,
+                             EstimatorScratch& scratch, Bitmap& storage) const;
+  /// AND of preds[0..count): nullptr when count == 0, a single (possibly
+  /// cached) bitmap when count == 1, otherwise materialized into
+  /// scratch.qi_match with one binary AssignAnd (no SetAll pass).
+  const Bitmap* FoldPredicates(const std::vector<AttributePredicate>& preds,
+                               size_t count, EstimatorScratch& scratch) const;
+
+  const AnatomizedTables* tables_;
+  EstimatorOptions options_;
+  std::unique_ptr<BitmapIndex> qit_index_;
+  /// postings_[v] = (group, count) pairs with c_group(v) = count > 0.
+  std::vector<std::vector<std::pair<GroupId, uint32_t>>> postings_;
+  /// Total tuples per sensitive value (the ST's published exact counts):
+  /// the zero-QI COUNT fast path is one lookup per predicate value.
+  std::vector<uint64_t> value_total_;
+
+  // --- kGroupClustered state (empty in scalar mode) ---
+  /// perm_[i] = QIT row at bit i (rows counting-sorted by Group-ID).
+  std::vector<RowId> perm_;
+  /// group_start_[g] .. group_start_[g+1]: group g's bit range.
+  std::vector<size_t> group_start_;
+  /// The group owning bit i is word_group_base_[i / 64] +
+  /// bit_group_offset_[i]. The split keeps the weighted set-bit walk's
+  /// per-row metadata at one byte: a 64-bit word spans at most 64 groups,
+  /// so the offset from the word's first group always fits u8.
+  std::vector<uint32_t> word_group_base_;
+  std::vector<uint8_t> bit_group_offset_;
+  /// Precomputed 1 / |g| — removes the per-row division of the scalar path.
+  std::vector<double> inv_group_size_;
+  /// perm_values_[qi][i] = NumericValue of QI column qi at bit i.
+  std::vector<std::vector<double>> perm_values_;
+  /// prefix_mass_[v][g] = sum_{u<=v} c_g(u); empty when the sensitive
+  /// domain x group count would exceed the memory gate.
+  std::vector<std::vector<uint32_t>> prefix_mass_;
+  /// Null when disabled (the options kill switch) or in scalar mode.
+  std::unique_ptr<PredicateBitmapCache> cache_;
+};
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_QUERY_GROUP_KERNELS_H_

@@ -1,0 +1,57 @@
+#include "query/pred_cache.h"
+
+#include <utility>
+
+namespace anatomy {
+
+PredicateBitmapCache::PredicateBitmapCache(const PredicateCacheOptions& options)
+    : capacity_(options.capacity == 0 ? 1 : options.capacity),
+      hits_(obs::MetricRegistry::Global().GetCounter("query.predcache.hits")),
+      misses_(
+          obs::MetricRegistry::Global().GetCounter("query.predcache.misses")),
+      evictions_(obs::MetricRegistry::Global().GetCounter(
+          "query.predcache.evictions")) {}
+
+std::shared_ptr<const Bitmap> PredicateBitmapCache::GetOrCompute(
+    size_t column, const std::vector<Code>& values, const ComputeFn& compute) {
+  Key key{column, values};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      if (obs::MetricsEnabled()) hits_->Increment();
+      return it->second.bitmap;
+    }
+  }
+  if (obs::MetricsEnabled()) misses_->Increment();
+  // Build outside the lock so concurrent misses on different predicates
+  // don't serialize behind one another's OR/AND-NOT passes.
+  auto built = std::make_shared<Bitmap>();
+  compute(*built);
+  std::shared_ptr<const Bitmap> result = std::move(built);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Another thread raced us to the same key; both computed the identical
+    // bitmap, keep the resident one.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.bitmap;
+  }
+  lru_.push_front(key);
+  map_.emplace(std::move(key), Entry{result, lru_.begin()});
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    if (obs::MetricsEnabled()) evictions_->Increment();
+  }
+  return result;
+}
+
+size_t PredicateBitmapCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+}  // namespace anatomy

@@ -1,0 +1,109 @@
+// Shared LRU cache of predicate bitmaps.
+//
+// Section-6 workloads redraw predicates from small qd/s grids, so the same
+// (column, value-set) predicate recurs across queries and across the worker
+// threads serving them. The cache hands out shared_ptr<const Bitmap>
+// leases: a reader keeps its bitmap alive even if the entry is evicted
+// mid-query, so eviction never invalidates a concurrent reader — the
+// coherence story is ownership, not locking. Entries are immutable once
+// inserted; the mutex guards only the map/LRU bookkeeping, never bitmap
+// contents, and computation happens outside the lock (a racing duplicate
+// computation of the same key is benign because the result is a pure
+// function of the key and the immutable index).
+//
+// Keys compare the full (column, values) pair, not just a hash
+// fingerprint: a fingerprint collision would silently splice one
+// predicate's bitmap into another query, and the determinism contract
+// (bit-identical results at any thread count, obs on or off) forbids that.
+//
+// Observability: query.predcache.{hits,misses,evictions} counters in the
+// global metric registry, recorded only while MetricsEnabled() — the cache
+// itself behaves identically either way (kill switch lives in
+// PredicateCacheOptions::enabled, honored by the estimator engine).
+
+#ifndef ANATOMY_QUERY_PRED_CACHE_H_
+#define ANATOMY_QUERY_PRED_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "query/bitmap.h"
+#include "table/table.h"
+
+namespace anatomy {
+
+struct PredicateCacheOptions {
+  /// Kill switch: when false the estimator never consults a cache.
+  bool enabled = true;
+  /// Maximum resident bitmaps; least-recently-used entries evict first.
+  /// Must exceed the workload's distinct-predicate working set for replay
+  /// traffic to hit (an LRU under cyclic replay of a larger set misses
+  /// every time).
+  size_t capacity = 4096;
+};
+
+class PredicateBitmapCache {
+ public:
+  explicit PredicateBitmapCache(const PredicateCacheOptions& options);
+
+  using ComputeFn = std::function<void(Bitmap&)>;
+
+  /// Returns the bitmap for predicate `values` on `column`, calling
+  /// `compute` to build it on a miss. The returned lease stays valid after
+  /// eviction. Thread-safe.
+  std::shared_ptr<const Bitmap> GetOrCompute(size_t column,
+                                             const std::vector<Code>& values,
+                                             const ComputeFn& compute);
+
+  /// Resident entry count (exact under the internal lock; for tests).
+  size_t size() const;
+
+ private:
+  struct Key {
+    size_t column;
+    std::vector<Code> values;
+    bool operator==(const Key& other) const {
+      return column == other.column && values == other.values;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      // FNV-1a over the column index and the value codes. Collisions are
+      // harmless: the map compares full keys.
+      uint64_t h = 1469598103934665603ULL;
+      const auto mix = [&h](uint64_t x) {
+        h ^= x;
+        h *= 1099511628211ULL;
+      };
+      mix(static_cast<uint64_t>(key.column));
+      for (Code v : key.values) {
+        mix(static_cast<uint64_t>(static_cast<uint32_t>(v)));
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+  using LruList = std::list<Key>;
+  struct Entry {
+    std::shared_ptr<const Bitmap> bitmap;
+    LruList::iterator lru_pos;
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  /// Front = most recently used.
+  LruList lru_;
+  std::unordered_map<Key, Entry, KeyHash> map_;
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* evictions_;
+};
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_QUERY_PRED_CACHE_H_

@@ -37,6 +37,30 @@ class AttributePredicate {
   /// numerator of the generalization estimator's per-attribute fraction.
   int64_t CountValuesIn(const CodeInterval& interval) const;
 
+  /// Decomposes the sorted value list into maximal runs of consecutive
+  /// codes inside [0, domain_size) and calls fn(lo, hi) for each run (hi
+  /// inclusive). Out-of-domain values match no rows and are skipped. The
+  /// prefix-OR index answers each run with one AND-NOT pass, so predicate
+  /// cost is O(runs * n/64) instead of O(values * n/64) — an interval
+  /// predicate of any width is exactly one run.
+  template <typename Fn>
+  void ForEachRun(Code domain_size, Fn&& fn) const {
+    size_t i = 0;
+    const size_t k = values_.size();
+    while (i < k && values_[i] < 0) ++i;
+    while (i < k && values_[i] < domain_size) {
+      const Code lo = values_[i];
+      Code hi = lo;
+      size_t j = i + 1;
+      while (j < k && values_[j] == hi + 1 && values_[j] < domain_size) {
+        hi = values_[j];
+        ++j;
+      }
+      fn(lo, hi);
+      i = j;
+    }
+  }
+
  private:
   size_t qi_index_ = 0;
   std::vector<Code> values_;

@@ -113,14 +113,32 @@ StatusOr<ParallelWorkloadResult> ParallelRunner::RunWorkload(
       MaterializedWorkload workload,
       Materialize(microdata, exact, options, runner_options));
 
-  AnatomyEstimator anatomy_estimator(anatomized);
+  AnatomyEstimator anatomy_estimator(anatomized, runner_options.estimator);
   GeneralizationEstimator generalization_estimator(generalized);
+
+  // Estimator throughput from the shared latency histogram's deltas across
+  // the two estimate passes (same derivation as the sequential runner).
+  obs::Histogram* latency_ns =
+      obs::MetricsEnabled()
+          ? obs::MetricRegistry::Global().GetHistogram("query.latency_ns")
+          : nullptr;
+  const uint64_t latency_count0 = latency_ns ? latency_ns->count() : 0;
+  const uint64_t latency_sum0 = latency_ns ? latency_ns->sum() : 0;
 
   ParallelWorkloadResult result;
   result.anatomy_estimates = EstimateAll(anatomy_estimator, workload.queries);
   result.generalization_estimates =
       EstimateAll(generalization_estimator, workload.queries);
   result.actuals = std::move(workload.actuals);
+
+  if (latency_ns != nullptr) {
+    const uint64_t dc = latency_ns->count() - latency_count0;
+    const uint64_t dns = latency_ns->sum() - latency_sum0;
+    if (dns > 0) {
+      result.summary.estimator_qps =
+          static_cast<double>(dc) / (static_cast<double>(dns) * 1e-9);
+    }
+  }
 
   // Sequential reduction in query order: bit-identical to RunWorkload().
   double anatomy_total = 0.0;

@@ -15,7 +15,7 @@ StatusOr<WorkloadResult> RunWorkload(const Microdata& microdata,
   ANATOMY_ASSIGN_OR_RETURN(WorkloadGenerator generator,
                            WorkloadGenerator::Create(microdata, options));
   ExactEvaluator exact(microdata);
-  AnatomyEstimator anatomy_estimator(anatomized);
+  AnatomyEstimator anatomy_estimator(anatomized, runner_options.estimator);
   GeneralizationEstimator generalization_estimator(generalized);
 
   // Per-query latency is recorded only when metrics are on; the disabled
@@ -28,6 +28,12 @@ StatusOr<WorkloadResult> RunWorkload(const Microdata& microdata,
   obs::Counter* query_count =
       metrics_on ? obs::MetricRegistry::Global().GetCounter("query.count")
                  : nullptr;
+
+  // Throughput falls out of the same histogram the figures already record:
+  // count/sum deltas across the run give estimates per second of pure
+  // estimator time, with no extra flags or clock reads.
+  const uint64_t latency_count0 = latency_ns ? latency_ns->count() : 0;
+  const uint64_t latency_sum0 = latency_ns ? latency_ns->sum() : 0;
 
   WorkloadResult result;
   double anatomy_total = 0.0;
@@ -64,6 +70,14 @@ StatusOr<WorkloadResult> RunWorkload(const Microdata& microdata,
   result.anatomy_error = anatomy_total / result.queries_evaluated;
   result.generalization_error =
       generalization_total / result.queries_evaluated;
+  if (latency_ns != nullptr) {
+    const uint64_t dc = latency_ns->count() - latency_count0;
+    const uint64_t dns = latency_ns->sum() - latency_sum0;
+    if (dns > 0) {
+      result.estimator_qps =
+          static_cast<double>(dc) / (static_cast<double>(dns) * 1e-9);
+    }
+  }
   return result;
 }
 

@@ -24,12 +24,18 @@ struct WorkloadResult {
   /// Queries whose actual answer was 0 (relative error undefined); they are
   /// skipped and replaced, and their count reported for transparency.
   size_t zero_actual_skipped = 0;
+  /// Estimates served per second of pure estimator time, derived from the
+  /// `query.latency_ns` histogram deltas across this run (both methods'
+  /// estimates pooled). 0 when metrics are disabled or nothing was timed.
+  double estimator_qps = 0.0;
 };
 
 struct RunnerOptions {
   /// Give up after this many consecutive zero-actual queries (degenerate
   /// workload configurations).
   size_t max_consecutive_skips = 1000;
+  /// Kernel/cache configuration of the anatomy estimator the runner builds.
+  EstimatorOptions estimator;
 };
 
 /// Evaluates `options.num_queries` queries with nonzero actual answers.

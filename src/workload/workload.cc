@@ -33,6 +33,14 @@ WorkloadGenerator::WorkloadGenerator(const Microdata& microdata,
 AttributePredicate WorkloadGenerator::RandomPredicate(size_t qi_index,
                                                       Code domain_size) {
   const size_t b = PredicateCardinality(domain_size, options_.s, qd_);
+  if (options_.range_predicates) {
+    // A random maximal run [lo, lo + b): same cardinality, interval shape.
+    const Code lo = static_cast<Code>(
+        rng_.NextBounded(static_cast<uint64_t>(domain_size - b + 1)));
+    std::vector<Code> values(b);
+    for (size_t i = 0; i < b; ++i) values[i] = lo + static_cast<Code>(i);
+    return AttributePredicate(qi_index, std::move(values));
+  }
   std::vector<uint32_t> picks = rng_.SampleWithoutReplacement(
       static_cast<uint32_t>(domain_size), static_cast<uint32_t>(b));
   std::vector<Code> values(picks.begin(), picks.end());

@@ -26,6 +26,11 @@ struct WorkloadOptions {
   /// Queries per workload (the paper uses 10,000).
   size_t num_queries = 10000;
   uint64_t seed = 7;
+  /// When true, each predicate is a random *interval* of b consecutive
+  /// domain values instead of b independent draws. Same cardinality b
+  /// (Equation 14), so the expected selectivity is unchanged; range shape
+  /// exercises the prefix-OR bitmap kernels with a single run.
+  bool range_predicates = false;
 };
 
 /// Equation 14.

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "data/census.h"
 #include "data/census_generator.h"
 #include "data/dataset.h"
@@ -98,14 +99,91 @@ TEST(PredicateTest, QueryToString) {
 TEST(BitmapIndexTest, ValueBitmapsPartitionRows) {
   Microdata md = MakeSimpleMicrodata({{0, 1}, {1, 1}, {0, 2}}, 4, 4);
   BitmapIndex index(md.table, {0, 1});
-  EXPECT_EQ(index.ValueBitmap(0, 0).Count(), 2u);
-  EXPECT_EQ(index.ValueBitmap(0, 1).Count(), 1u);
-  EXPECT_EQ(index.ValueBitmap(0, 3).Count(), 0u);
-  EXPECT_EQ(index.ValueBitmap(1, 1).Count(), 2u);
+  Bitmap value;
+  index.ValueBitmap(0, 0, value);
+  EXPECT_EQ(value.Count(), 2u);
+  index.ValueBitmap(0, 1, value);
+  EXPECT_EQ(value.Count(), 1u);
+  index.ValueBitmap(0, 3, value);
+  EXPECT_EQ(value.Count(), 0u);
+  index.ValueBitmap(1, 1, value);
+  EXPECT_EQ(value.Count(), 2u);
+  // Out-of-domain codes are an empty bitmap, not a crash.
+  index.ValueBitmap(0, 4, value);
+  EXPECT_EQ(value.Count(), 0u);
+  index.ValueBitmap(0, -1, value);
+  EXPECT_EQ(value.Count(), 0u);
 
   Bitmap out;
   index.PredicateBitmap(0, AttributePredicate(0, {0, 1}), out);
   EXPECT_EQ(out.Count(), 3u);
+}
+
+TEST(BitmapIndexTest, RowOrderPermutesBitPositions) {
+  // With an explicit row order, bit i describes row row_order[i]: the
+  // group-clustered engine relies on exactly this to give every group a
+  // contiguous bit range.
+  Microdata md = MakeSimpleMicrodata({{0, 1}, {1, 1}, {0, 2}}, 4, 4);
+  const std::vector<RowId> order = {2, 0, 1};
+  BitmapIndex index(md.table, {0}, &order);
+  Bitmap value;
+  index.ValueBitmap(0, 1, value);  // only row 1, which sits at bit 2
+  EXPECT_FALSE(value.Test(0));
+  EXPECT_FALSE(value.Test(1));
+  EXPECT_TRUE(value.Test(2));
+}
+
+TEST(BitmapTest, RangeKernelsMatchNaiveCounts) {
+  Rng rng(99);
+  Bitmap a(513), b(513);
+  for (size_t i = 0; i < 513; ++i) {
+    if (rng.NextBounded(3) == 0) a.Set(i);
+    if (rng.NextBounded(2) == 0) b.Set(i);
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t lo = static_cast<size_t>(rng.NextBounded(514));
+    size_t hi = static_cast<size_t>(rng.NextBounded(514));
+    if (lo > hi) std::swap(lo, hi);
+    uint64_t naive_a = 0, naive_and = 0;
+    std::vector<size_t> naive_bits;
+    for (size_t i = lo; i < hi; ++i) {
+      if (a.Test(i)) {
+        ++naive_a;
+        naive_bits.push_back(i);
+      }
+      if (a.Test(i) && b.Test(i)) ++naive_and;
+    }
+    EXPECT_EQ(a.CountRange(lo, hi), naive_a) << lo << ".." << hi;
+    EXPECT_EQ(Bitmap::AndCountRange(a, b, lo, hi), naive_and)
+        << lo << ".." << hi;
+    std::vector<size_t> kernel_bits;
+    a.ForEachSetBitInRange(lo, hi,
+                           [&](size_t i) { kernel_bits.push_back(i); });
+    EXPECT_EQ(kernel_bits, naive_bits) << lo << ".." << hi;
+  }
+}
+
+TEST(BitmapTest, AssignAndAndOrWithAndNot) {
+  Bitmap a(130), b(130);
+  a.Set(0);
+  a.Set(64);
+  a.Set(129);
+  b.Set(64);
+  b.Set(100);
+  Bitmap c;
+  c.AssignAnd(a, b);
+  EXPECT_EQ(c.size(), 130u);
+  EXPECT_EQ(c.Count(), 1u);
+  EXPECT_TRUE(c.Test(64));
+
+  Bitmap d(130);
+  d.OrWithAndNot(a, &b);  // a & ~b
+  EXPECT_EQ(d.Count(), 2u);
+  EXPECT_TRUE(d.Test(0));
+  EXPECT_TRUE(d.Test(129));
+  Bitmap e(130);
+  e.OrWithAndNot(a, nullptr);  // just a
+  EXPECT_EQ(e.Count(), 3u);
 }
 
 // -------------------------------------------------------- ExactEvaluator --

@@ -11,6 +11,7 @@
 #   tools/check_sanitizers.sh tsan         # one sanitizer only
 #   tools/check_sanitizers.sh faults       # both sanitizers, fault sweep only
 #   tools/check_sanitizers.sh obs          # both sanitizers, obs + query hammer
+#   tools/check_sanitizers.sh kernels      # both sanitizers, query kernels + cache
 #   tools/check_sanitizers.sh tsan -R parallel_query_test
 #                                          # extra args passed to ctest
 set -euo pipefail
@@ -37,6 +38,15 @@ if [[ $# -ge 1 ]]; then
       # race-free, and parallel_query_test proves instrumented hot paths
       # stay bit-deterministic while many shards record concurrently.
       extra=(-R '^(obs_test|parallel_query_test)$')
+      shift
+      ;;
+    kernels)
+      # The query-kernel smoke check: query_kernels_test pins the kernel
+      # paths to the scalar reference (and exercises cache eviction), while
+      # parallel_query_test's tiny-capacity cache hammer makes concurrent
+      # insert/evict/lease races visible to TSan and use-after-evict
+      # visible to ASan.
+      extra=(-R '^(query_kernels_test|parallel_query_test)$')
       shift
       ;;
   esac
