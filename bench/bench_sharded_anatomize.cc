@@ -1,0 +1,265 @@
+// Shard-parallel Anatomize: build-time speedup curve over S in {1, 2, 4, 8}
+// at n = 1M (default), with hard self-checks on everything the sharding is
+// not allowed to change:
+//
+//   - S = 1 must be byte-identical to the sequential Anatomizer (digest
+//     compare) — exits nonzero on any divergence.
+//   - For fixed (seed, S) the partition must be byte-identical at 1, 4, and
+//     8 worker threads — exits nonzero otherwise.
+//   - Each S's measured RCE must lie within 1 + S(l-1)/n of Theorem 2's
+//     lower bound n(1 - 1/l) — exits nonzero otherwise.
+//
+// The wall-clock speedup assertion (>= 3x at S = 8) only fires when the
+// machine actually has >= 8 hardware threads; on smaller hosts the curve is
+// still printed and written to JSON, with a loud skip warning, because no
+// scheduler can conjure parallel speedup out of missing cores.
+//
+// Results go to --json_out (default BENCH_sharded_anatomize.json).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "anatomy/anatomized_tables.h"
+#include "anatomy/anatomizer.h"
+#include "anatomy/rce.h"
+#include "anatomy/sharded_anatomizer.h"
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/printer.h"
+#include "data/census_generator.h"
+#include "data/dataset.h"
+
+namespace anatomy {
+namespace bench {
+namespace {
+
+struct ShardedBenchConfig {
+  int64_t n = 1000000;
+  int64_t l = 10;
+  int64_t seed = 42;
+  /// Timed repetitions per shard count; the best (minimum) time is reported,
+  /// the standard practice for wall-clock build benches.
+  int64_t repeats = 3;
+  /// Minimum S = 8 speedup enforced when the host has >= 8 hardware threads.
+  double min_speedup = 3.0;
+  std::string json_out = "BENCH_sharded_anatomize.json";
+};
+
+/// FNV-1a over group structure and row ids: the byte-identity anchor.
+uint64_t PartitionDigest(const Partition& p) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(p.groups.size());
+  for (const auto& group : p.groups) {
+    mix(group.size());
+    for (RowId r : group) mix(r);
+  }
+  return h;
+}
+
+struct ShardPoint {
+  size_t shards = 0;
+  size_t shards_run = 0;
+  size_t merged = 0;
+  double seconds = 0.0;
+  double speedup = 1.0;
+  double rce = 0.0;
+  double rce_over_lb = 0.0;   // measured / Theorem 2 lower bound
+  double bound_factor = 0.0;  // 1 + S(l-1)/n
+  uint64_t digest = 0;
+};
+
+void Run(const ShardedBenchConfig& config) {
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf(
+      "Sharded Anatomize: n = %lld, l = %lld, seed = %lld, "
+      "%u hardware threads\n",
+      static_cast<long long>(config.n), static_cast<long long>(config.l),
+      static_cast<long long>(config.seed), cores);
+
+  const Table census = GenerateCensus(static_cast<RowId>(config.n),
+                                      static_cast<uint64_t>(config.seed));
+  ExperimentDataset dataset = ValueOrDie(
+      MakeExperimentDataset(census, SensitiveFamily::kOccupation, 5));
+  const Microdata& md = dataset.microdata;
+  const RowId n = md.n();
+  const int l = static_cast<int>(config.l);
+  const double lower_bound = RceLowerBound(n, l);
+
+  // Sequential reference for the S = 1 identity check and the speedup base.
+  Anatomizer sequential(AnatomizerOptions{
+      .l = l, .seed = static_cast<uint64_t>(config.seed)});
+  Partition sequential_partition =
+      ValueOrDie(sequential.ComputePartition(md));
+  const uint64_t sequential_digest = PartitionDigest(sequential_partition);
+
+  const size_t kShardCounts[] = {1, 2, 4, 8};
+  std::vector<ShardPoint> points;
+  TablePrinter printer({"S", "shards run", "merged", "best time (s)",
+                        "speedup", "RCE / lower bound", "bound 1+S(l-1)/n"});
+
+  for (size_t shards : kShardCounts) {
+    ShardedAnatomizerOptions options{
+        .l = l,
+        .seed = static_cast<uint64_t>(config.seed),
+        .shards = shards,
+        .num_threads = shards};
+    ShardedAnatomizer anatomizer(options);
+
+    ShardPoint point;
+    point.shards = shards;
+    point.seconds = 1e100;
+    ShardedAnatomizeResult result;
+    for (int64_t r = 0; r < config.repeats; ++r) {
+      ShardedAnatomizeResult run;
+      const double seconds =
+          TimeSeconds([&] { run = ValueOrDie(anatomizer.Run(md)); });
+      point.seconds = std::min(point.seconds, seconds);
+      result = std::move(run);
+    }
+    point.shards_run = result.shards_run;
+    point.merged = result.merged_shards;
+    point.digest = PartitionDigest(result.partition);
+
+    // ---- Self-check: S = 1 is byte-identical to the sequential run. ----
+    if (shards == 1 && point.digest != sequential_digest) {
+      std::fprintf(stderr,
+                   "FATAL: S=1 partition diverges from the sequential "
+                   "Anatomizer (digest %016llx vs %016llx)\n",
+                   static_cast<unsigned long long>(point.digest),
+                   static_cast<unsigned long long>(sequential_digest));
+      std::exit(1);
+    }
+
+    // ---- Self-check: thread count never changes the bytes. ----
+    for (size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+      if (threads == shards) continue;
+      ShardedAnatomizerOptions alt = options;
+      alt.num_threads = threads;
+      ShardedAnatomizeResult alt_result =
+          ValueOrDie(ShardedAnatomizer(alt).Run(md));
+      if (PartitionDigest(alt_result.partition) != point.digest) {
+        std::fprintf(stderr,
+                     "FATAL: S=%zu partition changed between %zu and %zu "
+                     "worker threads\n",
+                     shards, shards, threads);
+        std::exit(1);
+      }
+    }
+
+    // ---- Self-check: RCE within the sharded quality bound. ----
+    AnatomizedTables tables =
+        ValueOrDie(AnatomizedTables::Build(md, result.partition));
+    point.rce = AnatomyRce(tables);
+    point.rce_over_lb = point.rce / lower_bound;
+    point.bound_factor = 1.0 + static_cast<double>(shards) *
+                                   static_cast<double>(l - 1) /
+                                   static_cast<double>(n);
+    if (point.rce < lower_bound * (1.0 - 1e-9) ||
+        point.rce > lower_bound * point.bound_factor * (1.0 + 1e-9)) {
+      std::fprintf(stderr,
+                   "FATAL: S=%zu RCE %.6f outside [lower bound, bound "
+                   "factor %.9f] (RCE / LB = %.9f)\n",
+                   shards, point.rce, point.bound_factor, point.rce_over_lb);
+      std::exit(1);
+    }
+
+    point.speedup = points.empty() ? 1.0 : points[0].seconds / point.seconds;
+    points.push_back(point);
+    printer.AddRow({std::to_string(shards), std::to_string(point.shards_run),
+                    std::to_string(point.merged),
+                    FormatDouble(point.seconds, 3),
+                    FormatDouble(point.speedup, 2),
+                    FormatDouble(point.rce_over_lb, 7),
+                    FormatDouble(point.bound_factor, 7)});
+  }
+  printer.Print();
+
+  // ---- Speedup gate: only meaningful when the cores exist. ----
+  const ShardPoint& s8 = points.back();
+  if (cores >= 8) {
+    if (s8.speedup < config.min_speedup) {
+      std::fprintf(stderr,
+                   "FATAL: S=8 speedup %.2fx below the required %.2fx on a "
+                   "%u-thread host\n",
+                   s8.speedup, config.min_speedup, cores);
+      std::exit(1);
+    }
+    std::printf("S=8 speedup %.2fx (>= %.2fx required): OK\n", s8.speedup,
+                config.min_speedup);
+  } else {
+    std::printf(
+        "WARNING: host has %u hardware thread(s) < 8; the %.2fx speedup "
+        "assertion is SKIPPED (S=8 measured %.2fx). Determinism and RCE "
+        "checks above still ran and passed.\n",
+        cores, config.min_speedup, s8.speedup);
+  }
+
+  if (!config.json_out.empty()) {
+    std::ofstream os(config.json_out);
+    if (!os) {
+      std::fprintf(stderr, "warning: cannot write %s\n",
+                   config.json_out.c_str());
+      return;
+    }
+    char buf[320];
+    std::snprintf(buf, sizeof buf,
+                  "{\n  \"bench\": \"sharded_anatomize\",\n"
+                  "  \"n\": %lld,\n  \"l\": %lld,\n  \"seed\": %lld,\n"
+                  "  \"hardware_threads\": %u,\n"
+                  "  \"speedup_asserted\": %s,\n  \"points\": [\n",
+                  static_cast<long long>(config.n),
+                  static_cast<long long>(config.l),
+                  static_cast<long long>(config.seed), cores,
+                  cores >= 8 ? "true" : "false");
+    os << buf;
+    for (size_t i = 0; i < points.size(); ++i) {
+      const ShardPoint& p = points[i];
+      std::snprintf(
+          buf, sizeof buf,
+          "    {\"shards\": %zu, \"shards_run\": %zu, \"merged\": %zu, "
+          "\"best_seconds\": %.6f, \"speedup\": %.3f, \"rce\": %.3f, "
+          "\"rce_over_lower_bound\": %.9f, \"bound_factor\": %.9f, "
+          "\"digest\": \"%016llx\"}%s\n",
+          p.shards, p.shards_run, p.merged, p.seconds, p.speedup, p.rce,
+          p.rce_over_lb, p.bound_factor,
+          static_cast<unsigned long long>(p.digest),
+          i + 1 < points.size() ? "," : "");
+      os << buf;
+    }
+    os << "  ]\n}\n";
+    std::printf("(results written to %s)\n", config.json_out.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace anatomy
+
+int main(int argc, char** argv) {
+  using namespace anatomy;
+  using namespace anatomy::bench;
+  ShardedBenchConfig config;
+  FlagParser parser;
+  parser.AddInt64("n", &config.n, "dataset cardinality");
+  parser.AddInt64("l", &config.l, "l-diversity parameter");
+  parser.AddInt64("seed", &config.seed, "master RNG seed");
+  parser.AddInt64("repeats", &config.repeats, "timed repetitions per S");
+  parser.AddDouble("min_speedup", &config.min_speedup,
+                   "required S=8 speedup on hosts with >= 8 threads");
+  parser.AddString("json_out", &config.json_out,
+                   "results JSON path (empty disables)");
+  DieIfError(parser.Parse(argc, argv));
+  Run(config);
+  return 0;
+}

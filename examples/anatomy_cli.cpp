@@ -18,6 +18,7 @@
 
 #include "anatomy/anatomized_tables.h"
 #include "anatomy/anatomizer.h"
+#include "anatomy/sharded_anatomizer.h"
 #include "anatomy/bundle.h"
 #include "anatomy/eligibility.h"
 #include "common/flags.h"
@@ -154,6 +155,7 @@ int main(int argc, char** argv) {
   int64_t sensitive = -1;
   int64_t l = 10;
   int64_t seed = 1;
+  int64_t shards = 1;
   std::string qit_out = "qit.csv";
   std::string st_out = "st.csv";
   std::string bundle_out;
@@ -169,6 +171,9 @@ int main(int argc, char** argv) {
   parser.AddInt64("sensitive", &sensitive, "sensitive column index");
   parser.AddInt64("l", &l, "l-diversity parameter");
   parser.AddInt64("seed", &seed, "RNG seed for the random draws");
+  parser.AddInt64("shards", &shards,
+                  "row shards for the parallel build (1 = sequential; output "
+                  "depends only on seed and shards, never on thread count)");
   parser.AddString("qit_out", &qit_out, "output path for the QIT CSV");
   parser.AddString("st_out", &st_out, "output path for the ST CSV");
   parser.AddString("bundle_out", &bundle_out,
@@ -240,9 +245,26 @@ int main(int argc, char** argv) {
   if (check_only) return 0;
 
   Die(CheckEligibility(md, static_cast<int>(l)));
-  Anatomizer anatomizer(AnatomizerOptions{
-      .l = static_cast<int>(l), .seed = static_cast<uint64_t>(seed)});
-  const Partition partition = OrDie(anatomizer.ComputePartition(md));
+  if (shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return 2;
+  }
+  Partition partition;
+  if (shards == 1) {
+    Anatomizer anatomizer(AnatomizerOptions{
+        .l = static_cast<int>(l), .seed = static_cast<uint64_t>(seed)});
+    partition = OrDie(anatomizer.ComputePartition(md));
+  } else {
+    ShardedAnatomizer anatomizer(ShardedAnatomizerOptions{
+        .l = static_cast<int>(l),
+        .seed = static_cast<uint64_t>(seed),
+        .shards = static_cast<size_t>(shards)});
+    ShardedAnatomizeResult sharded = OrDie(anatomizer.Run(md));
+    std::printf("sharded build: %zu shard(s) ran, %zu merged for "
+                "eligibility\n",
+                sharded.shards_run, sharded.merged_shards);
+    partition = std::move(sharded.partition);
+  }
   const AnatomizedTables tables = OrDie(AnatomizedTables::Build(md, partition));
   Die(VerifyAnatomizedLDiversity(tables, static_cast<int>(l)));
 

@@ -31,12 +31,12 @@ struct Bucket {
   }
 };
 
-std::vector<Bucket> HashBySensitiveValue(const Microdata& microdata) {
-  const Code domain = microdata.sensitive_attribute().domain_size;
+std::vector<Bucket> HashBySensitiveValue(std::span<const Code> sensitive,
+                                         Code domain) {
   std::vector<Bucket> buckets(domain);
   for (Code v = 0; v < domain; ++v) buckets[v].value = v;
-  for (RowId r = 0; r < microdata.n(); ++r) {
-    buckets[microdata.sensitive_value(r)].rows.push_back(r);
+  for (RowId r = 0; r < sensitive.size(); ++r) {
+    buckets[sensitive[r]].rows.push_back(r);
   }
   // Drop empty buckets: the algorithm only tracks values that occur.
   std::vector<Bucket> live;
@@ -91,6 +91,40 @@ StatusOr<Partition> Anatomizer::ComputePartitionWithPolicy(
     const Microdata& microdata, BucketPolicy policy) const {
   ANATOMY_RETURN_IF_ERROR(microdata.Validate());
   ANATOMY_RETURN_IF_ERROR(CheckEligibility(microdata, options_.l));
+  return ComputePartitionFromCodes(microdata.table.column(microdata.sensitive_column),
+                                   microdata.sensitive_attribute().domain_size,
+                                   policy);
+}
+
+StatusOr<Partition> Anatomizer::ComputePartitionFromCodes(
+    std::span<const Code> sensitive, Code domain, BucketPolicy policy) const {
+  if (options_.l < 2) {
+    return Status::InvalidArgument("l must be >= 2 for meaningful diversity");
+  }
+  if (domain <= 0) {
+    return Status::InvalidArgument("sensitive domain must be positive");
+  }
+  // One fused pass validates the codes and checks eligibility (Property 1's
+  // precondition: no value may occur more than n/l times).
+  {
+    std::vector<uint64_t> counts(static_cast<size_t>(domain), 0);
+    for (Code v : sensitive) {
+      if (v < 0 || v >= domain) {
+        return Status::InvalidArgument("sensitive code out of domain");
+      }
+      ++counts[static_cast<size_t>(v)];
+    }
+    const uint64_t n = sensitive.size();
+    for (Code v = 0; v < domain; ++v) {
+      const uint64_t c = counts[static_cast<size_t>(v)];
+      if (c * static_cast<uint64_t>(options_.l) > n) {
+        return Status::FailedPrecondition(
+            "not " + std::to_string(options_.l) +
+            "-eligible: sensitive code " + std::to_string(v) + " occurs " +
+            std::to_string(c) + " times in " + std::to_string(n) + " tuples");
+      }
+    }
+  }
   const size_t l = static_cast<size_t>(options_.l);
   Rng rng(options_.seed);
 
@@ -105,7 +139,7 @@ StatusOr<Partition> Anatomizer::ComputePartitionWithPolicy(
     ScopedTimer<obs::Histogram> timer(
         metrics_on ? registry.GetHistogram("anatomize.phase.bucketize_ns")
                    : nullptr);
-    buckets = HashBySensitiveValue(microdata);
+    buckets = HashBySensitiveValue(sensitive, domain);
   }
   bucketize_span.End();
   size_t non_empty = buckets.size();

@@ -16,6 +16,7 @@
 #define ANATOMY_ANATOMY_ANATOMIZER_H_
 
 #include <cstdint>
+#include <span>
 
 #include "anatomy/partition.h"
 #include "common/rng.h"
@@ -53,6 +54,17 @@ class Anatomizer {
   /// policy. With kRoundRobin, may fail even on eligible inputs.
   StatusOr<Partition> ComputePartitionWithPolicy(const Microdata& microdata,
                                                  BucketPolicy policy) const;
+
+  /// The core of Figure 3 over a bare sensitive column: `sensitive[r]` is the
+  /// sensitive code of row r, codes are in [0, domain). Row r of the returned
+  /// partition is index r of `sensitive`. This is the exact code path the
+  /// Microdata overloads run (they only add validation), so the output is
+  /// byte-identical for a fixed seed. The sharded anatomizer uses it to run
+  /// per-shard instances without materializing per-shard Microdata copies.
+  /// Fails with FailedPrecondition if the codes are not l-eligible.
+  StatusOr<Partition> ComputePartitionFromCodes(std::span<const Code> sensitive,
+                                                Code domain,
+                                                BucketPolicy policy) const;
 
  private:
   AnatomizerOptions options_;

@@ -1,6 +1,8 @@
 #include "anatomy/streaming.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <string>
 
 #include "common/check.h"
 #include "obs/metrics.h"
@@ -8,6 +10,51 @@
 #include "storage/recovery.h"
 
 namespace anatomy {
+
+namespace {
+
+constexpr size_t kInt32Limit = static_cast<size_t>(INT32_MAX);
+
+/// Figure 3 group-creation iterations against the given buffer state: while
+/// at least l distinct values are live and at least `emit_threshold` tuples
+/// are buffered, draw one random tuple from each of the l largest buckets.
+/// Operates entirely on caller-supplied state so Finish() can run the drain
+/// on copies and commit only when the whole tail resolves.
+void EmitGroups(size_t l, size_t emit_threshold, Rng& rng,
+                std::vector<std::vector<RowId>>& buckets, size_t& buffered,
+                size_t& non_empty, std::vector<std::vector<RowId>>& groups,
+                std::vector<std::vector<Code>>& group_values) {
+  while (non_empty >= l && buffered >= emit_threshold) {
+    // One iteration of Figure 3's group creation: the l largest buckets.
+    std::vector<size_t> order;
+    order.reserve(buckets.size());
+    for (size_t b = 0; b < buckets.size(); ++b) {
+      if (!buckets[b].empty()) order.push_back(b);
+    }
+    std::partial_sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(l),
+                      order.end(), [&](size_t a, size_t b) {
+                        return buckets[a].size() > buckets[b].size();
+                      });
+    std::vector<RowId> group;
+    std::vector<Code> values;
+    group.reserve(l);
+    values.reserve(l);
+    for (size_t k = 0; k < l; ++k) {
+      auto& bucket = buckets[order[k]];
+      const size_t pick = rng.NextBounded(bucket.size());
+      std::swap(bucket[pick], bucket.back());
+      group.push_back(bucket.back());
+      bucket.pop_back();
+      values.push_back(static_cast<Code>(order[k]));
+      if (bucket.empty()) --non_empty;
+    }
+    buffered -= l;
+    groups.push_back(std::move(group));
+    group_values.push_back(std::move(values));
+  }
+}
+
+}  // namespace
 
 StreamingAnatomizer::StreamingAnatomizer(
     const StreamingAnatomizerOptions& options, Code sensitive_domain)
@@ -33,46 +80,39 @@ Status StreamingAnatomizer::Add(RowId row, Code sensitive_value) {
   if (bucket.empty()) ++non_empty_;
   bucket.push_back(row);
   ++buffered_;
-  MaybeEmit();
+  MaybeEmit(options_.emit_threshold);
   return Status::OK();
 }
 
-void StreamingAnatomizer::MaybeEmit() {
-  const size_t l = static_cast<size_t>(options_.l);
-  while (non_empty_ >= l && buffered_ >= options_.emit_threshold) {
-    // One iteration of Figure 3's group creation: the l largest buckets.
-    std::vector<size_t> order;
-    order.reserve(buckets_.size());
-    for (size_t b = 0; b < buckets_.size(); ++b) {
-      if (!buckets_[b].empty()) order.push_back(b);
-    }
-    std::partial_sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(l),
-                      order.end(), [&](size_t a, size_t b) {
-                        return buckets_[a].size() > buckets_[b].size();
-                      });
-    std::vector<RowId> group;
-    std::vector<Code> values;
-    group.reserve(l);
-    values.reserve(l);
-    for (size_t k = 0; k < l; ++k) {
-      auto& bucket = buckets_[order[k]];
-      const size_t pick = rng_.NextBounded(bucket.size());
-      std::swap(bucket[pick], bucket.back());
-      group.push_back(bucket.back());
-      bucket.pop_back();
-      values.push_back(static_cast<Code>(order[k]));
-      if (bucket.empty()) --non_empty_;
-    }
-    buffered_ -= l;
-    groups_.push_back(std::move(group));
-    group_values_.push_back(std::move(values));
+void StreamingAnatomizer::MaybeEmit(size_t emit_threshold) {
+  const size_t before = groups_.size();
+  EmitGroups(static_cast<size_t>(options_.l), emit_threshold, rng_, buckets_,
+             buffered_, non_empty_, groups_, group_values_);
+  for (size_t g = before; g < groups_.size(); ++g) {
+    group_value_sets_.emplace_back(group_values_[g].begin(),
+                                   group_values_[g].end());
   }
 }
 
 StatusOr<std::unique_ptr<RecordFile>> StreamingAnatomizer::FlushWindow(
     Disk* disk, BufferPool* pool) {
   if (finished_) {
-    return Status::FailedPrecondition("FlushWindow after Finish");
+    return Status::FailedPrecondition(
+        "FlushWindow after Finish (use FlushFinal for the delta window)");
+  }
+  // The record format is three int32 columns; ids that do not fit are a
+  // caller error, never a silent truncation.
+  for (size_t g = flushed_groups_; g < groups_.size(); ++g) {
+    if (g > kInt32Limit) {
+      return Status::InvalidArgument(
+          "group id " + std::to_string(g) + " exceeds the int32 record format");
+    }
+    for (RowId row : groups_[g]) {
+      if (static_cast<size_t>(row) > kInt32Limit) {
+        return Status::InvalidArgument("row id " + std::to_string(row) +
+                                       " exceeds the int32 record format");
+      }
+    }
   }
   obs::ScopedSpan flush_span("streaming.flush_window", "streaming");
   PipelineGuard guard(disk, pool);
@@ -109,51 +149,183 @@ StatusOr<std::unique_ptr<RecordFile>> StreamingAnatomizer::FlushWindow(
 
 StatusOr<Partition> StreamingAnatomizer::Finish() {
   if (finished_) return Status::FailedPrecondition("Finish called twice");
-  finished_ = true;
+  obs::ScopedSpan finish_span("streaming.finish", "streaming");
   const size_t l = static_cast<size_t>(options_.l);
 
-  // Drain the buffer with the batch rule (no threshold anymore).
-  while (non_empty_ >= l) {
-    const size_t saved_threshold = options_.emit_threshold;
-    options_.emit_threshold = l;
-    MaybeEmit();
-    options_.emit_threshold = saved_threshold;
-    if (non_empty_ < l) break;
-  }
+  // ---- Plan phase: everything below runs on copies. The members are only
+  // written at the commit point, so a failed Finish leaves the streamer
+  // exactly as it was — same buffered(), same groups, same rng — and the
+  // caller may Add() more tuples and retry.
+  Rng rng = rng_;
+  std::vector<std::vector<RowId>> buckets = buckets_;
+  size_t buffered = buffered_;
+  size_t non_empty = non_empty_;
+  std::vector<std::vector<RowId>> new_groups;
+  std::vector<std::vector<Code>> new_values;
 
-  // Residue placement: each leftover tuple joins a group lacking its value.
-  for (size_t b = 0; b < buckets_.size(); ++b) {
-    for (RowId row : buckets_[b]) {
-      std::vector<size_t> candidates;
-      for (size_t g = 0; g < groups_.size(); ++g) {
-        const auto& values = group_values_[g];
-        if (std::find(values.begin(), values.end(), static_cast<Code>(b)) ==
-            values.end()) {
-          candidates.push_back(g);
-        }
-      }
-      if (candidates.empty()) {
-        return Status::FailedPrecondition(
-            "stream tail not absorbable: " + std::to_string(buffered_) +
-            " buffered tuples include a sensitive value present in every "
-            "emitted group (raise emit_threshold or buffer longer)");
-      }
-      const size_t g = candidates[rng_.NextBounded(candidates.size())];
-      groups_[g].push_back(row);
-      group_values_[g].push_back(static_cast<Code>(b));
-      --buffered_;
-    }
-    buckets_[b].clear();
-  }
-  non_empty_ = 0;
+  // Drain the buffer with the batch rule: the threshold drops to l (any l
+  // distinct live values make a group), leaving at most l-1 residues under
+  // eligibility.
+  EmitGroups(l, l, rng, buckets, buffered, non_empty, new_groups, new_values);
 
-  if (groups_.empty()) {
+  const size_t total_groups = groups_.size() + new_groups.size();
+  if (total_groups == 0) {
     return Status::FailedPrecondition(
         "stream ended before any group could be formed");
   }
+
+  std::vector<std::unordered_set<Code>> value_sets = group_value_sets_;
+  value_sets.reserve(total_groups);
+  for (const auto& values : new_values) {
+    value_sets.emplace_back(values.begin(), values.end());
+  }
+
+  // Residue placement plan: each leftover tuple joins a group lacking its
+  // value (Line 11's S'). Unflushed groups are preferred so groups already
+  // checkpointed by FlushWindow stay byte-accurate; only when every unflushed
+  // group contains the value does the tuple amend a flushed group, and that
+  // amendment is recorded for FlushFinal's delta window. Candidates are
+  // collected in ascending group order so the rng draw sees the same sequence
+  // as the pre-hash-set linear scan — output stays byte-identical for a
+  // fixed seed.
+  struct Placement {
+    size_t group;
+    RowId row;
+    Code value;
+    bool amends_flushed;
+  };
+  std::vector<Placement> placements;
+  size_t stranded = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    const Code value = static_cast<Code>(b);
+    for (RowId row : buckets[b]) {
+      std::vector<size_t> candidates;
+      for (size_t g = flushed_groups_; g < total_groups; ++g) {
+        if (!value_sets[g].contains(value)) candidates.push_back(g);
+      }
+      bool amends_flushed = false;
+      if (candidates.empty() && options_.allow_flushed_amendments) {
+        for (size_t g = 0; g < flushed_groups_; ++g) {
+          if (!value_sets[g].contains(value)) candidates.push_back(g);
+        }
+        amends_flushed = !candidates.empty();
+      }
+      if (candidates.empty()) {
+        // Keep planning the rest so the error reports the true total of
+        // stranded tuples, not just the first one found.
+        ++stranded;
+        continue;
+      }
+      const size_t g = candidates[rng.NextBounded(candidates.size())];
+      value_sets[g].insert(value);
+      placements.push_back({g, row, value, amends_flushed});
+    }
+  }
+  if (stranded > 0) {
+    return Status::FailedPrecondition(
+        "stream tail not absorbable: " + std::to_string(stranded) + " of " +
+        std::to_string(buffered) +
+        " residual tuples have a sensitive value present in every " +
+        (options_.allow_flushed_amendments
+             ? std::string("emitted group (raise emit_threshold or buffer "
+                           "longer)")
+             : std::string("unflushed group, and amending flushed groups is "
+                           "disabled (allow_flushed_amendments)")));
+  }
+
+  // ---- Commit phase: nothing below can fail. ----
+  rng_ = rng;
+  for (size_t i = 0; i < new_groups.size(); ++i) {
+    group_value_sets_.emplace_back(new_values[i].begin(), new_values[i].end());
+    groups_.push_back(std::move(new_groups[i]));
+    group_values_.push_back(std::move(new_values[i]));
+  }
+  flushed_amendments_.clear();
+  for (const Placement& p : placements) {
+    groups_[p.group].push_back(p.row);
+    group_values_[p.group].push_back(p.value);
+    group_value_sets_[p.group].insert(p.value);
+    if (p.amends_flushed) {
+      flushed_amendments_.push_back(
+          {static_cast<GroupId>(p.group), p.row, p.value});
+    }
+  }
+  for (auto& bucket : buckets_) bucket.clear();
+  buffered_ = 0;
+  non_empty_ = 0;
+  finished_ = true;
+
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  registry.GetCounter("streaming.finishes")->Increment();
+  registry.GetCounter("streaming.flushed_amendments")
+      ->Increment(flushed_amendments_.size());
+
   Partition partition;
   partition.groups = groups_;
   return partition;
+}
+
+StatusOr<std::unique_ptr<RecordFile>> StreamingAnatomizer::FlushFinal(
+    Disk* disk, BufferPool* pool) {
+  if (!finished_) {
+    return Status::FailedPrecondition("FlushFinal before successful Finish");
+  }
+  for (size_t g = flushed_groups_; g < groups_.size(); ++g) {
+    if (g > kInt32Limit) {
+      return Status::InvalidArgument(
+          "group id " + std::to_string(g) + " exceeds the int32 record format");
+    }
+    for (RowId row : groups_[g]) {
+      if (static_cast<size_t>(row) > kInt32Limit) {
+        return Status::InvalidArgument("row id " + std::to_string(row) +
+                                       " exceeds the int32 record format");
+      }
+    }
+  }
+  for (const FlushedAmendment& a : flushed_amendments_) {
+    if (static_cast<size_t>(a.group) > kInt32Limit ||
+        static_cast<size_t>(a.row) > kInt32Limit) {
+      return Status::InvalidArgument(
+          "amendment ids exceed the int32 record format");
+    }
+  }
+  obs::ScopedSpan final_span("streaming.flush_final", "streaming");
+  PipelineGuard guard(disk, pool);
+  auto file = std::make_unique<RecordFile>(disk, 3);
+  auto write_final = [&]() -> Status {
+    RecordWriter writer(pool, file.get());
+    std::vector<int32_t> rec(3);
+    // Groups never covered by a FlushWindow checkpoint, in full (including
+    // residues Finish placed into them)...
+    for (size_t g = flushed_groups_; g < groups_.size(); ++g) {
+      for (size_t k = 0; k < groups_[g].size(); ++k) {
+        rec[0] = static_cast<int32_t>(g);
+        rec[1] = static_cast<int32_t>(groups_[g][k]);
+        rec[2] = group_values_[g][k];
+        ANATOMY_RETURN_IF_ERROR(writer.Append(rec));
+      }
+    }
+    // ...then the amendment records for flushed groups: replaying every
+    // FlushWindow file plus this one reconstructs the partition Finish
+    // returned, record for record.
+    for (const FlushedAmendment& a : flushed_amendments_) {
+      rec[0] = static_cast<int32_t>(a.group);
+      rec[1] = static_cast<int32_t>(a.row);
+      rec[2] = a.value;
+      ANATOMY_RETURN_IF_ERROR(writer.Append(rec));
+    }
+    return pool->FlushAll();
+  };
+  const Status status = write_final();
+  if (!status.ok()) {
+    // Same retry contract as FlushWindow: reclaim the partial file and leave
+    // the streamer untouched so the identical delta can be re-flushed.
+    guard.Abort();
+    return status;
+  }
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  registry.GetCounter("streaming.final_flushes")->Increment();
+  return file;
 }
 
 }  // namespace anatomy

@@ -11,14 +11,27 @@
 //
 // Finish() resolves the tail: the remaining buffered tuples are anatomized
 // in one shot when they are still l-eligible, and the final <= l-1 residues
-// are placed into earlier groups that lack their sensitive value. Orderings
-// that strand unplaceable tuples are reported as Status errors, never as a
-// silently weaker publication.
+// are placed into earlier groups that lack their sensitive value.
+//
+// Flush consistency contract: FlushWindow() durably checkpoints emitted
+// groups, and a checkpointed RecordFile must never silently disagree with
+// the partition Finish() later returns. Finish() therefore places residues
+// into *unflushed* groups whenever one lacks the residue's value; when only
+// an already-flushed group qualifies, the placement is recorded as a flushed
+// amendment (exposed via flushed_amendments() and written by FlushFinal(),
+// the final delta window) — or, with allow_flushed_amendments = false,
+// Finish() fails instead. Finish() is transactional: placements are planned
+// first and committed only on full success, so a failed Finish() leaves the
+// streamer exactly as it was (same buffered count, same groups) and the
+// error reports the true number of stranded tuples; the caller may keep
+// Add()ing and retry. Orderings that strand unplaceable tuples are reported
+// as Status errors, never as a silently weaker publication.
 
 #ifndef ANATOMY_ANATOMY_STREAMING_H_
 #define ANATOMY_ANATOMY_STREAMING_H_
 
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "anatomy/partition.h"
@@ -37,6 +50,22 @@ struct StreamingAnatomizerOptions {
   /// buy the largest-bucket heuristic more slack (fewer stranded tuples at
   /// Finish) at the price of latency. Must be >= l; defaults to 4 * l when 0.
   size_t emit_threshold = 0;
+  /// When a Finish() residue fits no unflushed group, may it amend an
+  /// already-flushed group (the amendment is then part of FlushFinal's delta
+  /// window)? With false, Finish() fails instead of ever diverging from a
+  /// durable checkpoint that cannot be amended downstream.
+  bool allow_flushed_amendments = true;
+};
+
+/// A residue placement into a group that was already durably flushed when
+/// Finish() ran: the checkpointed window lacks this record, so the final
+/// delta window (FlushFinal) must carry it.
+struct FlushedAmendment {
+  GroupId group = 0;
+  RowId row = 0;
+  Code value = 0;
+
+  bool operator==(const FlushedAmendment&) const = default;
 };
 
 class StreamingAnatomizer {
@@ -62,6 +91,8 @@ class StreamingAnatomizer {
   /// I/O failure (e.g. an injected disk fault) the partial file is reclaimed,
   /// the pool is emptied, the cursor stays put, and the streamer remains
   /// fully usable — the same window can be re-flushed once the fault clears.
+  /// Row and group ids beyond INT32_MAX do not fit the 3-column int32 record
+  /// format and fail with InvalidArgument instead of silently truncating.
   /// The caller owns the returned file (free with FreeAll) and must give this
   /// call exclusive use of `pool`.
   StatusOr<std::unique_ptr<RecordFile>> FlushWindow(Disk* disk,
@@ -71,11 +102,30 @@ class StreamingAnatomizer {
   size_t flushed_groups() const { return flushed_groups_; }
 
   /// Ends the stream: anatomizes the buffered tail and returns the complete
-  /// partition over every row ever Added.
+  /// partition over every row ever Added. Transactional — on failure the
+  /// streamer is unchanged (buffered() keeps its value) and more tuples may
+  /// be Added before retrying.
   StatusOr<Partition> Finish();
 
+  /// Residues that Finish() had to place into already-flushed groups (empty
+  /// until a successful Finish; always empty when nothing was flushed or
+  /// every residue fit an unflushed group). Checkpointed windows plus these
+  /// amendments plus FlushFinal's group records reconstruct the partition.
+  const std::vector<FlushedAmendment>& flushed_amendments() const {
+    return flushed_amendments_;
+  }
+
+  /// The final delta window: writes every group not yet covered by a
+  /// FlushWindow checkpoint plus the flushed-group amendment records, in the
+  /// same [group_id, row_id, sensitive] format. Only valid after a
+  /// successful Finish(); replaying all FlushWindow files plus this file
+  /// yields exactly the returned partition. Same fault contract as
+  /// FlushWindow (failed flushes reclaim and can be retried).
+  StatusOr<std::unique_ptr<RecordFile>> FlushFinal(Disk* disk,
+                                                   BufferPool* pool);
+
  private:
-  void MaybeEmit();
+  void MaybeEmit(size_t emit_threshold);
 
   StreamingAnatomizerOptions options_;
   Rng rng_;
@@ -84,6 +134,10 @@ class StreamingAnatomizer {
   size_t non_empty_ = 0;
   std::vector<std::vector<RowId>> groups_;
   std::vector<std::vector<Code>> group_values_;
+  /// Hash-set mirror of group_values_ so residue placement tests membership
+  /// in O(1) instead of scanning (the same fix PR 1 applied to Anatomizer).
+  std::vector<std::unordered_set<Code>> group_value_sets_;
+  std::vector<FlushedAmendment> flushed_amendments_;
   size_t flushed_groups_ = 0;
   bool finished_ = false;
 };

@@ -36,6 +36,18 @@ struct IoStats {
   IoStats operator-(const IoStats& other) const {
     return {reads - other.reads, writes - other.writes};
   }
+
+  IoStats operator+(const IoStats& other) const {
+    return {reads + other.reads, writes + other.writes};
+  }
+
+  /// Accumulation across shards/disks (the sharded external pipeline sums
+  /// per-shard counters into one O(n/b) total).
+  IoStats& operator+=(const IoStats& other) {
+    reads += other.reads;
+    writes += other.writes;
+    return *this;
+  }
 };
 
 class Disk {

@@ -1,0 +1,100 @@
+#include "workload/republication.h"
+
+#include <cmath>
+
+#include "anatomy/anatomized_tables.h"
+#include "anatomy/rce.h"
+#include "anatomy/sharded_anatomizer.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "query/anatomy_estimator.h"
+#include "query/exact_evaluator.h"
+#include "workload/parallel_runner.h"
+
+namespace anatomy {
+
+StatusOr<RepublicationResult> RunRepublication(
+    const Microdata& microdata, const RepublicationOptions& options) {
+  if (options.epochs == 0) {
+    return Status::InvalidArgument("republication needs at least one epoch");
+  }
+  ANATOMY_RETURN_IF_ERROR(microdata.Validate());
+  obs::ScopedSpan run_span("republication.run", "workload");
+
+  const RowId n = microdata.table.num_rows();
+  ExactEvaluator exact(microdata);
+  ParallelRunner serving({.num_threads = options.num_threads,
+                          .seed = options.seed});
+
+  RepublicationResult result;
+  result.epochs.reserve(options.epochs);
+  for (size_t e = 0; e < options.epochs; ++e) {
+    obs::ScopedSpan epoch_span("republication.epoch", "workload");
+    RepublicationEpoch epoch;
+    epoch.anatomize_seed = SplitMix64(options.seed ^ e);
+
+    // ---- Rebuild: shard-parallel Anatomize with this epoch's seed. ----
+    ShardedAnatomizer anatomizer({.l = options.l,
+                                  .seed = epoch.anatomize_seed,
+                                  .shards = options.shards,
+                                  .num_threads = options.num_threads});
+    ANATOMY_ASSIGN_OR_RETURN(ShardedAnatomizeResult rebuild,
+                             anatomizer.Run(microdata));
+    epoch.shards_run = rebuild.shards_run;
+    epoch.merged_shards = rebuild.merged_shards;
+    epoch.num_groups = rebuild.partition.num_groups();
+    ANATOMY_RETURN_IF_ERROR(
+        rebuild.partition.ValidateLDiverse(microdata, options.l));
+
+    ANATOMY_ASSIGN_OR_RETURN(AnatomizedTables tables,
+                             AnatomizedTables::Build(microdata,
+                                                     rebuild.partition));
+    epoch.rce = AnatomyRce(tables);
+    // The sharded quality bound (DESIGN.md §9): each of the S shards adds at
+    // most l-1 residue tuples of slack on top of Theorem 2's lower bound.
+    epoch.rce_bound =
+        RceLowerBound(n, options.l) *
+        (1.0 + static_cast<double>(options.shards) *
+                   static_cast<double>(options.l - 1) /
+                   static_cast<double>(n));
+    if (epoch.rce > epoch.rce_bound * (1.0 + 1e-9)) {
+      return Status::Internal(
+          "epoch " + std::to_string(e) + " RCE " + std::to_string(epoch.rce) +
+          " exceeds the sharded bound " + std::to_string(epoch.rce_bound));
+    }
+
+    // ---- Serve: the epoch's workload against the fresh publication. ----
+    AnatomyEstimator estimator(tables);
+    WorkloadOptions workload = options.workload;
+    workload.seed = SplitMix64(options.seed ^ (0x5EEDULL + e));
+    ANATOMY_ASSIGN_OR_RETURN(MaterializedWorkload queries,
+                             serving.Materialize(microdata, exact, workload));
+    const std::vector<double> estimates =
+        serving.EstimateAll(estimator, queries.queries);
+    double total = 0.0;
+    for (size_t i = 0; i < queries.queries.size(); ++i) {
+      total += std::abs(estimates[i] -
+                        static_cast<double>(queries.actuals[i])) /
+               static_cast<double>(queries.actuals[i]);
+    }
+    epoch.queries_evaluated = queries.queries.size();
+    epoch.anatomy_error =
+        epoch.queries_evaluated == 0
+            ? 0.0
+            : total / static_cast<double>(epoch.queries_evaluated);
+    result.mean_anatomy_error += epoch.anatomy_error;
+
+    if (obs::MetricsEnabled()) {
+      obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+      registry.GetCounter("republication.epochs")->Increment();
+      registry.GetCounter("republication.queries")
+          ->Increment(epoch.queries_evaluated);
+    }
+    result.epochs.push_back(epoch);
+  }
+  result.mean_anatomy_error /= static_cast<double>(options.epochs);
+  return result;
+}
+
+}  // namespace anatomy

@@ -1,0 +1,70 @@
+// Re-publication under load: the scenario that motivates shard-parallel
+// Anatomize. A publisher that re-anatomizes its microdata on a schedule
+// (Section 7's dynamic setting) cannot stall the query tier for the length
+// of a sequential rebuild; each epoch therefore rebuilds the publication
+// with ShardedAnatomizer and then serves a workload against the fresh
+// tables with the ParallelRunner's machinery.
+//
+// Determinism mirrors the rest of the library: epoch e anatomizes with seed
+// SplitMix64(seed ^ e), so the whole multi-epoch run is reproducible from
+// (seed, shards) alone, at any thread count. Every epoch's RCE is checked
+// against the sharded quality bound RceLowerBound(n, l) * (1 + S(l-1)/n)
+// (see DESIGN.md §9) so a quality regression in the rebuild path fails the
+// run instead of silently degrading the published tables.
+
+#ifndef ANATOMY_WORKLOAD_REPUBLICATION_H_
+#define ANATOMY_WORKLOAD_REPUBLICATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "table/table.h"
+#include "workload/workload.h"
+
+namespace anatomy {
+
+struct RepublicationOptions {
+  /// Rebuild-then-serve cycles.
+  size_t epochs = 3;
+  /// Privacy parameter of every epoch's publication.
+  int l = 10;
+  /// Shards for the parallel rebuild (1 = sequential Anatomize).
+  size_t shards = 1;
+  /// Worker threads for rebuild and serving; 0 means hardware concurrency.
+  size_t num_threads = 0;
+  /// Master seed; epoch e anatomizes with SplitMix64(seed ^ e).
+  uint64_t seed = 1;
+  /// Workload served against each epoch's publication.
+  WorkloadOptions workload;
+};
+
+struct RepublicationEpoch {
+  uint64_t anatomize_seed = 0;
+  size_t shards_run = 0;
+  size_t merged_shards = 0;
+  size_t num_groups = 0;
+  /// Closed-form RCE of this epoch's publication and the sharded bound it
+  /// was checked against.
+  double rce = 0.0;
+  double rce_bound = 0.0;
+  /// Average relative error |act - est| / act over the epoch's workload.
+  double anatomy_error = 0.0;
+  size_t queries_evaluated = 0;
+};
+
+struct RepublicationResult {
+  std::vector<RepublicationEpoch> epochs;
+  /// Mean of the per-epoch anatomy errors.
+  double mean_anatomy_error = 0.0;
+};
+
+/// Runs `options.epochs` rebuild-then-serve cycles on `microdata`. Fails if
+/// any epoch's publication violates l-diversity, fails its RCE bound, or the
+/// workload degenerates (all-zero answers).
+StatusOr<RepublicationResult> RunRepublication(
+    const Microdata& microdata, const RepublicationOptions& options);
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_WORKLOAD_REPUBLICATION_H_

@@ -6,6 +6,7 @@
 #include "data/dataset.h"
 #include "generalization/generalized_table.h"
 #include "generalization/mondrian.h"
+#include "workload/republication.h"
 #include "workload/runner.h"
 
 namespace anatomy {
@@ -107,6 +108,70 @@ TEST(WorkloadRunnerTest, TemplateVariantMatchesPairRunner) {
       [&](const CountQuery& q) { return estimator.Estimate(q); });
   ASSERT_TRUE(anatomy_only.ok());
   EXPECT_NEAR(anatomy_only.value(), both.value().anatomy_error, 1e-12);
+}
+
+TEST(RepublicationTest, ShardedEpochsStayWithinQualityBound) {
+  const PublishedPair pair = Publish(4000, 3, 10, 7);
+  RepublicationOptions options;
+  options.epochs = 3;
+  options.l = 10;
+  options.shards = 4;
+  options.num_threads = 2;
+  options.seed = 7;
+  options.workload.qd = 2;
+  options.workload.s = 0.08;
+  options.workload.num_queries = 25;
+  auto result = RunRepublication(pair.microdata, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().epochs.size(), 3u);
+  uint64_t previous_seed = 0;
+  for (const RepublicationEpoch& epoch : result.value().epochs) {
+    EXPECT_NE(epoch.anatomize_seed, previous_seed);
+    previous_seed = epoch.anatomize_seed;
+    EXPECT_EQ(epoch.shards_run, 4u);
+    EXPECT_GT(epoch.num_groups, 0u);
+    EXPECT_GT(epoch.rce, 0.0);
+    EXPECT_LE(epoch.rce, epoch.rce_bound);
+    EXPECT_EQ(epoch.queries_evaluated, 25u);
+    EXPECT_GE(epoch.anatomy_error, 0.0);
+  }
+  EXPECT_GE(result.value().mean_anatomy_error, 0.0);
+}
+
+TEST(RepublicationTest, DeterministicAcrossThreadCounts) {
+  const PublishedPair pair = Publish(3000, 3, 10, 13);
+  RepublicationOptions options;
+  options.epochs = 2;
+  options.l = 10;
+  options.shards = 4;
+  options.seed = 5;
+  options.workload.qd = 2;
+  options.workload.s = 0.08;
+  options.workload.num_queries = 20;
+  options.num_threads = 1;
+  auto serial = RunRepublication(pair.microdata, options);
+  options.num_threads = 4;
+  auto parallel = RunRepublication(pair.microdata, options);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ASSERT_EQ(serial.value().epochs.size(), parallel.value().epochs.size());
+  for (size_t e = 0; e < serial.value().epochs.size(); ++e) {
+    EXPECT_EQ(serial.value().epochs[e].num_groups,
+              parallel.value().epochs[e].num_groups);
+    EXPECT_DOUBLE_EQ(serial.value().epochs[e].rce,
+                     parallel.value().epochs[e].rce);
+    EXPECT_DOUBLE_EQ(serial.value().epochs[e].anatomy_error,
+                     parallel.value().epochs[e].anatomy_error);
+  }
+  EXPECT_DOUBLE_EQ(serial.value().mean_anatomy_error,
+                   parallel.value().mean_anatomy_error);
+}
+
+TEST(RepublicationTest, RejectsZeroEpochs) {
+  const PublishedPair pair = Publish(500, 3, 10, 2);
+  RepublicationOptions options;
+  options.epochs = 0;
+  EXPECT_FALSE(RunRepublication(pair.microdata, options).ok());
 }
 
 }  // namespace

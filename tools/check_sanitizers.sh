@@ -12,6 +12,7 @@
 #   tools/check_sanitizers.sh faults       # both sanitizers, fault sweep only
 #   tools/check_sanitizers.sh obs          # both sanitizers, obs + query hammer
 #   tools/check_sanitizers.sh kernels      # both sanitizers, query kernels + cache
+#   tools/check_sanitizers.sh sharded      # both sanitizers, sharded build + streaming
 #   tools/check_sanitizers.sh tsan -R parallel_query_test
 #                                          # extra args passed to ctest
 set -euo pipefail
@@ -47,6 +48,15 @@ if [[ $# -ge 1 ]]; then
       # insert/evict/lease races visible to TSan and use-after-evict
       # visible to ASan.
       extra=(-R '^(query_kernels_test|parallel_query_test)$')
+      shift
+      ;;
+    sharded)
+      # The shard-parallel build smoke check: sharded_anatomizer_test runs
+      # per-shard Anatomizers concurrently on the ThreadPool (the byte-
+      # identity-across-thread-counts tests only prove race freedom under
+      # TSan), and streaming_test's plan-then-commit Finish / flush-window
+      # error paths must leave no leaks or UB behind under ASan+UBSan.
+      extra=(-R '^(sharded_anatomizer_test|streaming_test)$')
       shift
       ;;
   esac
