@@ -9,8 +9,14 @@
 //
 // Results are also written as JSON (--json_out, default
 // BENCH_query_kernels.json): one record per (aggregate, path, threads) with
-// queries/s, rows/s, and the p50/p99 of the `query.latency_ns` histogram
-// for exactly that run (the histogram is reset before each timed section).
+// queries/s, rows/s, speedup vs the same path at 1 thread, and the p50/p99
+// of the `query.latency_ns` histogram for exactly that run (the histogram
+// is reset before each timed section). The artifact records
+// "hardware_threads" and the active SIMD tier; on hosts with >= 8 hardware
+// threads the bench additionally enforces >= 3x COUNT throughput at 8
+// threads vs 1 (kernel+cache path) and exits nonzero below that — on
+// smaller hosts the gate is skipped with a loud warning, because
+// multi-threaded rows there measure oversubscription, not scaling.
 
 #include <cmath>
 #include <cstdio>
@@ -28,6 +34,7 @@
 #include "obs/metrics.h"
 #include "query/aggregate.h"
 #include "query/anatomy_estimator.h"
+#include "query/simd.h"
 #include "workload/parallel_runner.h"
 #include "workload/workload.h"
 
@@ -61,6 +68,8 @@ struct TimedRun {
   size_t threads = 0;
   double qps = 0.0;
   double rows_per_s = 0.0;
+  /// Thread-scaling column: qps over the same (aggregate, path) at 1 thread.
+  double speedup_vs_1t = 0.0;
   uint64_t p50_ns = 0;
   uint64_t p99_ns = 0;
 };
@@ -75,6 +84,7 @@ double MaxRelDiff(const std::vector<double>& a, const std::vector<double>& b) {
 }
 
 void Run(const KernelBenchConfig& config) {
+  const unsigned hardware_threads = WarnIfSingleThreaded("bench_query_kernels");
   const Table census =
       GenerateCensus(static_cast<RowId>(config.n),
                      static_cast<uint64_t>(config.seed));
@@ -136,7 +146,7 @@ void Run(const KernelBenchConfig& config) {
   double sum_qps_1t[3] = {0, 0, 0};
 
   TablePrinter printer({"aggregate", "path", "threads", "queries/s", "rows/s",
-                        "p50 (us)", "p99 (us)"});
+                        "vs 1t", "p50 (us)", "p99 (us)"});
   for (size_t p = 0; p < 3; ++p) {
     AnatomyEstimator estimator(anatomized, paths[p].options);
     AnatomyAggregateEstimator agg_estimator(anatomized, paths[p].options);
@@ -165,6 +175,8 @@ void Run(const KernelBenchConfig& config) {
         run.threads = threads;
         run.qps = total_queries / seconds;
         run.rows_per_s = run.qps * static_cast<double>(config.n);
+        if (threads == 1) (is_sum ? sum_qps_1t : count_qps_1t)[p] = run.qps;
+        run.speedup_vs_1t = run.qps / (is_sum ? sum_qps_1t : count_qps_1t)[p];
         if (latency_ns != nullptr && latency_ns->count() > 0) {
           run.p50_ns = latency_ns->Quantile(0.50);
           run.p99_ns = latency_ns->Quantile(0.99);
@@ -173,11 +185,11 @@ void Run(const KernelBenchConfig& config) {
         printer.AddRow({run.aggregate, run.path, std::to_string(threads),
                         FormatDouble(run.qps, 0),
                         FormatDouble(run.rows_per_s, 0),
+                        FormatDouble(run.speedup_vs_1t, 2),
                         FormatDouble(static_cast<double>(run.p50_ns) / 1e3, 1),
                         FormatDouble(static_cast<double>(run.p99_ns) / 1e3, 1)});
 
         if (threads == 1) {
-          (is_sum ? sum_qps_1t : count_qps_1t)[p] = run.qps;
           if (p == 0) (is_sum ? sum_ref_scalar : count_ref_scalar) = estimates;
           if (p == 1) (is_sum ? sum_ref_kernel : count_ref_kernel) = estimates;
           if (p >= 1) {
@@ -239,12 +251,39 @@ void Run(const KernelBenchConfig& config) {
 
   std::printf(
       "Query kernels: %lld queries (x%lld replays), n = %lld, OCC-5, "
-      "qd = %lld, s = %g, %s predicates\n",
+      "qd = %lld, s = %g, %s predicates, %u hardware threads, SIMD tier %s\n",
       static_cast<long long>(config.queries),
       static_cast<long long>(config.replays), static_cast<long long>(config.n),
       static_cast<long long>(config.qd), config.s,
-      config.range_predicates ? "range" : "point");
+      config.range_predicates ? "range" : "point", hardware_threads,
+      simd::TierName(simd::ActiveTier()));
   printer.Print();
+
+  // ---- Thread-scaling gate: only meaningful when the cores exist. ----
+  double count_scaling_8t = 0.0;
+  for (const TimedRun& r : runs) {
+    if (r.aggregate == "count" && r.path == "kernel+cache" && r.threads == 8) {
+      count_scaling_8t = r.speedup_vs_1t;
+    }
+  }
+  if (hardware_threads >= 8) {
+    if (count_scaling_8t < 3.0) {
+      std::fprintf(stderr,
+                   "FATAL: COUNT (kernel+cache) 8-thread throughput is only "
+                   "%.2fx the 1-thread rate on a %u-thread host (>= 3x "
+                   "required) — the query path has re-contended\n",
+                   count_scaling_8t, hardware_threads);
+      std::exit(1);
+    }
+    std::printf("COUNT 8-thread scaling %.2fx (>= 3x required): OK\n",
+                count_scaling_8t);
+  } else {
+    std::printf(
+        "WARNING: host has %u hardware thread(s) < 8; the >= 3x COUNT "
+        "scaling assertion is SKIPPED (measured %.2fx at 8 worker threads). "
+        "Bit-identity self-checks above still ran and passed.\n",
+        hardware_threads, count_scaling_8t);
+  }
   std::printf(
       "\nsingle-thread speedup over scalar: COUNT %.2fx (kernel), %.2fx "
       "(kernel+cache); SUM %.2fx (kernel), %.2fx (kernel+cache)\n",
@@ -262,19 +301,27 @@ void Run(const KernelBenchConfig& config) {
                    config.json_out.c_str());
       return;
     }
-    char buf[256];
+    char buf[512];
     os << "{\n";
     std::snprintf(buf, sizeof buf,
                   "  \"bench\": \"query_kernels\",\n"
                   "  \"n\": %lld,\n  \"queries\": %lld,\n  \"qd\": %lld,\n"
                   "  \"s\": %g,\n  \"l\": %lld,\n  \"replays\": %lld,\n"
-                  "  \"range_predicates\": %s,\n",
+                  "  \"range_predicates\": %s,\n"
+                  "  \"hardware_threads\": %u,\n  \"simd_tier\": \"%s\",\n",
                   static_cast<long long>(config.n),
                   static_cast<long long>(config.queries),
                   static_cast<long long>(config.qd), config.s,
                   static_cast<long long>(config.l),
                   static_cast<long long>(config.replays),
-                  config.range_predicates ? "true" : "false");
+                  config.range_predicates ? "true" : "false", hardware_threads,
+                  simd::TierName(simd::ActiveTier()));
+    os << buf;
+    std::snprintf(buf, sizeof buf,
+                  "  \"count_scaling_8t_vs_1t\": %.3f,\n"
+                  "  \"scaling_gate\": \"%s\",\n",
+                  count_scaling_8t,
+                  hardware_threads >= 8 ? "enforced" : "skipped_single_core");
     os << buf;
     std::snprintf(buf, sizeof buf,
                   "  \"count_speedup_1t\": {\"kernel\": %.3f, "
@@ -298,10 +345,12 @@ void Run(const KernelBenchConfig& config) {
       std::snprintf(buf, sizeof buf,
                     "    {\"aggregate\": \"%s\", \"path\": \"%s\", "
                     "\"threads\": %zu, \"queries_per_s\": %.1f, "
-                    "\"rows_per_s\": %.0f, \"latency_p50_ns\": %llu, "
+                    "\"rows_per_s\": %.0f, \"speedup_vs_1t\": %.3f, "
+                    "\"latency_p50_ns\": %llu, "
                     "\"latency_p99_ns\": %llu}%s\n",
                     r.aggregate.c_str(), r.path.c_str(), r.threads, r.qps,
-                    r.rows_per_s, static_cast<unsigned long long>(r.p50_ns),
+                    r.rows_per_s, r.speedup_vs_1t,
+                    static_cast<unsigned long long>(r.p50_ns),
                     static_cast<unsigned long long>(r.p99_ns),
                     i + 1 < runs.size() ? "," : "");
       os << buf;

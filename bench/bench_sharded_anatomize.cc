@@ -80,7 +80,9 @@ struct ShardPoint {
 };
 
 void Run(const ShardedBenchConfig& config) {
-  const unsigned cores = std::thread::hardware_concurrency();
+  // Shared 1-core banner: this bench also records a JSON artifact whose
+  // multi-thread rows are meaningless on a single hardware thread.
+  const unsigned cores = WarnIfSingleThreaded("bench_sharded_anatomize");
   std::printf(
       "Sharded Anatomize: n = %lld, l = %lld, seed = %lld, "
       "%u hardware threads\n",

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <thread>
 
 #include "anatomy/anatomizer.h"
 #include "common/stopwatch.h"
@@ -176,6 +177,28 @@ double TimeSeconds(const std::function<void()>& fn) {
   Stopwatch watch;
   fn();
   return watch.ElapsedSeconds();
+}
+
+unsigned HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+unsigned WarnIfSingleThreaded(const char* bench_name) {
+  const unsigned hw = HardwareThreads();
+  if (hw == 1) {
+    std::fprintf(
+        stderr,
+        "==================================================================\n"
+        "WARNING: %s is running on a SINGLE hardware thread.\n"
+        "Multi-threaded rows below measure oversubscription on one core,\n"
+        "not scaling; do not read flat throughput or inflated tail latency\n"
+        "as a contention bug. The JSON artifact records\n"
+        "\"hardware_threads\": 1 so downstream readers can tell.\n"
+        "==================================================================\n",
+        bench_name);
+  }
+  return hw;
 }
 
 RegistryIoProbe::RegistryIoProbe(const std::string& pipeline)

@@ -132,6 +132,19 @@ class RegistryIoProbe {
 /// stopwatch bookkeeping.
 double TimeSeconds(const std::function<void()>& fn);
 
+/// std::thread::hardware_concurrency(), floored at 1 (the standard permits
+/// a 0 "unknown" answer).
+unsigned HardwareThreads();
+
+/// Prints an unmissable stderr banner when the host has a single hardware
+/// thread. Every bench that records a JSON artifact must call this before
+/// writing: multi-threaded numbers captured on a 1-core host measure
+/// oversubscription, not scaling, and a checked-in artifact that doesn't
+/// say so reads as a genuine scaling collapse (exactly how the flat
+/// BENCH_query_kernels.json curve was misread). Returns HardwareThreads()
+/// so callers can also record it in the artifact.
+unsigned WarnIfSingleThreaded(const char* bench_name);
+
 }  // namespace bench
 }  // namespace anatomy
 

@@ -58,24 +58,71 @@ uint64_t Histogram::BucketUpperBound(size_t i) {
   return (uint64_t{1} << i) - 1;
 }
 
+namespace {
+
+/// Round-robin shard assignment: the first kNumShards recording threads
+/// each get a private shard of every histogram; later threads wrap. The
+/// index is process-global so one thread uses the same shard slot in all
+/// histograms (one thread_local read on the hot path).
+size_t ThisThreadShardIndex() {
+  static std::atomic<size_t> next_thread{0};
+  thread_local const size_t index =
+      next_thread.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+}  // namespace
+
 void Histogram::Record(uint64_t v) {
-  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(v, std::memory_order_relaxed);
+  Shard& s = shards_[ThisThreadShardIndex() % kNumShards];
+  s.buckets[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(v, std::memory_order_relaxed);
   // Relaxed CAS min/max: exact under quiescence, monotone under contention.
-  uint64_t seen = min_.load(std::memory_order_relaxed);
+  uint64_t seen = s.min.load(std::memory_order_relaxed);
   while (v < seen &&
-         !min_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+         !s.min.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
   }
-  seen = max_.load(std::memory_order_relaxed);
+  seen = s.max.load(std::memory_order_relaxed);
   while (v > seen &&
-         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+         !s.max.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
   }
 }
 
+uint64_t Histogram::count() const {
+  uint64_t n = 0;
+  for (const Shard& s : shards_) n += s.count.load(std::memory_order_relaxed);
+  return n;
+}
+
+uint64_t Histogram::sum() const {
+  uint64_t n = 0;
+  for (const Shard& s : shards_) n += s.sum.load(std::memory_order_relaxed);
+  return n;
+}
+
 uint64_t Histogram::min() const {
-  const uint64_t m = min_.load(std::memory_order_relaxed);
+  uint64_t m = UINT64_MAX;
+  for (const Shard& s : shards_) {
+    m = std::min(m, s.min.load(std::memory_order_relaxed));
+  }
   return m == UINT64_MAX ? 0 : m;
+}
+
+uint64_t Histogram::max() const {
+  uint64_t m = 0;
+  for (const Shard& s : shards_) {
+    m = std::max(m, s.max.load(std::memory_order_relaxed));
+  }
+  return m;
+}
+
+uint64_t Histogram::bucket_count(size_t i) const {
+  uint64_t n = 0;
+  for (const Shard& s : shards_) {
+    n += s.buckets[i].load(std::memory_order_relaxed);
+  }
+  return n;
 }
 
 double Histogram::Mean() const {
@@ -84,25 +131,51 @@ double Histogram::Mean() const {
 }
 
 uint64_t Histogram::Quantile(double q) const {
-  const uint64_t n = count();
+  uint64_t merged[kNumBuckets];
+  uint64_t n = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    merged[i] = bucket_count(i);
+    n += merged[i];
+  }
   if (n == 0) return 0;
   q = std::min(1.0, std::max(0.0, q));
-  const uint64_t rank = std::max<uint64_t>(
+  uint64_t rank = std::max<uint64_t>(
       1, static_cast<uint64_t>(q * static_cast<double>(n) + 0.5));
-  uint64_t cumulative = 0;
+  rank = std::min(rank, n);
+  const uint64_t seen_min = min();
+  const uint64_t seen_max = max();
+  uint64_t before = 0;
   for (size_t i = 0; i < kNumBuckets; ++i) {
-    cumulative += bucket_count(i);
-    if (cumulative >= rank) return BucketUpperBound(i);
+    const uint64_t b = merged[i];
+    if (b == 0) continue;
+    if (before + b >= rank) {
+      // Interpolate the rank's position across the bucket's value span,
+      // tightened to the observed extremes (every sample is in
+      // [seen_min, seen_max], so the clamp is always sound and makes the
+      // top quantile land on max instead of the power-of-two bound).
+      uint64_t lo = i == 0 ? 0 : BucketUpperBound(i - 1) + 1;
+      uint64_t hi = BucketUpperBound(i);
+      lo = std::max(lo, seen_min);
+      hi = std::min(hi, seen_max);
+      if (hi <= lo) return lo;
+      const double frac =
+          (static_cast<double>(rank - before) - 0.5) / static_cast<double>(b);
+      return lo + static_cast<uint64_t>(
+                      static_cast<double>(hi - lo) * frac + 0.5);
+    }
+    before += b;
   }
-  return BucketUpperBound(kNumBuckets - 1);
+  return seen_max;
 }
 
 void Histogram::Reset() {
-  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-  sum_.store(0, std::memory_order_relaxed);
-  min_.store(UINT64_MAX, std::memory_order_relaxed);
-  max_.store(0, std::memory_order_relaxed);
+  for (Shard& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    s.min.store(UINT64_MAX, std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+  }
 }
 
 // -------------------------------------------------------- MetricRegistry --
@@ -190,8 +263,8 @@ std::string MetricsSnapshot::ToText() const {
   }
   for (const auto& h : histograms) {
     os << pad(h.name) << "count=" << h.count << " sum=" << h.sum
-       << " min=" << h.min << " mean=" << h.mean << " p50<=" << h.p50
-       << " p99<=" << h.p99 << " max=" << h.max << "\n";
+       << " min=" << h.min << " mean=" << h.mean << " p50~=" << h.p50
+       << " p99~=" << h.p99 << " max=" << h.max << "\n";
   }
   return os.str();
 }

@@ -69,6 +69,18 @@ class Gauge {
 /// holds exactly the value 0; bucket i >= 1 holds [2^(i-1), 2^i - 1]. That
 /// gives ~2x resolution over the full 64-bit range in 65 fixed buckets —
 /// coarse, but allocation-free and mergeable by pure addition.
+///
+/// Internally sharded for write scalability: each recording thread lands on
+/// one of kNumShards cache-line-padded shards (a round-robin thread_local
+/// index), so concurrent Record() calls from different threads don't
+/// ping-pong the same counter lines. Readers merge the shards — addition is
+/// exact and commutative, so every accessor returns the same totals as the
+/// unsharded histogram did, and the merged distribution is independent of
+/// which thread recorded what.
+///
+/// Quantile() linearly interpolates within the winning bucket (clamped to
+/// the observed min/max), so reported p50/p99 are estimates of the actual
+/// quantile value instead of power-of-two bucket upper bounds.
 class Histogram {
  public:
   static constexpr size_t kNumBuckets = 65;
@@ -82,30 +94,39 @@ class Histogram {
 
   void Record(uint64_t v);
 
-  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t count() const;
+  uint64_t sum() const;
   /// 0 when the histogram is empty.
   uint64_t min() const;
-  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
-  uint64_t bucket_count(size_t i) const {
-    return buckets_[i].load(std::memory_order_relaxed);
-  }
+  uint64_t max() const;
+  uint64_t bucket_count(size_t i) const;
   double Mean() const;
 
-  /// Upper bound of the bucket containing the q-quantile (q in [0, 1]) —
-  /// an over-estimate by at most 2x, which is all the log bucketing admits.
-  /// Returns 0 when empty.
+  /// Sub-bucket linear interpolation at the q-quantile (q clamped to
+  /// [0, 1]): the rank's position inside its bucket maps linearly onto the
+  /// bucket's value span, tightened to the observed [min, max]. Midpoint
+  /// convention — rank r of b in-bucket samples sits at fraction
+  /// (r - 1/2) / b — so a single-sample bucket reports its center and the
+  /// estimate is monotone in q. Returns 0 when empty.
   uint64_t Quantile(double q) const;
 
   void Reset();
 
  private:
-  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
-  std::atomic<uint64_t> count_{0};
-  std::atomic<uint64_t> sum_{0};
-  /// UINT64_MAX sentinel while empty.
-  std::atomic<uint64_t> min_{UINT64_MAX};
-  std::atomic<uint64_t> max_{0};
+  /// 16 shards cover the pool sizes the runners use; threads beyond that
+  /// share shards (still exact, just contended again).
+  static constexpr size_t kNumShards = 16;
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> buckets[kNumBuckets] = {};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    /// UINT64_MAX sentinel while empty.
+    std::atomic<uint64_t> min{UINT64_MAX};
+    std::atomic<uint64_t> max{0};
+  };
+
+  Shard shards_[kNumShards];
 };
 
 /// One consistent-enough read of a registry (each metric is read atomically;

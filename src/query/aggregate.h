@@ -59,6 +59,13 @@ class AnatomyAggregateEstimator {
     return Estimate(query, *scratch_pool_.Acquire());
   }
 
+  /// Batched estimates: results[i] is bit-identical to
+  /// Estimate(queries[i], scratch), but each distinct predicate in the
+  /// batch is materialized once (see
+  /// AnatomyQueryEngine::EstimateCountSumBatch).
+  void EstimateBatch(const AggregateQuery* queries, size_t count,
+                     EstimatorScratch& scratch, double* results) const;
+
   /// Exact rows matching the QI predicates per group (property-test hook).
   std::vector<uint64_t> GroupMatchCounts(const CountQuery& query) const {
     return engine_.GroupMatchCounts(query, *scratch_pool_.Acquire());

@@ -46,6 +46,19 @@ class AnatomyEstimator {
     return Estimate(query, *scratch_pool_.Acquire());
   }
 
+  /// Batched COUNT estimates: results[i] is bit-identical to
+  /// Estimate(queries[i], scratch), but each distinct predicate in the
+  /// batch is materialized once (see
+  /// AnatomyQueryEngine::EstimateCountSumBatch).
+  void EstimateBatch(const CountQuery* queries, size_t count,
+                     EstimatorScratch& scratch, double* results) const {
+    std::vector<AnatomyQueryEngine::BatchQuery> batch(count);
+    for (size_t i = 0; i < count; ++i) batch[i].query = &queries[i];
+    std::vector<AnatomyQueryEngine::CountSum> out(count);
+    engine_.EstimateCountSumBatch(batch.data(), count, scratch, out.data());
+    for (size_t i = 0; i < count; ++i) results[i] = out[i].count;
+  }
+
   /// Exact rows matching the QI predicates per group (property-test hook;
   /// integer-identical across kernel modes).
   std::vector<uint64_t> GroupMatchCounts(const CountQuery& query) const {

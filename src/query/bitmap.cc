@@ -74,9 +74,7 @@ void Bitmap::AssignAnd(const Bitmap& a, const Bitmap& b) {
 }
 
 uint64_t Bitmap::Count() const {
-  uint64_t count = 0;
-  for (uint64_t w : words_) count += static_cast<uint64_t>(std::popcount(w));
-  return count;
+  return simd::CountWords(words_.data(), words_.size());
 }
 
 }  // namespace anatomy

@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "query/simd.h"
+
 namespace anatomy {
 
 class Bitmap {
@@ -65,8 +67,13 @@ class Bitmap {
     }
     uint64_t n = static_cast<uint64_t>(std::popcount(words_[wb] & first)) +
                  static_cast<uint64_t>(std::popcount(words_[we] & last));
-    for (size_t w = wb + 1; w < we; ++w) {
-      n += static_cast<uint64_t>(std::popcount(words_[w]));
+    const size_t interior = we - wb - 1;
+    if (interior >= kSimdMinWords) {
+      n += simd::CountWords(words_.data() + wb + 1, interior);
+    } else {
+      for (size_t w = wb + 1; w < we; ++w) {
+        n += static_cast<uint64_t>(std::popcount(words_[w]));
+      }
     }
     return n;
   }
@@ -91,8 +98,13 @@ class Bitmap {
     uint64_t n =
         static_cast<uint64_t>(std::popcount(wa[wb] & wb_[wb] & first)) +
         static_cast<uint64_t>(std::popcount(wa[we] & wb_[we] & last));
-    for (size_t w = wb + 1; w < we; ++w) {
-      n += static_cast<uint64_t>(std::popcount(wa[w] & wb_[w]));
+    const size_t interior = we - wb - 1;
+    if (interior >= kSimdMinWords) {
+      n += simd::AndCountWords(wa + wb + 1, wb_ + wb + 1, interior);
+    } else {
+      for (size_t w = wb + 1; w < we; ++w) {
+        n += static_cast<uint64_t>(std::popcount(wa[w] & wb_[w]));
+      }
     }
     return n;
   }
@@ -136,6 +148,12 @@ class Bitmap {
 
  private:
   static constexpr uint64_t kAllOnes = ~uint64_t{0};
+  /// Interior spans at least this many whole words go through the
+  /// runtime-dispatched SIMD kernels; shorter spans (the common case for
+  /// one l-sized group's bit range) keep the inline scalar loop, which
+  /// beats an out-of-line call at that size. Any split is exact, so the
+  /// threshold can never change a result.
+  static constexpr size_t kSimdMinWords = 8;
 
   size_t num_bits_ = 0;
   std::vector<uint64_t> words_;

@@ -49,8 +49,12 @@ struct EstimatorScratch {
   std::vector<double> group_weight;
   /// Predicate-cache leases pinning the bitmaps one call reads; refreshed
   /// at the start of the next call (see PredicateBitmapCache: a lease keeps
-  /// its bitmap alive across eviction).
+  /// its bitmap alive across eviction). A batched call pins every distinct
+  /// predicate of the batch here for the batch's duration.
   std::vector<std::shared_ptr<const Bitmap>> pred_refs;
+  /// Cache-less batched evaluation materializes each distinct predicate of
+  /// the batch into one of these instead; cleared at the next batch.
+  std::vector<std::unique_ptr<Bitmap>> batch_storage;
 
   /// Makes group_mass an all-zero vector of `num_groups` entries. A no-op
   /// when the size already matches (the all-zero invariant holds between

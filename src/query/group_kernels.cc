@@ -233,9 +233,20 @@ void AnatomyQueryEngine::ComputeDenseWeights(const AttributePredicate& spred,
   if (first) std::fill_n(weight, m, 0.0);
 }
 
-const Bitmap* AnatomyQueryEngine::OnePredicate(const AttributePredicate& pred,
-                                               EstimatorScratch& scratch,
-                                               Bitmap& storage) const {
+const Bitmap* AnatomyQueryEngine::OnePredicate(
+    const AttributePredicate& pred, EstimatorScratch& scratch, Bitmap& storage,
+    const PreparedPredicateMap* prepared) const {
+  if (prepared != nullptr) {
+    const uint64_t h = HashPredicateKey(pred.qi_index(), pred.values());
+    const auto it = prepared->find(h);
+    ANATOMY_CHECK(it != prepared->end());
+    for (const PreparedPredicate& p : it->second) {
+      if (p.column == pred.qi_index() && *p.values == pred.values()) {
+        return p.bitmap;
+      }
+    }
+    ANATOMY_CHECK(false);  // the batch driver prepared every predicate
+  }
   if (cache_ != nullptr) {
     scratch.pred_refs.push_back(cache_->GetOrCompute(
         pred.qi_index(), pred.values(), [&](Bitmap& out) {
@@ -249,15 +260,17 @@ const Bitmap* AnatomyQueryEngine::OnePredicate(const AttributePredicate& pred,
 
 const Bitmap* AnatomyQueryEngine::FoldPredicates(
     const std::vector<AttributePredicate>& preds, size_t count,
-    EstimatorScratch& scratch) const {
+    EstimatorScratch& scratch, const PreparedPredicateMap* prepared) const {
   if (count == 0) return nullptr;
-  const Bitmap* first = OnePredicate(preds[0], scratch, scratch.qi_match);
+  const Bitmap* first =
+      OnePredicate(preds[0], scratch, scratch.qi_match, prepared);
   if (count == 1) return first;
-  const Bitmap* second = OnePredicate(preds[1], scratch, scratch.pred_bits);
+  const Bitmap* second =
+      OnePredicate(preds[1], scratch, scratch.pred_bits, prepared);
   scratch.qi_match.AssignAnd(*first, *second);
   for (size_t i = 2; i < count; ++i) {
     scratch.qi_match.AndWith(
-        *OnePredicate(preds[i], scratch, scratch.pred_bits));
+        *OnePredicate(preds[i], scratch, scratch.pred_bits, prepared));
   }
   return &scratch.qi_match;
 }
@@ -268,7 +281,63 @@ AnatomyQueryEngine::CountSum AnatomyQueryEngine::EstimateCountSum(
   if (options_.mode == KernelMode::kScalar) {
     return EstimateScalar(query, need_sum, measure_qi, scratch);
   }
-  return EstimateClustered(query, need_sum, measure_qi, scratch);
+  return EstimateClustered(query, need_sum, measure_qi, scratch,
+                           /*prepared=*/nullptr);
+}
+
+void AnatomyQueryEngine::EstimateCountSumBatch(const BatchQuery* batch,
+                                               size_t count,
+                                               EstimatorScratch& scratch,
+                                               CountSum* out) const {
+  if (options_.mode == KernelMode::kScalar) {
+    // The scalar reference stays strictly one-query-at-a-time.
+    for (size_t i = 0; i < count; ++i) {
+      out[i] = EstimateScalar(*batch[i].query, batch[i].need_sum,
+                              batch[i].measure_qi, scratch);
+    }
+    return;
+  }
+
+  // Materialize each distinct QI predicate once. Leases pin cached bitmaps
+  // for the whole batch; without a cache the bitmaps live in the scratch's
+  // batch storage. Zero-QI queries contribute nothing here and still take
+  // their fast paths below.
+  scratch.pred_refs.clear();
+  scratch.batch_storage.clear();
+  PreparedPredicateMap prepared;
+  for (size_t qi = 0; qi < count; ++qi) {
+    for (const AttributePredicate& pred : batch[qi].query->qi_predicates) {
+      const uint64_t h = HashPredicateKey(pred.qi_index(), pred.values());
+      std::vector<PreparedPredicate>& chain = prepared[h];
+      bool present = false;
+      for (const PreparedPredicate& p : chain) {
+        if (p.column == pred.qi_index() && *p.values == pred.values()) {
+          present = true;
+          break;
+        }
+      }
+      if (present) continue;
+      const Bitmap* bitmap;
+      if (cache_ != nullptr) {
+        scratch.pred_refs.push_back(cache_->GetOrCompute(
+            pred.qi_index(), pred.values(), [&](Bitmap& bm) {
+              qit_index_->PredicateBitmap(pred.qi_index(), pred, bm);
+            }));
+        bitmap = scratch.pred_refs.back().get();
+      } else {
+        scratch.batch_storage.push_back(std::make_unique<Bitmap>());
+        qit_index_->PredicateBitmap(pred.qi_index(), pred,
+                                    *scratch.batch_storage.back());
+        bitmap = scratch.batch_storage.back().get();
+      }
+      chain.push_back({pred.qi_index(), &pred.values(), bitmap});
+    }
+  }
+
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = EstimateClustered(*batch[i].query, batch[i].need_sum,
+                               batch[i].measure_qi, scratch, &prepared);
+  }
 }
 
 AnatomyQueryEngine::CountSum AnatomyQueryEngine::EstimateScalar(
@@ -323,7 +392,7 @@ AnatomyQueryEngine::CountSum AnatomyQueryEngine::EstimateScalar(
 
 AnatomyQueryEngine::CountSum AnatomyQueryEngine::EstimateClustered(
     const CountQuery& query, bool need_sum, size_t measure_qi,
-    EstimatorScratch& scratch) const {
+    EstimatorScratch& scratch, const PreparedPredicateMap* prepared) const {
   CountSum out;
   const AttributePredicate& spred = query.sensitive_predicate;
   const std::vector<AttributePredicate>& preds = query.qi_predicates;
@@ -345,7 +414,9 @@ AnatomyQueryEngine::CountSum AnatomyQueryEngine::EstimateClustered(
   const bool dense = UseDenseMass(spred);
   if (!dense && !AccumulateSparseMass(spred, scratch)) return out;
 
-  scratch.pred_refs.clear();
+  // In batch mode the driver owns the leases pinning prepared bitmaps;
+  // clearing here would free them mid-batch.
+  if (prepared == nullptr) scratch.pred_refs.clear();
   const size_t* gs = group_start_.data();
   const double* inv = inv_group_size_.data();
 
@@ -357,7 +428,7 @@ AnatomyQueryEngine::CountSum AnatomyQueryEngine::EstimateClustered(
       // vectorizable pass, and four rotating accumulator lanes break the
       // serial FP dependency chain of a single += stream. Broad
       // conjunctions fall back to one ranged popcount per mass group.
-      const Bitmap* conj = FoldPredicates(preds, qd, scratch);
+      const Bitmap* conj = FoldPredicates(preds, qd, scratch, prepared);
       const uint64_t matches = conj->Count();
       if (matches <= kWalkDensityFactor * static_cast<uint64_t>(m)) {
         ComputeDenseWeights(spred, scratch);
@@ -383,9 +454,9 @@ AnatomyQueryEngine::CountSum AnatomyQueryEngine::EstimateClustered(
       // Sparse COUNT touches few groups: fold all but the last predicate
       // and fuse the last into the ranged popcount — zero per-row work,
       // one kernel call per mass group.
-      const Bitmap* fold = FoldPredicates(preds, qd - 1, scratch);
+      const Bitmap* fold = FoldPredicates(preds, qd - 1, scratch, prepared);
       const Bitmap* last =
-          OnePredicate(preds[qd - 1], scratch, scratch.pred_bits);
+          OnePredicate(preds[qd - 1], scratch, scratch.pred_bits, prepared);
       for (GroupId g : scratch.touched_groups) {
         const uint64_t cnt =
             fold == nullptr
@@ -395,7 +466,7 @@ AnatomyQueryEngine::CountSum AnatomyQueryEngine::EstimateClustered(
       }
     }
   } else {
-    const Bitmap* fold = FoldPredicates(preds, qd, scratch);
+    const Bitmap* fold = FoldPredicates(preds, qd, scratch, prepared);
     const double* vals = perm_values_[measure_qi].data();
     if (fold != nullptr && dense &&
         fold->Count() <= kWalkDensityFactor * static_cast<uint64_t>(m)) {
@@ -458,7 +529,7 @@ std::vector<uint64_t> AnatomyQueryEngine::GroupMatchCounts(
     scratch.pred_refs.clear();
     const Bitmap* fold =
         FoldPredicates(query.qi_predicates, query.qi_predicates.size(),
-                       scratch);
+                       scratch, /*prepared=*/nullptr);
     for (GroupId g = 0; g < m; ++g) {
       counts[g] = fold == nullptr
                       ? group_start_[g + 1] - group_start_[g]

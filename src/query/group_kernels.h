@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "anatomy/anatomized_tables.h"
@@ -79,6 +80,24 @@ class AnatomyQueryEngine {
   CountSum EstimateCountSum(const CountQuery& query, bool need_sum,
                             size_t measure_qi, EstimatorScratch& scratch) const;
 
+  /// One query of a batch (see EstimateCountSumBatch).
+  struct BatchQuery {
+    const CountQuery* query = nullptr;
+    bool need_sum = false;
+    size_t measure_qi = 0;
+  };
+
+  /// Batched COUNT/SUM over batch[0..count), writing out[i] for batch[i].
+  /// Each distinct (column, values) QI predicate appearing anywhere in the
+  /// batch is materialized exactly once — through the shared cache when
+  /// enabled, otherwise into batch-local storage — and then every query is
+  /// evaluated with the same kernels and the same arithmetic as
+  /// EstimateCountSum, so out[i] is bit-identical to the one-query-at-a-
+  /// time path. Amortizes the dominant predicate-materialization pass over
+  /// the group-clustered permutation across the batch.
+  void EstimateCountSumBatch(const BatchQuery* batch, size_t count,
+                             EstimatorScratch& scratch, CountSum* out) const;
+
   /// Exact number of rows matching the QI-predicate conjunction in each
   /// group. Integer-identical across kernel modes — the property-test hook
   /// for the fused popcount kernels.
@@ -88,11 +107,26 @@ class AnatomyQueryEngine {
   const EstimatorOptions& options() const { return options_; }
 
  private:
+  /// Batch-prepared predicate bitmaps, keyed by HashPredicateKey; chain
+  /// entries compare full keys (same no-fingerprint rule as the cache).
+  /// Values/bitmaps point into the caller's batch and scratch, valid for
+  /// one EstimateCountSumBatch call.
+  struct PreparedPredicate {
+    size_t column;
+    const std::vector<Code>* values;
+    const Bitmap* bitmap;
+  };
+  using PreparedPredicateMap =
+      std::unordered_map<uint64_t, std::vector<PreparedPredicate>>;
+
   CountSum EstimateScalar(const CountQuery& query, bool need_sum,
                           size_t measure_qi, EstimatorScratch& scratch) const;
+  /// `prepared` non-null means batch mode: predicate bitmaps come from the
+  /// prepared map (whose leases the batch driver owns) instead of being
+  /// materialized per query.
   CountSum EstimateClustered(const CountQuery& query, bool need_sum,
-                             size_t measure_qi,
-                             EstimatorScratch& scratch) const;
+                             size_t measure_qi, EstimatorScratch& scratch,
+                             const PreparedPredicateMap* prepared) const;
 
   /// Accumulates S_j into scratch.group_mass/touched_groups via the
   /// postings. Returns false when no group has qualifying mass.
@@ -110,15 +144,18 @@ class AnatomyQueryEngine {
   void ComputeDenseWeights(const AttributePredicate& spred,
                            EstimatorScratch& scratch) const;
 
-  /// One predicate's bitmap: a cache lease (pinned in scratch.pred_refs)
-  /// or computed into `storage`.
+  /// One predicate's bitmap: the batch-prepared bitmap when `prepared` is
+  /// non-null, else a cache lease (pinned in scratch.pred_refs) or a
+  /// computation into `storage`.
   const Bitmap* OnePredicate(const AttributePredicate& pred,
-                             EstimatorScratch& scratch, Bitmap& storage) const;
+                             EstimatorScratch& scratch, Bitmap& storage,
+                             const PreparedPredicateMap* prepared) const;
   /// AND of preds[0..count): nullptr when count == 0, a single (possibly
   /// cached) bitmap when count == 1, otherwise materialized into
   /// scratch.qi_match with one binary AssignAnd (no SetAll pass).
   const Bitmap* FoldPredicates(const std::vector<AttributePredicate>& preds,
-                               size_t count, EstimatorScratch& scratch) const;
+                               size_t count, EstimatorScratch& scratch,
+                               const PreparedPredicateMap* prepared) const;
 
   const AnatomizedTables* tables_;
   EstimatorOptions options_;

@@ -1,57 +1,167 @@
 #include "query/pred_cache.h"
 
+#include <algorithm>
+#include <bit>
 #include <utility>
 
 namespace anatomy {
+namespace {
+
+/// Fibonacci mix decorrelating the shard choice (top bits) from the slot
+/// choice (bottom bits of the raw hash).
+constexpr uint64_t kShardMix = 0x9e3779b97f4a7c15ULL;
+
+size_t ClampShards(size_t shards) {
+  if (shards < 1) shards = 1;
+  if (shards > 256) shards = 256;
+  return std::bit_ceil(shards);
+}
+
+}  // namespace
+
+uint64_t HashPredicateKey(size_t column, const std::vector<Code>& values) {
+  uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  };
+  mix(static_cast<uint64_t>(column));
+  for (Code v : values) {
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(v)));
+  }
+  return h;
+}
 
 PredicateBitmapCache::PredicateBitmapCache(const PredicateCacheOptions& options)
-    : capacity_(options.capacity == 0 ? 1 : options.capacity),
+    : num_shards_(ClampShards(options.shards)),
+      shard_capacity_(std::max<size_t>(
+          1, (std::max<size_t>(1, options.capacity) + num_shards_ - 1) /
+                 num_shards_)),
+      shards_(num_shards_),
       hits_(obs::MetricRegistry::Global().GetCounter("query.predcache.hits")),
       misses_(
           obs::MetricRegistry::Global().GetCounter("query.predcache.misses")),
+      races_(obs::MetricRegistry::Global().GetCounter("query.predcache.races")),
       evictions_(obs::MetricRegistry::Global().GetCounter(
           "query.predcache.evictions")) {}
 
+PredicateBitmapCache::Entry* PredicateBitmapCache::Probe(
+    const Table& table, uint64_t hash, size_t column,
+    const std::vector<Code>& values) {
+  if (table.slots.empty()) return nullptr;
+  const size_t mask = table.slots.size() - 1;
+  size_t i = static_cast<size_t>(hash) & mask;
+  // Load factor <= 1/2 guarantees a null slot terminates the probe.
+  while (table.slots[i] != nullptr) {
+    Entry* e = table.slots[i].get();
+    if (e->hash == hash && e->column == column && e->values == values) {
+      return e;
+    }
+    i = (i + 1) & mask;
+  }
+  return nullptr;
+}
+
 std::shared_ptr<const Bitmap> PredicateBitmapCache::GetOrCompute(
     size_t column, const std::vector<Code>& values, const ComputeFn& compute) {
-  Key key{column, values};
+  const uint64_t hash = HashPredicateKey(column, values);
+  const size_t shard_index =
+      num_shards_ == 1
+          ? 0
+          : static_cast<size_t>((hash * kShardMix) >>
+                                (64 - std::countr_zero(num_shards_)));
+  Shard& shard = shards_[shard_index];
+  const uint64_t tick = shard.tick.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  // Hit path: copy the published-table pointer under the shard mutex (a
+  // refcount bump and a pointer copy), then probe immutable memory outside
+  // the lock. The only shared writes are the relaxed recency tick and the
+  // lease refcount; the mutex hold is nanoseconds and sharded 16 ways.
+  std::shared_ptr<const Table> snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = map_.find(key);
-    if (it != map_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    snapshot = shard.table;
+  }
+  if (snapshot != nullptr) {
+    if (Entry* e = Probe(*snapshot, hash, column, values)) {
+      e->last_used.store(tick, std::memory_order_relaxed);
       if (obs::MetricsEnabled()) hits_->Increment();
-      return it->second.bitmap;
+      return e->bitmap;
     }
   }
   if (obs::MetricsEnabled()) misses_->Increment();
-  // Build outside the lock so concurrent misses on different predicates
+
+  // Build outside any lock so concurrent misses on different predicates
   // don't serialize behind one another's OR/AND-NOT passes.
   auto built = std::make_shared<Bitmap>();
   compute(*built);
-  std::shared_ptr<const Bitmap> result = std::move(built);
+  auto entry = std::make_shared<Entry>();
+  entry->hash = hash;
+  entry->column = column;
+  entry->values = values;
+  entry->bitmap = std::move(built);
+  entry->last_used.store(tick, std::memory_order_relaxed);
 
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = map_.find(key);
-  if (it != map_.end()) {
-    // Another thread raced us to the same key; both computed the identical
-    // bitmap, keep the resident one.
-    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-    return it->second.bitmap;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // Re-read under the mutex: another writer may have published since our
+  // snapshot above.
+  const std::shared_ptr<const Table>& current = shard.table;
+  if (current != nullptr) {
+    if (Entry* resident = Probe(*current, hash, column, values)) {
+      // Another thread published this key between our probe and now. Both
+      // computed the identical bitmap; keep the resident one. The lookup
+      // already counted as a miss (hits + misses == lookups holds); the
+      // races counter makes the duplicated work visible.
+      resident->last_used.store(tick, std::memory_order_relaxed);
+      if (obs::MetricsEnabled()) races_->Increment();
+      return resident->bitmap;
+    }
   }
-  lru_.push_front(key);
-  map_.emplace(std::move(key), Entry{result, lru_.begin()});
-  while (map_.size() > capacity_) {
-    map_.erase(lru_.back());
-    lru_.pop_back();
+
+  // Copy-and-publish: gather resident entries, add the new one, evict down
+  // to the shard's capacity by least recency tick.
+  std::vector<std::shared_ptr<Entry>> entries;
+  entries.reserve((current != nullptr ? current->size : 0) + 1);
+  if (current != nullptr) {
+    for (const auto& slot : current->slots) {
+      if (slot != nullptr) entries.push_back(slot);
+    }
+  }
+  entries.push_back(entry);
+  while (entries.size() > shard_capacity_) {
+    size_t victim = 0;
+    uint64_t oldest = entries[0]->last_used.load(std::memory_order_relaxed);
+    for (size_t i = 1; i < entries.size(); ++i) {
+      const uint64_t t = entries[i]->last_used.load(std::memory_order_relaxed);
+      if (t < oldest) {
+        oldest = t;
+        victim = i;
+      }
+    }
+    entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(victim));
     if (obs::MetricsEnabled()) evictions_->Increment();
   }
-  return result;
+
+  auto next = std::make_shared<Table>();
+  next->size = entries.size();
+  next->slots.assign(std::bit_ceil(entries.size() * 2), nullptr);
+  const size_t mask = next->slots.size() - 1;
+  for (auto& e : entries) {
+    size_t i = static_cast<size_t>(e->hash) & mask;
+    while (next->slots[i] != nullptr) i = (i + 1) & mask;
+    next->slots[i] = std::move(e);
+  }
+  shard.table = std::move(next);
+  return entry->bitmap;
 }
 
 size_t PredicateBitmapCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return map_.size();
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.table != nullptr) total += shard.table->size;
+  }
+  return total;
 }
 
 }  // namespace anatomy

@@ -1,0 +1,201 @@
+#include "query/simd.h"
+
+#include <atomic>
+#include <bit>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define ANATOMY_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace anatomy {
+namespace simd {
+namespace {
+
+uint64_t CountWordsScalar(const uint64_t* w, size_t n) {
+  uint64_t c = 0;
+  for (size_t i = 0; i < n; ++i) {
+    c += static_cast<uint64_t>(std::popcount(w[i]));
+  }
+  return c;
+}
+
+uint64_t AndCountWordsScalar(const uint64_t* a, const uint64_t* b, size_t n) {
+  uint64_t c = 0;
+  for (size_t i = 0; i < n; ++i) {
+    c += static_cast<uint64_t>(std::popcount(a[i] & b[i]));
+  }
+  return c;
+}
+
+#if ANATOMY_SIMD_X86
+
+// ------------------------------------------------------------------ AVX2 --
+// Nibble-LUT popcount (PSHUFB against a 16-entry bit-count table, PSADBW to
+// fold bytes into per-lane u64 sums). 4 words per step; byte sums cannot
+// overflow because PSADBW drains them every step.
+
+__attribute__((target("avx2"))) inline __m256i Popcount256(__m256i v) {
+  const __m256i lookup =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                                      _mm256_shuffle_epi8(lookup, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2"))) inline uint64_t Sum256(__m256i acc) {
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  const __m128i s = _mm_add_epi64(lo, hi);
+  return static_cast<uint64_t>(_mm_cvtsi128_si64(s)) +
+         static_cast<uint64_t>(_mm_extract_epi64(s, 1));
+}
+
+__attribute__((target("avx2"))) uint64_t CountWordsAvx2(const uint64_t* w,
+                                                        size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    acc = _mm256_add_epi64(acc, Popcount256(v));
+  }
+  uint64_t c = Sum256(acc);
+  for (; i < n; ++i) c += static_cast<uint64_t>(std::popcount(w[i]));
+  return c;
+}
+
+__attribute__((target("avx2"))) uint64_t AndCountWordsAvx2(const uint64_t* a,
+                                                           const uint64_t* b,
+                                                           size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    acc = _mm256_add_epi64(acc, Popcount256(_mm256_and_si256(va, vb)));
+  }
+  uint64_t c = Sum256(acc);
+  for (; i < n; ++i) c += static_cast<uint64_t>(std::popcount(a[i] & b[i]));
+  return c;
+}
+
+// --------------------------------------------------------------- AVX-512 --
+// Native per-word popcount (VPOPCNTQ), 8 words per step.
+
+__attribute__((target("avx512f,avx512vpopcntdq"))) uint64_t CountWordsAvx512(
+    const uint64_t* w, size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_loadu_si512(
+                                    reinterpret_cast<const void*>(w + i))));
+  }
+  uint64_t c = static_cast<uint64_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < n; ++i) c += static_cast<uint64_t>(std::popcount(w[i]));
+  return c;
+}
+
+__attribute__((target("avx512f,avx512vpopcntdq"))) uint64_t
+AndCountWordsAvx512(const uint64_t* a, const uint64_t* b, size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(a + i));
+    const __m512i vb =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(b + i));
+    acc = _mm512_add_epi64(acc,
+                           _mm512_popcnt_epi64(_mm512_and_si512(va, vb)));
+  }
+  uint64_t c = static_cast<uint64_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < n; ++i) c += static_cast<uint64_t>(std::popcount(a[i] & b[i]));
+  return c;
+}
+
+#endif  // ANATOMY_SIMD_X86
+
+Tier DetectBestTier() {
+#if ANATOMY_SIMD_X86
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512vpopcntdq")) {
+    return Tier::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return Tier::kAvx2;
+#endif
+  return Tier::kScalar;
+}
+
+/// Active tier; -1 until first use (lazy CPUID).
+std::atomic<int> g_active_tier{-1};
+
+}  // namespace
+
+Tier BestSupportedTier() {
+  static const Tier best = DetectBestTier();
+  return best;
+}
+
+Tier ActiveTier() {
+  int t = g_active_tier.load(std::memory_order_relaxed);
+  if (t < 0) {
+    t = static_cast<int>(BestSupportedTier());
+    g_active_tier.store(t, std::memory_order_relaxed);
+  }
+  return static_cast<Tier>(t);
+}
+
+bool SetTier(Tier tier) {
+  if (static_cast<int>(tier) > static_cast<int>(BestSupportedTier())) {
+    return false;
+  }
+  g_active_tier.store(static_cast<int>(tier), std::memory_order_relaxed);
+  return true;
+}
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kAvx512:
+      return "avx512";
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kScalar:
+      return "scalar";
+  }
+  return "scalar";
+}
+
+uint64_t CountWords(const uint64_t* w, size_t n) {
+  switch (ActiveTier()) {
+#if ANATOMY_SIMD_X86
+    case Tier::kAvx512:
+      return CountWordsAvx512(w, n);
+    case Tier::kAvx2:
+      return CountWordsAvx2(w, n);
+#endif
+    default:
+      return CountWordsScalar(w, n);
+  }
+}
+
+uint64_t AndCountWords(const uint64_t* a, const uint64_t* b, size_t n) {
+  switch (ActiveTier()) {
+#if ANATOMY_SIMD_X86
+    case Tier::kAvx512:
+      return AndCountWordsAvx512(a, b, n);
+    case Tier::kAvx2:
+      return AndCountWordsAvx2(a, b, n);
+#endif
+    default:
+      return AndCountWordsScalar(a, b, n);
+  }
+}
+
+}  // namespace simd
+}  // namespace anatomy

@@ -1,0 +1,65 @@
+// Runtime-dispatched SIMD word kernels behind the bitmap popcount paths.
+//
+// The group-clustered query kernels spend their cycles in two word loops:
+// popcount over a span of 64-bit words (COUNT over one group's bit range)
+// and fused AND+popcount over two spans (the per-group conjunction kernel).
+// Both are exact integer reductions, so every implementation tier returns
+// the same number — dispatch can never change a query answer, only how
+// fast it arrives. That is what keeps the standing determinism contract
+// (bit-identical estimates at any thread count, cache on/off, obs on/off)
+// trivially true here.
+//
+// Tiers, best first:
+//   kAvx512  512-bit VPOPCNTQ (AVX-512F + VPOPCNTDQ), 8 words per step.
+//   kAvx2    256-bit nibble-LUT popcount (PSHUFB + PSADBW), 4 words/step.
+//   kScalar  std::popcount per word — the reference path, always built.
+//
+// The active tier is detected once from CPUID (__builtin_cpu_supports) and
+// stored in a relaxed atomic; SetTier() lets tests force a lower tier and
+// assert cross-tier identity. The x86 implementations are compiled with
+// per-function target attributes, so the scalar build of the translation
+// unit stays portable and no global -mavx* flags are required.
+
+#ifndef ANATOMY_QUERY_SIMD_H_
+#define ANATOMY_QUERY_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace anatomy {
+namespace simd {
+
+enum class Tier {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+/// Highest tier this CPU supports (detected once, then cached).
+Tier BestSupportedTier();
+
+/// Tier the dispatched kernels currently use. Defaults to
+/// BestSupportedTier() on first use.
+Tier ActiveTier();
+
+/// Forces the dispatched kernels onto `tier`. Returns false (and leaves the
+/// active tier unchanged) when the CPU can't run it. Tests use this to pin
+/// the scalar reference and assert tier-independent results; it is safe to
+/// call concurrently with kernel execution (a racing kernel call uses
+/// either the old or the new tier — same answer either way).
+bool SetTier(Tier tier);
+
+/// "scalar", "avx2", or "avx512" (for bench JSON / logs).
+const char* TierName(Tier tier);
+
+/// popcount(w[0..n)). Dispatched; exact on every tier.
+uint64_t CountWords(const uint64_t* w, size_t n);
+
+/// popcount(a[i] & b[i] for i in [0, n)) without materializing the
+/// conjunction. Dispatched; exact on every tier.
+uint64_t AndCountWords(const uint64_t* a, const uint64_t* b, size_t n);
+
+}  // namespace simd
+}  // namespace anatomy
+
+#endif  // ANATOMY_QUERY_SIMD_H_

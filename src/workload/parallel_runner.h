@@ -35,6 +35,10 @@ struct ParallelRunnerOptions {
   size_t num_threads = 0;
   /// Base seed of the per-worker rng streams (stream w = ForStream(seed, w)).
   uint64_t seed = 7;
+  /// Queries per batched-evaluation call in the batched EstimateAll path
+  /// (each batch materializes its distinct predicates once). Purely a
+  /// performance knob: results are bit-identical at any batch size.
+  size_t batch_size = 32;
 };
 
 /// A query set with precomputed nonzero ground-truth answers: exactly the
@@ -42,7 +46,15 @@ struct ParallelRunnerOptions {
 struct MaterializedWorkload {
   std::vector<CountQuery> queries;
   std::vector<uint64_t> actuals;  // aligned with queries; all > 0
+  /// Zero-answer queries skipped before the final accepted one — identical
+  /// to the sequential runner's count on the same seed (asserted by
+  /// parallel_query_test's differential stress test).
   size_t zero_actual_skipped = 0;
+  /// Oversampled candidates generated after the final accepted query. They
+  /// were evaluated but never scanned, exactly as the sequential generator
+  /// never draws them — reported so the discard is auditable rather than
+  /// silent; never part of zero_actual_skipped or the skip streak.
+  size_t oversampled_discarded = 0;
 };
 
 struct ParallelWorkloadResult {
@@ -68,6 +80,16 @@ class ParallelRunner {
   std::vector<double> Map(const std::vector<CountQuery>& queries,
                           const QueryFn& fn);
 
+  /// Like Map, but hands each shard contiguous batches of
+  /// options.batch_size queries: fn(&queries[b], count, scratch, &out[b]).
+  /// Latency accounting is per batch (two clock reads), spread over the
+  /// batch's queries so histogram counts still equal queries served; the
+  /// per-query values are therefore batch means.
+  using BatchFn =
+      std::function<void(const CountQuery*, size_t, EstimatorScratch&, double*)>;
+  std::vector<double> MapBatched(const std::vector<CountQuery>& queries,
+                                 const BatchFn& fn);
+
   /// Per-query estimates from any estimator exposing
   /// `double Estimate(const CountQuery&, EstimatorScratch&) const`.
   template <typename Estimator>
@@ -76,6 +98,20 @@ class ParallelRunner {
     return Map(queries,
                [&estimator](const CountQuery& query, EstimatorScratch& scratch,
                             Rng&) { return estimator.Estimate(query, scratch); });
+  }
+
+  /// Anatomy estimators take the batched path: one predicate
+  /// materialization per distinct predicate per batch instead of one cache
+  /// round-trip per query. Bit-identical to the generic overload (asserted
+  /// by parallel_query_test).
+  std::vector<double> EstimateAll(const AnatomyEstimator& estimator,
+                                  const std::vector<CountQuery>& queries) {
+    return MapBatched(queries, [&estimator](const CountQuery* batch,
+                                            size_t count,
+                                            EstimatorScratch& scratch,
+                                            double* out) {
+      estimator.EstimateBatch(batch, count, scratch, out);
+    });
   }
 
   /// Exact ground-truth counts, in parallel.
@@ -100,9 +136,16 @@ class ParallelRunner {
 
  private:
   ThreadPool pool_;
+  size_t batch_size_;
   /// Shard-indexed worker state, reused across calls (warm arenas).
   std::vector<EstimatorScratch> worker_scratch_;
   std::vector<Rng> worker_rngs_;
+  /// Per-shard result staging: workers write their shard's outputs here and
+  /// copy once into the shared result vector, so the hot loop never stores
+  /// into cache lines adjacent shards are writing (false sharing at shard
+  /// boundaries of results[i]).
+  std::vector<std::vector<double>> worker_staging_;
+  std::vector<std::vector<uint64_t>> worker_staging_u64_;
 };
 
 }  // namespace anatomy

@@ -100,18 +100,39 @@ TEST(HistogramTest, CountSumMinMaxMean) {
   EXPECT_EQ(h.bucket_count(Histogram::BucketIndex(1000)), 1u);
 }
 
-TEST(HistogramTest, QuantileReturnsBucketUpperBound) {
+TEST(HistogramTest, QuantileInterpolatesWithinBuckets) {
   Histogram h;
   EXPECT_EQ(h.Quantile(0.5), 0u);  // empty
   for (uint64_t v = 1; v <= 100; ++v) h.Record(v);
   // Cumulative counts by bucket: {1}:1, {2,3}:3, {4..7}:7, {8..15}:15,
-  // {16..31}:31, {32..63}:63, {64..127}:100. Rank 50 lands in [32, 63],
-  // rank 99 in [64, 127]; the quantile reports the bucket's upper bound.
-  EXPECT_EQ(h.Quantile(0.5), 63u);
-  EXPECT_EQ(h.Quantile(0.99), 127u);
-  // Out-of-range q clamps; q = 0 still means "rank 1" (the minimum's bucket).
+  // {16..31}:31, {32..63}:63, {64..127}:100. The quantile interpolates
+  // linearly within the winning bucket (midpoint convention), and the
+  // bucket span is clamped to the observed [min, max] — so a uniform
+  // 1..100 recording recovers the exact order statistics instead of
+  // reporting every quantile as a power-of-two upper bound.
+  EXPECT_EQ(h.Quantile(0.5), 50u);
+  EXPECT_EQ(h.Quantile(0.99), 99u);
+  // Out-of-range q clamps; q = 0 still means "rank 1" (the minimum).
   EXPECT_EQ(h.Quantile(-1.0), 1u);
-  EXPECT_EQ(h.Quantile(2.0), 127u);
+  EXPECT_EQ(h.Quantile(2.0), 100u);
+  // Monotone in q.
+  uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const uint64_t v = h.Quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, QuantileSingleValueIsExact) {
+  // All mass on one value: every quantile must report that value exactly,
+  // because the bucket span clamps to [min, max] = [42, 42].
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.Record(42);
+  EXPECT_EQ(h.Quantile(0.0), 42u);
+  EXPECT_EQ(h.Quantile(0.5), 42u);
+  EXPECT_EQ(h.Quantile(0.99), 42u);
+  EXPECT_EQ(h.Quantile(1.0), 42u);
 }
 
 TEST(HistogramTest, ResetClearsEverything) {
@@ -220,7 +241,7 @@ TEST(ExporterTest, TextTableListsEveryMetric) {
   EXPECT_NE(text.find("storage.pool.hits"), std::string::npos);
   EXPECT_NE(text.find("pool.occupancy"), std::string::npos);
   EXPECT_NE(text.find("-2"), std::string::npos);
-  EXPECT_NE(text.find("count=3 sum=6 min=1 mean=2 p50<=3 p99<=3 max=3"),
+  EXPECT_NE(text.find("count=3 sum=6 min=1 mean=2 p50~=2 p99~=3 max=3"),
             std::string::npos);
 }
 

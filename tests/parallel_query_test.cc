@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -236,6 +237,111 @@ TEST(ParallelRunnerTest, RunWorkloadMatchesSequentialRunnerBitwise) {
               sequential.value().anatomy_error);
     EXPECT_EQ(parallel.value().summary.generalization_error,
               sequential.value().generalization_error);
+  }
+}
+
+TEST(ParallelRunnerTest, BatchedEstimateAllMatchesUnbatchedMapBitwise) {
+  // EstimateAll(AnatomyEstimator&) routes through MapBatched; the generic
+  // per-query Map must produce bit-identical results at every batch size
+  // and thread count (batching amortizes predicate materialization, it
+  // never changes arithmetic).
+  const PublishedCensus published = MakePublishedCensus(5000);
+  const std::vector<CountQuery> queries =
+      MakeQueries(published.dataset.microdata, 211, 41);
+  const AnatomyEstimator estimator(published.anatomized);
+
+  ParallelRunner reference(ParallelRunnerOptions{.num_threads = 1});
+  const std::vector<double> unbatched = reference.Map(
+      queries, [&estimator](const CountQuery& query, EstimatorScratch& scratch,
+                            Rng&) { return estimator.Estimate(query, scratch); });
+
+  for (size_t threads : {1u, 4u}) {
+    for (size_t batch_size : {1u, 5u, 32u, 500u}) {
+      ParallelRunner runner(ParallelRunnerOptions{.num_threads = threads,
+                                                  .batch_size = batch_size});
+      const std::vector<double> batched = runner.EstimateAll(estimator, queries);
+      ASSERT_EQ(batched.size(), queries.size());
+      for (size_t i = 0; i < queries.size(); ++i) {
+        EXPECT_EQ(batched[i], unbatched[i])
+            << "threads=" << threads << " batch_size=" << batch_size
+            << " query=" << i;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------- Materialize accounting --
+
+TEST(ParallelRunnerTest, MaterializeAccountingMatchesSequentialRunner) {
+  // Differential stress over workload shapes: the parallel Materialize must
+  // accept/skip exactly the queries the sequential runner does — same
+  // queries_evaluated, same zero_actual_skipped, same error status when the
+  // skip limit trips — and every oversampled candidate past the final
+  // accepted query must be accounted in oversampled_discarded rather than
+  // silently vanishing (batch generation draws more candidates than the
+  // sequential generator ever does; the counter is what makes hits + skips
+  // + discards add up to candidates drawn).
+  const PublishedCensus published = MakePublishedCensus(4000);
+  const Microdata& md = published.dataset.microdata;
+  ExactEvaluator exact(md);
+  ParallelRunner runner(ParallelRunnerOptions{.num_threads = 4});
+
+  for (size_t num_queries : {1u, 7u, 60u}) {
+    for (double s : {0.02, 0.1}) {
+      for (size_t max_skips : {0u, 3u, 1000u}) {
+        for (uint64_t seed : {17u, 18u, 19u}) {
+          WorkloadOptions options;
+          options.qd = 2;
+          options.s = s;
+          options.num_queries = num_queries;
+          options.seed = seed;
+          RunnerOptions runner_options;
+          runner_options.max_consecutive_skips = max_skips;
+
+          auto sequential = RunWorkload(md, published.anatomized,
+                                        published.generalized, options,
+                                        runner_options);
+          auto parallel =
+              runner.Materialize(md, exact, options, runner_options);
+
+          const std::string label =
+              "num_queries=" + std::to_string(num_queries) +
+              " s=" + std::to_string(s) +
+              " max_skips=" + std::to_string(max_skips) +
+              " seed=" + std::to_string(seed);
+          ASSERT_EQ(parallel.ok(), sequential.ok()) << label;
+          if (!sequential.ok()) {
+            EXPECT_EQ(parallel.status().code(), sequential.status().code())
+                << label;
+            continue;
+          }
+          const MaterializedWorkload& workload = parallel.value();
+          EXPECT_EQ(workload.queries.size(), num_queries) << label;
+          EXPECT_EQ(workload.queries.size(),
+                    sequential.value().queries_evaluated)
+              << label;
+          EXPECT_EQ(workload.zero_actual_skipped,
+                    sequential.value().zero_actual_skipped)
+              << label;
+          for (size_t i = 0; i < workload.queries.size(); ++i) {
+            EXPECT_EQ(workload.actuals[i], exact.Count(workload.queries[i]))
+                << label << " query " << i;
+            EXPECT_GT(workload.actuals[i], 0u) << label << " query " << i;
+          }
+          // The discard tally is deterministic: same seed, same batches,
+          // same count — so accepted + skipped + discarded reproducibly
+          // accounts for every candidate drawn.
+          auto rerun = runner.Materialize(md, exact, options, runner_options);
+          ASSERT_TRUE(rerun.ok()) << label;
+          EXPECT_EQ(rerun.value().oversampled_discarded,
+                    workload.oversampled_discarded)
+              << label;
+          EXPECT_EQ(rerun.value().zero_actual_skipped,
+                    workload.zero_actual_skipped)
+              << label;
+        }
+      }
+    }
   }
 }
 

@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include "anatomy/anatomized_tables.h"
@@ -20,6 +22,7 @@
 #include "query/aggregate.h"
 #include "query/anatomy_estimator.h"
 #include "query/pred_cache.h"
+#include "query/simd.h"
 #include "test_util.h"
 #include "workload/workload.h"
 
@@ -214,16 +217,21 @@ TEST(PredicateCacheTest, CountsHitsMissesAndEvictions) {
   obs::MetricRegistry& registry = obs::MetricRegistry::Global();
   obs::Counter* hits = registry.GetCounter("query.predcache.hits");
   obs::Counter* misses = registry.GetCounter("query.predcache.misses");
+  obs::Counter* races = registry.GetCounter("query.predcache.races");
   obs::Counter* evictions = registry.GetCounter("query.predcache.evictions");
   const uint64_t h0 = hits->value();
   const uint64_t m0 = misses->value();
+  const uint64_t r0 = races->value();
   const uint64_t e0 = evictions->value();
 
   PredicateCacheOptions options;
   options.capacity = 2;
+  options.shards = 1;  // single LRU domain: eviction order is deterministic
   PredicateBitmapCache cache(options);
   int computes = 0;
+  uint64_t lookups = 0;
   const auto lookup = [&](size_t column, std::vector<Code> values) {
+    ++lookups;
     return cache.GetOrCompute(column, values, [&](Bitmap& out) {
       ++computes;
       out.Reset(8);
@@ -252,6 +260,174 @@ TEST(PredicateCacheTest, CountsHitsMissesAndEvictions) {
   // Same values under a different column is a different key.
   lookup(2, {3});  // hit
   EXPECT_EQ(hits->value() - h0, 2u);
+
+  // Accounting invariant: every lookup is exactly one hit or one miss.
+  EXPECT_EQ((hits->value() - h0) + (misses->value() - m0), lookups);
+  EXPECT_EQ(races->value() - r0, 0u);  // single-threaded, no re-entrancy
+}
+
+TEST(PredicateCacheTest, RaceLostInsertKeepsInvariantAndCountsRace) {
+  // Deterministic reproduction of the concurrent miss-miss race: while the
+  // outer GetOrCompute of key (0,{1}) is still computing (outside any
+  // lock), the same key is inserted by a nested lookup. The outer call must
+  // then discard its duplicate work, adopt the resident bitmap, and count
+  // the event in query.predcache.races — while each of the two lookups
+  // still counts exactly one miss, so hits + misses == lookups holds.
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  obs::Counter* hits = registry.GetCounter("query.predcache.hits");
+  obs::Counter* misses = registry.GetCounter("query.predcache.misses");
+  obs::Counter* races = registry.GetCounter("query.predcache.races");
+  const uint64_t h0 = hits->value();
+  const uint64_t m0 = misses->value();
+  const uint64_t r0 = races->value();
+
+  PredicateBitmapCache cache(PredicateCacheOptions{});
+  int computes = 0;
+  std::shared_ptr<const Bitmap> inner;
+  const auto outer = cache.GetOrCompute(0, {1}, [&](Bitmap& out) {
+    ++computes;
+    out.Reset(8);
+    out.Set(0);
+    // The "other thread", interleaved mid-compute.
+    inner = cache.GetOrCompute(0, {1}, [&](Bitmap& in) {
+      ++computes;
+      in.Reset(8);
+      in.Set(0);
+    });
+  });
+
+  EXPECT_EQ(computes, 2);            // both sides really computed
+  EXPECT_EQ(outer.get(), inner.get());  // ...but the loser adopted the winner
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(hits->value() - h0, 0u);
+  EXPECT_EQ(misses->value() - m0, 2u);  // two lookups, two misses: invariant
+  EXPECT_EQ(races->value() - r0, 1u);   // one lost insert, visible
+
+  // The survivor is resident: the next lookup is a plain hit.
+  const auto again = cache.GetOrCompute(0, {1}, [](Bitmap&) { FAIL(); });
+  EXPECT_EQ(again.get(), outer.get());
+  EXPECT_EQ(hits->value() - h0, 1u);
+}
+
+// ----------------------------------------------------- Batched evaluation --
+
+TEST(BatchedEvaluationTest, BatchEstimatesAreBitIdenticalToSingle) {
+  const AnatomizedCensus census = MakeAnatomizedCensus(3000, 4, 6, 51);
+  const Microdata& md = census.dataset.microdata;
+
+  EstimatorOptions uncached;
+  uncached.predcache.enabled = false;
+  EstimatorOptions scalar;
+  scalar.mode = KernelMode::kScalar;
+  const AnatomyAggregateEstimator cached_est(census.tables);
+  const AnatomyAggregateEstimator uncached_est(census.tables, uncached);
+  const AnatomyAggregateEstimator scalar_est(census.tables, scalar);
+
+  const std::vector<CountQuery> base =
+      GridQueries(md, /*qd=*/2, /*s=*/0.08, /*count=*/37, 61, true);
+  std::vector<AggregateQuery> queries;
+  for (size_t i = 0; i < base.size(); ++i) {
+    AggregateQuery q;
+    q.predicates = base[i];
+    q.kind = static_cast<AggregateKind>(i % 3);
+    q.measure_qi = i % md.d();
+    queries.push_back(q);
+  }
+
+  // Odd batch sizes exercise partial final batches and the 1-query batch.
+  for (const AnatomyAggregateEstimator* est :
+       {&cached_est, &uncached_est, &scalar_est}) {
+    EstimatorScratch scratch;
+    std::vector<double> single(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      single[i] = est->Estimate(queries[i], scratch);
+    }
+    for (size_t batch_size : {1u, 7u, 37u, 64u}) {
+      std::vector<double> batched(queries.size());
+      for (size_t b = 0; b < queries.size(); b += batch_size) {
+        const size_t count = std::min(batch_size, queries.size() - b);
+        est->EstimateBatch(&queries[b], count, scratch, &batched[b]);
+      }
+      for (size_t i = 0; i < queries.size(); ++i) {
+        EXPECT_EQ(batched[i], single[i])
+            << "batch_size=" << batch_size << " query=" << i;
+      }
+    }
+  }
+}
+
+TEST(BatchedEvaluationTest, CountBatchMatchesAnatomyEstimator) {
+  const AnatomizedCensus census = MakeAnatomizedCensus(2000, 3, 5, 53);
+  const AnatomyEstimator estimator(census.tables);
+  const std::vector<CountQuery> queries =
+      GridQueries(census.dataset.microdata, 2, 0.1, 23, 67, false);
+
+  EstimatorScratch scratch;
+  std::vector<double> batched(queries.size());
+  estimator.EstimateBatch(queries.data(), queries.size(), scratch, batched.data());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batched[i], estimator.Estimate(queries[i], scratch))
+        << "query " << i;
+  }
+}
+
+// ------------------------------------------------------------ SIMD tiers --
+
+TEST(SimdTest, WordKernelsMatchScalarAcrossTiers) {
+  // Exercise CountWords/AndCountWords directly on adversarial word
+  // patterns at every supported tier; the dispatch must never change the
+  // integer result.
+  std::vector<uint64_t> a, b;
+  uint64_t x = 0x243f6a8885a308d3ULL;  // deterministic pseudo-random words
+  for (size_t i = 0; i < 133; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    a.push_back(x);
+    b.push_back(~x ^ (x >> 1));
+  }
+  a.push_back(~0ULL);
+  b.push_back(~0ULL);
+  a.push_back(0);
+  b.push_back(~0ULL);
+
+  const simd::Tier original = simd::ActiveTier();
+  ASSERT_TRUE(simd::SetTier(simd::Tier::kScalar));
+  std::vector<uint64_t> want_count, want_and;
+  for (size_t n = 0; n <= a.size(); ++n) {
+    want_count.push_back(simd::CountWords(a.data(), n));
+    want_and.push_back(simd::AndCountWords(a.data(), b.data(), n));
+  }
+  for (simd::Tier tier :
+       {simd::Tier::kScalar, simd::Tier::kAvx2, simd::Tier::kAvx512}) {
+    if (!simd::SetTier(tier)) continue;  // unsupported on this machine
+    for (size_t n = 0; n <= a.size(); ++n) {
+      EXPECT_EQ(simd::CountWords(a.data(), n), want_count[n])
+          << simd::TierName(tier) << " n=" << n;
+      EXPECT_EQ(simd::AndCountWords(a.data(), b.data(), n), want_and[n])
+          << simd::TierName(tier) << " n=" << n;
+    }
+  }
+  ASSERT_TRUE(simd::SetTier(original));
+}
+
+TEST(SimdTest, EstimatesAreBitIdenticalAcrossTiers) {
+  const AnatomizedCensus census = MakeAnatomizedCensus(3000, 4, 6, 57);
+  const AnatomyEstimator estimator(census.tables);
+  const std::vector<CountQuery> queries =
+      GridQueries(census.dataset.microdata, 2, 0.1, 20, 71, true);
+
+  const simd::Tier original = simd::ActiveTier();
+  ASSERT_TRUE(simd::SetTier(simd::Tier::kScalar));
+  std::vector<double> want(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    want[i] = estimator.Estimate(queries[i]);
+  }
+  ASSERT_TRUE(simd::SetTier(simd::BestSupportedTier()));
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(estimator.Estimate(queries[i]), want[i]) << "query " << i;
+  }
+  ASSERT_TRUE(simd::SetTier(original));
 }
 
 TEST(PredicateCacheTest, KillSwitchBuildsNoCache) {

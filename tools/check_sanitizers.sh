@@ -13,6 +13,7 @@
 #   tools/check_sanitizers.sh obs          # both sanitizers, obs + query hammer
 #   tools/check_sanitizers.sh kernels      # both sanitizers, query kernels + cache
 #   tools/check_sanitizers.sh sharded      # both sanitizers, sharded build + streaming
+#   tools/check_sanitizers.sh scaling      # both sanitizers, sharded cache + parallel path
 #   tools/check_sanitizers.sh tsan -R parallel_query_test
 #                                          # extra args passed to ctest
 set -euo pipefail
@@ -48,6 +49,16 @@ if [[ $# -ge 1 ]]; then
       # insert/evict/lease races visible to TSan and use-after-evict
       # visible to ASan.
       extra=(-R '^(query_kernels_test|parallel_query_test)$')
+      shift
+      ;;
+    scaling)
+      # The de-contended query-path smoke check: query_scaling_test's
+      # sharded-cache hammer drives the probe-outside-lock hit path, compute-outside-
+      # lock misses, race-lost inserts, and copy-and-publish eviction under
+      # TSan (the throughput gate itself self-skips under sanitizers), and
+      # parallel_query_test proves the batched evaluation and per-thread
+      # histogram shards stay bit-deterministic while contended.
+      extra=(-R '^(query_scaling_test|parallel_query_test)$')
       shift
       ;;
     sharded)
