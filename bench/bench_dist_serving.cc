@@ -1,0 +1,198 @@
+// Distributed serving bench: scatter-gather COUNT/SUM over an N-node cluster.
+//
+// Two passes:
+//   1. Zero-fault sweep over N in {1, 2, 4, 8} — every answer must be exact
+//      (bit-identical to the merged single-node fold; the dist_runner's
+//      estimator enforces that contract and this bench enforces that no
+//      query degrades). Reports virtual-latency quantiles per N.
+//   2. Stall scenario — heavy-tail serve latencies armed on every node.
+//      Reports hedge activity and the honesty stats of partial answers
+//      (mean covered mass), asserting that nothing is silently dropped:
+//      exact + partial + unavailable must equal the query count.
+//
+// Latencies are virtual nanoseconds from the simulated service clock, so the
+// shape (hedges firing, deadline hits) is bit-reproducible from --seed.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "dist/dist_runner.h"
+
+namespace anatomy {
+namespace bench {
+namespace {
+
+struct DistBenchConfig {
+  int64_t rows = 20000;
+  int64_t l = 4;
+  int64_t queries = 400;
+  int64_t seed = 1;
+  std::string json_out = "BENCH_dist_serving.json";
+};
+
+struct ServePoint {
+  size_t nodes = 0;
+  bool faulted = false;
+  DistServingReport report;
+};
+
+ServePoint RunOne(const DistBenchConfig& config, size_t nodes, bool faults) {
+  DistServingOptions options;
+  options.nodes = nodes;
+  options.rows = static_cast<RowId>(config.rows);
+  options.l = static_cast<int>(config.l);
+  options.seed = static_cast<uint64_t>(config.seed);
+  options.num_queries = static_cast<size_t>(config.queries);
+  if (faults) {
+    options.arm_faults = true;
+    options.serve_faults.seed = static_cast<uint64_t>(config.seed) ^ 0x57A11;
+    options.serve_faults.stall_rate = 0.30;
+    options.serve_faults.stall_scale_us = 1200;
+    options.serve_faults.stall_alpha = 1.1;
+    options.serve_faults.stall_cap_us = 30000;
+  }
+  ServePoint point;
+  point.nodes = nodes;
+  point.faulted = faults;
+  point.report = ValueOrDie(RunDistServingWorkload(options));
+  return point;
+}
+
+void Run(const DistBenchConfig& config) {
+  WarnIfSingleThreaded("bench_dist_serving");
+  std::printf(
+      "bench_dist_serving: n=%lld l=%lld queries=%lld seed=%lld\n"
+      "Virtual-time scatter-gather serving; latencies are simulated ns.\n\n",
+      static_cast<long long>(config.rows), static_cast<long long>(config.l),
+      static_cast<long long>(config.queries),
+      static_cast<long long>(config.seed));
+
+  std::vector<ServePoint> points;
+  TablePrinter printer({"N", "faults", "exact", "partial", "unavail", "hedges",
+                        "hedge_wins", "retries", "p50_us", "p99_us",
+                        "coverage"});
+
+  // ---- Pass 1: zero faults. Exactness is the self-check. ----
+  for (size_t nodes : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    ServePoint point = RunOne(config, nodes, /*faults=*/false);
+    const DistServingReport& r = point.report;
+    if (r.exact != r.queries || r.partial != 0 || r.unavailable != 0) {
+      std::fprintf(stderr,
+                   "FATAL: N=%zu zero-fault run degraded (%zu exact, %zu "
+                   "partial, %zu unavailable of %zu queries)\n",
+                   nodes, r.exact, r.partial, r.unavailable, r.queries);
+      std::exit(1);
+    }
+    points.push_back(point);
+    printer.AddRow({std::to_string(nodes), "no", std::to_string(r.exact),
+                    std::to_string(r.partial), std::to_string(r.unavailable),
+                    std::to_string(r.hedges), std::to_string(r.hedge_wins),
+                    std::to_string(r.retries),
+                    FormatDouble(static_cast<double>(r.p50_ns) / 1000.0, 1),
+                    FormatDouble(static_cast<double>(r.p99_ns) / 1000.0, 1),
+                    FormatDouble(r.mean_partial_coverage, 4)});
+  }
+
+  // ---- Pass 2: heavy-tail stalls on every node. ----
+  for (size_t nodes : {size_t{2}, size_t{4}, size_t{8}}) {
+    ServePoint point = RunOne(config, nodes, /*faults=*/true);
+    const DistServingReport& r = point.report;
+    if (r.exact + r.partial + r.unavailable != r.queries) {
+      std::fprintf(stderr,
+                   "FATAL: N=%zu stall run dropped queries (%zu + %zu + %zu "
+                   "!= %zu)\n",
+                   nodes, r.exact, r.partial, r.unavailable, r.queries);
+      std::exit(1);
+    }
+    if (r.partial > 0 &&
+        (r.mean_partial_coverage <= 0.0 || r.mean_partial_coverage >= 1.0)) {
+      std::fprintf(stderr,
+                   "FATAL: N=%zu partial answers report impossible coverage "
+                   "%.6f\n",
+                   nodes, r.mean_partial_coverage);
+      std::exit(1);
+    }
+    points.push_back(point);
+    printer.AddRow({std::to_string(nodes), "stalls", std::to_string(r.exact),
+                    std::to_string(r.partial), std::to_string(r.unavailable),
+                    std::to_string(r.hedges), std::to_string(r.hedge_wins),
+                    std::to_string(r.retries),
+                    FormatDouble(static_cast<double>(r.p50_ns) / 1000.0, 1),
+                    FormatDouble(static_cast<double>(r.p99_ns) / 1000.0, 1),
+                    FormatDouble(r.mean_partial_coverage, 4)});
+  }
+  printer.Print();
+  std::printf(
+      "Zero-fault runs: all %lld queries exact at every N (asserted).\n",
+      static_cast<long long>(config.queries));
+
+  if (!config.json_out.empty()) {
+    std::ofstream os(config.json_out);
+    if (!os) {
+      std::fprintf(stderr, "warning: cannot write %s\n",
+                   config.json_out.c_str());
+      return;
+    }
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "{\n  \"bench\": \"dist_serving\",\n"
+                  "  \"n\": %lld,\n  \"l\": %lld,\n  \"queries\": %lld,\n"
+                  "  \"seed\": %lld,\n  \"points\": [\n",
+                  static_cast<long long>(config.rows),
+                  static_cast<long long>(config.l),
+                  static_cast<long long>(config.queries),
+                  static_cast<long long>(config.seed));
+    os << buf;
+    for (size_t i = 0; i < points.size(); ++i) {
+      const ServePoint& p = points[i];
+      const DistServingReport& r = p.report;
+      std::snprintf(
+          buf, sizeof buf,
+          "    {\"nodes\": %zu, \"faults\": %s, \"exact\": %zu, "
+          "\"partial\": %zu, \"unavailable\": %zu, \"hedges\": %llu, "
+          "\"hedge_wins\": %llu, \"retries\": %llu, \"p50_ns\": %llu, "
+          "\"p99_ns\": %llu, \"max_ns\": %llu, "
+          "\"mean_partial_coverage\": %.6f}%s\n",
+          p.nodes, p.faulted ? "true" : "false", r.exact, r.partial,
+          r.unavailable, static_cast<unsigned long long>(r.hedges),
+          static_cast<unsigned long long>(r.hedge_wins),
+          static_cast<unsigned long long>(r.retries),
+          static_cast<unsigned long long>(r.p50_ns),
+          static_cast<unsigned long long>(r.p99_ns),
+          static_cast<unsigned long long>(r.max_ns), r.mean_partial_coverage,
+          i + 1 < points.size() ? "," : "");
+      os << buf;
+    }
+    os << "  ]\n}\n";
+    std::printf("(results written to %s)\n", config.json_out.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace anatomy
+
+int main(int argc, char** argv) {
+  using namespace anatomy;
+  using namespace anatomy::bench;
+  DistBenchConfig config;
+  FlagParser parser;
+  parser.AddInt64("n", &config.rows, "dataset cardinality");
+  parser.AddInt64("l", &config.l, "l-diversity parameter");
+  parser.AddInt64("queries", &config.queries, "queries per serving run");
+  parser.AddInt64("seed", &config.seed, "master RNG seed");
+  parser.AddString("json_out", &config.json_out,
+                   "JSON results path (empty to skip)");
+  Status status = parser.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 2;
+  }
+  Run(config);
+  return 0;
+}

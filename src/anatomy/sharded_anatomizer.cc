@@ -296,4 +296,92 @@ StatusOr<ShardedExternalAnatomizeResult> ShardedExternalAnatomizer::Run(
   return result;
 }
 
+StatusOr<ShardedPublishResult> ShardedExternalAnatomizer::RunPublished(
+    const Microdata& microdata, std::span<Disk* const> disks,
+    std::span<BufferPool* const> pools) const {
+  ANATOMY_RETURN_IF_ERROR(microdata.Validate());
+  ANATOMY_RETURN_IF_ERROR(CheckEligibility(microdata, options_.l));
+  if (disks.size() < options_.shards || pools.size() < options_.shards) {
+    return Status::InvalidArgument(
+        "need one disk and one pool per requested shard: got " +
+        std::to_string(disks.size()) + " disks / " +
+        std::to_string(pools.size()) + " pools for " +
+        std::to_string(options_.shards) + " shards");
+  }
+  obs::ScopedSpan run_span("external_anatomize.sharded.publish",
+                           "external_anatomize");
+  const std::vector<Code>& sensitive =
+      microdata.table.column(microdata.sensitive_column);
+  const Code domain = microdata.sensitive_attribute().domain_size;
+  ANATOMY_ASSIGN_OR_RETURN(
+      ShardSplit split,
+      SplitForSharding(sensitive, domain, options_.l, options_.shards));
+  const size_t num_shards = split.shard_rows.size();
+
+  std::vector<StatusOr<ExternalAnatomizeResult>> shard_results(
+      num_shards,
+      StatusOr<ExternalAnatomizeResult>(Status::Internal("shard never ran")));
+  {
+    ThreadPool thread_pool(options_.num_threads);
+    for (size_t s = 0; s < num_shards; ++s) {
+      thread_pool.Submit([this, s, &split, &microdata, &disks, &pools,
+                          &shard_results] {
+        obs::ScopedSpan shard_span("external_anatomize.shard.publish",
+                                   "external_anatomize");
+        Microdata shard_md;
+        shard_md.table = microdata.table.SelectRows(split.shard_rows[s]);
+        shard_md.qi_columns = microdata.qi_columns;
+        shard_md.sensitive_column = microdata.sensitive_column;
+        ExternalAnatomizer shard_anatomizer(
+            AnatomizerOptions{.l = options_.l, .seed = ShardSeed(options_, s)});
+        shard_results[s] =
+            shard_anatomizer.RunPublished(shard_md, disks[s], pools[s]);
+      });
+    }
+    thread_pool.Wait();
+  }
+
+  // All-or-none: a failed shard means the fleet-wide epoch does not exist,
+  // so every shard that DID commit is rolled back before the error returns.
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (shard_results[s].ok()) continue;
+    for (size_t t = 0; t < num_shards; ++t) {
+      if (!shard_results[t].ok()) continue;
+      // Best-effort reclaim; the commit succeeded so the pages are known.
+      (void)DiscardPublication(disks[t], pools[t],
+                               shard_results[t].value().manifest);
+    }
+    return Status(shard_results[s].status().code(),
+                  "published shard " + std::to_string(s) + " of " +
+                      std::to_string(num_shards) + " failed (all shards "
+                      "rolled back): " + shard_results[s].status().message());
+  }
+
+  ShardedPublishResult result;
+  result.shards_run = num_shards;
+  result.merged_shards = split.merges;
+  result.manifests.reserve(num_shards);
+  result.shard_partitions.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    ExternalAnatomizeResult& shard = shard_results[s].value();
+    AppendShardPartition(shard.partition, split.shard_rows[s], result.merged);
+    Partition global;
+    AppendShardPartition(shard.partition, split.shard_rows[s], global);
+    result.shard_partitions.push_back(std::move(global));
+    result.manifests.push_back(std::move(shard.manifest));
+    result.io += shard.io;
+    result.commit_io += shard.commit_io;
+  }
+  result.split = std::move(split);
+
+  if (obs::MetricsEnabled()) {
+    obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+    registry.GetCounter("anatomize.shard.published_runs")->Increment();
+    registry.GetCounter("anatomize.shard.shards_run")->Increment(num_shards);
+    registry.GetCounter("anatomize.shard.merged")
+        ->Increment(result.merged_shards);
+  }
+  return result;
+}
+
 }  // namespace anatomy

@@ -108,6 +108,26 @@ struct ShardedExternalAnatomizeResult {
   std::vector<size_t> shard_pool_pages;
 };
 
+/// A per-node published shard deployment: shard s's QIT/ST committed crash-
+/// consistently on disks[s], plus the bookkeeping a coordinator needs to
+/// stitch the shards back into one logical publication.
+struct ShardedPublishResult {
+  /// manifests[s]: committed, verified publication of shard s on disks[s].
+  std::vector<StorageManifest> manifests;
+  /// shard_partitions[s]: shard s's partition in *global* row ids (shard-
+  /// local group ids starting at 0 on each shard).
+  std::vector<Partition> shard_partitions;
+  /// All shards concatenated in shard order — identical to what Run()
+  /// returns for the same (data, seed, shards), so a merged view of the
+  /// per-node publications equals the single-deployment publication.
+  Partition merged;
+  ShardSplit split;
+  IoStats io;
+  IoStats commit_io;
+  size_t shards_run = 0;
+  size_t merged_shards = 0;
+};
+
 /// Shard-parallel external (I/O-counted) Anatomize. Each shard runs the full
 /// Theorem 3 pipeline against its own Disk through its own BufferPool; the
 /// per-shard pool budgets sum to `total_pool_pages` (the configured memory
@@ -128,6 +148,18 @@ class ShardedExternalAnatomizer {
   StatusOr<ShardedExternalAnatomizeResult> Run(const Microdata& microdata,
                                                std::span<Disk* const> disks,
                                                size_t total_pool_pages) const;
+
+  /// The multi-node deployment path: shard s publishes crash-consistently on
+  /// disks[s] through pools[s] (ExternalAnatomizer::RunPublished per shard,
+  /// in parallel). All-or-none: if any shard fails, every already-committed
+  /// shard publication is discarded before the error returns, so the node
+  /// fleet never holds a partially-deployed epoch. `disks` and `pools` are
+  /// parallel arrays, one entry per requested shard; unlike Run(), each pool
+  /// is caller-owned because in the distributed deployment each node brings
+  /// its own (the budget split is the caller's policy, not ours).
+  StatusOr<ShardedPublishResult> RunPublished(
+      const Microdata& microdata, std::span<Disk* const> disks,
+      std::span<BufferPool* const> pools) const;
 
  private:
   ShardedAnatomizerOptions options_;

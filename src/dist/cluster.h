@@ -1,0 +1,161 @@
+// DistCluster: the coordinator of the simulated N-node deployment.
+//
+// Placement: SplitForSharding + ShardedExternalAnatomizer put one shard-
+// publication on each node's own disk (crash-consistent per node: root-last
+// manifest commit + read-back audit). The coordinator itself owns one extra
+// disk holding a single EPOCH RECORD page — the superblock of the fleet.
+//
+// Two-phase epoch swap (all-nodes-or-none):
+//
+//   PREPARE   every node publishes its new shard crash-consistently, next
+//             to the old epoch's publication (ShardedExternalAnatomizer::
+//             RunPublished is itself all-or-none across shards).
+//   COMMIT    one retried write of the coordinator's epoch record page,
+//             naming the new epoch and every node's new manifest root (plus
+//             the previous roots, for audit). This single page write is the
+//             atomic flip: before it the fleet serves the old epoch, after
+//             it the new one. A crash at ANY point leaves the record naming
+//             exactly one consistent epoch.
+//   ACTIVATE  nodes load the new publication into their serving state; a
+//             node that fails to activate serves nothing (degraded, honest)
+//             rather than the wrong epoch.
+//   GC        the old epoch's publications are discarded. Idempotent: a
+//             crash mid-GC leaves orphan pages that Recover() sweeps.
+//
+// Recover() rebuilds the whole fleet from disks alone (the epoch record +
+// per-node manifest chains), mirroring a full process restart: activate
+// what the record names, then free every live page the current epoch does
+// not own. SwapKillPoint lets the chaos harness kill the coordinator at
+// each phase boundary and assert that recovery always lands on one
+// consistent epoch.
+
+#ifndef ANATOMY_DIST_CLUSTER_H_
+#define ANATOMY_DIST_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "anatomy/anatomized_tables.h"
+#include "anatomy/sharded_anatomizer.h"
+#include "common/status.h"
+#include "dist/node.h"
+#include "storage/fault_injection.h"
+#include "storage/recovery.h"
+#include "storage/simulated_disk.h"
+#include "table/table.h"
+
+namespace anatomy {
+
+/// Coordinator kill points for the chaos harness. The publish call stops
+/// dead at the named point (returning kUnavailable), leaving disks exactly
+/// as a real crash would; Recover() must then restore consistency.
+enum class SwapKillPoint {
+  kNone,
+  /// New manifests committed on every node; epoch record still old.
+  kAfterPrepare,
+  /// Record write about to happen but never issued.
+  kBeforeCommit,
+  /// Record flipped; activation and GC never ran.
+  kAfterCommit,
+  /// GC of the first node done, the rest never ran.
+  kMidGc,
+};
+
+struct DistClusterOptions {
+  /// Nodes in the fleet (= requested shards; eligibility merging may leave
+  /// trailing nodes without a shard, which simply serve nothing). Max 64.
+  size_t nodes = 4;
+  int l = 4;
+  uint64_t seed = 1;
+  /// Threads for the prepare phase's per-node publish runs.
+  size_t publish_threads = 0;
+  DistNodeOptions node;
+  /// Retry policy for coordinator epoch-record I/O.
+  RetryPolicy commit_retry;
+};
+
+/// One node's entry in the epoch record.
+struct NodeEpochInfo {
+  PageId root = kInvalidPageId;       // kInvalidPageId = no shard this epoch
+  PageId prev_root = kInvalidPageId;  // previous epoch's root, for audit
+  GroupId group_count = 0;
+  uint64_t rows = 0;
+};
+
+struct EpochRecord {
+  uint64_t epoch = 0;
+  uint64_t total_rows = 0;
+  std::vector<NodeEpochInfo> nodes;
+};
+
+struct EpochPublishReport {
+  uint64_t epoch = 0;
+  size_t shards_run = 0;
+  size_t merged_shards = 0;
+  /// Nodes whose post-commit activation failed (they serve nothing until
+  /// the next Recover() or epoch; queries degrade honestly meanwhile).
+  size_t activation_failures = 0;
+};
+
+class DistCluster {
+ public:
+  /// Builds the fleet and writes the empty epoch-0 record. All disks start
+  /// fault-free; chaos arms faults later through the accessors.
+  explicit DistCluster(const DistClusterOptions& options);
+  DistCluster(const DistCluster&) = delete;
+  DistCluster& operator=(const DistCluster&) = delete;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  DistNode* node(size_t i) { return nodes_[i].get(); }
+  FaultInjectingDisk* coordinator_disk() { return &coord_faults_; }
+
+  uint64_t epoch() const { return record_.epoch; }
+  uint64_t total_rows() const { return record_.total_rows; }
+  const EpochRecord& record() const { return record_; }
+  const std::vector<AttributeDef>& qi_defs() const { return qi_defs_; }
+  const AttributeDef& sensitive_def() const { return sensitive_def_; }
+
+  /// The two-phase swap described above. On a prepare failure the fleet is
+  /// untouched (still serving the old epoch). `kill` simulates a
+  /// coordinator crash at the named point: the call returns kUnavailable
+  /// and the fleet is left for Recover().
+  StatusOr<EpochPublishReport> PublishEpoch(
+      const Microdata& microdata, SwapKillPoint kill = SwapKillPoint::kNone);
+
+  /// Full restart from disks: re-reads the epoch record, re-activates every
+  /// node the record names (loading + verifying its manifest), and sweeps
+  /// every node's orphan pages (pages no current manifest owns — prepared-
+  /// but-uncommitted publications, un-GC'd old epochs, half-done GC). After
+  /// a successful Recover every active node serves record().epoch.
+  Status Recover();
+
+  /// The single-node view of the current epoch: every node's published
+  /// QIT/ST concatenated in node order with group ids globally offset.
+  /// Reads through the nodes' (possibly faulted) disks. This is the
+  /// reference the scatter-gather result is bit-identical to.
+  StatusOr<AnatomizedTables> BuildMergedTables();
+
+ private:
+  Status WriteEpochRecord(const EpochRecord& record);
+  StatusOr<EpochRecord> ReadEpochRecord();
+  /// Frees every live page on node i's disk that the current manifest does
+  /// not own. Returns the number of pages swept.
+  size_t SweepOrphans(size_t i, const StorageManifest* current);
+
+  DistClusterOptions options_;
+  std::vector<std::unique_ptr<DistNode>> nodes_;
+  SimulatedDisk coord_base_;
+  FaultInjectingDisk coord_faults_;
+  PageId record_page_ = kInvalidPageId;
+  EpochRecord record_;
+  /// The shared data dictionary (captured from the first published
+  /// microdata; schemas are public metadata in this deployment model).
+  std::vector<AttributeDef> qi_defs_;
+  AttributeDef sensitive_def_;
+  bool have_schema_ = false;
+};
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_DIST_CLUSTER_H_

@@ -1,0 +1,108 @@
+#include "dist/dist_runner.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "dist/chaos.h"
+#include "dist/cluster.h"
+#include "workload/workload.h"
+
+namespace anatomy {
+namespace {
+
+uint64_t NearestRank(std::vector<uint64_t>& v, double q) {
+  if (v.empty()) return 0;
+  const size_t rank = static_cast<size_t>(q * (v.size() - 1) + 0.5);
+  std::nth_element(v.begin(), v.begin() + rank, v.end());
+  return v[rank];
+}
+
+}  // namespace
+
+std::string DistServingReport::ToString() const {
+  return "epoch " + std::to_string(epoch) + ": " + std::to_string(queries) +
+         " queries over " + std::to_string(nodes_with_shards) +
+         " shard nodes (" + std::to_string(total_rows) + " rows) — " +
+         std::to_string(exact) + " exact, " + std::to_string(partial) +
+         " partial (mean coverage " +
+         std::to_string(mean_partial_coverage) + "), " +
+         std::to_string(unavailable) + " unavailable; " +
+         std::to_string(hedges) + " hedges (" + std::to_string(hedge_wins) +
+         " wins), " + std::to_string(retries) + " retries; virtual p50 " +
+         std::to_string(p50_ns / 1000) + "us p99 " +
+         std::to_string(p99_ns / 1000) + "us max " +
+         std::to_string(max_ns / 1000) + "us";
+}
+
+StatusOr<DistServingReport> RunDistServingWorkload(
+    const DistServingOptions& options) {
+  const Microdata md =
+      MakeChaosMicrodata(options.rows, options.l, options.seed);
+
+  DistClusterOptions copts;
+  copts.nodes = options.nodes;
+  copts.l = options.l;
+  copts.seed = options.seed;
+  DistCluster cluster(copts);
+  ANATOMY_ASSIGN_OR_RETURN(EpochPublishReport published,
+                           cluster.PublishEpoch(md));
+
+  if (options.arm_faults) {
+    for (size_t i = 0; i < cluster.num_nodes(); ++i) {
+      FaultSpec spec = options.serve_faults;
+      spec.seed = SplitMix64(options.serve_faults.seed ^ (i + 1));
+      cluster.node(i)->fault_disk()->ReArm(spec);
+    }
+  }
+
+  ScatterGatherEstimator estimator(&cluster, options.query);
+  MixedWorkloadOptions wopts;
+  wopts.base.seed = SplitMix64(options.seed ^ 0x3A7);
+  wopts.base.s = options.selectivity;
+  wopts.base.num_queries = options.num_queries;
+  wopts.sum_fraction = options.sum_fraction;
+  ANATOMY_ASSIGN_OR_RETURN(MixedWorkloadGenerator generator,
+                           MixedWorkloadGenerator::Create(md, wopts));
+
+  DistServingReport report;
+  report.epoch = published.epoch;
+  report.total_rows = cluster.total_rows();
+  for (const NodeEpochInfo& info : cluster.record().nodes) {
+    if (info.root != kInvalidPageId) ++report.nodes_with_shards;
+  }
+
+  std::vector<uint64_t> latencies;
+  latencies.reserve(options.num_queries);
+  double coverage_sum = 0.0;
+  for (size_t i = 0; i < options.num_queries; ++i) {
+    const AggregateQuery query = generator.Next();
+    ++report.queries;
+    StatusOr<PartialEstimate> r = estimator.Estimate(query);
+    if (!r.ok()) {
+      ++report.unavailable;
+      continue;
+    }
+    const PartialEstimate& est = r.value();
+    latencies.push_back(est.virtual_ns);
+    report.hedges += est.hedges;
+    report.hedge_wins += est.hedge_wins;
+    report.retries += est.retries;
+    if (est.exact) {
+      ++report.exact;
+    } else {
+      ++report.partial;
+      coverage_sum += est.covered_mass;
+    }
+  }
+  if (report.partial > 0) {
+    report.mean_partial_coverage =
+        coverage_sum / static_cast<double>(report.partial);
+  }
+  report.p50_ns = NearestRank(latencies, 0.50);
+  report.p99_ns = NearestRank(latencies, 0.99);
+  for (uint64_t v : latencies) report.max_ns = std::max(report.max_ns, v);
+  return report;
+}
+
+}  // namespace anatomy

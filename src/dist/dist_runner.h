@@ -1,0 +1,65 @@
+// End-to-end distributed serving run: publish an epoch onto an N-node
+// cluster, drive a mixed COUNT/SUM workload through the scatter-gather
+// estimator (optionally with serve-time faults armed), and report response
+// classes, hedge/retry activity, and virtual-latency quantiles. Backs
+// bench/bench_dist_serving and the tools that want one-call numbers.
+
+#ifndef ANATOMY_DIST_DIST_RUNNER_H_
+#define ANATOMY_DIST_DIST_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "dist/scatter_gather.h"
+#include "storage/fault_injection.h"
+#include "table/table.h"
+
+namespace anatomy {
+
+struct DistServingOptions {
+  size_t nodes = 4;
+  RowId rows = 5000;
+  int l = 4;
+  uint64_t seed = 1;
+  size_t num_queries = 2000;
+  /// Fraction of SUM queries in the mix (rest are COUNTs).
+  double sum_fraction = 0.5;
+  /// Workload selectivity.
+  double selectivity = 0.05;
+  DistQueryOptions query;
+  /// When true, every node's disk is re-armed with `serve_faults` (seed is
+  /// offset per node) after publication, before the first query.
+  bool arm_faults = false;
+  FaultSpec serve_faults;
+};
+
+struct DistServingReport {
+  uint64_t epoch = 0;
+  size_t nodes_with_shards = 0;
+  uint64_t total_rows = 0;
+  size_t queries = 0;
+  size_t exact = 0;
+  size_t partial = 0;
+  size_t unavailable = 0;
+  uint64_t hedges = 0;
+  uint64_t hedge_wins = 0;
+  uint64_t retries = 0;
+  /// Virtual end-to-end latency quantiles over all answered queries.
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t max_ns = 0;
+  /// Mean covered mass over the partial responses (1.0 when none).
+  double mean_partial_coverage = 1.0;
+
+  std::string ToString() const;
+};
+
+/// Publishes MakeChaosMicrodata(rows, l, seed) onto a fresh cluster and runs
+/// the workload. Deterministic from `options` alone.
+StatusOr<DistServingReport> RunDistServingWorkload(
+    const DistServingOptions& options);
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_DIST_DIST_RUNNER_H_

@@ -1,0 +1,123 @@
+#include "dist/node.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace anatomy {
+
+DistNode::DistNode(const DistNodeOptions& options)
+    : options_(options),
+      faults_(&base_, FaultSpec{.seed = options.fault_seed}),
+      pool_(&faults_, options.pool_pages) {}
+
+Status DistNode::Activate(const StorageManifest& manifest, uint64_t epoch,
+                          GroupId group_count, GroupId group_offset,
+                          const std::vector<AttributeDef>& qi_defs,
+                          const AttributeDef& sensitive_def) {
+  Deactivate();
+  const RetryPolicy& retry = pool_.retry_policy();
+  ANATOMY_ASSIGN_OR_RETURN(auto qit_records,
+                           ReadPublishedFile(&faults_, manifest.qit, retry));
+  ANATOMY_ASSIGN_OR_RETURN(auto st_records,
+                           ReadPublishedFile(&faults_, manifest.st, retry));
+  if (manifest.qit.fields != qi_defs.size() + 1) {
+    return Status::FailedPrecondition(
+        "published QIT has " + std::to_string(manifest.qit.fields) +
+        " fields but the data dictionary names " +
+        std::to_string(qi_defs.size()) + " QI attributes");
+  }
+
+  // Rebuild the published tables with the shared data dictionary. Group ids
+  // on disk are node-local and dense, exactly what FromPublishedTables
+  // validates; Serve() adds the epoch's offset when answering.
+  const AttributeDef group_def = MakeNumerical(
+      "Group-ID", static_cast<Code>(group_count), /*base=*/1);
+  std::vector<AttributeDef> qit_defs = qi_defs;
+  qit_defs.push_back(group_def);
+  Table qit(std::make_shared<Schema>(std::move(qit_defs)));
+  qit.Reserve(static_cast<RowId>(qit_records.size()));
+  for (const auto& rec : qit_records) qit.AppendRow(rec);
+
+  std::vector<AttributeDef> st_defs;
+  st_defs.push_back(group_def);
+  st_defs.push_back(sensitive_def);
+  st_defs.push_back(MakeNumerical(
+      "Count", static_cast<Code>(qit_records.size()) + 1));
+  Table st(std::make_shared<Schema>(std::move(st_defs)));
+  for (const auto& rec : st_records) st.AppendRow(rec);
+
+  ANATOMY_ASSIGN_OR_RETURN(AnatomizedTables tables,
+                           AnatomizedTables::FromPublishedTables(
+                               std::move(qit), std::move(st)));
+  if (tables.num_groups() != group_count) {
+    return Status::FailedPrecondition(
+        "epoch record says " + std::to_string(group_count) +
+        " groups but the publication holds " +
+        std::to_string(tables.num_groups()));
+  }
+  tables_ = std::make_unique<AnatomizedTables>(std::move(tables));
+  engine_ = std::make_unique<AnatomyQueryEngine>(*tables_, EstimatorOptions{});
+  manifest_ = manifest;
+  epoch_ = epoch;
+  group_count_ = group_count;
+  group_offset_ = group_offset;
+  rows_ = manifest.qit.records;
+  return Status::OK();
+}
+
+void DistNode::Deactivate() {
+  engine_.reset();
+  tables_.reset();
+  manifest_ = StorageManifest{};
+  epoch_ = 0;
+  group_count_ = 0;
+  group_offset_ = 0;
+  rows_ = 0;
+}
+
+DistNode::ServeResult DistNode::Serve(const CountQuery& query, bool need_sum,
+                                      size_t measure_qi, uint64_t budget_ns,
+                                      Rng& rng) {
+  ServeResult out;
+  out.rows = rows_;
+
+  // Draw the jitter FIRST and unconditionally: one draw per Serve keeps the
+  // coordinator's RNG stream aligned no matter how the call ends.
+  const uint64_t jitter = options_.service_jitter_ns > 0
+                              ? rng.NextBounded(options_.service_jitter_ns)
+                              : 0;
+  const uint64_t stall_before = faults_.fault_stats().stall_ns;
+
+  if (!active()) {
+    out.service_ns = options_.base_service_ns + jitter;
+    out.status =
+        Status::FailedPrecondition("node has no active publication");
+    return out;
+  }
+
+  // The per-request storage touch: prove the publication is still reachable
+  // on the (possibly faulted) device. Crashes and transients surface here as
+  // their Status; stalls surface as extra virtual nanoseconds.
+  Status probe = ProbePublicationRoot(&faults_, manifest_.root);
+  out.service_ns = options_.base_service_ns + jitter +
+                   (faults_.fault_stats().stall_ns - stall_before);
+  if (!probe.ok()) {
+    out.status = std::move(probe);
+    return out;
+  }
+  if (out.service_ns > budget_ns) {
+    // Deadline propagation: the coordinator will have hung up by the time
+    // this response lands, so skip the compute entirely.
+    out.late = true;
+    return out;
+  }
+
+  engine_->CollectGroupPartials(query, need_sum, measure_qi, scratch_,
+                                &out.partials);
+  for (auto& p : out.partials) p.group += group_offset_;
+  return out;
+}
+
+}  // namespace anatomy

@@ -1,0 +1,134 @@
+// DistNode: one storage node of the simulated multi-node deployment.
+//
+// A node owns the full single-node storage stack — a SimulatedDisk wrapped
+// in a FaultInjectingDisk, and a BufferPool with bounded retry — plus the
+// serving state for its shard of the publication: the crash-consistent
+// manifest of the shard's QIT/ST, the in-memory published view rebuilt from
+// those files, and a group-clustered AnatomyQueryEngine over it.
+//
+// Serving is simulated in VIRTUAL time: Serve() returns the partial
+// aggregates together with the service duration the call would have taken
+// (base latency + seeded uniform jitter + any stall the fault schedule
+// injected into the per-request storage probe). Nothing sleeps; the
+// coordinator (src/dist/scatter_gather.h) charges the duration against the
+// query deadline, which is what makes the chaos harness deterministic and
+// fast while still exercising real deadline/hedge/retry logic.
+//
+// Group ids: the node's own tables use dense local ids [0, group_count);
+// Serve() translates to global ids by the epoch's group offset, so the
+// coordinator can merge partials from different nodes without a mapping
+// table.
+//
+// Thread safety: none. Each node is driven by one coordinator at a time
+// (the scatter-gather fan-out is itself simulated sequentially).
+
+#ifndef ANATOMY_DIST_NODE_H_
+#define ANATOMY_DIST_NODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "anatomy/anatomized_tables.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "query/estimator_scratch.h"
+#include "query/group_kernels.h"
+#include "query/predicate.h"
+#include "storage/buffer_pool.h"
+#include "storage/fault_injection.h"
+#include "storage/publication.h"
+#include "storage/simulated_disk.h"
+#include "table/schema.h"
+
+namespace anatomy {
+
+struct DistNodeOptions {
+  /// BufferPool frames for the node's publish pipeline and recovery reads.
+  size_t pool_pages = kDefaultPoolPages;
+  /// Seed of the node's FaultInjectingDisk (construction-time schedule is
+  /// fault-free; chaos arms faults later via fault_disk()->ReArm()).
+  uint64_t fault_seed = 1;
+  /// Virtual service time of one Serve call: base + Uniform[0, jitter).
+  uint64_t base_service_ns = 200'000;
+  uint64_t service_jitter_ns = 100'000;
+};
+
+class DistNode {
+ public:
+  explicit DistNode(const DistNodeOptions& options);
+  DistNode(const DistNode&) = delete;
+  DistNode& operator=(const DistNode&) = delete;
+
+  /// The faulted device every I/O path of this node goes through.
+  FaultInjectingDisk* fault_disk() { return &faults_; }
+  Disk* disk() { return &faults_; }
+  SimulatedDisk* base_disk() { return &base_; }
+  BufferPool* pool() { return &pool_; }
+
+  /// Installs the node's serving state for an epoch: reads the committed
+  /// QIT/ST back from the manifest, reconstructs the published tables
+  /// (schema from the shared data dictionary `qi_defs` + `sensitive_def`),
+  /// and builds the clustered query engine. On failure the node is left
+  /// deactivated — it then answers Serve() with a permanent error, which the
+  /// coordinator reports as node-unavailable degradation, never as a wrong
+  /// number.
+  Status Activate(const StorageManifest& manifest, uint64_t epoch,
+                  GroupId group_count, GroupId group_offset,
+                  const std::vector<AttributeDef>& qi_defs,
+                  const AttributeDef& sensitive_def);
+
+  /// Drops the serving state (the on-disk publication is untouched).
+  void Deactivate();
+
+  bool active() const { return engine_ != nullptr; }
+  uint64_t epoch() const { return epoch_; }
+  GroupId group_count() const { return group_count_; }
+  GroupId group_offset() const { return group_offset_; }
+  /// QIT rows served by this node (its share of the coverage denominator).
+  uint64_t rows() const { return rows_; }
+  const StorageManifest& manifest() const { return manifest_; }
+
+  struct ServeResult {
+    /// OK, transient (retryable by the coordinator), or permanent.
+    Status status;
+    /// Server-side deadline propagation: the drawn service time already
+    /// exceeded the request's budget, so the node skipped the estimate
+    /// computation. status is OK but partials are empty.
+    bool late = false;
+    /// Virtual duration of this call (base + jitter + injected stalls).
+    uint64_t service_ns = 0;
+    /// The node's rows (repeated here so the gather step can account
+    /// coverage without a side lookup).
+    uint64_t rows = 0;
+    /// Per-group exact partials, group ids already global.
+    std::vector<AnatomyQueryEngine::GroupAggregatePartial> partials;
+  };
+
+  /// One simulated request. `budget_ns` is the deadline budget the
+  /// coordinator propagates; `rng` supplies the jitter draw (exactly one per
+  /// call, so coordinator-side replay is deterministic). Every call probes
+  /// the manifest root on the faulted disk — that read is where crashes,
+  /// transients, corruption, and stalls of the node's device surface.
+  ServeResult Serve(const CountQuery& query, bool need_sum, size_t measure_qi,
+                    uint64_t budget_ns, Rng& rng);
+
+ private:
+  DistNodeOptions options_;
+  SimulatedDisk base_;
+  FaultInjectingDisk faults_;
+  BufferPool pool_;
+
+  StorageManifest manifest_;
+  uint64_t epoch_ = 0;
+  GroupId group_count_ = 0;
+  GroupId group_offset_ = 0;
+  uint64_t rows_ = 0;
+  std::unique_ptr<AnatomizedTables> tables_;
+  std::unique_ptr<AnatomyQueryEngine> engine_;
+  EstimatorScratch scratch_;
+};
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_DIST_NODE_H_

@@ -1,0 +1,232 @@
+#include "dist/scatter_gather.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace anatomy {
+
+CanonicalFoldResult CanonicalFold(
+    std::span<const AnatomyQueryEngine::GroupAggregatePartial> partials) {
+  CanonicalFoldResult r;
+  for (const auto& p : partials) {
+    // Same schedule as the group-clustered kernels: mass * (1/|g|), then one
+    // accumulator per aggregate in ascending global group order.
+    const double w =
+        static_cast<double>(p.mass) * (1.0 / static_cast<double>(p.size));
+    r.count += w * static_cast<double>(p.match);
+    r.sum += w * p.value_sum;
+  }
+  return r;
+}
+
+ScatterGatherEstimator::ScatterGatherEstimator(DistCluster* cluster,
+                                               const DistQueryOptions& options)
+    : cluster_(cluster),
+      options_(options),
+      latency_(std::max<size_t>(options.hedge_quantile_window, 1)) {
+  // The retry schedule always jitters: synchronized retries from a fan-out
+  // are exactly the thundering herd full jitter exists to break up.
+  options_.retry.full_jitter = true;
+}
+
+uint64_t ScatterGatherEstimator::CurrentHedgeDelayNs() {
+  // Before enough samples exist to trust a tail quantile, hedge at a fixed
+  // fraction of the deadline rather than not at all.
+  const uint64_t delay =
+      latency_.count() >= 16 ? latency_.Quantile(options_.hedge_quantile)
+                             : options_.deadline_ns / 4;
+  return std::max(delay, options_.min_hedge_delay_ns);
+}
+
+ScatterGatherEstimator::NodeAttempt ScatterGatherEstimator::QueryNode(
+    size_t i, const CountQuery& predicates, bool need_sum, size_t measure_qi,
+    Rng& rng, PartialEstimate* stats) {
+  NodeAttempt out;
+  DistNode* node = cluster_->node(i);
+  const uint64_t deadline = options_.deadline_ns;
+  const uint64_t hedge_delay = CurrentHedgeDelayNs();
+  const int max_attempts =
+      options_.retry.max_attempts > 0 ? options_.retry.max_attempts : 1;
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+
+  uint64_t now = 0;
+  bool hedged = false;
+  for (int attempt = 0;; ++attempt) {
+    if (now >= deadline) {
+      out.outcome = NodeQueryOutcome::kTimeout;
+      out.finish_ns = deadline;
+      return out;
+    }
+    DistNode::ServeResult primary =
+        node->Serve(predicates, need_sum, measure_qi, deadline - now, rng);
+    const uint64_t primary_finish = now + primary.service_ns;
+    const bool primary_ok = primary.status.ok() && !primary.late;
+    if (primary.late) registry.GetCounter("dist.deadline_propagated")->Increment();
+
+    // Hedge: a duplicate launched hedge_delay after the primary, if the
+    // primary is still outstanding by then. At most one per node per query.
+    DistNode::ServeResult hedge;
+    uint64_t hedge_finish = 0;
+    bool hedge_ok = false;
+    if (options_.hedging && !hedged && primary.service_ns > hedge_delay &&
+        now + hedge_delay < deadline) {
+      hedged = true;
+      ++stats->hedges;
+      const uint64_t hedge_start = now + hedge_delay;
+      hedge = node->Serve(predicates, need_sum, measure_qi,
+                          deadline - hedge_start, rng);
+      hedge_finish = hedge_start + hedge.service_ns;
+      hedge_ok = hedge.status.ok() && !hedge.late;
+      if (hedge.late) {
+        registry.GetCounter("dist.deadline_propagated")->Increment();
+      }
+    }
+
+    // Earliest successful completion wins; a hedge can rescue a failed
+    // primary outright.
+    if (primary_ok || hedge_ok) {
+      const bool hedge_wins =
+          hedge_ok && (!primary_ok || hedge_finish < primary_finish);
+      DistNode::ServeResult* winner = hedge_wins ? &hedge : &primary;
+      if (hedge_wins) ++stats->hedge_wins;
+      out.outcome = NodeQueryOutcome::kOk;
+      out.finish_ns = hedge_wins ? hedge_finish : primary_finish;
+      out.rows = winner->rows;
+      out.partials = std::move(winner->partials);
+      latency_.Record(winner->service_ns);
+      return out;
+    }
+
+    // Both lost. Classify off the primary: a late response means the
+    // deadline itself is spent; a permanent error cannot be retried away.
+    if (primary.status.ok() && primary.late) {
+      out.outcome = NodeQueryOutcome::kTimeout;
+      out.finish_ns = deadline;
+      return out;
+    }
+    if (!primary.status.IsTransient()) {
+      out.outcome = NodeQueryOutcome::kUnavailable;
+      out.finish_ns = std::min(primary_finish, deadline);
+      return out;
+    }
+    if (attempt + 1 >= max_attempts) {
+      out.outcome = NodeQueryOutcome::kTimeout;
+      out.finish_ns = std::min(primary_finish, deadline);
+      return out;
+    }
+    ++stats->retries;
+    const uint64_t backoff_ns =
+        static_cast<uint64_t>(RetryBackoff(options_.retry, attempt, rng)
+                                  .count()) *
+        1000;
+    now = primary_finish + backoff_ns;
+  }
+}
+
+StatusOr<PartialEstimate> ScatterGatherEstimator::Estimate(
+    const AggregateQuery& query) {
+  if (query.kind == AggregateKind::kAvg) {
+    return Status::InvalidArgument(
+        "AVG does not decompose into mergeable partial aggregates; issue "
+        "SUM and COUNT separately");
+  }
+  const bool need_sum = query.kind == AggregateKind::kSum;
+  if (need_sum && query.measure_qi >= cluster_->qi_defs().size()) {
+    return Status::InvalidArgument("measure QI index out of range");
+  }
+  Rng rng = Rng::ForStream(options_.seed, query_index_++);
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  registry.GetCounter("dist.queries")->Increment();
+
+  PartialEstimate est;
+  est.total_rows = cluster_->total_rows();
+  est.outcomes.assign(cluster_->num_nodes(), NodeQueryOutcome::kNoShard);
+
+  // Fan out in node order — ascending global group ids, the canonical merge
+  // order. The fan-out is parallel in wall-clock terms: virtual_ns is the
+  // slowest node's completion, not the sum.
+  std::vector<AnatomyQueryEngine::GroupAggregatePartial> merged;
+  size_t shard_nodes = 0;
+  size_t responded = 0;
+  for (size_t i = 0; i < cluster_->num_nodes(); ++i) {
+    if (cluster_->record().nodes[i].root == kInvalidPageId) continue;
+    ++shard_nodes;
+    NodeAttempt attempt =
+        QueryNode(i, query.predicates, need_sum, query.measure_qi, rng, &est);
+    est.outcomes[i] = attempt.outcome;
+    est.virtual_ns = std::max(est.virtual_ns, attempt.finish_ns);
+    switch (attempt.outcome) {
+      case NodeQueryOutcome::kOk:
+        ++responded;
+        est.covered_rows += attempt.rows;
+        merged.insert(merged.end(), attempt.partials.begin(),
+                      attempt.partials.end());
+        break;
+      case NodeQueryOutcome::kTimeout:
+        registry.GetCounter("dist.node_timeout")->Increment();
+        break;
+      case NodeQueryOutcome::kUnavailable:
+        registry.GetCounter("dist.node_unavailable")->Increment();
+        break;
+      case NodeQueryOutcome::kNoShard:
+        break;
+    }
+  }
+  registry.GetCounter("dist.hedges")->Increment(est.hedges);
+  registry.GetCounter("dist.hedge_wins")->Increment(est.hedge_wins);
+  registry.GetCounter("dist.retries")->Increment(est.retries);
+  registry.GetHistogram("dist.query_ns")->Record(est.virtual_ns);
+
+  if (shard_nodes == 0) {
+    return Status::FailedPrecondition("current epoch has no publication");
+  }
+  if (responded == 0) {
+    registry.GetCounter("dist.degraded")->Increment();
+    return Status::Unavailable(
+        "no node answered within the deadline (" +
+        std::to_string(shard_nodes) + " queried)");
+  }
+
+  const CanonicalFoldResult fold = CanonicalFold(merged);
+  est.value = need_sum ? fold.sum : fold.count;
+  est.exact = responded == shard_nodes;
+  if (est.exact) {
+    est.covered_mass = 1.0;
+    est.lower = est.value;
+    est.upper = est.value;
+    registry.GetCounter("dist.exact")->Increment();
+    return est;
+  }
+
+  // Partial: label the answer with its coverage and hard-bound what the
+  // missing rows could have contributed. Each missing row adds at most 1 to
+  // a COUNT (its group term is mass/|g| * match <= match) and at most the
+  // measure attribute's largest absolute value to a SUM — both derivable
+  // from the epoch record and the schema alone.
+  registry.GetCounter("dist.degraded")->Increment();
+  est.covered_mass = est.total_rows == 0
+                         ? 0.0
+                         : static_cast<double>(est.covered_rows) /
+                               static_cast<double>(est.total_rows);
+  const double missing =
+      static_cast<double>(est.total_rows - est.covered_rows);
+  if (!need_sum) {
+    est.lower = est.value;
+    est.upper = est.value + missing;
+  } else {
+    const AttributeDef& measure = cluster_->qi_defs()[query.measure_qi];
+    const double lo = static_cast<double>(measure.numeric_base);
+    const double hi = static_cast<double>(
+        measure.numeric_base +
+        static_cast<int64_t>(measure.domain_size - 1) * measure.numeric_step);
+    const double max_abs = std::max(std::abs(lo), std::abs(hi));
+    est.lower = est.value - missing * max_abs;
+    est.upper = est.value + missing * max_abs;
+  }
+  return est;
+}
+
+}  // namespace anatomy

@@ -1,0 +1,33 @@
+#include "obs/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace anatomy::obs {
+
+SlidingQuantile::SlidingQuantile(size_t window) {
+  ANATOMY_CHECK(window >= 1);
+  ring_.resize(window);
+}
+
+void SlidingQuantile::Record(uint64_t sample) {
+  ring_[next_] = sample;
+  next_ = (next_ + 1) % ring_.size();
+  if (count_ < ring_.size()) ++count_;
+}
+
+uint64_t SlidingQuantile::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  scratch_.assign(ring_.begin(),
+                  ring_.begin() + static_cast<ptrdiff_t>(count_));
+  const size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(count_ - 1)));
+  auto nth = scratch_.begin() + static_cast<ptrdiff_t>(rank);
+  std::nth_element(scratch_.begin(), nth, scratch_.end());
+  return *nth;
+}
+
+}  // namespace anatomy::obs

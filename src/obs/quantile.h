@@ -1,0 +1,48 @@
+// SlidingQuantile: quantiles over the most recent W samples.
+//
+// The obs Histogram aggregates forever (log-bucketed, process lifetime),
+// which is right for reporting but wrong for *control*: a hedging policy
+// wants "the p99 of recent node latencies", where an hour-old stall must age
+// out instead of inflating the trigger forever. This keeps a fixed ring of
+// the last W samples and computes an exact order statistic on demand with
+// nth_element — O(W) per query, which is fine at control-plane rates (one
+// quantile lookup per scatter-gather query over a ring of a few hundred).
+//
+// Not thread-safe: each coordinator owns its own instance, matching
+// ScatterGatherEstimator's one-caller-at-a-time contract.
+
+#ifndef ANATOMY_OBS_QUANTILE_H_
+#define ANATOMY_OBS_QUANTILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace anatomy::obs {
+
+class SlidingQuantile {
+ public:
+  /// `window` = W, the number of most-recent samples retained (>= 1).
+  explicit SlidingQuantile(size_t window);
+
+  void Record(uint64_t sample);
+
+  /// Exact q-quantile (q in [0, 1]) of the retained samples by the
+  /// nearest-rank rule; 0 when empty. q = 0.99 over a full window of 200
+  /// returns the 198th smallest sample (rank ceil(0.99 * 199)).
+  uint64_t Quantile(double q) const;
+
+  size_t count() const { return count_; }
+  bool full() const { return count_ >= ring_.size(); }
+
+ private:
+  std::vector<uint64_t> ring_;
+  size_t next_ = 0;   // ring slot the next sample overwrites
+  size_t count_ = 0;  // samples retained, saturates at ring_.size()
+  /// Scratch for nth_element so Quantile() does not allocate per call.
+  mutable std::vector<uint64_t> scratch_;
+};
+
+}  // namespace anatomy::obs
+
+#endif  // ANATOMY_OBS_QUANTILE_H_

@@ -521,6 +521,57 @@ AnatomyQueryEngine::CountSum AnatomyQueryEngine::EstimateClustered(
   return out;
 }
 
+void AnatomyQueryEngine::CollectGroupPartials(
+    const CountQuery& query, bool need_sum, size_t measure_qi,
+    EstimatorScratch& scratch,
+    std::vector<GroupAggregatePartial>* out) const {
+  ANATOMY_CHECK(options_.mode == KernelMode::kGroupClustered);
+  out->clear();
+  // Always the sparse-postings mass here: its per-group sums are exact
+  // integers regardless of predicate shape, which is what makes the
+  // partials mergeable without FP-order concerns.
+  if (!AccumulateSparseMass(query.sensitive_predicate, scratch)) return;
+  std::sort(scratch.touched_groups.begin(), scratch.touched_groups.end());
+
+  scratch.pred_refs.clear();
+  const Bitmap* fold =
+      FoldPredicates(query.qi_predicates, query.qi_predicates.size(), scratch,
+                     /*prepared=*/nullptr);
+  const size_t* gs = group_start_.data();
+  const double* vals = need_sum ? perm_values_[measure_qi].data() : nullptr;
+  out->reserve(scratch.touched_groups.size());
+  for (GroupId g : scratch.touched_groups) {
+    const size_t lo = gs[g];
+    const size_t hi = gs[g + 1];
+    GroupAggregatePartial p;
+    p.group = g;
+    p.size = static_cast<uint32_t>(hi - lo);
+    p.mass = static_cast<uint64_t>(scratch.group_mass[g]);
+    // value_sum accumulates in ascending permuted-row order with a single
+    // accumulator — the canonical order every replica of this group's rows
+    // shares, so node-side and merged-side sums are the same FP sequence.
+    double acc = 0.0;
+    if (fold == nullptr) {
+      p.match = static_cast<uint64_t>(hi - lo);
+      if (need_sum) {
+        for (size_t i = lo; i < hi; ++i) acc += vals[i];
+      }
+    } else if (need_sum) {
+      uint64_t cnt = 0;
+      fold->ForEachSetBitInRange(lo, hi, [&](size_t i) {
+        ++cnt;
+        acc += vals[i];
+      });
+      p.match = cnt;
+    } else {
+      p.match = fold->CountRange(lo, hi);
+    }
+    p.value_sum = acc;
+    out->push_back(p);
+  }
+  for (GroupId g : scratch.touched_groups) scratch.group_mass[g] = 0.0;
+}
+
 std::vector<uint64_t> AnatomyQueryEngine::GroupMatchCounts(
     const CountQuery& query, EstimatorScratch& scratch) const {
   const GroupId m = tables_->num_groups();

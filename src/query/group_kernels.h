@@ -104,6 +104,37 @@ class AnatomyQueryEngine {
   std::vector<uint64_t> GroupMatchCounts(const CountQuery& query,
                                          EstimatorScratch& scratch) const;
 
+  /// One group's exact contribution to a COUNT/SUM estimate, in merge-ready
+  /// form: everything except value_sum is an exact integer, and value_sum is
+  /// the plain left-to-right sum of the measure values over the group's
+  /// matching rows in permuted (= published group-major) order. A
+  /// coordinator that concatenates nodes' partials in ascending group order
+  /// and folds them with one accumulator per aggregate reproduces the
+  /// single-node estimate bit-for-bit (src/dist/scatter_gather.h holds the
+  /// canonical fold).
+  struct GroupAggregatePartial {
+    GroupId group = 0;
+    /// |g| — published group size, the estimator's p_j denominator.
+    uint32_t size = 0;
+    /// S_j: qualifying sensitive mass of the group (exact).
+    uint64_t mass = 0;
+    /// Rows of the group matching the QI conjunction (exact).
+    uint64_t match = 0;
+    /// Sum of the measure column over those matching rows (0 when the
+    /// caller asked for COUNT only).
+    double value_sum = 0.0;
+  };
+
+  /// Appends the partials of every group with qualifying sensitive mass, in
+  /// ascending group order, to *out (cleared first). Group-clustered mode
+  /// only. This is the scatter side of the distributed estimator; its
+  /// contributions use the same exact integers as EstimateCountSum, so the
+  /// canonical fold over them is checked against the fused kernels at 1e-9
+  /// relative in tests.
+  void CollectGroupPartials(const CountQuery& query, bool need_sum,
+                            size_t measure_qi, EstimatorScratch& scratch,
+                            std::vector<GroupAggregatePartial>* out) const;
+
   const EstimatorOptions& options() const { return options_; }
 
  private:

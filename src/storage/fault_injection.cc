@@ -1,5 +1,8 @@
 #include "storage/fault_injection.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/check.h"
 
 namespace anatomy {
@@ -15,6 +18,8 @@ FaultInjectingDisk::FaultInjectingDisk(SimulatedDisk* base,
   obs_torn_writes_ = registry.GetCounter("storage.faults.torn_writes");
   obs_bit_flips_ = registry.GetCounter("storage.faults.bit_flips");
   obs_crashes_ = registry.GetCounter("storage.faults.crashes");
+  obs_stalls_ = registry.GetCounter("storage.faults.stalls");
+  obs_stall_ns_ = registry.GetCounter("storage.faults.stall_ns");
 }
 
 void FaultInjectingDisk::ResetStats() {
@@ -32,6 +37,32 @@ void FaultInjectingDisk::FreePage(PageId id) {
 void FaultInjectingDisk::Heal() {
   fault_stats_.crashed = false;
   healed_ = true;
+}
+
+void FaultInjectingDisk::ReArm(const FaultSpec& spec) {
+  spec_ = spec;
+  rng_ = Rng(SplitMix64(spec.seed ^ 0xFA177ED));
+  healed_ = false;
+  fault_stats_.crashed = false;
+  crash_base_ = writes_since_construction_;
+}
+
+void FaultInjectingDisk::MaybeInjectStall() {
+  // The rate gate doubles as an RNG-sequence guard: schedules without stalls
+  // draw nothing here, so their fault sequences are unchanged from before
+  // stalls existed.
+  if (spec_.stall_rate <= 0 || !rng_.NextBool(spec_.stall_rate)) return;
+  // Pareto(alpha) via inverse transform, truncated at the cap. Clamp u away
+  // from zero so the pow() stays finite.
+  const double u = std::max(rng_.NextDouble(), 1e-12);
+  const double us = std::min(
+      spec_.stall_scale_us * std::pow(u, -1.0 / spec_.stall_alpha),
+      spec_.stall_cap_us);
+  const uint64_t ns = static_cast<uint64_t>(us * 1000.0);
+  ++fault_stats_.stalls;
+  fault_stats_.stall_ns += ns;
+  obs_stalls_->Increment();
+  obs_stall_ns_->Increment(ns);
 }
 
 void FaultInjectingDisk::RecordCorruptionState(PageId id) {
@@ -57,6 +88,7 @@ Status FaultInjectingDisk::ReadPage(PageId id, Page& out) {
       return Status::Unavailable("transient read fault on page " +
                                  std::to_string(id));
     }
+    MaybeInjectStall();
   }
   return base_->ReadPage(id, out);
 }
@@ -74,6 +106,7 @@ Status FaultInjectingDisk::WritePage(PageId id, const Page& in) {
       return Status::Unavailable("transient write fault on page " +
                                  std::to_string(id));
     }
+    MaybeInjectStall();
     if (spec_.torn_write_rate > 0 && rng_.NextBool(spec_.torn_write_rate)) {
       // Persist a proper prefix of the payload (at least one byte short).
       const size_t persisted =
@@ -86,7 +119,8 @@ Status FaultInjectingDisk::WritePage(PageId id, const Page& in) {
         ++fault_stats_.writes_observed;
         ++writes_since_construction_;
         if (spec_.crash_after_writes > 0 && !fault_stats_.crashed &&
-            writes_since_construction_ >= spec_.crash_after_writes) {
+            writes_since_construction_ - crash_base_ >=
+                spec_.crash_after_writes) {
           fault_stats_.crashed = true;
           obs_crashes_->Increment();
         }
@@ -110,7 +144,7 @@ Status FaultInjectingDisk::WritePage(PageId id, const Page& in) {
   ++fault_stats_.writes_observed;
   ++writes_since_construction_;
   if (!healed_ && spec_.crash_after_writes > 0 && !fault_stats_.crashed &&
-      writes_since_construction_ >= spec_.crash_after_writes) {
+      writes_since_construction_ - crash_base_ >= spec_.crash_after_writes) {
     fault_stats_.crashed = true;
     obs_crashes_->Increment();
   }

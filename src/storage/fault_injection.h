@@ -8,7 +8,12 @@
 //   - bit flips (the write lands, then one stored bit rots — silent until
 //     the next read),
 //   - a crash point (after N successful writes the device goes down and all
-//     further reads/writes fail with kUnavailable until Heal()).
+//     further reads/writes fail with kUnavailable until Heal()),
+//   - latency stalls (the op succeeds but takes a heavy-tailed Pareto-
+//     distributed extra service time). Stalls are *virtual*: they accumulate
+//     into FaultStats::stall_ns instead of sleeping, so the distributed
+//     serving simulation (src/dist) can charge them against per-query
+//     deadlines while tests stay fast and fully deterministic.
 //
 // Catalog operations (AllocatePage/FreePage) never fault: they model
 // in-memory metadata, and abort-path recovery must always be able to reclaim
@@ -45,6 +50,16 @@ struct FaultSpec {
   /// After this many successful writes the disk crashes: every subsequent
   /// read/write fails with kUnavailable until Heal(). 0 disables.
   uint64_t crash_after_writes = 0;
+  /// Per-op probability of a latency stall. A stalled op still succeeds (or
+  /// faults, per the other rates); the stall only adds virtual service time.
+  double stall_rate = 0.0;
+  /// Stall durations are Pareto(alpha) with this scale: d = scale * u^(-1/a)
+  /// for u ~ Uniform(0,1], truncated at stall_cap_us. alpha in (1, 2] gives
+  /// the heavy tail real devices show (rare multi-ms hiccups dominating the
+  /// p99 while the median stays near the scale).
+  double stall_scale_us = 100.0;
+  double stall_alpha = 1.2;
+  double stall_cap_us = 1e6;
 };
 
 /// Counters of injected faults (not of caller-visible failures: torn writes
@@ -56,6 +71,11 @@ struct FaultStats {
   uint64_t bit_flips = 0;
   /// Successful (possibly corrupting) writes observed, for crash placement.
   uint64_t writes_observed = 0;
+  /// Injected latency stalls and their total virtual duration. Nothing ever
+  /// sleeps: consumers (the src/dist serving simulation) read stall_ns
+  /// deltas around an op to charge the stall against a deadline.
+  uint64_t stalls = 0;
+  uint64_t stall_ns = 0;
   bool crashed = false;
 };
 
@@ -98,10 +118,19 @@ class FaultInjectingDisk : public Disk {
   /// the device does not resurrect lost bits.
   void Heal();
 
+  /// Replaces the fault schedule and re-arms injection (undoes a prior
+  /// Heal()). The RNG reseeds from the new spec and `crash_after_writes`
+  /// counts successful writes from *this* call, so a disk that published
+  /// fault-free can be armed afterward with serve-time or swap-time faults
+  /// at a deterministic point. Corrupted stored pages persist (they are
+  /// device state, not schedule state).
+  void ReArm(const FaultSpec& spec);
+
   SimulatedDisk* base() const { return base_; }
 
  private:
   void RecordCorruptionState(PageId id);
+  void MaybeInjectStall();
 
   SimulatedDisk* base_;
   FaultSpec spec_;
@@ -109,8 +138,10 @@ class FaultInjectingDisk : public Disk {
   FaultStats fault_stats_;
   /// Successful writes since construction — unlike
   /// fault_stats_.writes_observed this never resets, so the crash point of
-  /// `crash_after_writes` is fixed at construction time.
+  /// `crash_after_writes` is fixed at construction time (or at the most
+  /// recent ReArm(), which rebases crash_base_).
   uint64_t writes_since_construction_ = 0;
+  uint64_t crash_base_ = 0;
   std::set<PageId> corrupted_;
   bool healed_ = false;
   /// Process-wide mirrors (`storage.faults.*`), monotonic across resets.
@@ -119,6 +150,8 @@ class FaultInjectingDisk : public Disk {
   obs::Counter* obs_torn_writes_;
   obs::Counter* obs_bit_flips_;
   obs::Counter* obs_crashes_;
+  obs::Counter* obs_stalls_;
+  obs::Counter* obs_stall_ns_;
 };
 
 }  // namespace anatomy

@@ -117,6 +117,18 @@ StatusOr<StorageManifest> CommitPublication(Disk* disk, const RecordFile& qit,
   return manifest;
 }
 
+Status ProbePublicationRoot(Disk* disk, PageId root) {
+  if (root == kInvalidPageId) {
+    return Status::FailedPrecondition("no publication root to probe");
+  }
+  Page page;
+  ANATOMY_RETURN_IF_ERROR(disk->ReadPage(root, page));
+  if (Slot(page, 0) != kManifestMagic) {
+    return Status::DataLoss("publication root lost its manifest signature");
+  }
+  return Status::OK();
+}
+
 StatusOr<StorageManifest> LoadPublication(Disk* disk, PageId root,
                                           const RetryPolicy& retry) {
   StorageManifest manifest;

@@ -61,6 +61,13 @@ StatusOr<StorageManifest> CommitPublication(Disk* disk, const RecordFile& qit,
 StatusOr<StorageManifest> LoadPublication(Disk* disk, PageId root,
                                           const RetryPolicy& retry = {});
 
+/// Cheap liveness probe: one unretried read of the manifest root, checking
+/// only the signature. This is what a serving node touches per request to
+/// prove its publication is still reachable — it surfaces device faults
+/// (crash, transient, stall) without the full-chain cost of LoadPublication;
+/// the caller owns retry/deadline semantics.
+Status ProbePublicationRoot(Disk* disk, PageId root);
+
 /// Re-reads every page of `manifest` (manifest chain + QIT + ST), verifying
 /// checksums, and validates group-file consistency: record counts match the
 /// manifest, every QIT group id has ST records, per-group QIT cardinality

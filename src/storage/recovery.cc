@@ -5,6 +5,14 @@
 
 namespace anatomy {
 
+std::chrono::microseconds RetryBackoff(const RetryPolicy& policy,
+                                       int retry_index, Rng& rng) {
+  double backoff = static_cast<double>(policy.initial_backoff.count());
+  for (int i = 0; i < retry_index; ++i) backoff *= policy.backoff_multiplier;
+  if (policy.full_jitter && backoff > 0.0) backoff *= rng.NextDouble();
+  return std::chrono::microseconds(static_cast<int64_t>(backoff));
+}
+
 PipelineGuard::PipelineGuard(Disk* disk, BufferPool* pool)
     : disk_(disk), pool_(pool), epoch_(disk->allocation_epoch() + 1) {
   ANATOMY_CHECK(disk_ != nullptr);

@@ -7,7 +7,12 @@
 // Permanent classes (kDataLoss, kNotFound, kInternal, ...) are returned
 // immediately — retrying a checksum failure re-reads the same rotten bits.
 // The default backoff is zero because the simulated disk's transients clear
-// per-attempt; against a real device set initial_backoff > 0.
+// per-attempt; against a real device set initial_backoff > 0. Two optional
+// tail controls for fleet use: `full_jitter` replaces each deterministic
+// backoff with a seeded Uniform[0, backoff) draw so synchronized clients
+// don't stampede the device in lockstep, and `max_elapsed` caps the overall
+// wall clock spent retrying, so a caller-facing deadline is honored even
+// when attempts remain.
 //
 // PipelineGuard: snapshot the disk's allocation epoch at pipeline entry; on
 // failure, Abort() drops every pool frame (no write-back — the run's data is
@@ -25,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "storage/disk.h"
 
@@ -36,26 +42,55 @@ struct RetryPolicy {
   /// Sleep before the first retry; doubles (see multiplier) per retry.
   std::chrono::microseconds initial_backoff{0};
   double backoff_multiplier = 2.0;
+  /// Full jitter (AWS style): each retry sleeps Uniform[0, b) instead of the
+  /// deterministic exponential b, decorrelating retry stampedes across
+  /// clients while keeping the same backoff envelope.
+  bool full_jitter = false;
+  /// Seed for the jitter draws; every RunWithRetry call replays the same
+  /// deterministic sequence, so retries stay reproducible.
+  uint64_t jitter_seed = 0x5EED;
+  /// Overall wall-clock budget across all attempts; {0} disables the cap
+  /// (attempt-bounded only). When set, retrying stops as soon as the budget
+  /// is spent — or would be spent by the pending backoff — even if attempts
+  /// remain, so a caller-facing deadline is never blown by backoff sleep.
+  std::chrono::microseconds max_elapsed{0};
 };
+
+/// The backoff before the `retry_index`'th retry (0-based): the exponential
+/// schedule initial_backoff * multiplier^retry_index, replaced by a full-
+/// jitter draw Uniform[0, schedule) from `rng` when the policy asks for it.
+/// Shared by the sleeping RunWithRetry below and the virtual-time retry
+/// simulation in the distributed serving layer (src/dist), so both age
+/// retries on exactly the same schedule.
+std::chrono::microseconds RetryBackoff(const RetryPolicy& policy,
+                                       int retry_index, Rng& rng);
 
 /// Runs `op` (a callable returning Status) under `policy`. Each retry of a
 /// transient failure increments `*retries` when non-null. Returns the first
-/// non-transient status, or the last transient one once attempts run out.
+/// non-transient status, or the last transient one once attempts (or the
+/// wall-clock budget) run out.
 template <typename Op>
 Status RunWithRetry(const RetryPolicy& policy, uint64_t* retries, Op&& op) {
-  auto backoff = policy.initial_backoff;
   Status status;
   const int attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  const bool capped = policy.max_elapsed.count() > 0;
+  std::chrono::steady_clock::time_point start;
+  if (capped) start = std::chrono::steady_clock::now();
+  Rng jitter_rng(SplitMix64(policy.jitter_seed));
   for (int attempt = 0; attempt < attempts; ++attempt) {
     status = op();
     if (!status.IsTransient()) return status;
     if (attempt + 1 == attempts) break;
-    if (retries != nullptr) ++*retries;
-    if (backoff.count() > 0) {
-      std::this_thread::sleep_for(backoff);
-      backoff = std::chrono::microseconds(static_cast<int64_t>(
-          static_cast<double>(backoff.count()) * policy.backoff_multiplier));
+    const std::chrono::microseconds backoff =
+        RetryBackoff(policy, attempt, jitter_rng);
+    if (capped) {
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start);
+      if (elapsed + backoff >= policy.max_elapsed) break;
     }
+    if (retries != nullptr) ++*retries;
+    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
   }
   return status;
 }

@@ -1,6 +1,7 @@
 #include "workload/workload.h"
 
 #include <cmath>
+#include <utility>
 
 namespace anatomy {
 
@@ -45,6 +46,43 @@ AttributePredicate WorkloadGenerator::RandomPredicate(size_t qi_index,
       static_cast<uint32_t>(domain_size), static_cast<uint32_t>(b));
   std::vector<Code> values(picks.begin(), picks.end());
   return AttributePredicate(qi_index, std::move(values));
+}
+
+StatusOr<MixedWorkloadGenerator> MixedWorkloadGenerator::Create(
+    const Microdata& microdata, const MixedWorkloadOptions& options) {
+  if (!(options.sum_fraction >= 0.0 && options.sum_fraction <= 1.0)) {
+    return Status::InvalidArgument("sum_fraction must be in [0, 1]");
+  }
+  ANATOMY_ASSIGN_OR_RETURN(WorkloadGenerator base,
+                           WorkloadGenerator::Create(microdata, options.base));
+  return MixedWorkloadGenerator(std::move(base), microdata, options);
+}
+
+MixedWorkloadGenerator::MixedWorkloadGenerator(
+    WorkloadGenerator base, const Microdata& microdata,
+    const MixedWorkloadOptions& options)
+    : base_(std::move(base)),
+      options_(options),
+      mix_rng_(Rng::ForStream(options.base.seed, 0xA6)) {
+  for (size_t i = 0; i < microdata.d(); ++i) {
+    if (microdata.qi_attribute(i).kind == AttributeKind::kNumerical) {
+      measure_qis_.push_back(i);
+    }
+  }
+  if (measure_qis_.empty()) {
+    for (size_t i = 0; i < microdata.d(); ++i) measure_qis_.push_back(i);
+  }
+}
+
+AggregateQuery MixedWorkloadGenerator::Next() {
+  AggregateQuery query;
+  query.predicates = base_.Next();
+  if (mix_rng_.NextBool(options_.sum_fraction)) {
+    query.kind = AggregateKind::kSum;
+    query.measure_qi =
+        measure_qis_[mix_rng_.NextBounded(measure_qis_.size())];
+  }
+  return query;
 }
 
 CountQuery WorkloadGenerator::Next() {

@@ -13,6 +13,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "query/aggregate.h"
 #include "query/predicate.h"
 #include "table/table.h"
 
@@ -57,6 +58,38 @@ class WorkloadGenerator {
   WorkloadOptions options_;
   int qd_;
   Rng rng_;
+};
+
+struct MixedWorkloadOptions {
+  /// Predicate shape and seed, as for the plain COUNT workload.
+  WorkloadOptions base;
+  /// Fraction of queries that are SUMs; the rest are COUNTs. The mix is a
+  /// per-query Bernoulli draw from a stream split off the base seed, so the
+  /// predicate sequence of query i is identical across different fractions.
+  double sum_fraction = 0.5;
+};
+
+/// The serving-shaped traffic mix: random COUNT/SUM aggregate queries with
+/// the paper's Section 6.1 predicate shape. SUM queries draw their measure
+/// uniformly from the numerical QI attributes (from all QIs when none is
+/// numerical — NumericValue then aggregates the codes themselves).
+class MixedWorkloadGenerator {
+ public:
+  static StatusOr<MixedWorkloadGenerator> Create(
+      const Microdata& microdata, const MixedWorkloadOptions& options);
+
+  AggregateQuery Next();
+
+ private:
+  MixedWorkloadGenerator(WorkloadGenerator base, const Microdata& microdata,
+                         const MixedWorkloadOptions& options);
+
+  WorkloadGenerator base_;
+  MixedWorkloadOptions options_;
+  std::vector<size_t> measure_qis_;
+  /// Kind/measure draws: decoupled from the predicate stream (see
+  /// sum_fraction).
+  Rng mix_rng_;
 };
 
 }  // namespace anatomy

@@ -1,0 +1,59 @@
+// Tier-1 chaos sweep: fault modes × swap kill points × seeds, asserting the
+// distributed serving safety contract (exact, honestly-partial, or clean
+// error — never silently wrong) and that every killed swap recovers to one
+// consistent epoch with zero orphan pages. The sweep is virtual-time and
+// fully seeded, so it is fast and bit-reproducible.
+
+#include <gtest/gtest.h>
+
+#include "dist/chaos.h"
+
+namespace anatomy {
+namespace {
+
+TEST(ChaosTest, SweepFindsNoSafetyViolations) {
+  ChaosOptions options;
+  options.nodes = 3;
+  options.rows = 450;
+  options.l = 3;
+  options.seeds = 8;
+  options.queries_per_scenario = 8;
+  auto report = RunChaosSweep(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const ChaosReport& r = report.value();
+
+  // 8 seeds x 5 kill points x 4 fault modes.
+  EXPECT_EQ(r.scenarios, 160u);
+  EXPECT_EQ(r.queries, r.scenarios * options.queries_per_scenario);
+  // Both degradation directions and both recovery landings must actually
+  // occur, or the sweep isn't exercising what it claims to.
+  EXPECT_GT(r.exact, 0u);
+  EXPECT_GT(r.partial, 0u);
+  EXPECT_GT(r.recoveries, 0u);
+  EXPECT_GT(r.rolled_back, 0u);
+  EXPECT_GT(r.swapped, 0u);
+
+  // The contract itself.
+  EXPECT_TRUE(r.violations.empty());
+  for (const std::string& v : r.violations) ADD_FAILURE() << v;
+}
+
+TEST(ChaosTest, SweepIsDeterministic) {
+  ChaosOptions options;
+  options.nodes = 2;
+  options.rows = 300;
+  options.l = 3;
+  options.seeds = 1;
+  options.queries_per_scenario = 4;
+  auto a = RunChaosSweep(options);
+  auto b = RunChaosSweep(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().exact, b.value().exact);
+  EXPECT_EQ(a.value().partial, b.value().partial);
+  EXPECT_EQ(a.value().unavailable, b.value().unavailable);
+  EXPECT_EQ(a.value().violations, b.value().violations);
+}
+
+}  // namespace
+}  // namespace anatomy

@@ -501,5 +501,131 @@ TEST(FaultSweepTest, ExternalSortFailsCleanlyUnderFaults) {
   }
 }
 
+// ------------------------------------------------- stalls / retry knobs --
+
+TEST(FaultInjectionTest, StallInjectionIsDeterministicAndVirtual) {
+  FaultSpec spec;
+  spec.seed = 77;
+  spec.stall_rate = 1.0;  // every op stalls
+  spec.stall_scale_us = 200;
+  spec.stall_alpha = 1.2;
+  spec.stall_cap_us = 5000;
+
+  auto run_schedule = [&](FaultStats* out) {
+    SimulatedDisk base;
+    FaultInjectingDisk disk(&base, spec);
+    Page page;
+    std::vector<PageId> ids;
+    for (int i = 0; i < 8; ++i) ids.push_back(disk.AllocatePage());
+    for (PageId id : ids) {
+      page.WriteInt32(0, static_cast<int32_t>(id));
+      ASSERT_TRUE(disk.WritePage(id, page).ok());  // stalls never fail ops
+      Page out_page;
+      ASSERT_TRUE(disk.ReadPage(id, out_page).ok());
+    }
+    *out = disk.fault_stats();
+  };
+
+  FaultStats a, b;
+  run_schedule(&a);
+  run_schedule(&b);
+  // One stall per op (8 writes + 8 reads), with real virtual duration, and
+  // the whole heavy-tail schedule replays bit-identically from the seed.
+  EXPECT_EQ(a.stalls, 16u);
+  EXPECT_GT(a.stall_ns, 0u);
+  EXPECT_EQ(a.stalls, b.stalls);
+  EXPECT_EQ(a.stall_ns, b.stall_ns);
+  // Truncation holds: no single schedule can exceed ops * cap.
+  EXPECT_LE(a.stall_ns, 16u * 5000u * 1000u);
+}
+
+TEST(FaultInjectionTest, ReArmRebasesTheCrashPoint) {
+  SimulatedDisk base;
+  FaultInjectingDisk disk(&base, FaultSpec{});  // publish phase: no faults
+  Page page;
+  std::vector<PageId> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(disk.AllocatePage());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(disk.WritePage(ids[static_cast<size_t>(i)], page).ok());
+  }
+
+  // Re-arm with a crash 3 successful writes from *now* — the 6 writes above
+  // must not count against the new schedule.
+  FaultSpec armed;
+  armed.seed = 9;
+  armed.crash_after_writes = 3;
+  disk.ReArm(armed);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(disk.WritePage(ids[static_cast<size_t>(i)], page).ok());
+  }
+  Status crashed = disk.WritePage(ids[3], page);
+  EXPECT_FALSE(crashed.ok());
+  EXPECT_TRUE(crashed.IsTransient());
+  EXPECT_TRUE(disk.fault_stats().crashed);
+  Page out_page;
+  EXPECT_FALSE(disk.ReadPage(ids[0], out_page).ok());  // reads fail too
+
+  disk.Heal();
+  EXPECT_TRUE(disk.ReadPage(ids[0], out_page).ok());
+}
+
+TEST(FaultInjectionTest, FullJitterBackoffStaysInsideTheEnvelope) {
+  RetryPolicy policy;
+  policy.initial_backoff = std::chrono::microseconds(100);
+  policy.backoff_multiplier = 2.0;
+  policy.full_jitter = true;
+  policy.jitter_seed = 1234;
+
+  Rng rng_a(SplitMix64(policy.jitter_seed));
+  Rng rng_b(SplitMix64(policy.jitter_seed));
+  bool saw_nonzero = false;
+  for (int retry = 0; retry < 8; ++retry) {
+    const auto schedule =
+        std::chrono::microseconds(static_cast<int64_t>(100 * (1 << retry)));
+    const auto a = RetryBackoff(policy, retry, rng_a);
+    const auto b = RetryBackoff(policy, retry, rng_b);
+    EXPECT_EQ(a, b) << "jitter must replay from the seed";
+    EXPECT_GE(a.count(), 0);
+    EXPECT_LT(a, schedule) << "full jitter draws from [0, schedule)";
+    if (a.count() > 0) saw_nonzero = true;
+  }
+  EXPECT_TRUE(saw_nonzero);
+
+  // Without jitter the same policy is the deterministic exponential.
+  policy.full_jitter = false;
+  EXPECT_EQ(RetryBackoff(policy, 3, rng_a).count(), 800);
+}
+
+TEST(FaultInjectionTest, MaxElapsedCapsRetriesBeforeTheBackoffBlowsIt) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff = std::chrono::milliseconds(10);
+  policy.max_elapsed = std::chrono::milliseconds(1);
+
+  int attempts = 0;
+  uint64_t retries = 0;
+  Status status = RunWithRetry(policy, &retries, [&] {
+    ++attempts;
+    return Status::Unavailable("still flaky");
+  });
+  // The first pending 10ms backoff alone would blow the 1ms budget, so the
+  // policy stops after a single attempt instead of sleeping past the cap.
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsTransient());
+  EXPECT_EQ(attempts, 1);
+  EXPECT_EQ(retries, 0u);
+
+  // Lifting the cap restores the attempt-bounded behavior.
+  policy.initial_backoff = std::chrono::microseconds(0);
+  policy.max_elapsed = std::chrono::microseconds(0);
+  attempts = 0;
+  status = RunWithRetry(policy, &retries, [&] {
+    ++attempts;
+    return Status::Unavailable("still flaky");
+  });
+  EXPECT_EQ(attempts, 4);
+  EXPECT_EQ(retries, 3u);
+}
+
 }  // namespace
 }  // namespace anatomy

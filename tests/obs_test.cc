@@ -13,6 +13,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/quantile.h"
 #include "obs/trace.h"
 
 namespace anatomy {
@@ -432,6 +433,48 @@ TEST(ObsHammerTest, RelaxedAtomicsLoseNothingUnderContention) {
   EXPECT_EQ(histogram->bucket_count(2), kTotal / 4);
   EXPECT_EQ(histogram->bucket_count(3), kTotal / 2);
   EXPECT_EQ(histogram->bucket_count(4), kTotal / 8);
+}
+
+// ------------------------------------------------------- SlidingQuantile --
+
+TEST(SlidingQuantileTest, NearestRankIsExactOnAFullWindow) {
+  SlidingQuantile sq(100);
+  EXPECT_EQ(sq.Quantile(0.5), 0u);  // empty: defined as 0
+  // Insert 1..100 shuffled-by-stride so order doesn't matter.
+  for (uint64_t i = 0; i < 100; ++i) sq.Record((i * 37) % 100 + 1);
+  EXPECT_TRUE(sq.full());
+  EXPECT_EQ(sq.count(), 100u);
+  // rank = ceil(q * (count - 1)), 0-based over the sorted samples 1..100.
+  EXPECT_EQ(sq.Quantile(0.0), 1u);
+  EXPECT_EQ(sq.Quantile(0.5), 51u);   // ceil(0.5 * 99) = 50 -> value 51
+  EXPECT_EQ(sq.Quantile(0.95), 96u);  // ceil(0.95 * 99) = 95 -> value 96
+  EXPECT_EQ(sq.Quantile(0.99), 100u);  // ceil(0.99 * 99) = 99 -> value 100
+  EXPECT_EQ(sq.Quantile(1.0), 100u);
+}
+
+TEST(SlidingQuantileTest, OldSamplesAgeOutOfTheRing) {
+  SlidingQuantile sq(4);
+  // A giant early stall...
+  sq.Record(1'000'000);
+  for (int i = 0; i < 3; ++i) sq.Record(10);
+  EXPECT_EQ(sq.Quantile(1.0), 1'000'000u);
+  // ...is forgotten after W more samples, unlike a cumulative histogram.
+  for (int i = 0; i < 4; ++i) sq.Record(20);
+  EXPECT_TRUE(sq.full());
+  EXPECT_EQ(sq.count(), 4u);
+  EXPECT_EQ(sq.Quantile(1.0), 20u);
+  EXPECT_EQ(sq.Quantile(0.0), 20u);
+}
+
+TEST(SlidingQuantileTest, PartialWindowUsesOnlyRetainedSamples) {
+  SlidingQuantile sq(64);
+  sq.Record(7);
+  EXPECT_FALSE(sq.full());
+  EXPECT_EQ(sq.count(), 1u);
+  EXPECT_EQ(sq.Quantile(0.99), 7u);  // one sample is every quantile
+  sq.Record(3);
+  EXPECT_EQ(sq.Quantile(0.0), 3u);
+  EXPECT_EQ(sq.Quantile(1.0), 7u);
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #   tools/check_sanitizers.sh kernels      # both sanitizers, query kernels + cache
 #   tools/check_sanitizers.sh sharded      # both sanitizers, sharded build + streaming
 #   tools/check_sanitizers.sh scaling      # both sanitizers, sharded cache + parallel path
+#   tools/check_sanitizers.sh chaos        # both sanitizers, dist serving + chaos sweep
 #   tools/check_sanitizers.sh tsan -R parallel_query_test
 #                                          # extra args passed to ctest
 set -euo pipefail
@@ -68,6 +69,16 @@ if [[ $# -ge 1 ]]; then
       # TSan), and streaming_test's plan-then-commit Finish / flush-window
       # error paths must leave no leaks or UB behind under ASan+UBSan.
       extra=(-R '^(sharded_anatomizer_test|streaming_test)$')
+      shift
+      ;;
+    chaos)
+      # The distributed-serving smoke check: dist_test drives scatter-gather
+      # (hedges, retries, honest partials) and every swap kill point, and
+      # chaos_test's fault × kill × seed sweep exercises the recovery and
+      # orphan-sweep error paths — all of which must run clean under
+      # ASan+UBSan, with the shard-parallel publish inside each scenario
+      # giving TSan real concurrency to check.
+      extra=(-R '^(dist_test|chaos_test)$')
       shift
       ;;
   esac
