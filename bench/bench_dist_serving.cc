@@ -22,6 +22,8 @@
 #include "bench_util.h"
 #include "common/flags.h"
 #include "dist/dist_runner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace anatomy {
 namespace bench {
@@ -33,6 +35,9 @@ struct DistBenchConfig {
   int64_t queries = 400;
   int64_t seed = 1;
   std::string json_out = "BENCH_dist_serving.json";
+  /// When set, causal tracing is enabled for the whole bench and the merged
+  /// Chrome trace (all nodes on the virtual timeline) is written here.
+  std::string trace_out;
 };
 
 struct ServePoint {
@@ -65,6 +70,12 @@ ServePoint RunOne(const DistBenchConfig& config, size_t nodes, bool faults) {
 
 void Run(const DistBenchConfig& config) {
   WarnIfSingleThreaded("bench_dist_serving");
+  // The SLO engine reads the metrics registry, so metrics are always on for
+  // this bench; tracing is opt-in via --trace_out.
+  obs::SetMetricsEnabled(true);
+  if (!config.trace_out.empty()) {
+    obs::TraceRecorder::Global().SetEnabled(true);
+  }
   std::printf(
       "bench_dist_serving: n=%lld l=%lld queries=%lld seed=%lld\n"
       "Virtual-time scatter-gather serving; latencies are simulated ns.\n\n",
@@ -157,19 +168,34 @@ void Run(const DistBenchConfig& config) {
           "\"partial\": %zu, \"unavailable\": %zu, \"hedges\": %llu, "
           "\"hedge_wins\": %llu, \"retries\": %llu, \"p50_ns\": %llu, "
           "\"p99_ns\": %llu, \"max_ns\": %llu, "
-          "\"mean_partial_coverage\": %.6f}%s\n",
+          "\"mean_partial_coverage\": %.6f,\n     \"slo\": ",
           p.nodes, p.faulted ? "true" : "false", r.exact, r.partial,
           r.unavailable, static_cast<unsigned long long>(r.hedges),
           static_cast<unsigned long long>(r.hedge_wins),
           static_cast<unsigned long long>(r.retries),
           static_cast<unsigned long long>(r.p50_ns),
           static_cast<unsigned long long>(r.p99_ns),
-          static_cast<unsigned long long>(r.max_ns), r.mean_partial_coverage,
-          i + 1 < points.size() ? "," : "");
-      os << buf;
+          static_cast<unsigned long long>(r.max_ns), r.mean_partial_coverage);
+      os << buf << (r.slo_json.empty() ? "null" : r.slo_json) << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
     }
-    os << "  ]\n}\n";
+    // Full metrics snapshot alongside the points: the counters the SLO
+    // windows were computed from, for offline verification.
+    os << "  ],\n  \"metrics\": "
+       << obs::MetricRegistry::Global().Snapshot().ToJson() << "\n}\n";
     std::printf("(results written to %s)\n", config.json_out.c_str());
+  }
+
+  if (!config.trace_out.empty()) {
+    const Status written =
+        obs::TraceRecorder::Global().WriteChromeJson(config.trace_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "warning: trace export failed: %s\n",
+                   written.ToString().c_str());
+    } else {
+      std::printf("(merged Chrome trace written to %s — load in Perfetto)\n",
+                  config.trace_out.c_str());
+    }
   }
 }
 
@@ -188,6 +214,8 @@ int main(int argc, char** argv) {
   parser.AddInt64("seed", &config.seed, "master RNG seed");
   parser.AddString("json_out", &config.json_out,
                    "JSON results path (empty to skip)");
+  parser.AddString("trace_out", &config.trace_out,
+                   "Chrome trace path (empty disables tracing)");
   Status status = parser.Parse(argc, argv);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "dist/cluster.h"
 #include "dist/scatter_gather.h"
+#include "obs/flightrec.h"
 #include "query/estimator_scratch.h"
 #include "query/group_kernels.h"
 #include "table/schema.h"
@@ -95,6 +96,33 @@ void CheckConsistency(DistCluster& cluster, uint64_t expected_epoch,
   }
 }
 
+/// True iff the recorder holds a query-degraded event matching this exact
+/// (trace, node, reason) triple — value equality on the shared ReasonCode,
+/// never substring matching.
+bool ExplainsDegradedNode(const std::vector<obs::FlightRecord>& events,
+                          uint64_t trace_id, int32_t node,
+                          obs::ReasonCode reason) {
+  for (const auto& e : events) {
+    if (e.type == obs::FlightEventType::kQueryDegraded &&
+        e.trace_id == trace_id && e.node == node && e.reason == reason) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// True iff the recorder holds a query-unavailable event for this trace.
+bool ExplainsUnavailable(const std::vector<obs::FlightRecord>& events,
+                         uint64_t trace_id) {
+  for (const auto& e : events) {
+    if (e.type == obs::FlightEventType::kQueryUnavailable &&
+        e.trace_id == trace_id) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 Microdata MakeChaosMicrodata(RowId rows, int l, uint64_t seed) {
@@ -146,6 +174,10 @@ StatusOr<ChaosReport> RunChaosSweep(const ChaosOptions& options) {
       for (FaultMode fault : kFaults) {
         ++report.scenarios;
         const std::string tag = Tag(seed, kill, fault);
+        // A fresh flight-recorder window per scenario: the ring is bounded,
+        // and the explanation assertions below must never fail because an
+        // earlier scenario's events wrapped this one's out.
+        obs::FlightRecorder::Global().Clear();
 
         DistClusterOptions copts;
         copts.nodes = options.nodes;
@@ -288,6 +320,17 @@ StatusOr<ChaosReport> RunChaosSweep(const ChaosOptions& options) {
               report.violations.push_back(
                   qtag + " unclean error: " + r.status().ToString());
             }
+            // A clean error still owes an explanation: the estimator logs a
+            // query-unavailable record under the query's trace id even when
+            // it has no PartialEstimate to return.
+            if (ExplainsUnavailable(obs::FlightRecorder::Global().Snapshot(),
+                                    estimator.last_trace_id())) {
+              ++report.explained;
+            } else {
+              report.violations.push_back(
+                  qtag + " unavailable response has no flight-recorder "
+                         "query-unavailable event");
+            }
             continue;
           }
           const PartialEstimate& est = r.value();
@@ -308,12 +351,36 @@ StatusOr<ChaosReport> RunChaosSweep(const ChaosOptions& options) {
           }
 
           ++report.partial;
+          // Explanation: every degraded node of a partial answer must have a
+          // matching flight-recorder event — same trace, same node, same
+          // reason code. (Violation text carries the reason name but never
+          // the trace id, which is a process-global counter value.)
+          {
+            const std::vector<obs::FlightRecord> events =
+                obs::FlightRecorder::Global().Snapshot();
+            bool all_explained = true;
+            for (size_t i = 0; i < cluster.num_nodes(); ++i) {
+              if (obs::ClassOf(est.reasons[i]) == obs::ReasonClass::kOkClass) {
+                continue;
+              }
+              if (!ExplainsDegradedNode(events, est.trace_id,
+                                        static_cast<int32_t>(i),
+                                        est.reasons[i])) {
+                all_explained = false;
+                report.violations.push_back(
+                    qtag + " node " + std::to_string(i) + " degraded (" +
+                    obs::ReasonCodeName(est.reasons[i]) +
+                    ") without a matching flight-recorder event");
+              }
+            }
+            if (all_explained) ++report.explained;
+          }
           // Honesty 1: covered rows/mass are the responding nodes' true
           // share, computed from the epoch record.
           uint64_t covered_rows = 0;
           std::vector<bool> group_covered(total_groups, false);
           for (size_t i = 0; i < cluster.num_nodes(); ++i) {
-            if (est.outcomes[i] != NodeQueryOutcome::kOk) continue;
+            if (est.reasons[i] != obs::ReasonCode::kOk) continue;
             covered_rows += spans[i].rows;
             for (GroupId g = spans[i].lo; g < spans[i].hi; ++g) {
               group_covered[g] = true;

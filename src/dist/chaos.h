@@ -16,6 +16,13 @@
 // one for kills before the commit write, the new one after — with zero
 // orphan pages on any disk.
 //
+// Every degraded response must also be EXPLAINED: for each non-exact answer
+// the harness looks up the flight recorder (src/obs/flightrec.h) and
+// requires a matching event — same trace_id, same node, same ReasonCode for
+// each degraded node of a partial answer; a query-unavailable event for each
+// clean error. A degradation the recorder cannot account for is a
+// violation, exactly like a wrong number.
+//
 // Everything is virtual-time and seeded: the full sweep runs in well under a
 // second and reproduces bit-for-bit, which is what lets it sit in tier-1
 // ctest (tests/chaos_test.cc) instead of a nightly soak.
@@ -52,6 +59,10 @@ struct ChaosReport {
   size_t exact = 0;
   size_t partial = 0;
   size_t unavailable = 0;
+  /// Degraded responses (partial + unavailable) whose cause was matched to a
+  /// flight-recorder event. The sweep asserts this equals partial +
+  /// unavailable — every degradation explained, none hand-waved.
+  size_t explained = 0;
   /// Kill scenarios recovered, split by where they landed.
   size_t recoveries = 0;
   size_t rolled_back = 0;   // old epoch (kill before the commit write)

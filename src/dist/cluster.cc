@@ -7,11 +7,27 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/page.h"
 
 namespace anatomy {
 namespace {
+
+// Flight-recorder append for the publish/recover pipeline. Wall-clock
+// stamped: epoch swaps run in real time, unlike the virtual serving path.
+void LogEpochFlight(obs::FlightEventType type, obs::ReasonCode reason,
+                    uint64_t epoch, int32_t node, int64_t detail) {
+  obs::FlightRecord r;
+  r.t_ns = obs::TraceRecorder::Global().NowNs();
+  r.detail = detail;
+  r.epoch = epoch;
+  r.node = node;
+  r.type = type;
+  r.reason = reason;
+  obs::FlightRecorder::Global().Log(r);
+}
 
 // Epoch record page layout, int32 slots:
 //   [0] magic 'EPOC'  [1] version  [2..3] epoch (64b)  [4] node count
@@ -160,9 +176,17 @@ StatusOr<EpochPublishReport> DistCluster::PublishEpoch(
     pools.push_back(node->pool());
   }
   ShardedExternalAnatomizer anatomizer(aopts);
-  ANATOMY_ASSIGN_OR_RETURN(
-      ShardedPublishResult pub,
-      anatomizer.RunPublished(microdata, disks, pools));
+  StatusOr<ShardedPublishResult> pub_or =
+      anatomizer.RunPublished(microdata, disks, pools);
+  if (!pub_or.ok()) {
+    LogEpochFlight(obs::FlightEventType::kEpochPrepare,
+                   obs::ReasonCode::kPrepareFailed, next_epoch, -1, 0);
+    obs::FlightRecorder::Global().MaybeDumpOnError("publish: prepare failed");
+    return pub_or.status();
+  }
+  ShardedPublishResult pub = std::move(pub_or).value();
+  LogEpochFlight(obs::FlightEventType::kEpochPrepare, obs::ReasonCode::kNone,
+                 next_epoch, -1, static_cast<int64_t>(pub.shards_run));
 
   EpochRecord next;
   next.epoch = next_epoch;
@@ -178,8 +202,19 @@ StatusOr<EpochPublishReport> DistCluster::PublishEpoch(
     }
   }
 
-  if (kill == SwapKillPoint::kAfterPrepare) return Killed("after-prepare");
-  if (kill == SwapKillPoint::kBeforeCommit) return Killed("before-commit");
+  if (kill == SwapKillPoint::kAfterPrepare) {
+    LogEpochFlight(obs::FlightEventType::kEpochPrepare,
+                   obs::ReasonCode::kCoordinatorKilled, next_epoch, -1, 0);
+    obs::FlightRecorder::Global().MaybeDumpOnError("publish: killed after-prepare");
+    return Killed("after-prepare");
+  }
+  if (kill == SwapKillPoint::kBeforeCommit) {
+    LogEpochFlight(obs::FlightEventType::kEpochCommit,
+                   obs::ReasonCode::kCoordinatorKilled, next_epoch, -1,
+                   /*detail=*/0);  // 0 = killed before the record write
+    obs::FlightRecorder::Global().MaybeDumpOnError("publish: killed before-commit");
+    return Killed("before-commit");
+  }
 
   // ---- COMMIT: the atomic flip. On a failed record write the prepared
   // publications are rolled back — the old epoch stays the only epoch. ----
@@ -189,13 +224,24 @@ StatusOr<EpochPublishReport> DistCluster::PublishEpoch(
       (void)DiscardPublication(nodes_[i]->disk(), nodes_[i]->pool(),
                                pub.manifests[i]);
     }
+    LogEpochFlight(obs::FlightEventType::kEpochCommit,
+                   obs::ReasonCode::kCommitFailed, next_epoch, -1, 0);
+    obs::FlightRecorder::Global().MaybeDumpOnError("publish: commit failed");
     return Status(commit.code(),
                   "epoch record commit failed (prepared publications rolled "
                   "back): " + commit.message());
   }
   record_ = next;
+  LogEpochFlight(obs::FlightEventType::kEpochCommit, obs::ReasonCode::kNone,
+                 next_epoch, -1, 0);
 
-  if (kill == SwapKillPoint::kAfterCommit) return Killed("after-commit");
+  if (kill == SwapKillPoint::kAfterCommit) {
+    LogEpochFlight(obs::FlightEventType::kEpochActivate,
+                   obs::ReasonCode::kCoordinatorKilled, next_epoch, -1,
+                   /*detail=*/1);  // 1 = the commit landed first
+    obs::FlightRecorder::Global().MaybeDumpOnError("publish: killed after-commit");
+    return Killed("after-commit");
+  }
 
   // ---- ACTIVATE: nodes load the new epoch. A failed activation leaves the
   // node serving nothing (degraded) — never the old epoch. ----
@@ -215,18 +261,38 @@ StatusOr<EpochPublishReport> DistCluster::PublishEpoch(
     if (!s.ok()) {
       nodes_[i]->Deactivate();
       ++report.activation_failures;
+      LogEpochFlight(obs::FlightEventType::kEpochActivate,
+                     obs::ReasonCode::kActivationFailed, next.epoch,
+                     static_cast<int32_t>(i), 0);
     }
     offset += next.nodes[i].group_count;
+  }
+  LogEpochFlight(obs::FlightEventType::kEpochActivate, obs::ReasonCode::kNone,
+                 next.epoch, -1,
+                 static_cast<int64_t>(report.activation_failures));
+  if (report.activation_failures > 0) {
+    obs::FlightRecorder::Global().MaybeDumpOnError(
+        "publish: node activation failed");
   }
 
   // ---- GC: discard everything the new epoch does not own (the old
   // publications). The sweep is idempotent, so a crash mid-GC just leaves
   // work for Recover(). ----
+  size_t swept = 0;
   for (size_t i = 0; i < nodes_.size(); ++i) {
     nodes_[i]->pool()->DropAll();
-    SweepOrphans(i, i < pub.manifests.size() ? &pub.manifests[i] : nullptr);
-    if (kill == SwapKillPoint::kMidGc && i == 0) return Killed("mid-gc");
+    swept += SweepOrphans(i, i < pub.manifests.size() ? &pub.manifests[i]
+                                                      : nullptr);
+    if (kill == SwapKillPoint::kMidGc && i == 0) {
+      LogEpochFlight(obs::FlightEventType::kEpochGc,
+                     obs::ReasonCode::kCoordinatorKilled, next.epoch,
+                     static_cast<int32_t>(i), static_cast<int64_t>(swept));
+      obs::FlightRecorder::Global().MaybeDumpOnError("publish: killed mid-gc");
+      return Killed("mid-gc");
+    }
   }
+  LogEpochFlight(obs::FlightEventType::kEpochGc, obs::ReasonCode::kNone,
+                 next.epoch, -1, static_cast<int64_t>(swept));
 
   if (obs::MetricsEnabled()) {
     obs::MetricRegistry& registry = obs::MetricRegistry::Global();
@@ -242,7 +308,15 @@ Status DistCluster::Recover() {
     node->pool()->DropAll();
     node->Deactivate();
   }
-  ANATOMY_ASSIGN_OR_RETURN(record_, ReadEpochRecord());
+  StatusOr<EpochRecord> record_or = ReadEpochRecord();
+  if (!record_or.ok()) {
+    LogEpochFlight(obs::FlightEventType::kRecovery,
+                   obs::ReasonCode::kPermanentError, record_.epoch, -1, 0);
+    obs::FlightRecorder::Global().MaybeDumpOnError(
+        "recover: epoch record unreadable");
+    return record_or.status();
+  }
+  record_ = std::move(record_or).value();
   if (record_.epoch > 0 && !have_schema_) {
     return Status::FailedPrecondition(
         "cannot recover serving state without the data dictionary");
@@ -275,9 +349,14 @@ Status DistCluster::Recover() {
       SweepOrphans(i, &manifest.value());
     } else {
       nodes_[i]->Deactivate();
+      LogEpochFlight(obs::FlightEventType::kRecovery,
+                     obs::ReasonCode::kActivationFailed, record_.epoch,
+                     static_cast<int32_t>(i), 0);
     }
     offset += info.group_count;
   }
+  LogEpochFlight(obs::FlightEventType::kRecovery, obs::ReasonCode::kNone,
+                 record_.epoch, -1, 0);
   if (obs::MetricsEnabled()) {
     obs::MetricRegistry::Global().GetCounter("dist.recoveries")->Increment();
   }

@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "dist/chaos.h"
 #include "dist/cluster.h"
+#include "obs/slo.h"
 #include "workload/workload.h"
 
 namespace anatomy {
@@ -32,7 +33,9 @@ std::string DistServingReport::ToString() const {
          " wins), " + std::to_string(retries) + " retries; virtual p50 " +
          std::to_string(p50_ns / 1000) + "us p99 " +
          std::to_string(p99_ns / 1000) + "us max " +
-         std::to_string(max_ns / 1000) + "us";
+         std::to_string(max_ns / 1000) + "us; slo " +
+         std::to_string(slo_transitions) + " transitions (" +
+         (slo_firing ? "FIRING" : "quiet") + ")";
 }
 
 StatusOr<DistServingReport> RunDistServingWorkload(
@@ -72,6 +75,29 @@ StatusOr<DistServingReport> RunDistServingWorkload(
     if (info.root != kInvalidPageId) ++report.nodes_with_shards;
   }
 
+  // SLO objectives over the dist counters/histograms the estimator already
+  // records; baselined here so earlier runs in this process don't count
+  // against this run's error budget. Window ticks advance on the
+  // estimator's virtual clock, so burn rates are deterministic per seed.
+  obs::SloEngine slo;
+  if (options.slo_tick_every > 0) {
+    obs::SloObjective latency;
+    latency.name = "dist.p99_latency";
+    latency.kind = obs::SloObjective::Kind::kLatencyThreshold;
+    latency.histogram = "dist.query_ns";
+    latency.threshold_ns = options.query.deadline_ns;
+    latency.target = options.slo_latency_target;
+    slo.AddObjective(latency);
+
+    obs::SloObjective exact_ratio;
+    exact_ratio.name = "dist.exact_ratio";
+    exact_ratio.kind = obs::SloObjective::Kind::kGoodRatio;
+    exact_ratio.good_counter = "dist.exact";
+    exact_ratio.total_counter = "dist.queries";
+    exact_ratio.target = options.slo_exact_target;
+    slo.AddObjective(exact_ratio);
+  }
+
   std::vector<uint64_t> latencies;
   latencies.reserve(options.num_queries);
   double coverage_sum = 0.0;
@@ -79,6 +105,10 @@ StatusOr<DistServingReport> RunDistServingWorkload(
     const AggregateQuery query = generator.Next();
     ++report.queries;
     StatusOr<PartialEstimate> r = estimator.Estimate(query);
+    if (options.slo_tick_every > 0 &&
+        (i + 1) % options.slo_tick_every == 0) {
+      slo.Tick(estimator.virtual_now_ns());
+    }
     if (!r.ok()) {
       ++report.unavailable;
       continue;
@@ -102,6 +132,14 @@ StatusOr<DistServingReport> RunDistServingWorkload(
   report.p50_ns = NearestRank(latencies, 0.50);
   report.p99_ns = NearestRank(latencies, 0.99);
   for (uint64_t v : latencies) report.max_ns = std::max(report.max_ns, v);
+  if (options.slo_tick_every > 0) {
+    // A closing tick so the tail of the run is inside some window.
+    slo.Tick(estimator.virtual_now_ns());
+    report.slo_ticks = slo.ticks();
+    report.slo_transitions = slo.TotalTransitions();
+    report.slo_firing = slo.AnyFiring();
+    report.slo_json = slo.ReportJson();
+  }
   return report;
 }
 

@@ -32,6 +32,13 @@ struct DistServingOptions {
   /// offset per node) after publication, before the first query.
   bool arm_faults = false;
   FaultSpec serve_faults;
+  /// SLO engine tick cadence in queries (virtual-time windows are deltas
+  /// between ticks). 0 disables SLO evaluation.
+  size_t slo_tick_every = 100;
+  /// Latency objective: p-target of dist.query_ns must stay under the query
+  /// deadline. Ratio objective: exact answers / queries must stay >= this.
+  double slo_latency_target = 0.99;
+  double slo_exact_target = 0.95;
 };
 
 struct DistServingReport {
@@ -51,6 +58,12 @@ struct DistServingReport {
   uint64_t max_ns = 0;
   /// Mean covered mass over the partial responses (1.0 when none).
   double mean_partial_coverage = 1.0;
+  /// SLO engine results (zero/empty when slo_tick_every == 0).
+  uint64_t slo_ticks = 0;
+  uint64_t slo_transitions = 0;
+  bool slo_firing = false;
+  /// Full SloEngine::ReportJson() blob for machine consumers.
+  std::string slo_json;
 
   std::string ToString() const;
 };

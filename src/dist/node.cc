@@ -79,9 +79,64 @@ void DistNode::Deactivate() {
 
 DistNode::ServeResult DistNode::Serve(const CountQuery& query, bool need_sum,
                                       size_t measure_qi, uint64_t budget_ns,
-                                      Rng& rng) {
+                                      Rng& rng,
+                                      const obs::TraceContext* trace) {
   ServeResult out;
   out.rows = rows_;
+
+  // Emits this request's virtual-time spans on the coordinator-chosen lane:
+  // a "serve" span covering the whole call, with a "probe" child covering
+  // the storage touch (its duration is the injected stall) and a "partials"
+  // child covering the estimate compute. Tracing is strictly out-of-band —
+  // nothing below feeds back into timing or results.
+  auto emit_spans = [&](bool probed, uint64_t stall_ns, int64_t groups) {
+    if (trace == nullptr || !trace->recording) return;
+    obs::TraceRecorder& tracer = obs::TraceRecorder::Global();
+    if (!tracer.enabled()) return;
+    const uint64_t start = trace->virtual_start_ns;
+    obs::TraceEvent serve;
+    serve.name = "dist.node.serve";
+    serve.category = "dist";
+    serve.start_ns = start;
+    serve.dur_ns = out.service_ns;
+    serve.trace_id = trace->trace_id;
+    serve.span_id = obs::TraceRecorder::NewId();
+    serve.parent_id = trace->parent_span;
+    serve.lane = trace->lane;
+    serve.virtual_time = true;
+    serve.AddArg("rows", static_cast<int64_t>(out.rows));
+    serve.AddArg("ok", out.status.ok() ? 1 : 0);
+    serve.AddArg("late", out.late ? 1 : 0);
+    tracer.RecordEvent(serve);
+    if (probed) {
+      obs::TraceEvent probe_ev;
+      probe_ev.name = "dist.node.probe";
+      probe_ev.category = "dist";
+      probe_ev.start_ns = start;
+      probe_ev.dur_ns = stall_ns;
+      probe_ev.trace_id = trace->trace_id;
+      probe_ev.span_id = obs::TraceRecorder::NewId();
+      probe_ev.parent_id = serve.span_id;
+      probe_ev.lane = trace->lane;
+      probe_ev.virtual_time = true;
+      probe_ev.AddArg("stall_ns", static_cast<int64_t>(stall_ns));
+      tracer.RecordEvent(probe_ev);
+    }
+    if (groups >= 0) {
+      obs::TraceEvent part_ev;
+      part_ev.name = "dist.node.partials";
+      part_ev.category = "dist";
+      part_ev.start_ns = start + stall_ns;
+      part_ev.dur_ns = out.service_ns - stall_ns;
+      part_ev.trace_id = trace->trace_id;
+      part_ev.span_id = obs::TraceRecorder::NewId();
+      part_ev.parent_id = serve.span_id;
+      part_ev.lane = trace->lane;
+      part_ev.virtual_time = true;
+      part_ev.AddArg("groups", groups);
+      tracer.RecordEvent(part_ev);
+    }
+  };
 
   // Draw the jitter FIRST and unconditionally: one draw per Serve keeps the
   // coordinator's RNG stream aligned no matter how the call ends.
@@ -94,6 +149,7 @@ DistNode::ServeResult DistNode::Serve(const CountQuery& query, bool need_sum,
     out.service_ns = options_.base_service_ns + jitter;
     out.status =
         Status::FailedPrecondition("node has no active publication");
+    emit_spans(/*probed=*/false, /*stall_ns=*/0, /*groups=*/-1);
     return out;
   }
 
@@ -101,22 +157,26 @@ DistNode::ServeResult DistNode::Serve(const CountQuery& query, bool need_sum,
   // on the (possibly faulted) device. Crashes and transients surface here as
   // their Status; stalls surface as extra virtual nanoseconds.
   Status probe = ProbePublicationRoot(&faults_, manifest_.root);
-  out.service_ns = options_.base_service_ns + jitter +
-                   (faults_.fault_stats().stall_ns - stall_before);
+  const uint64_t stall_ns = faults_.fault_stats().stall_ns - stall_before;
+  out.service_ns = options_.base_service_ns + jitter + stall_ns;
   if (!probe.ok()) {
     out.status = std::move(probe);
+    emit_spans(/*probed=*/true, stall_ns, /*groups=*/-1);
     return out;
   }
   if (out.service_ns > budget_ns) {
     // Deadline propagation: the coordinator will have hung up by the time
     // this response lands, so skip the compute entirely.
     out.late = true;
+    emit_spans(/*probed=*/true, stall_ns, /*groups=*/-1);
     return out;
   }
 
   engine_->CollectGroupPartials(query, need_sum, measure_qi, scratch_,
                                 &out.partials);
   for (auto& p : out.partials) p.group += group_offset_;
+  emit_spans(/*probed=*/true, stall_ns,
+             static_cast<int64_t>(out.partials.size()));
   return out;
 }
 

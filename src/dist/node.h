@@ -32,6 +32,7 @@
 #include "anatomy/anatomized_tables.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "obs/trace.h"
 #include "query/estimator_scratch.h"
 #include "query/group_kernels.h"
 #include "query/predicate.h"
@@ -110,8 +111,14 @@ class DistNode {
   /// call, so coordinator-side replay is deterministic). Every call probes
   /// the manifest root on the faulted disk — that read is where crashes,
   /// transients, corruption, and stalls of the node's device surface.
+  ///
+  /// `trace`, when non-null and recording, carries the coordinator's causal
+  /// identity: the call emits virtual-time child spans (serve/probe/partials)
+  /// on the context's lane under the context's parent span, so a merged
+  /// export shows all N nodes of a query on one timeline.
   ServeResult Serve(const CountQuery& query, bool need_sum, size_t measure_qi,
-                    uint64_t budget_ns, Rng& rng);
+                    uint64_t budget_ns, Rng& rng,
+                    const obs::TraceContext* trace = nullptr);
 
  private:
   DistNodeOptions options_;

@@ -8,7 +8,32 @@
 
 namespace anatomy {
 
-CanonicalFoldResult CanonicalFold(
+namespace {
+
+// One flight-recorder append. Log() itself is a single relaxed load when
+// recording is disabled, so this is safe on the per-attempt path.
+void LogFlight(obs::FlightEventType type, obs::ReasonCode reason, uint64_t t_ns,
+               uint64_t trace_id, uint64_t epoch, int32_t node,
+               int64_t detail) {
+  obs::FlightRecord r;
+  r.t_ns = t_ns;
+  r.trace_id = trace_id;
+  r.detail = detail;
+  r.epoch = epoch;
+  r.node = node;
+  r.type = type;
+  r.reason = reason;
+  obs::FlightRecorder::Global().Log(r);
+}
+
+}  // namespace
+
+// noinline is load-bearing: the fold's bit-identity contract requires every
+// caller (the estimator, the chaos harness, the tests) to run the SAME
+// machine code. Inlined copies may be FP-contracted differently (FMA under
+// -march=native + -ffp-contract=fast) than the out-of-line symbol, which
+// breaks exact == comparisons by one ULP.
+__attribute__((noinline)) CanonicalFoldResult CanonicalFold(
     std::span<const AnatomyQueryEngine::GroupAggregatePartial> partials) {
   CanonicalFoldResult r;
   for (const auto& p : partials) {
@@ -43,7 +68,7 @@ uint64_t ScatterGatherEstimator::CurrentHedgeDelayNs() {
 
 ScatterGatherEstimator::NodeAttempt ScatterGatherEstimator::QueryNode(
     size_t i, const CountQuery& predicates, bool need_sum, size_t measure_qi,
-    Rng& rng, PartialEstimate* stats) {
+    Rng& rng, PartialEstimate* stats, const obs::TraceContext& ctx) {
   NodeAttempt out;
   DistNode* node = cluster_->node(i);
   const uint64_t deadline = options_.deadline_ns;
@@ -51,17 +76,21 @@ ScatterGatherEstimator::NodeAttempt ScatterGatherEstimator::QueryNode(
   const int max_attempts =
       options_.retry.max_attempts > 0 ? options_.retry.max_attempts : 1;
   obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  const uint64_t epoch = cluster_->epoch();
+  const int32_t node_id = static_cast<int32_t>(i);
 
   uint64_t now = 0;
   bool hedged = false;
   for (int attempt = 0;; ++attempt) {
     if (now >= deadline) {
-      out.outcome = NodeQueryOutcome::kTimeout;
+      out.reason = obs::ReasonCode::kDeadlineExhausted;
       out.finish_ns = deadline;
       return out;
     }
-    DistNode::ServeResult primary =
-        node->Serve(predicates, need_sum, measure_qi, deadline - now, rng);
+    obs::TraceContext attempt_ctx = ctx;
+    attempt_ctx.virtual_start_ns = ctx.virtual_start_ns + now;
+    DistNode::ServeResult primary = node->Serve(
+        predicates, need_sum, measure_qi, deadline - now, rng, &attempt_ctx);
     const uint64_t primary_finish = now + primary.service_ns;
     const bool primary_ok = primary.status.ok() && !primary.late;
     if (primary.late) registry.GetCounter("dist.deadline_propagated")->Increment();
@@ -69,15 +98,20 @@ ScatterGatherEstimator::NodeAttempt ScatterGatherEstimator::QueryNode(
     // Hedge: a duplicate launched hedge_delay after the primary, if the
     // primary is still outstanding by then. At most one per node per query.
     DistNode::ServeResult hedge;
+    uint64_t hedge_start = 0;
     uint64_t hedge_finish = 0;
     bool hedge_ok = false;
+    bool hedge_launched = false;
     if (options_.hedging && !hedged && primary.service_ns > hedge_delay &&
         now + hedge_delay < deadline) {
       hedged = true;
+      hedge_launched = true;
       ++stats->hedges;
-      const uint64_t hedge_start = now + hedge_delay;
+      hedge_start = now + hedge_delay;
+      obs::TraceContext hedge_ctx = ctx;
+      hedge_ctx.virtual_start_ns = ctx.virtual_start_ns + hedge_start;
       hedge = node->Serve(predicates, need_sum, measure_qi,
-                          deadline - hedge_start, rng);
+                          deadline - hedge_start, rng, &hedge_ctx);
       hedge_finish = hedge_start + hedge.service_ns;
       hedge_ok = hedge.status.ok() && !hedge.late;
       if (hedge.late) {
@@ -90,34 +124,49 @@ ScatterGatherEstimator::NodeAttempt ScatterGatherEstimator::QueryNode(
     if (primary_ok || hedge_ok) {
       const bool hedge_wins =
           hedge_ok && (!primary_ok || hedge_finish < primary_finish);
+      if (hedge_launched) {
+        LogFlight(obs::FlightEventType::kHedge, obs::ReasonCode::kOk,
+                  ctx.virtual_start_ns + hedge_start, ctx.trace_id, epoch,
+                  node_id, hedge_wins ? 1 : 0);
+      }
       DistNode::ServeResult* winner = hedge_wins ? &hedge : &primary;
       if (hedge_wins) ++stats->hedge_wins;
-      out.outcome = NodeQueryOutcome::kOk;
+      out.reason = obs::ReasonCode::kOk;
       out.finish_ns = hedge_wins ? hedge_finish : primary_finish;
       out.rows = winner->rows;
       out.partials = std::move(winner->partials);
       latency_.Record(winner->service_ns);
       return out;
     }
+    if (hedge_launched) {
+      LogFlight(obs::FlightEventType::kHedge, obs::ReasonCode::kNone,
+                ctx.virtual_start_ns + hedge_start, ctx.trace_id, epoch,
+                node_id, 0);
+    }
 
     // Both lost. Classify off the primary: a late response means the
     // deadline itself is spent; a permanent error cannot be retried away.
     if (primary.status.ok() && primary.late) {
-      out.outcome = NodeQueryOutcome::kTimeout;
+      out.reason = obs::ReasonCode::kLateResponse;
       out.finish_ns = deadline;
       return out;
     }
     if (!primary.status.IsTransient()) {
-      out.outcome = NodeQueryOutcome::kUnavailable;
+      out.reason = primary.status.code() == StatusCode::kFailedPrecondition
+                       ? obs::ReasonCode::kInactiveNode
+                       : obs::ReasonCode::kPermanentError;
       out.finish_ns = std::min(primary_finish, deadline);
       return out;
     }
     if (attempt + 1 >= max_attempts) {
-      out.outcome = NodeQueryOutcome::kTimeout;
+      out.reason = obs::ReasonCode::kRetriesExhausted;
       out.finish_ns = std::min(primary_finish, deadline);
       return out;
     }
     ++stats->retries;
+    LogFlight(obs::FlightEventType::kRetry, obs::ReasonCode::kTransientError,
+              ctx.virtual_start_ns + primary_finish, ctx.trace_id, epoch,
+              node_id, attempt);
     const uint64_t backoff_ns =
         static_cast<uint64_t>(RetryBackoff(options_.retry, attempt, rng)
                                   .count()) *
@@ -141,9 +190,21 @@ StatusOr<PartialEstimate> ScatterGatherEstimator::Estimate(
   obs::MetricRegistry& registry = obs::MetricRegistry::Global();
   registry.GetCounter("dist.queries")->Increment();
 
+  // Causal identity. The trace id is allocated even when tracing is off:
+  // flight-recorder events still need to correlate with the estimate (and
+  // with each other) in the chaos harness.
+  obs::TraceRecorder& tracer = obs::TraceRecorder::Global();
+  const bool tracing = tracer.enabled();
+  const uint64_t trace_id = obs::TraceRecorder::NewId();
+  const uint64_t root_span = tracing ? obs::TraceRecorder::NewId() : 0;
+  last_trace_id_ = trace_id;
+  const uint64_t qstart = virtual_now_;
+  const uint64_t epoch = cluster_->epoch();
+
   PartialEstimate est;
+  est.trace_id = trace_id;
   est.total_rows = cluster_->total_rows();
-  est.outcomes.assign(cluster_->num_nodes(), NodeQueryOutcome::kNoShard);
+  est.reasons.assign(cluster_->num_nodes(), obs::ReasonCode::kNoShard);
 
   // Fan out in node order — ascending global group ids, the canonical merge
   // order. The fan-out is parallel in wall-clock terms: virtual_ns is the
@@ -154,24 +215,34 @@ StatusOr<PartialEstimate> ScatterGatherEstimator::Estimate(
   for (size_t i = 0; i < cluster_->num_nodes(); ++i) {
     if (cluster_->record().nodes[i].root == kInvalidPageId) continue;
     ++shard_nodes;
-    NodeAttempt attempt =
-        QueryNode(i, query.predicates, need_sum, query.measure_qi, rng, &est);
-    est.outcomes[i] = attempt.outcome;
+    obs::TraceContext ctx;
+    ctx.trace_id = trace_id;
+    ctx.parent_span = root_span;
+    ctx.virtual_start_ns = qstart;
+    ctx.lane = static_cast<uint32_t>(i) + 1;  // lane 0 is the coordinator
+    ctx.recording = tracing;
+    NodeAttempt attempt = QueryNode(i, query.predicates, need_sum,
+                                    query.measure_qi, rng, &est, ctx);
+    est.reasons[i] = attempt.reason;
     est.virtual_ns = std::max(est.virtual_ns, attempt.finish_ns);
-    switch (attempt.outcome) {
-      case NodeQueryOutcome::kOk:
+    switch (obs::ClassOf(attempt.reason)) {
+      case obs::ReasonClass::kOkClass:
         ++responded;
         est.covered_rows += attempt.rows;
         merged.insert(merged.end(), attempt.partials.begin(),
                       attempt.partials.end());
         break;
-      case NodeQueryOutcome::kTimeout:
+      case obs::ReasonClass::kTimeoutClass:
         registry.GetCounter("dist.node_timeout")->Increment();
+        LogFlight(obs::FlightEventType::kQueryDegraded, attempt.reason,
+                  qstart + attempt.finish_ns, trace_id, epoch,
+                  static_cast<int32_t>(i), 0);
         break;
-      case NodeQueryOutcome::kUnavailable:
+      case obs::ReasonClass::kUnavailableClass:
         registry.GetCounter("dist.node_unavailable")->Increment();
-        break;
-      case NodeQueryOutcome::kNoShard:
+        LogFlight(obs::FlightEventType::kQueryDegraded, attempt.reason,
+                  qstart + attempt.finish_ns, trace_id, epoch,
+                  static_cast<int32_t>(i), 0);
         break;
     }
   }
@@ -180,11 +251,46 @@ StatusOr<PartialEstimate> ScatterGatherEstimator::Estimate(
   registry.GetCounter("dist.retries")->Increment(est.retries);
   registry.GetHistogram("dist.query_ns")->Record(est.virtual_ns);
 
+  // Root span on the coordinator lane, covering the whole virtual fan-out;
+  // emitted on every path so merged exports always show the query. Also
+  // advances the estimator's virtual clock so back-to-back queries tile the
+  // merged timeline instead of overlapping at t=0.
+  auto finish_query = [&]() {
+    if (tracing) {
+      obs::TraceEvent ev;
+      ev.name = "dist.query";
+      ev.category = "dist";
+      ev.start_ns = qstart;
+      ev.dur_ns = est.virtual_ns;
+      ev.trace_id = trace_id;
+      ev.span_id = root_span;
+      ev.parent_id = 0;
+      ev.lane = 0;
+      ev.virtual_time = true;
+      ev.AddArg("nodes", static_cast<int64_t>(shard_nodes));
+      ev.AddArg("responded", static_cast<int64_t>(responded));
+      ev.AddArg("hedges", static_cast<int64_t>(est.hedges));
+      ev.AddArg("retries", static_cast<int64_t>(est.retries));
+      tracer.RecordEvent(ev);
+    }
+    virtual_now_ += est.virtual_ns + 1;
+  };
+
   if (shard_nodes == 0) {
+    LogFlight(obs::FlightEventType::kQueryUnavailable,
+              obs::ReasonCode::kNoPublication, qstart, trace_id, epoch, -1, 0);
+    finish_query();
+    obs::FlightRecorder::Global().MaybeDumpOnError(
+        "query: current epoch has no publication");
     return Status::FailedPrecondition("current epoch has no publication");
   }
   if (responded == 0) {
     registry.GetCounter("dist.degraded")->Increment();
+    LogFlight(obs::FlightEventType::kQueryUnavailable,
+              obs::ReasonCode::kAllNodesLost, qstart + est.virtual_ns, trace_id,
+              epoch, -1, static_cast<int64_t>(shard_nodes));
+    finish_query();
+    obs::FlightRecorder::Global().MaybeDumpOnError("query: all nodes lost");
     return Status::Unavailable(
         "no node answered within the deadline (" +
         std::to_string(shard_nodes) + " queried)");
@@ -198,6 +304,7 @@ StatusOr<PartialEstimate> ScatterGatherEstimator::Estimate(
     est.lower = est.value;
     est.upper = est.value;
     registry.GetCounter("dist.exact")->Increment();
+    finish_query();
     return est;
   }
 
@@ -226,6 +333,7 @@ StatusOr<PartialEstimate> ScatterGatherEstimator::Estimate(
     est.lower = est.value - missing * max_abs;
     est.upper = est.value + missing * max_abs;
   }
+  finish_query();
   return est;
 }
 

@@ -37,7 +37,9 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "dist/cluster.h"
+#include "obs/flightrec.h"
 #include "obs/quantile.h"
+#include "obs/trace.h"
 #include "query/aggregate.h"
 #include "query/group_kernels.h"
 #include "storage/recovery.h"
@@ -64,18 +66,10 @@ struct DistQueryOptions {
   uint64_t seed = 0xD157;
 };
 
-/// How one node's ladder ended.
-enum class NodeQueryOutcome {
-  /// Node has no shard this epoch; it is not part of the query at all.
-  kNoShard,
-  kOk,
-  /// Deadline exhausted (late responses, or retries ran out of budget).
-  kTimeout,
-  /// Permanent failure: lost/corrupt publication or inactive node.
-  kUnavailable,
-};
-
-/// An honestly-labeled aggregate answer.
+/// An honestly-labeled aggregate answer. Per-node outcomes are
+/// obs::ReasonCode values — the same enum the flight recorder logs and the
+/// chaos harness asserts on, so "why did node 3 degrade" is answered by
+/// value equality, never substring matching.
 struct PartialEstimate {
   double value = 0.0;
   /// True iff every shard-bearing node responded: `value` is bit-identical
@@ -91,8 +85,13 @@ struct PartialEstimate {
   /// times the measure attribute's maximum absolute value (SUM).
   double lower = 0.0;
   double upper = 0.0;
-  /// Per-node ladder outcomes, indexed by node.
-  std::vector<NodeQueryOutcome> outcomes;
+  /// Per-node ladder outcomes, indexed by node. kNoShard for nodes outside
+  /// the query; ClassOf() gives the coarse ok/timeout/unavailable view.
+  std::vector<obs::ReasonCode> reasons;
+  /// Causal identity of this query: every trace span and flight-recorder
+  /// event the query produced carries this id (allocated even when tracing
+  /// is off, so recorder events stay matchable).
+  uint64_t trace_id = 0;
   /// Virtual end-to-end latency: slowest node completion in the simulated
   /// parallel fan-out.
   uint64_t virtual_ns = 0;
@@ -130,23 +129,37 @@ class ScatterGatherEstimator {
   /// The hedge delay the next query would use (exposed for tests).
   uint64_t CurrentHedgeDelayNs();
 
+  /// Trace id of the most recent Estimate() call, including calls that
+  /// returned an error (errors carry no PartialEstimate, but their flight
+  /// events still need correlating).
+  uint64_t last_trace_id() const { return last_trace_id_; }
+
+  /// The estimator's running virtual clock: queries lay out sequentially on
+  /// the merged virtual timeline starting here.
+  uint64_t virtual_now_ns() const { return virtual_now_; }
+
  private:
   struct NodeAttempt {
-    NodeQueryOutcome outcome = NodeQueryOutcome::kNoShard;
+    obs::ReasonCode reason = obs::ReasonCode::kNoShard;
     uint64_t finish_ns = 0;
     uint64_t rows = 0;
     std::vector<AnatomyQueryEngine::GroupAggregatePartial> partials;
   };
   /// Runs one node's full ladder (primary + hedge + retries) in virtual
   /// time, charging against the deadline. `stats` accumulates into the
-  /// estimate being built.
+  /// estimate being built; `ctx` carries the query's causal identity (node
+  /// spans become children of the query's root span, stamped with virtual
+  /// time from ctx.virtual_start_ns).
   NodeAttempt QueryNode(size_t i, const CountQuery& predicates, bool need_sum,
-                        size_t measure_qi, Rng& rng, PartialEstimate* stats);
+                        size_t measure_qi, Rng& rng, PartialEstimate* stats,
+                        const obs::TraceContext& ctx);
 
   DistCluster* cluster_;
   DistQueryOptions options_;
   obs::SlidingQuantile latency_;
   uint64_t query_index_ = 0;
+  uint64_t virtual_now_ = 0;
+  uint64_t last_trace_id_ = 0;
 };
 
 }  // namespace anatomy

@@ -1,0 +1,214 @@
+#include "obs/flightrec.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace anatomy {
+namespace obs {
+
+namespace {
+
+/// Keyed by the recorder's instance id, not its address: a new recorder can
+/// be constructed where a destroyed one lived, and an address key would then
+/// hand back that dead recorder's freed ring.
+struct ThreadCache {
+  uint64_t recorder_id = 0;
+  void* ring = nullptr;
+};
+thread_local ThreadCache tl_cache;
+
+uint64_t NextRecorderInstanceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const char* ReasonCodeName(ReasonCode reason) {
+  switch (reason) {
+    case ReasonCode::kNone: return "none";
+    case ReasonCode::kOk: return "ok";
+    case ReasonCode::kNoShard: return "no-shard";
+    case ReasonCode::kDeadlineExhausted: return "deadline-exhausted";
+    case ReasonCode::kLateResponse: return "late-response";
+    case ReasonCode::kRetriesExhausted: return "retries-exhausted";
+    case ReasonCode::kTransientError: return "transient-error";
+    case ReasonCode::kInactiveNode: return "inactive-node";
+    case ReasonCode::kPermanentError: return "permanent-error";
+    case ReasonCode::kAllNodesLost: return "all-nodes-lost";
+    case ReasonCode::kNoPublication: return "no-publication";
+    case ReasonCode::kPrepareFailed: return "prepare-failed";
+    case ReasonCode::kCommitFailed: return "commit-failed";
+    case ReasonCode::kActivationFailed: return "activation-failed";
+    case ReasonCode::kCoordinatorKilled: return "coordinator-killed";
+    case ReasonCode::kFaultInjected: return "fault-injected";
+    case ReasonCode::kSloBurn: return "slo-burn";
+  }
+  return "unknown";
+}
+
+ReasonClass ClassOf(ReasonCode reason) {
+  switch (reason) {
+    case ReasonCode::kNone:
+    case ReasonCode::kOk:
+    case ReasonCode::kNoShard:
+      return ReasonClass::kOkClass;
+    case ReasonCode::kDeadlineExhausted:
+    case ReasonCode::kLateResponse:
+    case ReasonCode::kRetriesExhausted:
+    case ReasonCode::kTransientError:
+      return ReasonClass::kTimeoutClass;
+    default:
+      return ReasonClass::kUnavailableClass;
+  }
+}
+
+const char* FlightEventTypeName(FlightEventType type) {
+  switch (type) {
+    case FlightEventType::kEpochPrepare: return "epoch-prepare";
+    case FlightEventType::kEpochCommit: return "epoch-commit";
+    case FlightEventType::kEpochActivate: return "epoch-activate";
+    case FlightEventType::kEpochGc: return "epoch-gc";
+    case FlightEventType::kRecovery: return "recovery";
+    case FlightEventType::kQueryDegraded: return "query-degraded";
+    case FlightEventType::kQueryUnavailable: return "query-unavailable";
+    case FlightEventType::kRetry: return "retry";
+    case FlightEventType::kHedge: return "hedge";
+    case FlightEventType::kFaultInjected: return "fault-injected";
+    case FlightEventType::kSloTransition: return "slo-transition";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder() : instance_id_(NextRecorderInstanceId()) {}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();  // never destroyed
+  return *recorder;
+}
+
+FlightRecorder::ThreadRing* FlightRecorder::RingForThisThread() {
+  if (tl_cache.recorder_id == instance_id_) {
+    return static_cast<ThreadRing*>(tl_cache.ring);
+  }
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  ThreadRing*& slot = by_thread_[std::this_thread::get_id()];
+  if (slot == nullptr) {
+    auto ring = std::make_unique<ThreadRing>();
+    ring->ring.resize(kFlightRingCapacity);
+    slot = ring.get();
+    rings_.push_back(std::move(ring));
+  }
+  tl_cache.recorder_id = instance_id_;
+  tl_cache.ring = slot;
+  return slot;
+}
+
+void FlightRecorder::Log(FlightRecord record) {
+  if (!enabled()) return;
+  record.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  ThreadRing* ring = RingForThisThread();
+  std::lock_guard<std::mutex> lock(ring->mu);
+  ring->ring[ring->head % kFlightRingCapacity] = record;
+  ++ring->head;
+}
+
+size_t FlightRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  size_t total = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    total += static_cast<size_t>(
+        std::min<uint64_t>(ring->head, kFlightRingCapacity));
+  }
+  return total;
+}
+
+uint64_t FlightRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    if (ring->head > kFlightRingCapacity) {
+      total += ring->head - kFlightRingCapacity;
+    }
+  }
+  return total;
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    ring->head = 0;
+  }
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::vector<FlightRecord> out;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    const uint64_t retained =
+        std::min<uint64_t>(ring->head, kFlightRingCapacity);
+    for (uint64_t k = ring->head - retained; k < ring->head; ++k) {
+      out.push_back(ring->ring[k % kFlightRingCapacity]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightRecord& a, const FlightRecord& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::string FlightRecorder::ExportJson() const {
+  const std::vector<FlightRecord> records = Snapshot();
+  std::ostringstream os;
+  os << "{\"dropped\":" << dropped() << ",\"events\":[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const FlightRecord& r = records[i];
+    if (i != 0) os << ",";
+    os << "{\"seq\":" << r.seq << ",\"t_ns\":" << r.t_ns << ",\"type\":\""
+       << FlightEventTypeName(r.type) << "\",\"reason\":\""
+       << ReasonCodeName(r.reason) << "\",\"node\":" << r.node
+       << ",\"epoch\":" << r.epoch << ",\"trace_id\":" << r.trace_id
+       << ",\"detail\":" << r.detail << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+Status FlightRecorder::WriteJson(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    return Status::NotFound("cannot open '" + path + "' for writing");
+  }
+  os << ExportJson();
+  if (!os.good()) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+void FlightRecorder::SetDumpPath(const std::string& path) {
+  std::lock_guard<std::mutex> lock(dump_mu_);
+  dump_path_ = path;
+}
+
+void FlightRecorder::MaybeDumpOnError(const char* why) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(dump_mu_);
+    path = dump_path_;
+  }
+  if (path.empty()) return;
+  std::ofstream os(path);
+  if (!os) return;  // never turn one error into two
+  os << "{\"why\":\"" << (why != nullptr ? why : "") << "\",\"flightrec\":"
+     << ExportJson() << "}";
+}
+
+}  // namespace obs
+}  // namespace anatomy

@@ -1,0 +1,201 @@
+// Flight recorder: a fixed-size, per-thread ring of structured events that
+// explains *why* the serving and publish paths did what they did — epoch
+// phase transitions, degradation-ladder decisions, retry/hedge outcomes,
+// injected faults, SLO alert transitions. Where metrics answer "how many"
+// and traces answer "when", the flight recorder answers "why", cheaply
+// enough to leave on in production: one ring append per decision, no
+// allocation, no strings on the hot path.
+//
+// Reason codes are the single shared vocabulary for degradation: the
+// scatter-gather estimator labels each node's outcome with a ReasonCode, the
+// chaos harness asserts on those values (not substrings), and the recorder
+// logs the same code — so every degraded or unavailable response in the
+// chaos sweep is explainable by value-matching a recorder event.
+//
+// On any non-OK publish/query path, callers invoke MaybeDumpOnError() which
+// writes the merged ring to the configured dump path (off by default).
+//
+// Determinism contract: recording is strictly out-of-band — it never feeds
+// back into partitioning, RNG streams, or estimates.
+
+#ifndef ANATOMY_OBS_FLIGHTREC_H_
+#define ANATOMY_OBS_FLIGHTREC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace anatomy {
+namespace obs {
+
+/// Why a node attempt, a query, or a publish phase ended the way it did.
+/// Shared by the scatter-gather degradation ladder, the chaos assertions,
+/// and the flight recorder — one enum, matched by value everywhere.
+enum class ReasonCode : uint8_t {
+  kNone = 0,
+  /// Attempt succeeded.
+  kOk,
+  /// Node holds no shard of the current epoch (not a failure).
+  kNoShard,
+  /// The per-query budget was already spent before an attempt could start.
+  kDeadlineExhausted,
+  /// The node answered, but after its propagated deadline.
+  kLateResponse,
+  /// Transient failures outlasted the retry schedule.
+  kRetriesExhausted,
+  /// A single attempt failed with a retryable (transient) error.
+  kTransientError,
+  /// Node has no active publication (deactivated after a failed recovery).
+  kInactiveNode,
+  /// Permanent storage error (lost/corrupt publication).
+  kPermanentError,
+  /// Whole-query outcome: no node produced a usable answer.
+  kAllNodesLost,
+  /// Whole-query outcome: the current epoch has no publication at all.
+  kNoPublication,
+  /// Publish pipeline: PREPARE failed on some shard.
+  kPrepareFailed,
+  /// Publish pipeline: the epoch record COMMIT failed (prepared publications
+  /// were rolled back).
+  kCommitFailed,
+  /// Publish pipeline: a node failed to ACTIVATE the committed epoch.
+  kActivationFailed,
+  /// Publish pipeline: the coordinator was killed at a SwapKillPoint.
+  kCoordinatorKilled,
+  /// Injected fault fired (kFaultInjected events; detail = fault kind).
+  kFaultInjected,
+  /// An SLO burn-rate alert fired.
+  kSloBurn,
+};
+
+/// Stable lowercase token for a reason code (never nullptr).
+const char* ReasonCodeName(ReasonCode reason);
+
+/// Coarse classification the estimator's merge logic switches on.
+enum class ReasonClass : uint8_t {
+  /// Usable answer (kOk) or nothing expected (kNone, kNoShard).
+  kOkClass,
+  /// Deadline-shaped failures a longer budget might have cured.
+  kTimeoutClass,
+  /// Permanent failures retries cannot cure.
+  kUnavailableClass,
+};
+ReasonClass ClassOf(ReasonCode reason);
+
+enum class FlightEventType : uint8_t {
+  kEpochPrepare = 0,
+  kEpochCommit,
+  kEpochActivate,
+  kEpochGc,
+  kRecovery,
+  /// A node attempt failed inside an otherwise-answerable query.
+  kQueryDegraded,
+  /// A whole query returned a clean error instead of an answer.
+  kQueryUnavailable,
+  kRetry,
+  kHedge,
+  kFaultInjected,
+  kSloTransition,
+};
+const char* FlightEventTypeName(FlightEventType type);
+
+/// One structured decision record. POD: ring slots are fixed-size, appends
+/// copy 48 bytes and touch nothing else.
+struct FlightRecord {
+  /// Global order stamp (assigned by Log); snapshots sort on it.
+  uint64_t seq = 0;
+  /// Event time — virtual ns on the serving path, wall ns elsewhere.
+  uint64_t t_ns = 0;
+  /// Correlates with the query's TraceEvent.trace_id (0 when not in a query).
+  uint64_t trace_id = 0;
+  /// Free per-type payload (attempt number, epoch phase detail, burn rate
+  /// in thousandths, stall ns, ...).
+  int64_t detail = 0;
+  /// Epoch the event concerns (0 when not epoch-scoped).
+  uint64_t epoch = 0;
+  /// Node index, or -1 for coordinator/global events.
+  int32_t node = -1;
+  FlightEventType type = FlightEventType::kEpochPrepare;
+  ReasonCode reason = ReasonCode::kNone;
+};
+
+/// Records kept per thread before the oldest are overwritten.
+inline constexpr size_t kFlightRingCapacity = 8192;
+
+class FlightRecorder {
+ public:
+  FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The process-wide recorder every instrumentation site logs into.
+  static FlightRecorder& Global();
+
+  /// Recording defaults to ON — the whole point of a flight recorder is
+  /// being there when something goes wrong. The switch exists for overhead
+  /// experiments; a disabled Log is one relaxed load.
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends one record (seq is stamped here; the caller's value is
+  /// ignored) to the calling thread's ring.
+  void Log(FlightRecord record);
+
+  /// Records currently retained across all threads.
+  size_t event_count() const;
+  /// Records overwritten by ring wraparound so far.
+  uint64_t dropped() const;
+
+  /// Drops all retained records; thread rings stay registered.
+  void Clear();
+
+  /// Retained records merged across threads, sorted by seq.
+  std::vector<FlightRecord> Snapshot() const;
+
+  /// JSON array-of-objects dump of Snapshot().
+  std::string ExportJson() const;
+  Status WriteJson(const std::string& path) const;
+
+  /// Where MaybeDumpOnError writes; empty (the default) disables dumping.
+  void SetDumpPath(const std::string& path);
+
+  /// Called on non-OK publish/query paths: writes the merged ring to the
+  /// dump path, if one is configured. `why` is recorded in the dump header.
+  /// Never fails the caller — a recorder must not turn an error into two.
+  void MaybeDumpOnError(const char* why);
+
+ private:
+  struct ThreadRing {
+    mutable std::mutex mu;
+    std::vector<FlightRecord> ring;
+    uint64_t head = 0;
+  };
+
+  ThreadRing* RingForThisThread();
+
+  /// Process-unique, never reused: the per-thread ring cache keys on this
+  /// rather than the recorder's address, so a recorder constructed at a
+  /// freed recorder's address can never hit the stale cache entry.
+  const uint64_t instance_id_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> next_seq_{1};
+  mutable std::mutex registry_mu_;
+  std::vector<std::unique_ptr<ThreadRing>> rings_;
+  std::unordered_map<std::thread::id, ThreadRing*> by_thread_;
+  mutable std::mutex dump_mu_;
+  std::string dump_path_;
+};
+
+}  // namespace obs
+}  // namespace anatomy
+
+#endif  // ANATOMY_OBS_FLIGHTREC_H_

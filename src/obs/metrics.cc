@@ -17,10 +17,31 @@ size_t Log2Floor(uint64_t v) {
   return log;
 }
 
+/// Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*. The
+/// `anatomy_` prefix guarantees a valid first character; every byte the
+/// charset does not admit (dots, dashes, quotes, anything) maps to '_'.
 std::string PrometheusName(const std::string& name) {
   std::string out = "anatomy_";
   for (char c : name) {
-    out.push_back((c == '.' || c == '-') ? '_' : c);
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(valid ? c : '_');
+  }
+  return out;
+}
+
+/// HELP text escaping per the exposition format: backslash and newline.
+std::string PrometheusHelpEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
   }
   return out;
 }
@@ -206,21 +227,32 @@ Histogram* MetricRegistry::GetHistogram(const std::string& name) {
   return slot.get();
 }
 
+void MetricRegistry::SetHelp(const std::string& name,
+                             const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  help_[name] = help;
+}
+
 MetricsSnapshot MetricRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
+  const auto help_for = [this](const std::string& name) {
+    const auto it = help_.find(name);
+    return it == help_.end() ? std::string() : it->second;
+  };
   MetricsSnapshot snapshot;
   snapshot.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
-    snapshot.counters.push_back({name, counter->value()});
+    snapshot.counters.push_back({name, help_for(name), counter->value()});
   }
   snapshot.gauges.reserve(gauges_.size());
   for (const auto& [name, gauge] : gauges_) {
-    snapshot.gauges.push_back({name, gauge->value()});
+    snapshot.gauges.push_back({name, help_for(name), gauge->value()});
   }
   snapshot.histograms.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) {
     MetricsSnapshot::HistogramEntry entry;
     entry.name = name;
+    entry.help = help_for(name);
     entry.count = histogram->count();
     entry.sum = histogram->sum();
     entry.min = histogram->min();
@@ -271,16 +303,28 @@ std::string MetricsSnapshot::ToText() const {
 
 std::string MetricsSnapshot::ToPrometheus() const {
   std::ostringstream os;
+  // HELP precedes TYPE precedes samples, per metric. Unregistered help
+  // falls back to the original dotted name, which at least round-trips the
+  // pre-sanitization identity through scrapes.
+  const auto help_line = [&os](const std::string& name,
+                               const std::string& help,
+                               const std::string& original) {
+    os << "# HELP " << name << " "
+       << PrometheusHelpEscape(help.empty() ? original : help) << "\n";
+  };
   for (const auto& c : counters) {
     const std::string name = PrometheusName(c.name);
+    help_line(name, c.help, c.name);
     os << "# TYPE " << name << " counter\n" << name << " " << c.value << "\n";
   }
   for (const auto& g : gauges) {
     const std::string name = PrometheusName(g.name);
+    help_line(name, g.help, g.name);
     os << "# TYPE " << name << " gauge\n" << name << " " << g.value << "\n";
   }
   for (const auto& h : histograms) {
     const std::string name = PrometheusName(h.name);
+    help_line(name, h.help, h.name);
     os << "# TYPE " << name << " histogram\n";
     uint64_t cumulative = 0;
     for (const auto& [upper, count] : h.buckets) {

@@ -134,14 +134,17 @@ class Histogram {
 struct MetricsSnapshot {
   struct CounterEntry {
     std::string name;
+    std::string help;
     uint64_t value = 0;
   };
   struct GaugeEntry {
     std::string name;
+    std::string help;
     int64_t value = 0;
   };
   struct HistogramEntry {
     std::string name;
+    std::string help;
     uint64_t count = 0;
     uint64_t sum = 0;
     uint64_t min = 0;
@@ -182,6 +185,10 @@ class MetricRegistry {
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
+  /// Attaches HELP text (shared across the metric kinds for `name`) emitted
+  /// by ToPrometheus(). Idempotent; last writer wins.
+  void SetHelp(const std::string& name, const std::string& help);
+
   MetricsSnapshot Snapshot() const;
 
   /// Zeroes every registered metric (the metrics stay registered).
@@ -192,6 +199,7 @@ class MetricRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::string> help_;
 };
 
 }  // namespace obs

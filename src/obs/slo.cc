@@ -1,0 +1,232 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "obs/flightrec.h"
+#include "obs/trace.h"
+
+namespace anatomy {
+namespace obs {
+
+namespace {
+
+/// Inclusive lower bound of histogram bucket i.
+uint64_t BucketLowerBound(size_t i) {
+  if (i == 0) return 0;
+  return Histogram::BucketUpperBound(i - 1) + 1;
+}
+
+/// Window value at quantile q from bucket-count deltas (midpoint-convention
+/// interpolation inside the winning bucket; no min/max clamp — the window
+/// has none).
+uint64_t WindowQuantile(const std::vector<uint64_t>& deltas, uint64_t total,
+                        double q) {
+  if (total == 0) return 0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(
+                                q * static_cast<double>(total))));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    if (deltas[i] == 0) continue;
+    if (cumulative + deltas[i] >= rank) {
+      const double lo = static_cast<double>(BucketLowerBound(i));
+      const double hi = static_cast<double>(Histogram::BucketUpperBound(i));
+      const double in_bucket =
+          (static_cast<double>(rank - cumulative) - 0.5) /
+          static_cast<double>(deltas[i]);
+      return static_cast<uint64_t>(lo + in_bucket * (hi - lo));
+    }
+    cumulative += deltas[i];
+  }
+  return BucketLowerBound(deltas.size() - 1);
+}
+
+}  // namespace
+
+SloEngine::SloEngine(MetricRegistry* registry)
+    : registry_(registry != nullptr ? registry : &MetricRegistry::Global()) {}
+
+SloEngine::Cumulative SloEngine::Read(const SloObjective& spec,
+                                      uint64_t now_ns) const {
+  Cumulative c;
+  c.t_ns = now_ns;
+  if (spec.kind == SloObjective::Kind::kLatencyThreshold) {
+    Histogram* hist = registry_->GetHistogram(spec.histogram);
+    c.buckets.resize(Histogram::kNumBuckets);
+    // Samples are bad iff their whole bucket lies above the threshold
+    // (bucket index > the threshold's bucket): deterministic at bucket
+    // granularity, never counts a sample <= threshold as bad.
+    const size_t first_bad = Histogram::BucketIndex(spec.threshold_ns) + 1;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      c.buckets[i] = hist->bucket_count(i);
+      c.total += c.buckets[i];
+      if (i >= first_bad) c.bad += c.buckets[i];
+    }
+  } else {
+    const uint64_t good = registry_->GetCounter(spec.good_counter)->value();
+    const uint64_t total = registry_->GetCounter(spec.total_counter)->value();
+    c.total = total;
+    c.bad = total > good ? total - good : 0;
+  }
+  return c;
+}
+
+SloWindowStats SloEngine::WindowDelta(const ObjectiveState& state,
+                                      size_t window_ticks) {
+  SloWindowStats w;
+  if (state.ring.empty()) return w;
+  const Cumulative& newest = state.ring.back();
+  const size_t base_index =
+      state.ring.size() > window_ticks ? state.ring.size() - 1 - window_ticks
+                                       : 0;
+  const Cumulative& base = state.ring[base_index];
+  w.total = newest.total >= base.total ? newest.total - base.total : 0;
+  w.bad = newest.bad >= base.bad ? newest.bad - base.bad : 0;
+  const double budget = 1.0 - state.spec.target;
+  if (w.total > 0 && budget > 0.0) {
+    const double bad_fraction =
+        static_cast<double>(w.bad) / static_cast<double>(w.total);
+    w.burn_rate = bad_fraction / budget;
+  }
+  if (state.spec.kind == SloObjective::Kind::kLatencyThreshold &&
+      w.total > 0 && !newest.buckets.empty() && !base.buckets.empty()) {
+    std::vector<uint64_t> deltas(newest.buckets.size(), 0);
+    for (size_t i = 0; i < deltas.size(); ++i) {
+      deltas[i] = newest.buckets[i] >= base.buckets[i]
+                      ? newest.buckets[i] - base.buckets[i]
+                      : 0;
+    }
+    w.quantile_ns = WindowQuantile(deltas, w.total, state.spec.target);
+  }
+  return w;
+}
+
+size_t SloEngine::AddObjective(const SloObjective& objective) {
+  ObjectiveState state;
+  state.spec = objective;
+  // Baseline snapshot: samples recorded before the objective existed never
+  // count against its budget (windows and lifetime both delta against it).
+  state.baseline = Read(objective, last_tick_ns_);
+  state.ring.push_back(state.baseline);
+  objectives_.push_back(std::move(state));
+  return objectives_.size() - 1;
+}
+
+void SloEngine::Tick(uint64_t virtual_now_ns) {
+  ++ticks_;
+  last_tick_ns_ = virtual_now_ns;
+  TraceRecorder& tracer = TraceRecorder::Global();
+  int64_t firing_count = 0;
+  for (size_t i = 0; i < objectives_.size(); ++i) {
+    ObjectiveState& state = objectives_[i];
+    state.ring.push_back(Read(state.spec, virtual_now_ns));
+    const size_t keep = state.spec.slow_window_ticks + 1;
+    while (state.ring.size() > keep) state.ring.pop_front();
+
+    state.status.fast = WindowDelta(state, state.spec.fast_window_ticks);
+    state.status.slow = WindowDelta(state, state.spec.slow_window_ticks);
+    const Cumulative& newest = state.ring.back();
+    state.status.lifetime_total = newest.total >= state.baseline.total
+                                      ? newest.total - state.baseline.total
+                                      : 0;
+    state.status.lifetime_bad =
+        newest.bad >= state.baseline.bad ? newest.bad - state.baseline.bad : 0;
+
+    const bool was_firing = state.status.firing;
+    bool firing = was_firing;
+    if (!was_firing) {
+      // Two-window rule: fast proves it's happening now, slow proves it is
+      // not a blip. Both must burn at the fire rate over non-empty windows.
+      firing = state.status.fast.total > 0 && state.status.slow.total > 0 &&
+               state.status.fast.burn_rate >= state.spec.fire_burn_rate &&
+               state.status.slow.burn_rate >= state.spec.fire_burn_rate;
+    } else {
+      firing = state.status.fast.burn_rate >= state.spec.resolve_burn_rate;
+    }
+    if (firing != was_firing) {
+      state.status.firing = firing;
+      ++state.status.transitions;
+      state.status.last_transition_ns = virtual_now_ns;
+      const int64_t burn_x1000 =
+          static_cast<int64_t>(state.status.fast.burn_rate * 1000.0);
+      if (tracer.enabled()) {
+        TraceEvent event;
+        event.name = firing ? "slo.fire" : "slo.resolve";
+        event.category = "slo";
+        event.start_ns = virtual_now_ns;
+        event.dur_ns = 0;
+        event.trace_id = TraceRecorder::NewId();
+        event.span_id = TraceRecorder::NewId();
+        event.virtual_time = true;
+        event.lane = 0;
+        event.AddArg("objective", static_cast<int64_t>(i));
+        event.AddArg("burn_x1000", burn_x1000);
+        tracer.RecordEvent(event);
+      }
+      FlightRecord record;
+      record.t_ns = virtual_now_ns;
+      record.type = FlightEventType::kSloTransition;
+      record.reason = firing ? ReasonCode::kSloBurn : ReasonCode::kNone;
+      record.detail = burn_x1000;
+      FlightRecorder::Global().Log(record);
+      registry_->GetCounter(firing ? "slo.fired" : "slo.resolved")
+          ->Increment();
+    }
+    if (state.status.firing) ++firing_count;
+  }
+  registry_->GetGauge("slo.firing")->Set(firing_count);
+}
+
+bool SloEngine::AnyFiring() const {
+  for (const ObjectiveState& state : objectives_) {
+    if (state.status.firing) return true;
+  }
+  return false;
+}
+
+uint64_t SloEngine::TotalTransitions() const {
+  uint64_t total = 0;
+  for (const ObjectiveState& state : objectives_) {
+    total += state.status.transitions;
+  }
+  return total;
+}
+
+std::string SloEngine::ReportJson() const {
+  std::ostringstream os;
+  os << "{\"ticks\":" << ticks_ << ",\"virtual_now_ns\":" << last_tick_ns_
+     << ",\"objectives\":[";
+  for (size_t i = 0; i < objectives_.size(); ++i) {
+    const ObjectiveState& state = objectives_[i];
+    const SloObjective& spec = state.spec;
+    const SloObjectiveStatus& st = state.status;
+    if (i != 0) os << ",";
+    os << "{\"name\":\"" << spec.name << "\",\"kind\":\""
+       << (spec.kind == SloObjective::Kind::kLatencyThreshold ? "latency"
+                                                              : "ratio")
+       << "\",\"target\":" << spec.target;
+    if (spec.kind == SloObjective::Kind::kLatencyThreshold) {
+      os << ",\"threshold_ns\":" << spec.threshold_ns;
+    }
+    const auto window = [&os](const char* key, const SloWindowStats& w) {
+      os << ",\"" << key << "\":{\"total\":" << w.total << ",\"bad\":" << w.bad
+         << ",\"burn_rate\":" << w.burn_rate
+         << ",\"quantile_ns\":" << w.quantile_ns << "}";
+    };
+    os << ",\"firing\":" << (st.firing ? "true" : "false")
+       << ",\"transitions\":" << st.transitions
+       << ",\"last_transition_ns\":" << st.last_transition_ns;
+    window("fast", st.fast);
+    window("slow", st.slow);
+    os << ",\"lifetime\":{\"total\":" << st.lifetime_total
+       << ",\"bad\":" << st.lifetime_bad << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace anatomy

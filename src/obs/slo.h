@@ -1,0 +1,153 @@
+// SLO engine: objectives over the metrics registry, evaluated as
+// multi-window burn rates in *virtual* time.
+//
+// An objective is either
+//   - a latency threshold over a log-bucketed histogram ("p99 dist.query_ns
+//     stays under the deadline": at most (1 - target) of samples may exceed
+//     threshold_ns), or
+//   - a good/total counter ratio ("exact-answer ratio >= target").
+//
+// Evaluation is driven by Tick(virtual_now_ns) calls from the runners. Each
+// tick snapshots the cumulative bucket counts / counter values into a ring;
+// a window of k ticks is then the *delta* between the newest snapshot and
+// the one k ticks back — no per-sample storage, no second recording path.
+// The burn rate of a window is
+//     (bad fraction in the window) / (1 - target)     [the error budget]
+// so burn 1.0 consumes the budget exactly at the allowed rate. An alert
+// FIRES when both the fast and the slow window burn at >= fire_burn_rate
+// (the classic two-window rule: the fast window proves it's happening now,
+// the slow window proves it's not a blip), and RESOLVES when the fast
+// window drops below resolve_burn_rate. Transitions are recorded as trace
+// events (virtual timeline, category "slo"), flight-recorder events, and
+// counters — so an alert is visible in every export a session already has.
+//
+// Bucket-granularity rule: a histogram sample is "bad" iff its whole bucket
+// lies above the threshold (bucket lower bound > threshold_ns). This makes
+// the verdict deterministic and reproducible from snapshots alone; choose
+// thresholds at bucket boundaries (2^k - 1) when exactness matters.
+//
+// Determinism contract: the engine only *reads* metrics; ticking it never
+// feeds back into estimates or RNG streams.
+
+#ifndef ANATOMY_OBS_SLO_H_
+#define ANATOMY_OBS_SLO_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace anatomy {
+namespace obs {
+
+struct SloObjective {
+  enum class Kind : uint8_t { kLatencyThreshold, kGoodRatio };
+
+  std::string name;
+  Kind kind = Kind::kLatencyThreshold;
+
+  /// kLatencyThreshold: histogram to watch and the per-sample bound.
+  std::string histogram;
+  uint64_t threshold_ns = 0;
+
+  /// kGoodRatio: good/total counters (bad = total - good).
+  std::string good_counter;
+  std::string total_counter;
+
+  /// Target success fraction in (0, 1); error budget = 1 - target.
+  double target = 0.99;
+
+  /// Window lengths in ticks and the two-window thresholds.
+  size_t fast_window_ticks = 3;
+  size_t slow_window_ticks = 12;
+  double fire_burn_rate = 2.0;
+  double resolve_burn_rate = 1.0;
+};
+
+struct SloWindowStats {
+  uint64_t total = 0;
+  uint64_t bad = 0;
+  double burn_rate = 0.0;
+  /// Latency objectives: the window's value at the target quantile
+  /// (bucket-interpolated); 0 for ratio objectives / empty windows.
+  uint64_t quantile_ns = 0;
+};
+
+struct SloObjectiveStatus {
+  bool firing = false;
+  /// Fire + resolve edges since the objective was added.
+  uint64_t transitions = 0;
+  uint64_t last_transition_ns = 0;
+  SloWindowStats fast;
+  SloWindowStats slow;
+  /// Since the objective was added (not windowed).
+  uint64_t lifetime_total = 0;
+  uint64_t lifetime_bad = 0;
+};
+
+/// Not thread-safe: one engine per driving runner. (The registry reads are
+/// atomic; it is the tick ring that is single-writer.)
+class SloEngine {
+ public:
+  /// nullptr watches the global registry.
+  explicit SloEngine(MetricRegistry* registry = nullptr);
+
+  /// Registers an objective and baselines it at the current cumulative
+  /// state — pre-existing samples never count against the budget. Returns
+  /// the objective's index.
+  size_t AddObjective(const SloObjective& objective);
+
+  /// Snapshots every objective and re-evaluates the two-window rule.
+  /// virtual_now_ns must be monotone across ticks.
+  void Tick(uint64_t virtual_now_ns);
+
+  size_t num_objectives() const { return objectives_.size(); }
+  const SloObjective& objective(size_t i) const {
+    return objectives_[i].spec;
+  }
+  const SloObjectiveStatus& status(size_t i) const {
+    return objectives_[i].status;
+  }
+  uint64_t ticks() const { return ticks_; }
+  bool AnyFiring() const;
+  /// Total fire+resolve edges across all objectives.
+  uint64_t TotalTransitions() const;
+
+  /// Machine-readable report (the blob bench_dist_serving embeds).
+  std::string ReportJson() const;
+
+ private:
+  struct Cumulative {
+    uint64_t t_ns = 0;
+    uint64_t total = 0;
+    uint64_t bad = 0;
+    /// Latency objectives only: full bucket array for window quantiles.
+    std::vector<uint64_t> buckets;
+  };
+
+  struct ObjectiveState {
+    SloObjective spec;
+    SloObjectiveStatus status;
+    /// Cumulative state when the objective was added; lifetime stats are
+    /// deltas against it.
+    Cumulative baseline;
+    /// Newest at the back; holds at most slow_window_ticks + 1 entries.
+    std::deque<Cumulative> ring;
+  };
+
+  Cumulative Read(const SloObjective& spec, uint64_t now_ns) const;
+  static SloWindowStats WindowDelta(const ObjectiveState& state,
+                                    size_t window_ticks);
+
+  MetricRegistry* registry_;
+  std::vector<ObjectiveState> objectives_;
+  uint64_t ticks_ = 0;
+  uint64_t last_tick_ns_ = 0;
+};
+
+}  // namespace obs
+}  // namespace anatomy
+
+#endif  // ANATOMY_OBS_SLO_H_

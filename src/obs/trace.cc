@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 namespace anatomy {
@@ -10,19 +11,66 @@ namespace obs {
 namespace {
 
 /// One-entry per-thread cache so the hot Record path skips the registry map.
+/// Keyed by the recorder's instance id, not its address: a new recorder can
+/// be constructed where a destroyed one lived, and an address key would then
+/// hand back that dead recorder's freed buffer.
 struct ThreadCache {
-  const TraceRecorder* recorder = nullptr;
+  uint64_t recorder_id = 0;
   void* buffer = nullptr;
 };
 thread_local ThreadCache tl_cache;
 
+uint64_t NextRecorderInstanceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Enclosing enabled spans on this thread; the top is the parent of the next
+/// ScopedSpan. Only ScopedSpan touches it, always LIFO, so plain thread_local
+/// storage is race-free.
+struct SpanFrame {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+};
+thread_local std::vector<SpanFrame> tl_span_stack;
+
+void AppendEventJson(std::ostringstream& os, const TraceEvent& event,
+                     uint32_t wall_tid) {
+  const uint32_t pid = event.virtual_time ? kVirtualPid : kWallPid;
+  const uint32_t tid = event.virtual_time ? event.lane : wall_tid;
+  os << "{\"name\":\"" << event.name << "\",\"cat\":\"" << event.category
+     << "\",\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid
+     << ",\"ts\":" << static_cast<double>(event.start_ns) / 1e3
+     << ",\"dur\":" << static_cast<double>(event.dur_ns) / 1e3;
+  if (event.span_id != 0) {
+    // Perfetto's flow-id plus a full ids block in args: args survive the
+    // round trip to the UI and tools/validate_trace.py reads them back.
+    os << ",\"id\":" << event.trace_id;
+    os << ",\"args\":{\"trace_id\":" << event.trace_id
+       << ",\"span_id\":" << event.span_id
+       << ",\"parent_id\":" << event.parent_id;
+    for (uint8_t a = 0; a < event.num_args; ++a) {
+      os << ",\"" << event.args[a].key << "\":" << event.args[a].value;
+    }
+    os << "}";
+  }
+  os << "}";
+}
+
 }  // namespace
 
-TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+TraceRecorder::TraceRecorder()
+    : instance_id_(NextRecorderInstanceId()),
+      epoch_(std::chrono::steady_clock::now()) {}
 
 TraceRecorder& TraceRecorder::Global() {
   static TraceRecorder* recorder = new TraceRecorder();  // never destroyed
   return *recorder;
+}
+
+uint64_t TraceRecorder::NewId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
 }
 
 uint64_t TraceRecorder::NowNs() const {
@@ -33,7 +81,7 @@ uint64_t TraceRecorder::NowNs() const {
 }
 
 TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
-  if (tl_cache.recorder == this) {
+  if (tl_cache.recorder_id == instance_id_) {
     return static_cast<ThreadBuffer*>(tl_cache.buffer);
   }
   std::lock_guard<std::mutex> lock(registry_mu_);
@@ -45,17 +93,25 @@ TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
     slot = buffer.get();
     buffers_.push_back(std::move(buffer));
   }
-  tl_cache.recorder = this;
+  tl_cache.recorder_id = instance_id_;
   tl_cache.buffer = slot;
   return slot;
 }
 
 void TraceRecorder::Record(const char* name, const char* category,
                            uint64_t start_ns, uint64_t dur_ns) {
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.start_ns = start_ns;
+  event.dur_ns = dur_ns;
+  RecordEvent(event);
+}
+
+void TraceRecorder::RecordEvent(const TraceEvent& event) {
   ThreadBuffer* buffer = BufferForThisThread();
   std::lock_guard<std::mutex> lock(buffer->mu);
-  buffer->ring[buffer->head % kTraceRingCapacity] =
-      TraceEvent{name, category, start_ns, dur_ns};
+  buffer->ring[buffer->head % kTraceRingCapacity] = event;
   ++buffer->head;
 }
 
@@ -90,11 +146,70 @@ void TraceRecorder::Clear() {
   }
 }
 
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::vector<TraceEvent> out;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    const uint64_t retained =
+        std::min<uint64_t>(buffer->head, kTraceRingCapacity);
+    for (uint64_t k = buffer->head - retained; k < buffer->head; ++k) {
+      out.push_back(buffer->ring[k % kTraceRingCapacity]);
+    }
+  }
+  return out;
+}
+
 std::string TraceRecorder::ExportChromeJson() const {
   std::lock_guard<std::mutex> lock(registry_mu_);
   std::ostringstream os;
+  // Default stream precision (6 significant digits) would round large
+  // virtual timestamps to ~10us granularity and break parent/child time
+  // containment downstream; 15 digits round-trips any ns value < 2^53.
+  os.precision(15);
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
+  const auto emit = [&os, &first](const std::string& json) {
+    if (!first) os << ",";
+    first = false;
+    os << json;
+  };
+
+  // Metadata first: stable process names, one thread_name per registered
+  // buffer (tids are assigned at first record and never reused, so the
+  // pid/tid mapping is identical across repeated exports), and one lane
+  // name per virtual lane that has events.
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":"
+       "\"anatomy\"}}");
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"args\":{\"name\":"
+       "\"anatomy-virtual\"}}");
+  std::set<uint32_t> lanes;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    {
+      std::ostringstream meta;
+      meta << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+           << buffer->tid << ",\"args\":{\"name\":\"thread-" << buffer->tid
+           << "\"}}";
+      emit(meta.str());
+    }
+    const uint64_t retained =
+        std::min<uint64_t>(buffer->head, kTraceRingCapacity);
+    for (uint64_t k = buffer->head - retained; k < buffer->head; ++k) {
+      const TraceEvent& event = buffer->ring[k % kTraceRingCapacity];
+      if (event.virtual_time) lanes.insert(event.lane);
+    }
+  }
+  for (uint32_t lane : lanes) {
+    std::ostringstream meta;
+    meta << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,\"tid\":" << lane
+         << ",\"args\":{\"name\":\""
+         << (lane == 0 ? std::string("coordinator")
+                       : "node-" + std::to_string(lane - 1))
+         << "\"}}";
+    emit(meta.str());
+  }
+
   for (const auto& buffer : buffers_) {
     std::lock_guard<std::mutex> buffer_lock(buffer->mu);
     const uint64_t retained =
@@ -103,10 +218,7 @@ std::string TraceRecorder::ExportChromeJson() const {
       const TraceEvent& event = buffer->ring[k % kTraceRingCapacity];
       if (!first) os << ",";
       first = false;
-      os << "{\"name\":\"" << event.name << "\",\"cat\":\"" << event.category
-         << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << buffer->tid
-         << ",\"ts\":" << static_cast<double>(event.start_ns) / 1e3
-         << ",\"dur\":" << static_cast<double>(event.dur_ns) / 1e3 << "}";
+      AppendEventJson(os, event, buffer->tid);
     }
   }
   os << "]}";
@@ -129,15 +241,43 @@ ScopedSpan::ScopedSpan(const char* name, const char* category)
     : name_(name), category_(category) {
   TraceRecorder& recorder = TraceRecorder::Global();
   active_ = recorder.enabled();
-  if (active_) start_ns_ = recorder.NowNs();
+  if (!active_) return;
+  start_ns_ = recorder.NowNs();
+  span_id_ = TraceRecorder::NewId();
+  if (tl_span_stack.empty()) {
+    trace_id_ = TraceRecorder::NewId();
+    parent_id_ = 0;
+  } else {
+    trace_id_ = tl_span_stack.back().trace_id;
+    parent_id_ = tl_span_stack.back().span_id;
+  }
+  tl_span_stack.push_back(SpanFrame{trace_id_, span_id_});
 }
 
 void ScopedSpan::End() {
   if (!active_) return;
   active_ = false;
+  // Always unwind the stack we pushed onto, even if tracing was flipped off
+  // mid-span (in that case the event itself is dropped).
+  if (!tl_span_stack.empty()) tl_span_stack.pop_back();
   TraceRecorder& recorder = TraceRecorder::Global();
   if (!recorder.enabled()) return;  // disabled mid-span: drop the event
-  recorder.Record(name_, category_, start_ns_, recorder.NowNs() - start_ns_);
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.start_ns = start_ns_;
+  event.dur_ns = recorder.NowNs() - start_ns_;
+  event.trace_id = trace_id_;
+  event.span_id = span_id_;
+  event.parent_id = parent_id_;
+  event.num_args = num_args_;
+  for (uint8_t a = 0; a < num_args_; ++a) event.args[a] = args_[a];
+  recorder.RecordEvent(event);
+}
+
+void ScopedSpan::AddArg(const char* key, int64_t value) {
+  if (!active_ || num_args_ >= kMaxTraceArgs) return;
+  args_[num_args_++] = TraceArg{key, value};
 }
 
 }  // namespace obs

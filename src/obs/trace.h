@@ -1,13 +1,27 @@
-// Lightweight tracing: RAII spans recorded into per-thread ring buffers,
-// exportable as Chrome trace-event JSON (open chrome://tracing or
+// Lightweight causal tracing: RAII spans recorded into per-thread ring
+// buffers, exportable as Chrome trace-event JSON (open chrome://tracing or
 // https://ui.perfetto.dev and load the file).
 //
 // Cost model: tracing is off by default. A span on the disabled path is one
-// relaxed atomic load — no clock read, no buffer touch — so instrumented hot
-// paths stay within the bench_obs_overhead budget. When enabled, a span is
-// two steady_clock reads plus one append under a per-thread, essentially
-// uncontended mutex (only the owning thread writes; an exporter reads
-// rarely), which keeps the recorder TSan-clean without a lock-free ring.
+// relaxed atomic load — no clock read, no buffer touch, no ID allocation —
+// so instrumented hot paths stay within the bench_obs_overhead budget. When
+// enabled, a span is two steady_clock reads plus one append under a
+// per-thread, essentially uncontended mutex (only the owning thread writes;
+// an exporter reads rarely), which keeps the recorder TSan-clean without a
+// lock-free ring.
+//
+// Causality: every event carries a trace_id (one request end-to-end), a
+// span_id (this event), and a parent_id (0 for roots). Wall-clock ScopedSpans
+// nest automatically through a thread_local span stack; cross-thread and
+// cross-node propagation goes through an explicit TraceContext. Events may
+// carry up to kMaxTraceArgs small typed (key, int64) args.
+//
+// Timelines: wall-clock events render under process kWallPid with the
+// recording thread's tid. The distributed layer runs in VIRTUAL time (its
+// clock is simulated service nanoseconds, not this process's clock), so its
+// events render under a separate process kVirtualPid whose "threads" are
+// lanes — lane 0 is the coordinator, lane i+1 is node i. Merging N nodes
+// onto one coherent timeline is then just exporting one recorder.
 //
 // Span names/categories must be string literals (or otherwise outlive the
 // recorder): events store the pointers, not copies.
@@ -33,12 +47,58 @@
 namespace anatomy {
 namespace obs {
 
+/// Typed args kept inline in an event (small by design: an event stays POD
+/// and ring slots stay fixed-size).
+inline constexpr size_t kMaxTraceArgs = 4;
+
+/// Chrome-trace process ids for the two timelines.
+inline constexpr uint32_t kWallPid = 1;
+inline constexpr uint32_t kVirtualPid = 2;
+
+struct TraceArg {
+  const char* key = nullptr;
+  int64_t value = 0;
+};
+
 /// One completed span ("X" phase in the Chrome trace-event format).
 struct TraceEvent {
   const char* name = nullptr;
   const char* category = nullptr;
   uint64_t start_ns = 0;
   uint64_t dur_ns = 0;
+  /// Causal identity; 0 means "not part of a trace" (bare Record() events).
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+  /// Virtual-timeline lane (tid under kVirtualPid); unused for wall events.
+  uint32_t lane = 0;
+  /// Wall events use the recording thread's tid under kWallPid; virtual
+  /// events use `lane` under kVirtualPid.
+  bool virtual_time = false;
+  uint8_t num_args = 0;
+  TraceArg args[kMaxTraceArgs];
+
+  /// Appends an arg in place; silently drops beyond kMaxTraceArgs.
+  void AddArg(const char* key, int64_t value) {
+    if (num_args < kMaxTraceArgs) {
+      args[num_args++] = TraceArg{key, value};
+    }
+  }
+};
+
+/// Propagates causal identity across threads, nodes, and virtual time.
+/// A context with recording == false makes every downstream span a no-op
+/// beyond the one relaxed load (ids still flow, so flight-recorder events
+/// stay correlated even when tracing is off).
+struct TraceContext {
+  uint64_t trace_id = 0;
+  /// The span downstream events attach to as children.
+  uint64_t parent_span = 0;
+  /// Virtual-clock origin of the downstream work (virtual timeline only).
+  uint64_t virtual_start_ns = 0;
+  /// Virtual lane downstream events default to.
+  uint32_t lane = 0;
+  bool recording = false;
 };
 
 /// Events kept per thread before the oldest are overwritten.
@@ -58,12 +118,21 @@ class TraceRecorder {
   }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
+  /// Process-wide unique, monotonically increasing id (never 0). Used for
+  /// trace ids and span ids alike; one relaxed fetch_add.
+  static uint64_t NewId();
+
   /// Nanoseconds on the steady clock since this recorder was constructed.
   uint64_t NowNs() const;
 
   /// Appends one completed span to the calling thread's ring buffer.
+  /// Legacy identity-free form; kept because bare phase markers don't need
+  /// causality.
   void Record(const char* name, const char* category, uint64_t start_ns,
               uint64_t dur_ns);
+
+  /// Appends a fully specified event (ids, args, virtual lanes).
+  void RecordEvent(const TraceEvent& event);
 
   /// Events currently retained across all threads.
   size_t event_count() const;
@@ -71,12 +140,18 @@ class TraceRecorder {
   uint64_t dropped() const;
 
   /// Drops all retained events and the dropped count; thread buffers stay
-  /// registered, so cached pointers in live threads remain valid.
+  /// registered, so cached pointers in live threads remain valid and tids
+  /// remain stable across Clear/export cycles.
   void Clear();
+
+  /// Retained events merged across threads (ring order per thread). Mainly
+  /// for tests that want structured access instead of JSON.
+  std::vector<TraceEvent> Snapshot() const;
 
   /// Chrome trace-event JSON ({"traceEvents": [...]}; ts/dur in µs). Safe to
   /// call while spans are still being recorded — concurrent events may or
-  /// may not make the cut, complete ones are never torn.
+  /// may not make the cut, complete ones are never torn. pid/tid assignment
+  /// is stable across repeated exports of the same recorder.
   std::string ExportChromeJson() const;
 
   /// ExportChromeJson to a file.
@@ -93,6 +168,10 @@ class TraceRecorder {
 
   ThreadBuffer* BufferForThisThread();
 
+  /// Process-unique, never reused: the per-thread buffer cache keys on this
+  /// rather than the recorder's address, so a recorder constructed at a
+  /// freed recorder's address can never hit the stale cache entry.
+  const uint64_t instance_id_;
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex registry_mu_;
@@ -103,6 +182,11 @@ class TraceRecorder {
 /// RAII span. Construction samples the clock when tracing is enabled;
 /// destruction (or an early End()) records the completed event. When tracing
 /// is disabled the whole object is a single relaxed load.
+///
+/// Enabled spans participate in causal nesting: each span pushes itself on a
+/// thread_local stack, so a ScopedSpan constructed inside another's scope
+/// becomes its child (same trace_id, parent_id = enclosing span_id). A span
+/// with no enclosing scope starts a new trace.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name, const char* category = "anatomy");
@@ -115,10 +199,23 @@ class ScopedSpan {
   /// code where scopes would nest awkwardly.
   void End();
 
+  /// Attaches a typed arg (no-op when the span is inactive).
+  void AddArg(const char* key, int64_t value);
+
+  /// Ids of the live span (0 when inactive); lets callers build a
+  /// TraceContext for work they hand off.
+  uint64_t trace_id() const { return trace_id_; }
+  uint64_t span_id() const { return span_id_; }
+
  private:
   const char* name_;
   const char* category_;
   uint64_t start_ns_ = 0;
+  uint64_t trace_id_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_id_ = 0;
+  uint8_t num_args_ = 0;
+  TraceArg args_[kMaxTraceArgs];
   bool active_;
 };
 

@@ -4,8 +4,34 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/flightrec.h"
+#include "obs/trace.h"
 
 namespace anatomy {
+
+namespace {
+
+// FlightRecord.detail values for kFaultInjected events, so a dump tells
+// WHICH fault fired without string payloads.
+constexpr int64_t kFaultDetailReadTransient = 1;
+constexpr int64_t kFaultDetailWriteTransient = 2;
+constexpr int64_t kFaultDetailTornWrite = 3;
+constexpr int64_t kFaultDetailBitFlip = 4;
+constexpr int64_t kFaultDetailCrash = 5;
+constexpr int64_t kFaultDetailStall = 6;
+
+// Fault fires are rare by construction (rate-gated), so a flight record per
+// fire costs nothing on the common path.
+void LogFault(int64_t kind) {
+  obs::FlightRecord r;
+  r.t_ns = obs::TraceRecorder::Global().NowNs();
+  r.detail = kind;
+  r.type = obs::FlightEventType::kFaultInjected;
+  r.reason = obs::ReasonCode::kFaultInjected;
+  obs::FlightRecorder::Global().Log(r);
+}
+
+}  // namespace
 
 FaultInjectingDisk::FaultInjectingDisk(SimulatedDisk* base,
                                        const FaultSpec& spec)
@@ -63,6 +89,7 @@ void FaultInjectingDisk::MaybeInjectStall() {
   fault_stats_.stall_ns += ns;
   obs_stalls_->Increment();
   obs_stall_ns_->Increment(ns);
+  LogFault(kFaultDetailStall);
 }
 
 void FaultInjectingDisk::RecordCorruptionState(PageId id) {
@@ -85,6 +112,7 @@ Status FaultInjectingDisk::ReadPage(PageId id, Page& out) {
         rng_.NextBool(spec_.read_transient_rate)) {
       ++fault_stats_.read_transients;
       obs_read_transients_->Increment();
+      LogFault(kFaultDetailReadTransient);
       return Status::Unavailable("transient read fault on page " +
                                  std::to_string(id));
     }
@@ -103,6 +131,7 @@ Status FaultInjectingDisk::WritePage(PageId id, const Page& in) {
         rng_.NextBool(spec_.write_transient_rate)) {
       ++fault_stats_.write_transients;
       obs_write_transients_->Increment();
+      LogFault(kFaultDetailWriteTransient);
       return Status::Unavailable("transient write fault on page " +
                                  std::to_string(id));
     }
@@ -115,6 +144,7 @@ Status FaultInjectingDisk::WritePage(PageId id, const Page& in) {
       if (s.ok()) {
         ++fault_stats_.torn_writes;
         obs_torn_writes_->Increment();
+        LogFault(kFaultDetailTornWrite);
         RecordCorruptionState(id);
         ++fault_stats_.writes_observed;
         ++writes_since_construction_;
@@ -123,6 +153,7 @@ Status FaultInjectingDisk::WritePage(PageId id, const Page& in) {
                 spec_.crash_after_writes) {
           fault_stats_.crashed = true;
           obs_crashes_->Increment();
+          LogFault(kFaultDetailCrash);
         }
       }
       return s;
@@ -137,6 +168,7 @@ Status FaultInjectingDisk::WritePage(PageId id, const Page& in) {
     base_->CorruptStoredPage(id, offset, mask);
     ++fault_stats_.bit_flips;
     obs_bit_flips_->Increment();
+    LogFault(kFaultDetailBitFlip);
     RecordCorruptionState(id);
   } else {
     corrupted_.erase(id);  // a clean full write repairs earlier corruption
@@ -147,6 +179,7 @@ Status FaultInjectingDisk::WritePage(PageId id, const Page& in) {
       writes_since_construction_ - crash_base_ >= spec_.crash_after_writes) {
     fault_stats_.crashed = true;
     obs_crashes_->Increment();
+    LogFault(kFaultDetailCrash);
   }
   return Status::OK();
 }

@@ -6,6 +6,7 @@
 
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 
 namespace anatomy {
@@ -190,10 +191,20 @@ StatusOr<ParallelWorkloadResult> ParallelRunner::RunWorkload(
   const uint64_t latency_count0 = latency_ns ? latency_ns->count() : 0;
   const uint64_t latency_sum0 = latency_ns ? latency_ns->sum() : 0;
 
+  // Parallel serving can't tick mid-pass (the engine is single-writer), so
+  // the SLO windows advance once per estimate pass on the same virtual
+  // clock the sequential runner uses: the latency histogram's sum.
+  auto slo_tick = [&] {
+    if (runner_options.slo == nullptr) return;
+    runner_options.slo->Tick(latency_ns != nullptr ? latency_ns->sum() : 0);
+  };
+
   ParallelWorkloadResult result;
   result.anatomy_estimates = EstimateAll(anatomy_estimator, workload.queries);
+  slo_tick();
   result.generalization_estimates =
       EstimateAll(generalization_estimator, workload.queries);
+  slo_tick();
   result.actuals = std::move(workload.actuals);
 
   if (latency_ns != nullptr) {

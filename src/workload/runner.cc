@@ -4,6 +4,7 @@
 
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 
 namespace anatomy {
 
@@ -66,6 +67,19 @@ StatusOr<WorkloadResult> RunWorkload(const Microdata& microdata,
     }
     if (query_count != nullptr) query_count->Increment(2);
     ++result.queries_evaluated;
+    // SLO windows advance on accumulated estimator time — the histogram sum
+    // is the run's virtual clock (monotone, deterministic per workload).
+    if (runner_options.slo != nullptr && runner_options.slo_tick_every > 0 &&
+        result.queries_evaluated % runner_options.slo_tick_every == 0) {
+      runner_options.slo->Tick(latency_ns != nullptr
+                                   ? latency_ns->sum()
+                                   : result.queries_evaluated);
+    }
+  }
+  if (runner_options.slo != nullptr) {
+    runner_options.slo->Tick(latency_ns != nullptr
+                                 ? latency_ns->sum()
+                                 : result.queries_evaluated);
   }
   result.anatomy_error = anatomy_total / result.queries_evaluated;
   result.generalization_error =

@@ -17,6 +17,10 @@
 
 namespace anatomy {
 
+namespace obs {
+class SloEngine;
+}  // namespace obs
+
 struct WorkloadResult {
   double anatomy_error = 0.0;         // average relative error, in [0, inf)
   double generalization_error = 0.0;  // ditto
@@ -36,6 +40,13 @@ struct RunnerOptions {
   size_t max_consecutive_skips = 1000;
   /// Kernel/cache configuration of the anatomy estimator the runner builds.
   EstimatorOptions estimator;
+  /// Optional SLO engine the runner ticks as it serves (not owned). The
+  /// virtual clock passed to Tick is the cumulative query.latency_ns
+  /// histogram sum, so windows measure estimator time, not wall idle time.
+  /// Requires metrics to be enabled to observe anything.
+  obs::SloEngine* slo = nullptr;
+  /// Evaluated queries between ticks when `slo` is set.
+  size_t slo_tick_every = 256;
 };
 
 /// Evaluates `options.num_queries` queries with nonzero actual answers.

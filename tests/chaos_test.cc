@@ -3,10 +3,21 @@
 // error — never silently wrong) and that every killed swap recovers to one
 // consistent epoch with zero orphan pages. The sweep is virtual-time and
 // fully seeded, so it is fast and bit-reproducible.
+//
+// The sweep also enforces the flight-recorder explanation guarantee: every
+// degraded or unavailable response must be matched (by trace_id, node, and
+// ReasonCode value) to a recorder event, and the explained count must cover
+// partial + unavailable exactly — an unexplained degradation is a violation.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "dist/chaos.h"
+#include "obs/trace.h"
 
 namespace anatomy {
 namespace {
@@ -33,6 +44,11 @@ TEST(ChaosTest, SweepFindsNoSafetyViolations) {
   EXPECT_GT(r.rolled_back, 0u);
   EXPECT_GT(r.swapped, 0u);
 
+  // Every non-exact response is explained by a flight-recorder event; a
+  // degradation the recorder can't account for would be a violation below.
+  EXPECT_GT(r.explained, 0u);
+  EXPECT_EQ(r.explained, r.partial + r.unavailable);
+
   // The contract itself.
   EXPECT_TRUE(r.violations.empty());
   for (const std::string& v : r.violations) ADD_FAILURE() << v;
@@ -52,7 +68,76 @@ TEST(ChaosTest, SweepIsDeterministic) {
   EXPECT_EQ(a.value().exact, b.value().exact);
   EXPECT_EQ(a.value().partial, b.value().partial);
   EXPECT_EQ(a.value().unavailable, b.value().unavailable);
+  EXPECT_EQ(a.value().explained, b.value().explained);
   EXPECT_EQ(a.value().violations, b.value().violations);
+}
+
+// Causal coherence under chaos: with tracing on, every query in the sweep
+// produces one dist.query root on the coordinator lane whose node spans all
+// carry the root's trace_id — including hedged/retried queries, whose extra
+// attempts land on *other* node lanes but stay inside the same trace.
+TEST(ChaosTest, TracingSweepYieldsCoherentCrossNodeTraces) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  recorder.Clear();
+  recorder.SetEnabled(true);
+  ChaosOptions options;
+  options.nodes = 3;
+  options.rows = 450;
+  options.l = 3;
+  options.seeds = 1;
+  options.queries_per_scenario = 6;
+  auto report = RunChaosSweep(options);
+  recorder.SetEnabled(false);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().violations.empty());
+
+  std::map<uint64_t, const obs::TraceEvent*> roots;  // span_id -> dist.query
+  std::vector<const obs::TraceEvent*> serves;
+  std::set<uint64_t> span_ids;
+  size_t spans = 0;
+  const std::vector<obs::TraceEvent> events = recorder.Snapshot();
+  for (const obs::TraceEvent& event : events) {
+    if (event.span_id != 0) {
+      ++spans;
+      EXPECT_TRUE(span_ids.insert(event.span_id).second)
+          << "duplicate span_id " << event.span_id;
+    }
+    const std::string name = event.name;
+    if (name == "dist.query") {
+      EXPECT_TRUE(event.virtual_time);
+      EXPECT_EQ(event.lane, 0u);  // roots live on the coordinator lane
+      EXPECT_EQ(event.parent_id, 0u);
+      roots[event.span_id] = &event;
+    } else if (name == "dist.node.serve") {
+      serves.push_back(&event);
+    }
+  }
+  // Every counted query has a root span (post-heal verification queries add
+  // a few more roots on top).
+  ASSERT_GE(roots.size(), report.value().queries);
+  ASSERT_FALSE(serves.empty());
+
+  // Every node-serve span attaches to a root of the same trace, on the
+  // lane of the node that served it (never the coordinator's).
+  std::map<uint64_t, std::set<uint32_t>> lanes_by_trace;
+  for (const obs::TraceEvent* serve : serves) {
+    ASSERT_NE(serve->parent_id, 0u);
+    const auto root = roots.find(serve->parent_id);
+    ASSERT_NE(root, roots.end())
+        << "dist.node.serve without a dist.query parent";
+    EXPECT_EQ(serve->trace_id, root->second->trace_id);
+    EXPECT_TRUE(serve->virtual_time);
+    EXPECT_NE(serve->lane, 0u);
+    lanes_by_trace[serve->trace_id].insert(serve->lane);
+  }
+  // The merged timeline is genuinely distributed: queries fan out across
+  // more than one node lane within a single trace.
+  size_t multi_lane = 0;
+  for (const auto& [trace_id, lanes] : lanes_by_trace) {
+    if (lanes.size() > 1) ++multi_lane;
+  }
+  EXPECT_GT(multi_lane, 0u);
+  recorder.Clear();
 }
 
 }  // namespace

@@ -157,8 +157,8 @@ TEST(DistTest, PartialAnswerIsHonestWhenANodeIsDown) {
     ASSERT_TRUE(r.ok()) << r.status().ToString();
     const PartialEstimate& est = r.value();
     EXPECT_FALSE(est.exact);
-    EXPECT_EQ(est.outcomes[0], NodeQueryOutcome::kOk);
-    EXPECT_EQ(est.outcomes[1], NodeQueryOutcome::kUnavailable);
+    EXPECT_EQ(est.reasons[0], obs::ReasonCode::kOk);
+    EXPECT_EQ(est.reasons[1], obs::ReasonCode::kInactiveNode);
     EXPECT_EQ(est.covered_rows, node0_rows);
     EXPECT_EQ(est.covered_mass, static_cast<double>(node0_rows) /
                                     static_cast<double>(cluster.total_rows()));

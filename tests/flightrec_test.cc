@@ -1,0 +1,213 @@
+// Tests for the flight recorder: reason-code vocabulary and classification,
+// ring round trips, oldest-overwrite wraparound semantics, the ThreadPool
+// hammer (seq consistency while 8 threads log and the main thread exports
+// concurrently — the race is the point under TSan), and the on-error dump.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "obs/flightrec.h"
+
+namespace anatomy {
+namespace obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------ Reason codes --
+
+TEST(ReasonCodeTest, ClassPartitionMatchesTheDegradationLadder) {
+  // Usable answers / nothing expected.
+  EXPECT_EQ(ClassOf(ReasonCode::kNone), ReasonClass::kOkClass);
+  EXPECT_EQ(ClassOf(ReasonCode::kOk), ReasonClass::kOkClass);
+  EXPECT_EQ(ClassOf(ReasonCode::kNoShard), ReasonClass::kOkClass);
+  // Deadline-shaped: a longer budget might have cured these.
+  EXPECT_EQ(ClassOf(ReasonCode::kDeadlineExhausted),
+            ReasonClass::kTimeoutClass);
+  EXPECT_EQ(ClassOf(ReasonCode::kLateResponse), ReasonClass::kTimeoutClass);
+  EXPECT_EQ(ClassOf(ReasonCode::kRetriesExhausted),
+            ReasonClass::kTimeoutClass);
+  EXPECT_EQ(ClassOf(ReasonCode::kTransientError), ReasonClass::kTimeoutClass);
+  // Permanent: retries cannot cure.
+  EXPECT_EQ(ClassOf(ReasonCode::kInactiveNode),
+            ReasonClass::kUnavailableClass);
+  EXPECT_EQ(ClassOf(ReasonCode::kPermanentError),
+            ReasonClass::kUnavailableClass);
+  EXPECT_EQ(ClassOf(ReasonCode::kAllNodesLost),
+            ReasonClass::kUnavailableClass);
+  EXPECT_EQ(ClassOf(ReasonCode::kNoPublication),
+            ReasonClass::kUnavailableClass);
+}
+
+TEST(ReasonCodeTest, NamesAreStableLowercaseTokens) {
+  EXPECT_STREQ(ReasonCodeName(ReasonCode::kOk), "ok");
+  EXPECT_STREQ(ReasonCodeName(ReasonCode::kLateResponse), "late-response");
+  EXPECT_STREQ(ReasonCodeName(ReasonCode::kCoordinatorKilled),
+               "coordinator-killed");
+  EXPECT_STREQ(FlightEventTypeName(FlightEventType::kQueryDegraded),
+               "query-degraded");
+  EXPECT_STREQ(FlightEventTypeName(FlightEventType::kSloTransition),
+               "slo-transition");
+}
+
+// ------------------------------------------------------------- Ring basics --
+
+FlightRecord MakeRecord(uint64_t t_ns, int64_t detail) {
+  FlightRecord r;
+  r.t_ns = t_ns;
+  r.trace_id = 77;
+  r.detail = detail;
+  r.epoch = 3;
+  r.node = 1;
+  r.type = FlightEventType::kRetry;
+  r.reason = ReasonCode::kTransientError;
+  return r;
+}
+
+TEST(FlightRecorderTest, LogSnapshotRoundTripPreservesFieldsAndOrder) {
+  FlightRecorder recorder;
+  recorder.Log(MakeRecord(10, 0));
+  recorder.Log(MakeRecord(20, 1));
+  recorder.Log(MakeRecord(30, 2));
+  EXPECT_EQ(recorder.event_count(), 3u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  const std::vector<FlightRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].seq, i + 1);  // stamped by Log, starting at 1
+    EXPECT_EQ(records[i].t_ns, (i + 1) * 10);
+    EXPECT_EQ(records[i].detail, static_cast<int64_t>(i));
+    EXPECT_EQ(records[i].trace_id, 77u);
+    EXPECT_EQ(records[i].epoch, 3u);
+    EXPECT_EQ(records[i].node, 1);
+    EXPECT_EQ(records[i].type, FlightEventType::kRetry);
+    EXPECT_EQ(records[i].reason, ReasonCode::kTransientError);
+  }
+}
+
+TEST(FlightRecorderTest, DisabledLogIsDropped) {
+  FlightRecorder recorder;
+  ASSERT_TRUE(recorder.enabled());  // on by default: that's the point
+  recorder.SetEnabled(false);
+  recorder.Log(MakeRecord(1, 1));
+  EXPECT_EQ(recorder.event_count(), 0u);
+  recorder.SetEnabled(true);
+  recorder.Log(MakeRecord(2, 2));
+  EXPECT_EQ(recorder.event_count(), 1u);
+}
+
+TEST(FlightRecorderTest, WraparoundOverwritesOldestAndCountsDrops) {
+  FlightRecorder recorder;
+  const uint64_t extra = 50;
+  for (uint64_t i = 0; i < kFlightRingCapacity + extra; ++i) {
+    recorder.Log(MakeRecord(i, static_cast<int64_t>(i)));
+  }
+  EXPECT_EQ(recorder.event_count(), kFlightRingCapacity);
+  EXPECT_EQ(recorder.dropped(), extra);
+  const std::vector<FlightRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), kFlightRingCapacity);
+  // Oldest-overwrite: exactly the first `extra` records are gone, the
+  // retained ones are contiguous and in seq order.
+  EXPECT_EQ(records.front().detail, static_cast<int64_t>(extra));
+  EXPECT_EQ(records.back().detail,
+            static_cast<int64_t>(kFlightRingCapacity + extra - 1));
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].seq, records[i - 1].seq + 1);
+  }
+  recorder.Clear();
+  EXPECT_EQ(recorder.event_count(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+// ------------------------------------------------------------------ Hammer --
+
+TEST(FlightRecorderHammerTest, SeqConsistentWhileEightThreadsLogAndExport) {
+  constexpr size_t kThreads = 8;
+  // Enough per thread that rings wrap if tasks pile onto few workers; the
+  // retained+dropped invariant below is scheduling-independent.
+  constexpr size_t kPerThread = kFlightRingCapacity / 2 + 1000;
+  FlightRecorder recorder;
+  ThreadPool pool(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    pool.Submit([&recorder, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        recorder.Log(MakeRecord(i, static_cast<int64_t>(t)));
+      }
+    });
+  }
+  // Export while recording: under TSan this is the race being tested.
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<FlightRecord> live = recorder.Snapshot();
+    for (size_t k = 1; k < live.size(); ++k) {
+      ASSERT_LT(live[k - 1].seq, live[k].seq);  // sorted, no duplicates
+    }
+    ASSERT_FALSE(recorder.ExportJson().empty());
+  }
+  pool.Wait();
+
+  constexpr uint64_t kTotal = kThreads * kPerThread;
+  EXPECT_EQ(recorder.event_count() + recorder.dropped(), kTotal);
+  const std::vector<FlightRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), recorder.event_count());
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LT(records[i - 1].seq, records[i].seq);
+  }
+  // The newest record overall survives in some ring (only oldest are
+  // overwritten), so the max seq equals the number of Log calls.
+  EXPECT_EQ(records.back().seq, kTotal);
+}
+
+// ----------------------------------------------------------------- Exports --
+
+TEST(FlightRecorderTest, ExportJsonIsBalancedAndNamesEvents) {
+  FlightRecorder recorder;
+  recorder.Log(MakeRecord(5, -42));
+  const std::string json = recorder.ExportJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_NE(json.find("\"dropped\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"retry\""), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"transient-error\""), std::string::npos);
+  EXPECT_NE(json.find("\"detail\":-42"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":77"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, MaybeDumpOnErrorWritesWhyPlusRing) {
+  const fs::path path =
+      fs::temp_directory_path() / "anatomy_flightrec_test_dump.json";
+  fs::remove(path);
+  FlightRecorder recorder;
+  recorder.Log(MakeRecord(9, 9));
+  // No dump path configured: a no-op, never an error.
+  recorder.MaybeDumpOnError("ignored");
+  EXPECT_FALSE(fs::exists(path));
+  recorder.SetDumpPath(path.string());
+  recorder.MaybeDumpOnError("unit test why");
+  ASSERT_TRUE(fs::exists(path));
+  std::ifstream in(path);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  const std::string dump = contents.str();
+  EXPECT_NE(dump.find("\"why\":\"unit test why\""), std::string::npos);
+  EXPECT_NE(dump.find("\"flightrec\":"), std::string::npos);
+  EXPECT_NE(dump.find("\"type\":\"retry\""), std::string::npos);
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace anatomy

@@ -4,7 +4,14 @@
 // recording loses nothing under contention (the property the instrumented
 // hot paths rely on).
 
+#include <cctype>
+#include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -268,6 +275,136 @@ TEST(ExporterTest, PrometheusExposition) {
             std::string::npos);
 }
 
+// A scraper-style conformance pass over the whole exposition: line grammar,
+// metric-name charset, HELP-before-TYPE ordering, help escaping, and
+// histogram bucket monotonicity — checked structurally, not by substring.
+TEST(ExporterTest, PrometheusExpositionConformance) {
+  MetricRegistry registry;
+  // Hostile name and help text: must be sanitized/escaped on the way out.
+  registry.GetCounter("weird name{![]}")->Increment(7);
+  registry.SetHelp("weird name{![]}", "has \"quotes\", a \\slash and\na newline");
+  registry.GetCounter("plain.counter")->Increment(1);
+  registry.GetGauge("a.gauge")->Set(-3);
+  Histogram* h = registry.GetHistogram("lat.ns");
+  h->Record(1);
+  h->Record(2);
+  h->Record(1000);
+  const std::string prom = registry.Snapshot().ToPrometheus();
+
+  const auto valid_name = [](const std::string& name) {
+    if (name.empty()) return false;
+    if (!(std::isalpha(static_cast<unsigned char>(name[0])) ||
+          name[0] == '_' || name[0] == ':')) {
+      return false;
+    }
+    for (char c : name) {
+      if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            c == ':')) {
+        return false;
+      }
+    }
+    return true;
+  };
+  // Sample-line family: histogram series append _bucket/_sum/_count to the
+  // family name that TYPE declared.
+  const auto family_of = [](const std::string& name) {
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s(suffix);
+      if (name.size() > s.size() &&
+          name.compare(name.size() - s.size(), s.size(), s) == 0) {
+        return name.substr(0, name.size() - s.size());
+      }
+    }
+    return name;
+  };
+
+  std::set<std::string> helped;
+  std::map<std::string, std::string> typed;  // family -> type
+  std::map<std::string, std::vector<std::pair<double, uint64_t>>> buckets;
+  std::map<std::string, uint64_t> series_count;
+  std::istringstream lines(prom);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      const bool is_help = line[2] == 'H';
+      std::istringstream comment(line.substr(7));
+      std::string name;
+      comment >> name;
+      EXPECT_TRUE(valid_name(name)) << line;
+      if (is_help) {
+        // HELP precedes TYPE for every family, and the help text reaches
+        // the scraper as one line with no raw control characters.
+        EXPECT_EQ(typed.count(name), 0u) << line;
+        helped.insert(name);
+        for (char c : line) {
+          EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << line;
+        }
+      } else {
+        std::string type;
+        comment >> type;
+        EXPECT_TRUE(type == "counter" || type == "gauge" ||
+                    type == "histogram")
+            << line;
+        EXPECT_EQ(helped.count(name), 1u) << "TYPE without HELP: " << line;
+        typed[name] = type;
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    const size_t brace = line.find('{');
+    const size_t name_end = std::min(brace, line.find(' '));
+    ASSERT_NE(name_end, std::string::npos) << line;
+    const std::string name = line.substr(0, name_end);
+    EXPECT_TRUE(valid_name(name)) << line;
+    const std::string family = family_of(name);
+    ASSERT_EQ(typed.count(family), 1u) << "sample before TYPE: " << line;
+
+    std::string le;
+    size_t value_begin = name_end;
+    if (brace != std::string::npos) {
+      const size_t close = line.find('}', brace);
+      ASSERT_NE(close, std::string::npos) << line;
+      const std::string labels = line.substr(brace + 1, close - brace - 1);
+      ASSERT_EQ(labels.rfind("le=\"", 0), 0u) << line;
+      ASSERT_EQ(labels.back(), '"') << line;
+      le = labels.substr(4, labels.size() - 5);
+      value_begin = close + 1;
+    }
+    ASSERT_EQ(line[value_begin], ' ') << line;
+    const std::string value_text = line.substr(value_begin + 1);
+    char* end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << "unparsable value: " << line;
+    series_count[name] = static_cast<uint64_t>(value);
+    if (!le.empty()) {
+      const double bound = le == "+Inf"
+                               ? std::numeric_limits<double>::infinity()
+                               : std::strtod(le.c_str(), nullptr);
+      buckets[family].push_back({bound, static_cast<uint64_t>(value)});
+    }
+  }
+
+  // Everything we registered came out, under sanitized names.
+  EXPECT_EQ(typed.count("anatomy_weird_name_____"), 1u);
+  EXPECT_EQ(series_count["anatomy_weird_name_____"], 7u);
+  EXPECT_EQ(typed["anatomy_plain_counter"], "counter");
+  EXPECT_EQ(typed["anatomy_a_gauge"], "gauge");
+  EXPECT_EQ(typed["anatomy_lat_ns"], "histogram");
+  // Histogram buckets: strictly ascending bounds, cumulative counts
+  // nondecreasing, +Inf last and equal to _count.
+  const auto& lat = buckets["anatomy_lat_ns"];
+  ASSERT_GE(lat.size(), 2u);
+  for (size_t i = 1; i < lat.size(); ++i) {
+    EXPECT_LT(lat[i - 1].first, lat[i].first);
+    EXPECT_LE(lat[i - 1].second, lat[i].second);
+  }
+  EXPECT_TRUE(std::isinf(lat.back().first));
+  EXPECT_EQ(lat.back().second, 3u);
+  EXPECT_EQ(series_count["anatomy_lat_ns_count"], 3u);
+  EXPECT_EQ(series_count["anatomy_lat_ns_sum"], 1003u);
+}
+
 TEST(ExporterTest, JsonIsBalancedAndEscaped) {
   std::unique_ptr<MetricRegistry> registry(MakeExportRegistry());
   registry->GetCounter("weird\"name")->Increment();
@@ -433,6 +570,183 @@ TEST(ObsHammerTest, RelaxedAtomicsLoseNothingUnderContention) {
   EXPECT_EQ(histogram->bucket_count(2), kTotal / 4);
   EXPECT_EQ(histogram->bucket_count(3), kTotal / 2);
   EXPECT_EQ(histogram->bucket_count(4), kTotal / 8);
+}
+
+// ---------------------------------------------------------- Causal spans --
+
+const TraceEvent* FindEvent(const std::vector<TraceEvent>& events,
+                            const char* name) {
+  for (const TraceEvent& event : events) {
+    if (std::string(event.name) == name) return &event;
+  }
+  return nullptr;
+}
+
+TEST(TraceCausalityTest, NestedSpansShareTraceAndChainParents) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.SetEnabled(true);
+  {
+    ScopedSpan root("c.root", "test");
+    {
+      ScopedSpan child("c.child", "test");
+      ScopedSpan grandchild("c.grandchild", "test");
+      grandchild.End();
+    }
+    ScopedSpan sibling("c.sibling", "test");
+  }
+  {
+    ScopedSpan other("c.other_trace", "test");
+  }
+  recorder.SetEnabled(false);
+
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  const TraceEvent* root = FindEvent(events, "c.root");
+  const TraceEvent* child = FindEvent(events, "c.child");
+  const TraceEvent* grandchild = FindEvent(events, "c.grandchild");
+  const TraceEvent* sibling = FindEvent(events, "c.sibling");
+  const TraceEvent* other = FindEvent(events, "c.other_trace");
+  ASSERT_TRUE(root && child && grandchild && sibling && other);
+
+  // One trace: every span under c.root carries its trace_id and chains
+  // parent_id to the enclosing span; the root itself is parentless.
+  EXPECT_NE(root->trace_id, 0u);
+  EXPECT_EQ(root->parent_id, 0u);
+  EXPECT_EQ(child->trace_id, root->trace_id);
+  EXPECT_EQ(child->parent_id, root->span_id);
+  EXPECT_EQ(grandchild->trace_id, root->trace_id);
+  EXPECT_EQ(grandchild->parent_id, child->span_id);
+  EXPECT_EQ(sibling->trace_id, root->trace_id);
+  EXPECT_EQ(sibling->parent_id, root->span_id);
+  // A top-level span after the root ends starts a fresh trace.
+  EXPECT_NE(other->trace_id, root->trace_id);
+  EXPECT_EQ(other->parent_id, 0u);
+  // Span ids are unique across all five.
+  std::set<uint64_t> span_ids;
+  for (const TraceEvent& event : events) span_ids.insert(event.span_id);
+  EXPECT_EQ(span_ids.size(), 5u);
+  recorder.Clear();
+}
+
+TEST(TraceCausalityTest, SpanExposesIdsForContextHandoff) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.SetEnabled(true);
+  ScopedSpan span("handoff", "test");
+  EXPECT_NE(span.trace_id(), 0u);
+  EXPECT_NE(span.span_id(), 0u);
+  span.End();
+  recorder.SetEnabled(false);
+  recorder.Clear();
+  // Disabled spans carry no identity: downstream contexts see zeros and
+  // stay no-ops.
+  ScopedSpan dark("handoff.dark", "test");
+  EXPECT_EQ(dark.trace_id(), 0u);
+  EXPECT_EQ(dark.span_id(), 0u);
+}
+
+// ------------------------------------------------------------ Trace export --
+
+TEST(TraceExportTest, ArgsAndIdsAppearInChromeJson) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.SetEnabled(true);
+  {
+    ScopedSpan span("argy", "test");
+    span.AddArg("rows", 42);
+    span.AddArg("ok", 1);
+  }
+  recorder.SetEnabled(false);
+  const std::string json = recorder.ExportChromeJson();
+  // The ids block plus user args round-trip through the export (the
+  // validator and Perfetto both read them back from args).
+  EXPECT_NE(json.find("\"id\":"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":"), std::string::npos);
+  EXPECT_NE(json.find("\"span_id\":"), std::string::npos);
+  EXPECT_NE(json.find("\"parent_id\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"rows\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":1"), std::string::npos);
+  recorder.Clear();
+}
+
+TEST(TraceExportTest, VirtualLaneEventsRenderUnderVirtualPid) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  TraceEvent event;
+  event.name = "virt.query";
+  event.category = "test";
+  event.start_ns = 5000;
+  event.dur_ns = 1000;
+  event.trace_id = TraceRecorder::NewId();
+  event.span_id = TraceRecorder::NewId();
+  event.virtual_time = true;
+  event.lane = 0;
+  recorder.RecordEvent(event);
+  event.name = "virt.node";
+  event.span_id = TraceRecorder::NewId();
+  event.lane = 3;
+  recorder.RecordEvent(event);
+
+  const std::string json = recorder.ExportChromeJson();
+  // Virtual events live under kVirtualPid with the lane as tid, and each
+  // populated lane gets a human-readable thread name.
+  EXPECT_NE(json.find("\"pid\":2,\"tid\":0,\"ts\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2,\"tid\":3,\"ts\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2,\"args\":{\"name\":\"anatomy-virtual\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"coordinator\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"node-2\""), std::string::npos);
+  recorder.Clear();
+}
+
+TEST(TraceExportTest, RepeatedExportIsByteStable) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.SetEnabled(true);
+  ThreadPool pool(4);
+  pool.ParallelFor(64, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      ScopedSpan span("stable", "test");
+    }
+  });
+  recorder.SetEnabled(false);
+  // pid/tid assignment and event order are stable across exports of the
+  // same recorder — the merged file can be regenerated byte-identically.
+  const std::string first = recorder.ExportChromeJson();
+  const std::string second = recorder.ExportChromeJson();
+  EXPECT_EQ(first, second);
+  recorder.Clear();
+}
+
+TEST(TraceHammerTest, EightThreadWraparoundWhileExporting) {
+  constexpr size_t kThreads = 8;
+  // Over capacity per task, so rings wrap however tasks land on workers.
+  constexpr size_t kPerTask = kTraceRingCapacity + 100;
+  TraceRecorder recorder;  // private instance: the hammer owns its rings
+  ThreadPool pool(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    pool.Submit([&recorder, t] {
+      for (size_t i = 0; i < kPerTask; ++i) {
+        recorder.Record("hammer", "test", t * kPerTask + i, 1);
+      }
+    });
+  }
+  // Export while the rings are being written: complete events are never
+  // torn (this is the TSan race target).
+  for (int i = 0; i < 20; ++i) {
+    const std::string live = recorder.ExportChromeJson();
+    ASSERT_EQ(live.find("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["), 0u);
+    ASSERT_EQ(live.back(), '}');
+  }
+  pool.Wait();
+
+  constexpr uint64_t kTotal = kThreads * kPerTask;
+  // Oldest-overwrite accounting: nothing vanishes silently.
+  EXPECT_EQ(recorder.event_count() + recorder.dropped(), kTotal);
+  EXPECT_LE(recorder.event_count(), kThreads * kTraceRingCapacity);
+  EXPECT_GE(recorder.dropped(), kThreads * 100u);
+  EXPECT_EQ(recorder.Snapshot().size(), recorder.event_count());
 }
 
 // ------------------------------------------------------- SlidingQuantile --

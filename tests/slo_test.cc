@@ -1,0 +1,254 @@
+// Tests for the SLO burn-rate engine: two-window fire/resolve semantics over
+// histogram-snapshot deltas, baselining (pre-existing samples never count),
+// window quantiles, the good/total-ratio objective kind, and the trace +
+// flight-recorder + counter side channels an alert transition must hit.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/flightrec.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
+
+namespace anatomy {
+namespace obs {
+namespace {
+
+/// 2^10 - 1: a bucket boundary, so "bad" is exact (see slo.h's
+/// bucket-granularity rule).
+constexpr uint64_t kThresholdNs = 1023;
+constexpr uint64_t kGoodNs = 100;       // well under the threshold
+constexpr uint64_t kBadNs = 1'000'000;  // well over
+
+SloObjective LatencyObjective(const char* histogram) {
+  SloObjective o;
+  o.name = "test.latency";
+  o.kind = SloObjective::Kind::kLatencyThreshold;
+  o.histogram = histogram;
+  o.threshold_ns = kThresholdNs;
+  o.target = 0.9;  // error budget 0.1
+  o.fast_window_ticks = 2;
+  o.slow_window_ticks = 4;
+  o.fire_burn_rate = 2.0;
+  o.resolve_burn_rate = 1.0;
+  return o;
+}
+
+void RecordBatch(Histogram* h, size_t n, uint64_t value) {
+  for (size_t i = 0; i < n; ++i) h->Record(value);
+}
+
+TEST(SloEngineTest, LatencyObjectiveFiresOnSustainedBurnThenResolves) {
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("lat_ns");
+  SloEngine slo(&registry);
+  const size_t idx = slo.AddObjective(LatencyObjective("lat_ns"));
+
+  // Healthy traffic: never fires, burn stays 0.
+  uint64_t now = 0;
+  for (int t = 0; t < 4; ++t) {
+    RecordBatch(h, 100, kGoodNs);
+    slo.Tick(now += 1000);
+  }
+  EXPECT_FALSE(slo.status(idx).firing);
+  EXPECT_EQ(slo.status(idx).transitions, 0u);
+  EXPECT_EQ(slo.status(idx).fast.bad, 0u);
+  EXPECT_DOUBLE_EQ(slo.status(idx).fast.burn_rate, 0.0);
+
+  // All-bad traffic: bad fraction 1.0 => burn 10x the budget. One bad tick
+  // is already enough for both windows (fast: 100 bad of 200 => burn 5;
+  // slow: 100 of 400 => burn 2.5) — the engine fires with one tick of
+  // detection latency, which this pins down.
+  RecordBatch(h, 100, kBadNs);
+  slo.Tick(now += 1000);
+  EXPECT_TRUE(slo.status(idx).firing);
+  EXPECT_EQ(slo.status(idx).transitions, 1u);
+  EXPECT_TRUE(slo.AnyFiring());
+  EXPECT_EQ(slo.status(idx).last_transition_ns, now);
+  EXPECT_GE(slo.status(idx).fast.burn_rate, 2.0);
+  // A second bad tick keeps it firing without a new transition.
+  RecordBatch(h, 100, kBadNs);
+  slo.Tick(now += 1000);
+  EXPECT_TRUE(slo.status(idx).firing);
+  EXPECT_EQ(slo.status(idx).transitions, 1u);
+
+  // Recovery: once the fast window is all-good, burn drops below the
+  // resolve rate and the alert clears (the slow window may still be dirty —
+  // resolve is fast-window-only by design).
+  for (int t = 0; t < 2; ++t) {
+    RecordBatch(h, 100, kGoodNs);
+    slo.Tick(now += 1000);
+  }
+  EXPECT_FALSE(slo.status(idx).firing);
+  EXPECT_EQ(slo.status(idx).transitions, 2u);
+  EXPECT_FALSE(slo.AnyFiring());
+  EXPECT_EQ(slo.TotalTransitions(), 2u);
+
+  // The transition side channels: counters + firing gauge in the registry.
+  EXPECT_EQ(registry.GetCounter("slo.fired")->value(), 1u);
+  EXPECT_EQ(registry.GetCounter("slo.resolved")->value(), 1u);
+  EXPECT_EQ(registry.GetGauge("slo.firing")->value(), 0);
+  // Lifetime accounting saw every post-baseline sample.
+  EXPECT_EQ(slo.status(idx).lifetime_total, 800u);
+  EXPECT_EQ(slo.status(idx).lifetime_bad, 200u);
+}
+
+TEST(SloEngineTest, GoodRatioObjectiveBurnsOnBadFraction) {
+  MetricRegistry registry;
+  Counter* good = registry.GetCounter("q.exact");
+  Counter* total = registry.GetCounter("q.total");
+  SloEngine slo(&registry);
+  SloObjective o;
+  o.name = "test.ratio";
+  o.kind = SloObjective::Kind::kGoodRatio;
+  o.good_counter = "q.exact";
+  o.total_counter = "q.total";
+  o.target = 0.95;  // budget 0.05
+  o.fast_window_ticks = 2;
+  o.slow_window_ticks = 4;
+  const size_t idx = slo.AddObjective(o);
+
+  uint64_t now = 0;
+  for (int t = 0; t < 3; ++t) {
+    good->Increment(100);
+    total->Increment(100);
+    slo.Tick(now += 1);
+  }
+  EXPECT_FALSE(slo.status(idx).firing);
+
+  // Half the queries degrade: bad fraction 0.5 => burn 10.
+  for (int t = 0; t < 2; ++t) {
+    good->Increment(50);
+    total->Increment(100);
+    slo.Tick(now += 1);
+  }
+  EXPECT_TRUE(slo.status(idx).firing);
+  EXPECT_EQ(slo.status(idx).fast.total, 200u);
+  EXPECT_EQ(slo.status(idx).fast.bad, 100u);
+  EXPECT_NEAR(slo.status(idx).fast.burn_rate, 10.0, 1e-9);
+  // Ratio objectives have no latency quantile.
+  EXPECT_EQ(slo.status(idx).fast.quantile_ns, 0u);
+}
+
+TEST(SloEngineTest, BaselineExcludesPreexistingSamples) {
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("lat_ns");
+  // A disaster that happened before the objective existed...
+  RecordBatch(h, 10000, kBadNs);
+  SloEngine slo(&registry);
+  const size_t idx = slo.AddObjective(LatencyObjective("lat_ns"));
+  // ...is invisible: no new samples, so windows are empty and nothing fires.
+  for (int t = 0; t < 5; ++t) slo.Tick(t + 1);
+  EXPECT_FALSE(slo.status(idx).firing);
+  EXPECT_EQ(slo.status(idx).fast.total, 0u);
+  EXPECT_EQ(slo.status(idx).slow.total, 0u);
+  EXPECT_EQ(slo.status(idx).lifetime_total, 0u);
+  EXPECT_EQ(slo.status(idx).lifetime_bad, 0u);
+}
+
+TEST(SloEngineTest, WindowQuantileReflectsOnlyTheWindow) {
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("lat_ns");
+  SloEngine slo(&registry);
+  const size_t idx = slo.AddObjective(LatencyObjective("lat_ns"));
+  RecordBatch(h, 100, kGoodNs);
+  slo.Tick(1);
+  // Fast window holds only good samples: quantile in kGoodNs's bucket.
+  EXPECT_LE(slo.status(idx).fast.quantile_ns, kThresholdNs);
+  RecordBatch(h, 100, kBadNs);
+  slo.Tick(2);
+  RecordBatch(h, 100, kBadNs);
+  slo.Tick(3);
+  // Two all-bad ticks fill the 2-tick fast window: the target quantile now
+  // lands in kBadNs's bucket [2^19, 2^20 - 1], far over the threshold.
+  EXPECT_GE(slo.status(idx).fast.quantile_ns, uint64_t{1} << 19);
+  EXPECT_LE(slo.status(idx).fast.quantile_ns, (uint64_t{1} << 20) - 1);
+}
+
+TEST(SloEngineTest, TransitionsEmitTraceAndFlightEvents) {
+  TraceRecorder& tracer = TraceRecorder::Global();
+  FlightRecorder& flightrec = FlightRecorder::Global();
+  tracer.Clear();
+  tracer.SetEnabled(true);
+  flightrec.Clear();
+
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("lat_ns");
+  SloEngine slo(&registry);
+  slo.AddObjective(LatencyObjective("lat_ns"));
+  uint64_t now = 0;
+  for (int t = 0; t < 3; ++t) {
+    RecordBatch(h, 100, kBadNs);
+    slo.Tick(now += 1000);
+  }
+  tracer.SetEnabled(false);
+  ASSERT_TRUE(slo.AnyFiring());
+
+  // The fire edge is a virtual-timeline trace event on the coordinator lane.
+  bool saw_fire_span = false;
+  for (const TraceEvent& event : tracer.Snapshot()) {
+    if (std::string(event.name) == "slo.fire") {
+      saw_fire_span = true;
+      EXPECT_STREQ(event.category, "slo");
+      EXPECT_TRUE(event.virtual_time);
+      EXPECT_EQ(event.lane, 0u);
+      EXPECT_EQ(event.start_ns, slo.status(0).last_transition_ns);
+    }
+  }
+  EXPECT_TRUE(saw_fire_span);
+
+  // ...and a flight-recorder record with the shared reason vocabulary.
+  bool saw_flight = false;
+  for (const FlightRecord& r : flightrec.Snapshot()) {
+    if (r.type == FlightEventType::kSloTransition) {
+      saw_flight = true;
+      EXPECT_EQ(r.reason, ReasonCode::kSloBurn);
+      EXPECT_EQ(r.t_ns, slo.status(0).last_transition_ns);
+      EXPECT_GE(r.detail, 2000);  // burn rate in thousandths, >= fire rate
+    }
+  }
+  EXPECT_TRUE(saw_flight);
+  flightrec.Clear();
+  tracer.Clear();
+}
+
+TEST(SloEngineTest, ReportJsonIsBalancedAndNamesObjectives) {
+  MetricRegistry registry;
+  registry.GetHistogram("lat_ns")->Record(kGoodNs);
+  SloEngine slo(&registry);
+  slo.AddObjective(LatencyObjective("lat_ns"));
+  SloObjective ratio;
+  ratio.name = "test.ratio";
+  ratio.kind = SloObjective::Kind::kGoodRatio;
+  ratio.good_counter = "g";
+  ratio.total_counter = "t";
+  slo.AddObjective(ratio);
+  slo.Tick(1);
+
+  const std::string json = slo.ReportJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_NE(json.find("\"name\":\"test.latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test.ratio\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"ratio\""), std::string::npos);
+  EXPECT_NE(json.find("\"ticks\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"fast\":"), std::string::npos);
+  EXPECT_NE(json.find("\"slow\":"), std::string::npos);
+  EXPECT_NE(json.find("\"lifetime\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace anatomy

@@ -15,6 +15,7 @@
 #   tools/check_sanitizers.sh sharded      # both sanitizers, sharded build + streaming
 #   tools/check_sanitizers.sh scaling      # both sanitizers, sharded cache + parallel path
 #   tools/check_sanitizers.sh chaos        # both sanitizers, dist serving + chaos sweep
+#   tools/check_sanitizers.sh slo          # both sanitizers, SLO + flight recorder + tracing
 #   tools/check_sanitizers.sh tsan -R parallel_query_test
 #                                          # extra args passed to ctest
 set -euo pipefail
@@ -79,6 +80,16 @@ if [[ $# -ge 1 ]]; then
       # ASan+UBSan, with the shard-parallel publish inside each scenario
       # giving TSan real concurrency to check.
       extra=(-R '^(dist_test|chaos_test)$')
+      shift
+      ;;
+    slo)
+      # The observability-pipeline smoke check: slo_test's burn-rate windows
+      # read live histogram snapshots, flightrec_test hammers the per-thread
+      # flight rings from the ThreadPool, obs_test races trace export
+      # against concurrent recording, and chaos_test proves every degraded
+      # response is explained by a recorder event while the whole sweep runs
+      # under the sanitizer.
+      extra=(-R '^(slo_test|flightrec_test|obs_test|chaos_test)$')
       shift
       ;;
   esac

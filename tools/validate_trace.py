@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Structural validator for Chrome traces exported by obs::TraceRecorder.
+
+Checks, over every "X" (complete) event that carries a span-id block:
+
+  * span_id values are unique across the whole trace;
+  * every nonzero parent_id refers to a span that exists in the trace and
+    belongs to the same trace_id (causal edges never cross traces);
+  * nesting: a child on the same pid/tid lane as its parent must be fully
+    contained in the parent's [ts, ts+dur] interval; a child on a different
+    lane (coordinator fanning out to a node) must start no earlier than its
+    parent, but may END after it — the query root ends when the coordinator
+    answers, while losing hedges and late node responses legitimately run
+    past that point. Note events are ring-ordered by *end* time (RAII spans
+    record on End), so children legitimately precede their parents in the
+    file; file order is NOT checked.
+  * pid/tid hygiene: every pid used by an event has a process_name metadata
+    record, and every (pid, tid) has a thread_name record.
+
+Exit status 0 and a one-line summary on success; nonzero with one line per
+violation (capped) otherwise.
+
+Usage: tools/validate_trace.py TRACE.json [--require-multi-lane]
+
+--require-multi-lane additionally asserts that at least one trace spans more
+than one virtual lane (pid 2 tids), i.e. the merged timeline really shows a
+coordinator fanning out to nodes — used by the ctest over a generated trace.
+"""
+
+import argparse
+import json
+import sys
+
+MAX_REPORTED = 20
+# ts/dur are ns/1e3 doubles serialized at 15 significant digits; allow a
+# sub-nanosecond slop for the decimal round trip.
+EPS_US = 1e-3
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace JSON file")
+    parser.add_argument("--require-multi-lane", action="store_true",
+                        help="fail unless some trace spans >1 virtual lane")
+    opts = parser.parse_args()
+
+    try:
+        with open(opts.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: cannot parse {opts.trace}: {e}")
+        return 1
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        print("FAIL: no traceEvents array")
+        return 1
+
+    errors = []
+
+    def err(msg):
+        if len(errors) < MAX_REPORTED:
+            errors.append(msg)
+        else:
+            errors.append(None)  # counted, not printed
+
+    # --- metadata: process/thread name registries ---
+    proc_names = {}
+    thread_names = {}
+    for e in events:
+        if e.get("ph") != "M":
+            continue
+        if e.get("name") == "process_name":
+            proc_names[e["pid"]] = e["args"]["name"]
+        elif e.get("name") == "thread_name":
+            thread_names[(e["pid"], e["tid"])] = e["args"]["name"]
+
+    # --- collect spans ---
+    spans = {}  # span_id -> event
+    complete = [e for e in events if e.get("ph") == "X"]
+    for e in complete:
+        for field in ("name", "cat", "pid", "tid", "ts", "dur"):
+            if field not in e:
+                err(f"event missing required field '{field}': {e}")
+        args = e.get("args")
+        if not isinstance(args, dict):
+            continue  # bare Record() event: no causal identity to check
+        sid = args.get("span_id")
+        if sid is None:
+            continue
+        if args.get("trace_id", 0) == 0:
+            err(f"span {sid} ('{e.get('name')}') has zero trace_id")
+        if sid in spans:
+            err(f"duplicate span_id {sid}: '{spans[sid].get('name')}' "
+                f"and '{e.get('name')}'")
+        else:
+            spans[sid] = e
+        if e["pid"] not in proc_names:
+            err(f"event '{e.get('name')}' uses pid {e['pid']} "
+                "with no process_name metadata")
+        if (e["pid"], e["tid"]) not in thread_names:
+            err(f"event '{e.get('name')}' uses pid/tid "
+                f"{e['pid']}/{e['tid']} with no thread_name metadata")
+
+    # --- causal edges: parent exists, same trace, time containment ---
+    orphan_edges = 0
+    for sid, e in spans.items():
+        pid_ = e["args"].get("parent_id", 0)
+        if pid_ == 0:
+            continue
+        parent = spans.get(pid_)
+        if parent is None:
+            orphan_edges += 1
+            err(f"span {sid} ('{e.get('name')}') references missing "
+                f"parent {pid_}")
+            continue
+        if parent["args"].get("trace_id") != e["args"].get("trace_id"):
+            err(f"span {sid} ('{e.get('name')}') and parent {pid_} "
+                f"('{parent.get('name')}') disagree on trace_id")
+        same_lane = (e["pid"], e["tid"]) == (parent["pid"], parent["tid"])
+        starts_early = e["ts"] < parent["ts"] - EPS_US
+        ends_late = e["ts"] + e["dur"] > parent["ts"] + parent["dur"] + EPS_US
+        if starts_early or (same_lane and ends_late):
+            err(f"span {sid} ('{e.get('name')}') "
+                f"[{e['ts']}, {e['ts'] + e['dur']}] escapes "
+                f"{'same-lane ' if same_lane else ''}parent "
+                f"{pid_} ('{parent.get('name')}') "
+                f"[{parent['ts']}, {parent['ts'] + parent['dur']}]")
+
+    # --- per-trace lane fan-out (virtual pid 2) ---
+    lanes_by_trace = {}
+    for e in spans.values():
+        if e["pid"] != 2:
+            continue
+        lanes_by_trace.setdefault(e["args"]["trace_id"], set()).add(e["tid"])
+    multi_lane = sum(1 for lanes in lanes_by_trace.values() if len(lanes) > 1)
+    if opts.require_multi_lane and multi_lane == 0:
+        err("no trace spans more than one virtual lane "
+            "(expected coordinator + node lanes sharing a trace_id)")
+
+    printed = [m for m in errors if m is not None]
+    for m in printed:
+        print(f"FAIL: {m}")
+    if len(errors) > len(printed):
+        print(f"FAIL: ... and {len(errors) - len(printed)} more violations")
+    if errors:
+        return 1
+
+    print(f"OK: {len(complete)} events, {len(spans)} spans, "
+          f"{len(lanes_by_trace)} virtual traces ({multi_lane} multi-lane), "
+          f"{len(proc_names)} processes, {len(thread_names)} threads")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
