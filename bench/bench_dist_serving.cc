@@ -181,7 +181,7 @@ void Run(const DistBenchConfig& config) {
     }
     // Full metrics snapshot alongside the points: the counters the SLO
     // windows were computed from, for offline verification.
-    os << "  ],\n  \"metrics\": "
+    os << "  ],\n  \"memory\": " << MemoryJson(2) << ",\n  \"metrics\": "
        << obs::MetricRegistry::Global().Snapshot().ToJson() << "\n}\n";
     std::printf("(results written to %s)\n", config.json_out.c_str());
   }

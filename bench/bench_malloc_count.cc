@@ -1,0 +1,122 @@
+// Bench-only heap-allocation counter: global operator new/delete overrides
+// that bump one relaxed atomic per allocation. Linked into
+// anatomy_bench_util only (never the library targets), and compiled out
+// under ASan/TSan, whose runtimes interpose operator new themselves —
+// MallocCountAvailable() reports which case this build is, and the benches
+// skip allocation-count comparisons when the hook is absent.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#if !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
+#if defined(__has_feature)
+#if !__has_feature(address_sanitizer) && !__has_feature(thread_sanitizer)
+#define ANATOMY_BENCH_MALLOC_HOOK 1
+#endif
+#else
+#define ANATOMY_BENCH_MALLOC_HOOK 1
+#endif
+#endif
+
+namespace anatomy {
+namespace bench {
+namespace internal {
+
+std::atomic<uint64_t> g_malloc_count{0};
+
+// `extern` on the definition: namespace-scope const defaults to internal
+// linkage, but bench_util.cc links against this flag.
+#ifdef ANATOMY_BENCH_MALLOC_HOOK
+extern const bool g_malloc_hook_active = true;
+#else
+extern const bool g_malloc_hook_active = false;
+#endif
+
+}  // namespace internal
+}  // namespace bench
+}  // namespace anatomy
+
+#ifdef ANATOMY_BENCH_MALLOC_HOOK
+
+namespace {
+
+void* CountedAlloc(std::size_t n) {
+  anatomy::bench::internal::g_malloc_count.fetch_add(
+      1, std::memory_order_relaxed);
+  return std::malloc(n != 0 ? n : 1);
+}
+
+void* CountedAlignedAlloc(std::size_t n, std::align_val_t align) {
+  anatomy::bench::internal::g_malloc_count.fetch_add(
+      1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), n != 0 ? n : 1) !=
+      0) {
+    return nullptr;
+  }
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) {
+  if (void* p = CountedAlloc(n)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t n) {
+  if (void* p = CountedAlloc(n)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return CountedAlloc(n);
+}
+
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return CountedAlloc(n);
+}
+
+void* operator new(std::size_t n, std::align_val_t align) {
+  if (void* p = CountedAlignedAlloc(n, align)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t n, std::align_val_t align) {
+  if (void* p = CountedAlignedAlloc(n, align)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t n, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(n, align);
+}
+
+void* operator new[](std::size_t n, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(n, align);
+}
+
+// posix_memalign memory is free()-compatible, so every delete funnels here.
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // ANATOMY_BENCH_MALLOC_HOOK

@@ -27,7 +27,9 @@
 
 #include "anatomy/anatomizer.h"
 #include "bench_util.h"
+#include "common/arena.h"
 #include "common/flags.h"
+#include "common/rng.h"
 #include "common/printer.h"
 #include "data/census_generator.h"
 #include "data/dataset.h"
@@ -81,6 +83,93 @@ double MaxRelDiff(const std::vector<double>& a, const std::vector<double>& b) {
     worst = std::max(worst, std::abs(a[i] - b[i]) / scale);
   }
   return worst;
+}
+
+struct SparsePoint {
+  double density = 0.0;
+  double off_s = 0.0;
+  double on_s = 0.0;
+  double speedup = 0.0;
+};
+
+/// Low-selectivity COUNT sweep: the dense-selective COUNT kernel shape
+/// (materialize the conjunction, Count it, weighted walk over its set bits)
+/// at <= 1% set-bit density, with the word-occupancy summary off vs on.
+///
+/// Set bits are placed as scattered 256-bit runs, the shape the kernels
+/// actually see: the permutation is group-clustered, so a low-selectivity
+/// predicate covers contiguous row-id ranges, filling few words completely
+/// rather than touching half of them one bit each (uniform placement at 1%
+/// leaves ~47% of 64-bit words nonzero and nothing worth skipping).
+///
+/// Work and results are integer-identical in both modes — the summary only
+/// changes which zero words get inspected — which the sweep asserts before
+/// reporting. The aggregate off/on time ratio is the acceptance gate.
+std::vector<SparsePoint> RunSparseSweep(size_t n, uint64_t seed,
+                                        double* aggregate_speedup) {
+  const double densities[] = {0.01, 0.005, 0.001};
+  const int reps = 400;
+  std::vector<SparsePoint> points;
+  double off_total = 0.0;
+  double on_total = 0.0;
+  for (double density : densities) {
+    Rng rng(seed ^ static_cast<uint64_t>(density * 1e6));
+    Bitmap sparse(n);
+    Bitmap all(n);
+    all.SetAll();
+    const size_t target = static_cast<size_t>(density * static_cast<double>(n));
+    const size_t full_words = n / 64;
+    const size_t run_words = 4;  // 256-bit clustered runs
+    std::vector<uint8_t> used(full_words, 0);
+    for (size_t remaining = target; remaining > 0;) {
+      const size_t w0 = rng.NextBounded(full_words - run_words + 1);
+      bool clash = false;
+      for (size_t k = 0; k < run_words; ++k) clash = clash || used[w0 + k] != 0;
+      if (clash) continue;
+      for (size_t k = 0; k < run_words && remaining > 0; ++k) {
+        used[w0 + k] = 1;
+        for (int b = 0; b < 64 && remaining > 0; ++b, --remaining) {
+          sparse.Set((w0 + k) * 64 + static_cast<size_t>(b));
+        }
+      }
+    }
+    // One weight per 64-bit word, as in the kernels' per-group weight load.
+    std::vector<double> weight((n + 63) / 64);
+    for (double& w : weight) w = rng.NextDouble();
+
+    Bitmap conj;
+    uint64_t counts[2] = {0, 0};
+    double checksums[2] = {0.0, 0.0};
+    double secs[2] = {0.0, 0.0};
+    for (int mode = 0; mode < 2; ++mode) {
+      Bitmap::SetSummaryEnabled(mode == 1);
+      conj.AssignAnd(sparse, all);  // warm the scratch words
+      secs[mode] = TimeSeconds([&] {
+        for (int r = 0; r < reps; ++r) {
+          conj.AssignAnd(sparse, all);
+          counts[mode] += conj.Count();
+          double acc = 0.0;
+          conj.ForEachSetBit([&](size_t i) { acc += weight[i >> 6]; });
+          checksums[mode] += acc;
+        }
+      });
+    }
+    Bitmap::SetSummaryEnabled(true);
+    // Same iteration order in both modes, so even the FP sums match exactly.
+    if (counts[0] != counts[1] || checksums[0] != checksums[1]) {
+      std::fprintf(stderr,
+                   "FATAL: sparse sweep at density %g diverges between "
+                   "summary modes (counts %llu vs %llu)\n",
+                   density, static_cast<unsigned long long>(counts[0]),
+                   static_cast<unsigned long long>(counts[1]));
+      std::exit(1);
+    }
+    points.push_back({density, secs[0], secs[1], secs[0] / secs[1]});
+    off_total += secs[0];
+    on_total += secs[1];
+  }
+  *aggregate_speedup = off_total / on_total;
+  return points;
 }
 
 void Run(const KernelBenchConfig& config) {
@@ -249,6 +338,43 @@ void Run(const KernelBenchConfig& config) {
     }
   }
 
+  // ---- Low-selectivity COUNT sweep: summary-guided iteration gate. ----
+  double sparse_speedup = 0.0;
+  const std::vector<SparsePoint> sparse_points = RunSparseSweep(
+      static_cast<size_t>(config.n), static_cast<uint64_t>(config.seed) + 7,
+      &sparse_speedup);
+
+  // ---- Steady-state allocation audit: after warmup, the single-arg
+  // Estimate() replay loop (pool-leased scratch, warm predicate cache) must
+  // take zero arena allocations — every container has reached its
+  // capacity-retained steady state. ----
+  uint64_t steady_arena_allocs = 0;
+  uint64_t steady_mallocs = 0;
+  double steady_sink = 0.0;
+  {
+    AnatomyEstimator steady(anatomized, paths[2].options);
+    for (int warm = 0; warm < 2; ++warm) {
+      for (const CountQuery& q : queries) steady_sink += steady.Estimate(q);
+    }
+    const uint64_t arena0 =
+        arena::CompiledIn() ? arena::Arena::Global().Stats().allocs : 0;
+    const uint64_t malloc0 = MallocCount();
+    for (int64_t r = 0; r < config.replays; ++r) {
+      for (const CountQuery& q : queries) steady_sink += steady.Estimate(q);
+    }
+    steady_mallocs = MallocCount() - malloc0;
+    steady_arena_allocs =
+        (arena::CompiledIn() ? arena::Arena::Global().Stats().allocs : 0) -
+        arena0;
+    if (arena::CompiledIn() && arena::Enabled() && steady_arena_allocs != 0) {
+      std::fprintf(stderr,
+                   "FATAL: steady-state replay loop took %llu arena "
+                   "allocations (expected 0) — scratch reuse has regressed\n",
+                   static_cast<unsigned long long>(steady_arena_allocs));
+      std::exit(1);
+    }
+  }
+
   std::printf(
       "Query kernels: %lld queries (x%lld replays), n = %lld, OCC-5, "
       "qd = %lld, s = %g, %s predicates, %u hardware threads, SIMD tier %s\n",
@@ -293,6 +419,38 @@ void Run(const KernelBenchConfig& config) {
       "predicate cache replay: %llu hits / %llu misses -> %.1f%% hit rate\n",
       static_cast<unsigned long long>(hits_delta),
       static_cast<unsigned long long>(misses_delta), hit_rate * 100.0);
+
+  // ---- Low-selectivity sweep report + acceptance gate. ----
+  std::printf("\nlow-selectivity COUNT sweep (occupancy summary off vs on):\n");
+  TablePrinter sparse_printer(
+      {"density", "off (ms)", "on (ms)", "speedup"});
+  for (const SparsePoint& pt : sparse_points) {
+    sparse_printer.AddRow({FormatDouble(pt.density * 100.0, 2) + "%",
+                           FormatDouble(pt.off_s * 1e3, 1),
+                           FormatDouble(pt.on_s * 1e3, 1),
+                           FormatDouble(pt.speedup, 2)});
+  }
+  sparse_printer.Print();
+  if (sparse_speedup < 1.3) {
+    std::fprintf(stderr,
+                 "FATAL: summary-guided sparse COUNT sweep is only %.2fx the "
+                 "linear walk (>= 1.3x required) — the occupancy summary has "
+                 "stopped paying for itself\n",
+                 sparse_speedup);
+    std::exit(1);
+  }
+  std::printf("sparse COUNT aggregate speedup %.2fx (>= 1.3x required): OK\n",
+              sparse_speedup);
+
+  std::printf(
+      "steady-state replay (%lld passes, checksum %.3e): %llu arena "
+      "allocations (0 required%s), %llu heap allocations%s\n",
+      static_cast<long long>(config.replays), steady_sink,
+      static_cast<unsigned long long>(steady_arena_allocs),
+      arena::CompiledIn() && arena::Enabled() ? ", enforced"
+                                              : "; arena off, not enforced",
+      static_cast<unsigned long long>(steady_mallocs),
+      MallocCountAvailable() ? "" : " (hook unavailable in this build)");
 
   if (!config.json_out.empty()) {
     std::ofstream os(config.json_out);
@@ -355,7 +513,28 @@ void Run(const KernelBenchConfig& config) {
                     i + 1 < runs.size() ? "," : "");
       os << buf;
     }
-    os << "  ]\n}\n";
+    os << "  ],\n";
+    os << "  \"sparse_sweep\": [\n";
+    for (size_t i = 0; i < sparse_points.size(); ++i) {
+      const SparsePoint& pt = sparse_points[i];
+      std::snprintf(buf, sizeof buf,
+                    "    {\"density\": %g, \"off_s\": %.6f, \"on_s\": %.6f, "
+                    "\"speedup\": %.3f}%s\n",
+                    pt.density, pt.off_s, pt.on_s, pt.speedup,
+                    i + 1 < sparse_points.size() ? "," : "");
+      os << buf;
+    }
+    os << "  ],\n";
+    std::snprintf(buf, sizeof buf,
+                  "  \"sparse_speedup\": %.3f,\n"
+                  "  \"steady_state\": {\"arena_allocs\": %llu, "
+                  "\"heap_allocs\": %llu, \"zero_alloc_enforced\": %s},\n",
+                  sparse_speedup,
+                  static_cast<unsigned long long>(steady_arena_allocs),
+                  static_cast<unsigned long long>(steady_mallocs),
+                  arena::CompiledIn() && arena::Enabled() ? "true" : "false");
+    os << buf;
+    os << "  \"memory\": " << MemoryJson(2) << "\n}\n";
     std::printf("(results written to %s)\n", config.json_out.c_str());
   }
 }

@@ -19,7 +19,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <unistd.h>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,6 +31,7 @@
 #include "anatomy/rce.h"
 #include "anatomy/sharded_anatomizer.h"
 #include "bench_util.h"
+#include "common/arena.h"
 #include "common/flags.h"
 #include "common/printer.h"
 #include "data/census_generator.h"
@@ -48,7 +51,102 @@ struct ShardedBenchConfig {
   /// Minimum S = 8 speedup enforced when the host has >= 8 hardware threads.
   double min_speedup = 3.0;
   std::string json_out = "BENCH_sharded_anatomize.json";
+  /// Hidden child-process mode: "heap" or "arena". VmHWM is monotone per
+  /// process, so the heap-vs-arena footprint comparison runs each
+  /// configuration in its own child (spawned below via /proc/self/exe) that
+  /// does one S = 4 build and prints a single MEM_PROBE line.
+  std::string mem_probe;
 };
+
+/// One configuration's memory footprint, as measured inside its own child.
+struct MemProbeResult {
+  uint64_t peak_rss_bytes = 0;
+  uint64_t mallocs = 0;
+  int malloc_hook = 0;
+  uint64_t arena_allocs = 0;
+  bool ok = false;
+};
+
+/// Child-process body for --mem_probe: one representative sharded build
+/// (S = 4) with the arena on or off, then a parsable one-line report.
+int RunMemProbe(const ShardedBenchConfig& config) {
+  if (config.mem_probe == "heap") {
+    arena::SetEnabled(false);
+  } else if (config.mem_probe != "arena") {
+    std::fprintf(stderr, "fatal: --mem_probe must be 'heap' or 'arena'\n");
+    return 2;
+  }
+  const Table census = GenerateCensus(static_cast<RowId>(config.n),
+                                      static_cast<uint64_t>(config.seed));
+  ExperimentDataset dataset = ValueOrDie(
+      MakeExperimentDataset(census, SensitiveFamily::kOccupation, 5));
+  // One worker thread: with concurrent workers the peak live footprint
+  // depends on scheduling interleave (tens of MiB of run-to-run noise on a
+  // loaded host), which would drown the heap-vs-arena comparison.
+  ShardedAnatomizer anatomizer(ShardedAnatomizerOptions{
+      .l = static_cast<int>(config.l),
+      .seed = static_cast<uint64_t>(config.seed),
+      .shards = 4,
+      .num_threads = 1});
+  ShardedAnatomizeResult result = ValueOrDie(anatomizer.Run(dataset.microdata));
+  AnatomizedTables tables =
+      ValueOrDie(AnatomizedTables::Build(dataset.microdata, result.partition));
+  if (tables.qit().num_rows() != dataset.microdata.n()) return 2;  // keep alive
+  const arena::ArenaStats astats =
+      arena::CompiledIn() ? arena::Arena::Global().Stats() : arena::ArenaStats{};
+  std::printf("MEM_PROBE mode=%s rss=%llu mallocs=%llu malloc_hook=%d "
+              "arena_allocs=%llu committed_bytes=%llu highwater=%llu\n",
+              config.mem_probe.c_str(),
+              static_cast<unsigned long long>(PeakRssBytes()),
+              static_cast<unsigned long long>(MallocCount()),
+              MallocCountAvailable() ? 1 : 0,
+              static_cast<unsigned long long>(astats.allocs),
+              static_cast<unsigned long long>(astats.pages_committed *
+                                              arena::Arena::kPageBytes),
+              static_cast<unsigned long long>(astats.bytes_highwater));
+  return 0;
+}
+
+/// Spawns this binary again with --mem_probe=<mode> and this run's n/l/seed
+/// and parses the child's MEM_PROBE line. The path is resolved via
+/// readlink(/proc/self/exe) in the parent — embedding the literal
+/// /proc/self/exe in the popen command would make the shell re-exec itself.
+MemProbeResult SpawnMemProbe(const ShardedBenchConfig& config,
+                             const char* mode) {
+  char self[256];
+  const ssize_t len = readlink("/proc/self/exe", self, sizeof self - 1);
+  if (len <= 0) return MemProbeResult{};
+  self[len] = '\0';
+  char cmd[512];
+  std::snprintf(cmd, sizeof cmd,
+                "'%s' --mem_probe=%s --n %lld --l %lld --seed %lld "
+                "--json_out \"\"",
+                self, mode, static_cast<long long>(config.n),
+                static_cast<long long>(config.l),
+                static_cast<long long>(config.seed));
+  MemProbeResult r;
+  FILE* pipe = popen(cmd, "r");
+  if (pipe == nullptr) return r;
+  char line[512];
+  while (std::fgets(line, sizeof line, pipe) != nullptr) {
+    unsigned long long rss = 0, mallocs = 0, arena_allocs = 0;
+    int hook = 0;
+    char got_mode[16];
+    if (std::sscanf(line,
+                    "MEM_PROBE mode=%15s rss=%llu mallocs=%llu "
+                    "malloc_hook=%d arena_allocs=%llu",
+                    got_mode, &rss, &mallocs, &hook, &arena_allocs) == 5 &&
+        std::strcmp(got_mode, mode) == 0) {
+      r.peak_rss_bytes = rss;
+      r.mallocs = mallocs;
+      r.malloc_hook = hook;
+      r.arena_allocs = arena_allocs;
+      r.ok = true;
+    }
+  }
+  if (pclose(pipe) != 0) r.ok = false;
+  return r;
+}
 
 /// FNV-1a over group structure and row ids: the byte-identity anchor.
 uint64_t PartitionDigest(const Partition& p) {
@@ -207,6 +305,53 @@ void Run(const ShardedBenchConfig& config) {
         cores, config.min_speedup, s8.speedup);
   }
 
+  // ---- Heap-vs-arena footprint: one child process per configuration
+  // (VmHWM is monotone, so in-process before/after would be meaningless). ----
+  MemProbeResult heap_probe;
+  MemProbeResult arena_probe;
+  if (arena::CompiledIn()) {
+    std::printf("\nmemory probes (child processes, one single-threaded S=4 build each):\n");
+    heap_probe = SpawnMemProbe(config, "heap");
+    arena_probe = SpawnMemProbe(config, "arena");
+    if (!heap_probe.ok || !arena_probe.ok) {
+      std::fprintf(stderr,
+                   "warning: memory probe child failed; footprint comparison "
+                   "skipped\n");
+    } else {
+      std::printf("  heap-only: peak RSS %.1f MiB, %llu heap allocations\n",
+                  static_cast<double>(heap_probe.peak_rss_bytes) / (1 << 20),
+                  static_cast<unsigned long long>(heap_probe.mallocs));
+      std::printf(
+          "  arena:     peak RSS %.1f MiB, %llu heap allocations "
+          "(%llu served by the arena)\n",
+          static_cast<double>(arena_probe.peak_rss_bytes) / (1 << 20),
+          static_cast<unsigned long long>(arena_probe.mallocs),
+          static_cast<unsigned long long>(arena_probe.arena_allocs));
+      if (heap_probe.malloc_hook != 0 && arena_probe.malloc_hook != 0) {
+        if (arena_probe.mallocs >= heap_probe.mallocs) {
+          std::fprintf(stderr,
+                       "FATAL: arena build took %llu heap allocations vs "
+                       "%llu heap-only — the hot structures are not on the "
+                       "arena\n",
+                       static_cast<unsigned long long>(arena_probe.mallocs),
+                       static_cast<unsigned long long>(heap_probe.mallocs));
+          std::exit(1);
+        }
+        std::printf(
+            "  heap allocations reduced %.1fx; peak RSS %+.1f%%\n",
+            static_cast<double>(heap_probe.mallocs) /
+                static_cast<double>(arena_probe.mallocs),
+            (static_cast<double>(arena_probe.peak_rss_bytes) /
+                 static_cast<double>(heap_probe.peak_rss_bytes) -
+             1.0) * 100.0);
+      } else {
+        std::printf(
+            "  (allocation-count hook unavailable in this build; counts "
+            "above read 0)\n");
+      }
+    }
+  }
+
   if (!config.json_out.empty()) {
     std::ofstream os(config.json_out);
     if (!os) {
@@ -239,7 +384,26 @@ void Run(const ShardedBenchConfig& config) {
           i + 1 < points.size() ? "," : "");
       os << buf;
     }
-    os << "  ]\n}\n";
+    os << "  ],\n";
+    if (heap_probe.ok && arena_probe.ok) {
+      std::snprintf(
+          buf, sizeof buf,
+          "  \"mem_probe\": {\n"
+          "    \"heap\": {\"peak_rss_bytes\": %llu, \"mallocs\": %llu},\n"
+          "    \"arena\": {\"peak_rss_bytes\": %llu, \"mallocs\": %llu, "
+          "\"arena_allocs\": %llu},\n"
+          "    \"malloc_hook_available\": %s\n  },\n",
+          static_cast<unsigned long long>(heap_probe.peak_rss_bytes),
+          static_cast<unsigned long long>(heap_probe.mallocs),
+          static_cast<unsigned long long>(arena_probe.peak_rss_bytes),
+          static_cast<unsigned long long>(arena_probe.mallocs),
+          static_cast<unsigned long long>(arena_probe.arena_allocs),
+          heap_probe.malloc_hook != 0 && arena_probe.malloc_hook != 0
+              ? "true"
+              : "false");
+      os << buf;
+    }
+    os << "  \"memory\": " << MemoryJson(2) << "\n}\n";
     std::printf("(results written to %s)\n", config.json_out.c_str());
   }
 }
@@ -261,7 +425,10 @@ int main(int argc, char** argv) {
                    "required S=8 speedup on hosts with >= 8 threads");
   parser.AddString("json_out", &config.json_out,
                    "results JSON path (empty disables)");
+  parser.AddString("mem_probe", &config.mem_probe,
+                   "internal: child-process footprint probe (heap|arena)");
   DieIfError(parser.Parse(argc, argv));
+  if (!config.mem_probe.empty()) return RunMemProbe(config);
   Run(config);
   return 0;
 }

@@ -1,11 +1,13 @@
 #include "bench_util.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <thread>
 
 #include "anatomy/anatomizer.h"
+#include "common/arena.h"
 #include "common/stopwatch.h"
 #include "generalization/mondrian.h"
 #include "obs/metrics.h"
@@ -208,6 +210,74 @@ RegistryIoProbe::RegistryIoProbe(const std::string& pipeline)
           obs::MetricRegistry::Global().GetCounter(pipeline + ".io.writes")),
       reads_before_(reads_->value()),
       writes_before_(writes_->value()) {}
+
+uint64_t PeakRssBytes() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      // "VmHWM:     12345 kB"
+      uint64_t kb = 0;
+      if (std::sscanf(line.c_str() + 6, "%llu",
+                      reinterpret_cast<unsigned long long*>(&kb)) == 1) {
+        return kb * 1024;
+      }
+      return 0;
+    }
+  }
+  return 0;
+}
+
+namespace internal {
+extern std::atomic<uint64_t> g_malloc_count;
+extern const bool g_malloc_hook_active;
+}  // namespace internal
+
+uint64_t MallocCount() {
+  return internal::g_malloc_count.load(std::memory_order_relaxed);
+}
+
+bool MallocCountAvailable() { return internal::g_malloc_hook_active; }
+
+std::string MemoryJson(int indent) {
+  const std::string pad(static_cast<size_t>(indent), ' ');
+  const arena::ArenaStats stats = arena::CompiledIn()
+                                      ? arena::Arena::Global().Stats()
+                                      : arena::ArenaStats{};
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n"
+      "%s  \"peak_rss_bytes\": %llu,\n"
+      "%s  \"malloc_count\": %llu,\n"
+      "%s  \"malloc_count_available\": %s,\n"
+      "%s  \"arena\": {\n"
+      "%s    \"compiled_in\": %s,\n"
+      "%s    \"enabled\": %s,\n"
+      "%s    \"allocs\": %llu,\n"
+      "%s    \"frees\": %llu,\n"
+      "%s    \"fallback_allocs\": %llu,\n"
+      "%s    \"bytes_in_use\": %llu,\n"
+      "%s    \"bytes_highwater\": %llu,\n"
+      "%s    \"slabs_in_use\": %llu,\n"
+      "%s    \"pages_committed\": %llu\n"
+      "%s  }\n"
+      "%s}",
+      pad.c_str(), static_cast<unsigned long long>(PeakRssBytes()),
+      pad.c_str(), static_cast<unsigned long long>(MallocCount()),
+      pad.c_str(), MallocCountAvailable() ? "true" : "false", pad.c_str(),
+      pad.c_str(), arena::CompiledIn() ? "true" : "false", pad.c_str(),
+      arena::Enabled() ? "true" : "false", pad.c_str(),
+      static_cast<unsigned long long>(stats.allocs), pad.c_str(),
+      static_cast<unsigned long long>(stats.frees), pad.c_str(),
+      static_cast<unsigned long long>(stats.fallback_allocs), pad.c_str(),
+      static_cast<unsigned long long>(stats.bytes_in_use), pad.c_str(),
+      static_cast<unsigned long long>(stats.bytes_highwater), pad.c_str(),
+      static_cast<unsigned long long>(stats.slabs_in_use), pad.c_str(),
+      static_cast<unsigned long long>(stats.pages_committed), pad.c_str(),
+      pad.c_str());
+  return std::string(buf);
+}
 
 uint64_t RegistryIoProbe::TotalOrDie(const IoStats& expected) const {
   const uint64_t reads = reads_->value() - reads_before_;

@@ -145,6 +145,28 @@ unsigned HardwareThreads();
 /// so callers can also record it in the artifact.
 unsigned WarnIfSingleThreaded(const char* bench_name);
 
+// ---- Memory accounting (DESIGN.md §11) ------------------------------------
+
+/// Peak resident set of this process in bytes (VmHWM from
+/// /proc/self/status); 0 when the file is unavailable. Monotone over the
+/// process lifetime — to compare two configurations, run each in its own
+/// child process (see bench_sharded_anatomize's --mem_probe).
+uint64_t PeakRssBytes();
+
+/// Heap allocations observed by the bench-only global operator new hook
+/// (bench_malloc_count.cc). The hook is compiled out under sanitizers,
+/// whose runtimes own operator new; MallocCountAvailable() says which case
+/// this build is.
+uint64_t MallocCount();
+bool MallocCountAvailable();
+
+/// One JSON object literal (no trailing newline) with this process's memory
+/// accounting: peak RSS, heap-allocation count when the hook is available,
+/// and the global arena's counter snapshot. Every BENCH_*.json embeds it
+/// under a "memory" key; `indent` is the number of leading spaces on each
+/// line after the first.
+std::string MemoryJson(int indent);
+
 }  // namespace bench
 }  // namespace anatomy
 

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "anatomy/eligibility.h"
+#include "common/arena.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
@@ -14,12 +15,18 @@ namespace anatomy {
 
 namespace {
 
+/// Group-membership hash sets on the arena: one per emitted group, hot in
+/// both the draw loop and residue assignment.
+using ArenaCodeSet = std::unordered_set<Code, std::hash<Code>,
+                                        std::equal_to<Code>,
+                                        ArenaAllocator<Code>>;
+
 /// Per-sensitive-value bucket of row ids. Removal order is randomized by
 /// swapping a random element to the back before popping, which implements
 /// Line 7's "remove an arbitrary tuple" without O(n) erasure.
 struct Bucket {
   Code value = 0;
-  std::vector<RowId> rows;
+  ArenaVector<RowId> rows;
 
   RowId PopRandom(Rng& rng) {
     ANATOMY_CHECK(!rows.empty());
@@ -31,15 +38,17 @@ struct Bucket {
   }
 };
 
-std::vector<Bucket> HashBySensitiveValue(std::span<const Code> sensitive,
-                                         Code domain) {
-  std::vector<Bucket> buckets(domain);
+using BucketList = ArenaVector<Bucket>;
+
+BucketList HashBySensitiveValue(std::span<const Code> sensitive,
+                                Code domain) {
+  BucketList buckets(domain);
   for (Code v = 0; v < domain; ++v) buckets[v].value = v;
   for (RowId r = 0; r < sensitive.size(); ++r) {
     buckets[sensitive[r]].rows.push_back(r);
   }
   // Drop empty buckets: the algorithm only tracks values that occur.
-  std::vector<Bucket> live;
+  BucketList live;
   live.reserve(buckets.size());
   for (auto& b : buckets) {
     if (!b.rows.empty()) live.push_back(std::move(b));
@@ -51,14 +60,14 @@ std::vector<Bucket> HashBySensitiveValue(std::span<const Code> sensitive,
 /// are re-validated on pop, so each size change is O(log lambda) amortized.
 class LargestBucketQueue {
  public:
-  explicit LargestBucketQueue(const std::vector<Bucket>& buckets) {
+  explicit LargestBucketQueue(const BucketList& buckets) {
     for (size_t i = 0; i < buckets.size(); ++i) {
       heap_.push({buckets[i].rows.size(), i});
     }
   }
 
   /// Pops the index of the currently largest bucket, given live sizes.
-  size_t PopLargest(const std::vector<Bucket>& buckets) {
+  size_t PopLargest(const BucketList& buckets) {
     for (;;) {
       ANATOMY_CHECK(!heap_.empty());
       auto [size, idx] = heap_.top();
@@ -75,7 +84,9 @@ class LargestBucketQueue {
   }
 
  private:
-  std::priority_queue<std::pair<size_t, size_t>> heap_;
+  std::priority_queue<std::pair<size_t, size_t>,
+                      ArenaVector<std::pair<size_t, size_t>>>
+      heap_;
 };
 
 }  // namespace
@@ -107,7 +118,7 @@ StatusOr<Partition> Anatomizer::ComputePartitionFromCodes(
   // One fused pass validates the codes and checks eligibility (Property 1's
   // precondition: no value may occur more than n/l times).
   {
-    std::vector<uint64_t> counts(static_cast<size_t>(domain), 0);
+    ArenaVector<uint64_t> counts(static_cast<size_t>(domain), 0);
     for (Code v : sensitive) {
       if (v < 0 || v >= domain) {
         return Status::InvalidArgument("sensitive code out of domain");
@@ -134,7 +145,7 @@ StatusOr<Partition> Anatomizer::ComputePartitionFromCodes(
   const bool metrics_on = obs::MetricsEnabled();
 
   obs::ScopedSpan bucketize_span("anatomize.bucketize", "anatomize");
-  std::vector<Bucket> buckets;
+  BucketList buckets;
   {
     ScopedTimer<obs::Histogram> timer(
         metrics_on ? registry.GetHistogram("anatomize.phase.bucketize_ns")
@@ -148,14 +159,14 @@ StatusOr<Partition> Anatomizer::ComputePartitionFromCodes(
   /// Sensitive values present in each group, parallel to partition.groups.
   /// A hash set per group so residue assignment tests membership in O(1)
   /// instead of scanning the group's value list.
-  std::vector<std::unordered_set<Code>> group_values;
+  ArenaVector<ArenaCodeSet> group_values;
 
   // ---- Group-creation step (Lines 3-8). ----
   obs::ScopedSpan group_draw_span("anatomize.group_draw", "anatomize");
   Stopwatch group_draw_watch;
   LargestBucketQueue queue(buckets);
   size_t round_robin_cursor = 0;
-  std::vector<size_t> drawn;  // bucket indices used by this iteration
+  ArenaVector<size_t> drawn;  // bucket indices used by this iteration
   while (non_empty >= l) {
     drawn.clear();
     if (policy == BucketPolicy::kLargestFirst) {
@@ -190,8 +201,10 @@ StatusOr<Partition> Anatomizer::ComputePartitionFromCodes(
         break;
       }
     }
+    // The group row list itself stays std::vector<RowId>: it is moved into
+    // Partition, whose layout is public API.
     std::vector<RowId> group;
-    std::unordered_set<Code> values;
+    ArenaCodeSet values;
     group.reserve(l);
     values.reserve(l);
     for (size_t idx : drawn) {
@@ -220,13 +233,14 @@ StatusOr<Partition> Anatomizer::ComputePartitionFromCodes(
   // (Property 1) when running the paper's policy; the round-robin ablation
   // can leave more, in which case the same per-tuple assignment is attempted
   // and may correctly fail.
+  ArenaVector<GroupId> candidates;
   for (const Bucket& bucket : buckets) {
     for (RowId r : bucket.rows) {
       // S' = groups without this sensitive value (Line 11). Candidates are
       // collected in ascending group order so the rng draw below sees the
       // same sequence as the original linear-scan implementation — the
       // output partition is byte-identical for a fixed seed.
-      std::vector<GroupId> candidates;
+      candidates.clear();
       for (GroupId g = 0; g < partition.groups.size(); ++g) {
         if (!group_values[g].contains(bucket.value)) {
           candidates.push_back(g);

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "anatomy/eligibility.h"
+#include "common/arena.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -30,7 +31,7 @@ uint64_t ShardSeed(const ShardedAnatomizerOptions& options, size_t shard) {
 
 /// True iff a shard with these value counts and size admits an l-diverse
 /// partition (the eligibility condition of Property 1, per shard).
-bool ShardEligible(const std::vector<uint32_t>& counts, uint64_t rows, int l) {
+bool ShardEligible(std::span<const uint32_t> counts, uint64_t rows, int l) {
   if (rows == 0) return false;
   for (uint32_t c : counts) {
     if (static_cast<uint64_t>(c) * static_cast<uint64_t>(l) > rows) {
@@ -74,10 +75,12 @@ StatusOr<ShardSplit> SplitForSharding(std::span<const Code> sensitive,
   // per-shard count of v is ceil(c_v / S) or floor(c_v / S) exactly. Rows
   // are visited in ascending order, so every shard's row list is sorted. ----
   const size_t dsize = static_cast<size_t>(domain);
-  std::vector<uint32_t> next_shard(dsize, 0);
+  ArenaVector<uint32_t> next_shard(dsize, 0);
+  // shard_rows elements are std::vector<RowId>: they move into
+  // ShardSplit::shard_rows, whose layout is public API.
   std::vector<std::vector<RowId>> shard_rows(shards);
-  std::vector<std::vector<uint32_t>> shard_counts(
-      shards, std::vector<uint32_t>(dsize, 0));
+  ArenaVector<ArenaVector<uint32_t>> shard_counts(
+      shards, ArenaVector<uint32_t>(dsize, 0));
   for (RowId r = 0; r < sensitive.size(); ++r) {
     const Code v = sensitive[r];
     if (v < 0 || v >= domain) {
@@ -91,7 +94,7 @@ StatusOr<ShardSplit> SplitForSharding(std::span<const Code> sensitive,
   // Global eligibility: without it no merge sequence can terminate in an
   // eligible shard (the fully merged shard is the input itself).
   {
-    std::vector<uint32_t> totals(dsize, 0);
+    ArenaVector<uint32_t> totals(dsize, 0);
     for (size_t s = 0; s < shards; ++s) {
       for (size_t v = 0; v < dsize; ++v) totals[v] += shard_counts[s][v];
     }
@@ -170,7 +173,7 @@ StatusOr<ShardedAnatomizeResult> ShardedAnatomizer::Run(
       pool.Submit([this, s, &split, &sensitive, domain, &shard_partitions] {
         obs::ScopedSpan shard_span("anatomize.shard.run", "anatomize");
         const std::vector<RowId>& rows = split.shard_rows[s];
-        std::vector<Code> codes;
+        ArenaVector<Code> codes;
         codes.reserve(rows.size());
         for (RowId r : rows) codes.push_back(sensitive[r]);
         Anatomizer shard_anatomizer(

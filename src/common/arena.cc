@@ -1,0 +1,356 @@
+#include "common/arena.h"
+
+#include <sys/mman.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define ANATOMY_ARENA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ANATOMY_ARENA_ASAN 1
+#endif
+#endif
+
+#ifdef ANATOMY_ARENA_ASAN
+#include <sanitizer/asan_interface.h>
+#define ANATOMY_POISON(p, n) ASAN_POISON_MEMORY_REGION((p), (n))
+#define ANATOMY_UNPOISON(p, n) ASAN_UNPOISON_MEMORY_REGION((p), (n))
+#else
+#define ANATOMY_POISON(p, n) ((void)0)
+#define ANATOMY_UNPOISON(p, n) ((void)0)
+#endif
+
+namespace anatomy {
+namespace arena {
+
+namespace {
+
+bool EnabledFromEnv() {
+  if (!CompiledIn()) return false;
+  const char* v = std::getenv("ANATOMY_ARENA");
+  if (v == nullptr) return true;
+  return !(std::strcmp(v, "OFF") == 0 || std::strcmp(v, "off") == 0 ||
+           std::strcmp(v, "0") == 0 || std::strcmp(v, "false") == 0);
+}
+
+std::atomic<bool> g_enabled{EnabledFromEnv()};
+
+/// bytes (rounded up to a multiple of 8) -> class index, for align <= 8.
+/// Index (bytes + 7) / 8, so 4096 entries cover kMaxSlabBytes.
+struct ClassTable {
+  uint8_t cls[Arena::kMaxSlabBytes / 8 + 1];
+  ClassTable() {
+    size_t c = 0;
+    for (size_t i = 0; i <= Arena::kMaxSlabBytes / 8; ++i) {
+      while (Arena::kSizeClasses[c] < i * 8) ++c;
+      cls[i] = static_cast<uint8_t>(c);
+    }
+  }
+};
+const ClassTable g_class_table;
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(CompiledIn() && enabled, std::memory_order_relaxed);
+}
+
+size_t Arena::SizeClassFor(size_t bytes, size_t align) {
+  if (bytes == 0) bytes = 1;
+  if (bytes > kMaxSlabBytes || align > kPageBytes) return kNumClasses;
+  size_t c = g_class_table.cls[(bytes + 7) / 8];
+  if (align > 8) {
+    // Slabs sit at offset slot * class from a 64 KiB-aligned page base, so
+    // a class that is a multiple of `align` guarantees the alignment.
+    while (c < kNumClasses && kSizeClasses[c] % align != 0) ++c;
+    if (c == kNumClasses) return kNumClasses;  // page-run fallback
+  }
+  return c;
+}
+
+Arena::Arena(const ArenaOptions& options) {
+  obs::MetricRegistry& reg = options.registry != nullptr
+                                 ? *options.registry
+                                 : obs::MetricRegistry::Global();
+  const std::string prefix = "arena." + options.name + ".";
+  allocs_ = reg.GetCounter(prefix + "allocs");
+  frees_ = reg.GetCounter(prefix + "frees");
+  fallback_allocs_ = reg.GetCounter(prefix + "fallback_allocs");
+  bytes_in_use_ = reg.GetGauge(prefix + "bytes_in_use");
+  bytes_highwater_ = reg.GetGauge(prefix + "bytes_highwater");
+  slabs_in_use_ = reg.GetGauge(prefix + "slabs_in_use");
+  pages_committed_ = reg.GetGauge(prefix + "pages_committed");
+
+  size_t want = options.reservation_bytes;
+  // Round to whole commit chunks so EnsureCommitted never walks off the end.
+  want = (want / kCommitChunkBytes) * kCommitChunkBytes;
+  while (want >= (size_t{256} << 20)) {
+    void* p = mmap(nullptr, want, PROT_NONE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    if (p != MAP_FAILED) {
+      base_ = reinterpret_cast<uintptr_t>(p);
+      reservation_ = want;
+      break;
+    }
+    want /= 2;
+  }
+  if (base_ == 0) return;  // heap-fallback mode
+  num_pages_ = static_cast<uint32_t>(reservation_ / kPageBytes);
+  page_class_.assign(num_pages_, kPageFree);
+  metas_.resize(num_pages_);
+}
+
+Arena::~Arena() {
+  if (base_ != 0) {
+    munmap(reinterpret_cast<void*>(base_), reservation_);
+  }
+}
+
+Arena& Arena::Global() {
+  // Leaked on purpose: static-storage containers may deallocate after exit
+  // handlers ran, and Contains()/Free() must still be safe to call then.
+  static Arena* global = new Arena(ArenaOptions{});
+  return *global;
+}
+
+void Arena::RecordAlloc(size_t bytes) {
+  allocs_->Increment();
+  slabs_in_use_->Add(1);
+  bytes_in_use_->Add(static_cast<int64_t>(bytes));
+  // Racy max: a concurrent writer can briefly publish a smaller high-water
+  // mark, which the next allocation repairs. Good enough for reporting.
+  const int64_t in_use = bytes_in_use_->value();
+  if (in_use > bytes_highwater_->value()) bytes_highwater_->Set(in_use);
+}
+
+void Arena::RecordFree(size_t bytes) {
+  frees_->Increment();
+  slabs_in_use_->Add(-1);
+  bytes_in_use_->Add(-static_cast<int64_t>(bytes));
+}
+
+bool Arena::EnsureCommitted(uint32_t page_end) {
+  if (base_ == 0 || page_end > num_pages_) return false;
+  while (committed_pages_ < page_end) {
+    char* chunk = reinterpret_cast<char*>(base_) +
+                  static_cast<size_t>(committed_pages_) * kPageBytes;
+    if (mprotect(chunk, kCommitChunkBytes, PROT_READ | PROT_WRITE) != 0) {
+      return false;
+    }
+#ifdef MADV_HUGEPAGE
+    madvise(chunk, kCommitChunkBytes, MADV_HUGEPAGE);
+#endif
+    // Committed but unallocated: poisoned until a slab hands it out.
+    ANATOMY_POISON(chunk, kCommitChunkBytes);
+    committed_pages_ +=
+        static_cast<uint32_t>(kCommitChunkBytes / kPageBytes);
+    pages_committed_->Set(committed_pages_);
+  }
+  return true;
+}
+
+uint32_t Arena::AcquirePage(size_t cls) {
+  uint32_t page;
+  {
+    std::lock_guard<std::mutex> lock(page_mu_);
+    if (!free_pages_.empty()) {
+      page = free_pages_.back();
+      free_pages_.pop_back();
+    } else {
+      if (!EnsureCommitted(next_page_ + 1)) return kNoPage;
+      page = next_page_++;
+    }
+    page_class_[page] = static_cast<int32_t>(cls);
+    if (metas_[page] == nullptr) metas_[page] = std::make_unique<PageMeta>();
+  }
+  PageMeta& meta = *metas_[page];
+  const uint32_t slots =
+      static_cast<uint32_t>(kPageBytes / kSizeClasses[cls]);
+  meta.free_slots.InitFull(slots);
+  meta.free_count = slots;
+  meta.prev = kNoPage;
+  meta.next = kNoPage;
+  return page;
+}
+
+void Arena::LinkPartial(SizeClassPool& pool, uint32_t page) {
+  PageMeta& meta = *metas_[page];
+  meta.prev = kNoPage;
+  meta.next = pool.partial_head;
+  if (pool.partial_head != kNoPage) metas_[pool.partial_head]->prev = page;
+  pool.partial_head = page;
+}
+
+void Arena::UnlinkPartial(SizeClassPool& pool, uint32_t page) {
+  PageMeta& meta = *metas_[page];
+  if (meta.prev != kNoPage) {
+    metas_[meta.prev]->next = meta.next;
+  } else {
+    pool.partial_head = meta.next;
+  }
+  if (meta.next != kNoPage) metas_[meta.next]->prev = meta.prev;
+  meta.prev = kNoPage;
+  meta.next = kNoPage;
+}
+
+void* Arena::FallbackAllocate(size_t bytes, size_t align) {
+  fallback_allocs_->Increment();
+  if (align > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+    return ::operator new(bytes, std::align_val_t{align});
+  }
+  return ::operator new(bytes);
+}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  ANATOMY_CHECK((align & (align - 1)) == 0);
+  if (base_ == 0) return FallbackAllocate(bytes, align);
+  const size_t cls = SizeClassFor(bytes, align);
+  if (cls == kNumClasses) {
+    void* p = AllocateLarge(bytes);
+    return p != nullptr ? p : FallbackAllocate(bytes, align);
+  }
+  const size_t slab = kSizeClasses[cls];
+  SizeClassPool& pool = pools_[cls];
+  void* ptr = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(pool.mu);
+    uint32_t page = pool.partial_head;
+    if (page == kNoPage) {
+      page = AcquirePage(cls);
+      if (page == kNoPage) {
+        return FallbackAllocate(bytes, align);  // reservation exhausted
+      }
+      LinkPartial(pool, page);
+    }
+    PageMeta& meta = *metas_[page];
+    const uint32_t slot = meta.free_slots.FindFirstSet();
+    meta.free_slots.Clear(slot);
+    if (--meta.free_count == 0) UnlinkPartial(pool, page);
+    ptr = reinterpret_cast<void*>(base_ +
+                                  static_cast<size_t>(page) * kPageBytes +
+                                  static_cast<size_t>(slot) * slab);
+  }
+  ANATOMY_UNPOISON(ptr, slab);
+  RecordAlloc(slab);
+  return ptr;
+}
+
+void* Arena::AllocateLarge(size_t bytes) {
+  const uint32_t pages =
+      static_cast<uint32_t>((bytes + kPageBytes - 1) / kPageBytes);
+  uint32_t start = kNoPage;
+  {
+    std::lock_guard<std::mutex> lock(page_mu_);
+    auto it = free_runs_.find(pages);
+    if (it != free_runs_.end() && !it->second.empty()) {
+      start = it->second.back();
+      it->second.pop_back();
+    } else {
+      if (!EnsureCommitted(next_page_ + pages)) return nullptr;
+      start = next_page_;
+      next_page_ += pages;
+      page_class_[start] = kPageRunStart;
+      for (uint32_t p = start + 1; p < start + pages; ++p) {
+        page_class_[p] = kPageRunBody;
+      }
+    }
+    large_runs_[start] = pages;
+  }
+  void* ptr = reinterpret_cast<void*>(base_ +
+                                      static_cast<size_t>(start) * kPageBytes);
+  ANATOMY_UNPOISON(ptr, static_cast<size_t>(pages) * kPageBytes);
+  RecordAlloc(static_cast<size_t>(pages) * kPageBytes);
+  return ptr;
+}
+
+void Arena::Free(void* ptr) {
+  ANATOMY_CHECK(Contains(ptr));
+  const size_t offset = reinterpret_cast<uintptr_t>(ptr) - base_;
+  const uint32_t page = static_cast<uint32_t>(offset / kPageBytes);
+  const int32_t tag = page_class_[page];
+  if (tag == kPageRunStart) {
+    FreeLarge(page);
+    return;
+  }
+  ANATOMY_CHECK(tag >= 0);
+  const size_t cls = static_cast<size_t>(tag);
+  const size_t slab = kSizeClasses[cls];
+  const size_t in_page = offset % kPageBytes;
+  ANATOMY_CHECK(in_page % slab == 0);
+  const uint32_t slot = static_cast<uint32_t>(in_page / slab);
+  ANATOMY_POISON(ptr, slab);
+  SizeClassPool& pool = pools_[cls];
+  {
+    std::lock_guard<std::mutex> lock(pool.mu);
+    PageMeta& meta = *metas_[page];
+    ANATOMY_CHECK(!meta.free_slots.Test(slot));  // double-free guard
+    meta.free_slots.Set(slot);
+    ++meta.free_count;
+    const uint32_t slots =
+        static_cast<uint32_t>(kPageBytes / slab);
+    if (meta.free_count == 1) {
+      LinkPartial(pool, page);  // was full, becomes allocatable again
+    }
+    if (meta.free_count == slots) {
+      // Fully free: hand the page back for any class to reuse.
+      UnlinkPartial(pool, page);
+      std::lock_guard<std::mutex> page_lock(page_mu_);
+      page_class_[page] = kPageFree;
+      free_pages_.push_back(page);
+    }
+  }
+  RecordFree(slab);
+}
+
+void Arena::FreeLarge(uint32_t page) {
+  uint32_t pages;
+  {
+    std::lock_guard<std::mutex> lock(page_mu_);
+    auto it = large_runs_.find(page);
+    ANATOMY_CHECK(it != large_runs_.end());
+    pages = it->second;
+    large_runs_.erase(it);
+  }
+  // Between the erase above and the free_runs_ insert below this thread owns
+  // the run, so poisoning and decommit cannot race a concurrent reuse.
+  const size_t run_bytes = static_cast<size_t>(pages) * kPageBytes;
+  char* run =
+      reinterpret_cast<char*>(base_) + static_cast<size_t>(page) * kPageBytes;
+  ANATOMY_POISON(run, run_bytes);
+  // Hand big runs' physical pages back to the OS: vector-growth churn frees
+  // a ladder of ever-larger runs that exact-fit reuse never touches again,
+  // and glibc munmaps its equivalent large chunks — without this the
+  // arena's peak RSS exceeds the heap baseline it replaces. Protections and
+  // the reservation stay; reuse simply faults in fresh zero pages.
+  if (pages >= kDecommitMinPages) {
+    madvise(run, run_bytes, MADV_DONTNEED);
+  }
+  {
+    std::lock_guard<std::mutex> lock(page_mu_);
+    free_runs_[pages].push_back(page);
+  }
+  RecordFree(run_bytes);
+}
+
+ArenaStats Arena::Stats() const {
+  ArenaStats s;
+  s.allocs = allocs_->value();
+  s.frees = frees_->value();
+  s.fallback_allocs = fallback_allocs_->value();
+  s.bytes_in_use = static_cast<uint64_t>(bytes_in_use_->value());
+  s.bytes_highwater = static_cast<uint64_t>(bytes_highwater_->value());
+  s.slabs_in_use = static_cast<uint64_t>(slabs_in_use_->value());
+  s.pages_committed = static_cast<uint64_t>(pages_committed_->value());
+  return s;
+}
+
+}  // namespace arena
+}  // namespace anatomy

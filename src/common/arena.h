@@ -1,0 +1,272 @@
+// Arena: a size-class fixed-size-slab allocator over one large up-front
+// virtual reservation, plus the STL allocator adapter the hot containers
+// use (see DESIGN.md §11).
+//
+// Layout: the arena mmaps one PROT_NONE MAP_NORESERVE reservation (default
+// 4 GiB of address space — only committed pages cost memory) and commits it
+// forward in 2 MiB chunks (mprotect RW + MADV_HUGEPAGE). The reservation is
+// carved into 64 KiB pages; each page is either assigned to one slab size
+// class (free slots tracked by a HierBitset — find-first-set allocation, so
+// layout is deterministic for a deterministic call sequence) or the start
+// of a contiguous multi-page run serving one allocation > 32 KiB.
+//
+// Routing: ArenaAllocator<T> sends allocations to the process-global arena
+// while arena::Enabled() (CMake option ANATOMY_ARENA, env ANATOMY_ARENA=OFF
+// escape hatch, SetEnabled() for tests) and deallocations by address range
+// (Arena::Contains), so the switch can flip mid-process without pairing
+// bugs: memory is always freed where it was allocated.
+//
+// Observability: every arena registers arena.<name>.{allocs,frees,
+// fallback_allocs} counters and {bytes_in_use,bytes_highwater,slabs_in_use,
+// pages_committed} gauges in a MetricRegistry (Global() by default).
+//
+// Sanitizers: committed-but-unallocated memory and freed slabs are
+// explicitly ASan-poisoned, so use-after-free on arena memory still traps
+// under the asan preset (arena_test pins this with a death test).
+
+#ifndef ANATOMY_COMMON_ARENA_H_
+#define ANATOMY_COMMON_ARENA_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common/fsa.h"
+
+namespace anatomy {
+namespace obs {
+class Counter;
+class Gauge;
+class MetricRegistry;
+}  // namespace obs
+
+namespace arena {
+
+/// True when the build carries the arena (CMake option ANATOMY_ARENA=ON).
+constexpr bool CompiledIn() {
+#ifdef ANATOMY_ARENA_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Whether ArenaAllocator routes new allocations to the global arena right
+/// now. Starts as CompiledIn() unless the environment says ANATOMY_ARENA=OFF
+/// (or 0/off/false); freed memory always routes by address, so toggling
+/// mid-process is safe.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+struct ArenaOptions {
+  /// Virtual address space reserved up front. Halved on mmap failure down
+  /// to 256 MiB; if even that fails the arena serves everything from the
+  /// heap (fallback_allocs counts those).
+  size_t reservation_bytes = size_t{4} << 30;
+  /// Metric prefix: arena.<name>.*.
+  std::string name = "global";
+  /// Registry for the arena.* metrics; null means the process-wide
+  /// obs::MetricRegistry::Global().
+  obs::MetricRegistry* registry = nullptr;
+};
+
+/// One coherent-enough read of an arena's counters (each is atomic; cross-
+/// counter skew is possible while allocating threads are live).
+struct ArenaStats {
+  uint64_t allocs = 0;
+  uint64_t frees = 0;
+  uint64_t fallback_allocs = 0;
+  uint64_t bytes_in_use = 0;
+  uint64_t bytes_highwater = 0;
+  uint64_t slabs_in_use = 0;
+  uint64_t pages_committed = 0;
+};
+
+class Arena {
+ public:
+  /// FSA page granularity. 64 KiB / 8-byte slabs = 8192 slots, well under
+  /// HierBitset::kMaxBits.
+  static constexpr size_t kPageBytes = 64 * 1024;
+  /// Largest slab class; bigger allocations get contiguous page runs.
+  static constexpr size_t kMaxSlabBytes = 32 * 1024;
+  /// Commit granularity (and the MADV_HUGEPAGE unit).
+  static constexpr size_t kCommitChunkBytes = 2 * 1024 * 1024;
+  /// Freed page runs at or above this many pages (512 KiB) are decommitted
+  /// (MADV_DONTNEED) so container-growth churn doesn't pin peak RSS; smaller
+  /// runs — the predicate-bitmap sweet spot — stay resident for cheap reuse.
+  static constexpr uint32_t kDecommitMinPages = 8;
+
+  /// Quarter-step-ish ladder, every class a multiple of 8 so slab offsets
+  /// satisfy ASan's 8-byte poison granularity and natural alignment up to
+  /// the class size's largest power-of-two divisor.
+  static constexpr size_t kSizeClasses[] = {
+      8,    16,   24,   32,   48,   64,    96,    128,   192,   256,
+      384,  512,  768,  1024, 1536, 2048,  3072,  4096,  6144,  8192,
+      12288, 16384, 24576, 32768};
+  static constexpr size_t kNumClasses =
+      sizeof(kSizeClasses) / sizeof(kSizeClasses[0]);
+
+  explicit Arena(const ArenaOptions& options = {});
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// The process-global arena every ArenaAllocator routes through.
+  /// Intentionally never destroyed: containers with static storage duration
+  /// may free after any registered destructor would have run.
+  static Arena& Global();
+
+  /// `align` must be a power of two <= kPageBytes.
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t));
+  void Free(void* ptr);
+
+  /// Whether `ptr` lies inside this arena's reservation — the deallocation
+  /// router, valid even for pointers the arena never handed out.
+  bool Contains(const void* ptr) const {
+    const uintptr_t p = reinterpret_cast<uintptr_t>(ptr);
+    return base_ != 0 && p >= base_ && p < base_ + reservation_;
+  }
+
+  /// Smallest class index serving (bytes, align); kNumClasses when the
+  /// request needs a page run instead. Exposed for the routing tests.
+  static size_t SizeClassFor(size_t bytes, size_t align);
+
+  ArenaStats Stats() const;
+  /// Reservation base (0 when the reservation failed and the arena is in
+  /// heap-fallback mode). The determinism tests compare slab offsets
+  /// relative to this.
+  uintptr_t base() const { return base_; }
+
+ private:
+  static constexpr uint32_t kNoPage = UINT32_MAX;
+  /// page_class_ tags besides a size-class index.
+  static constexpr int32_t kPageFree = -1;
+  static constexpr int32_t kPageRunStart = -2;
+  static constexpr int32_t kPageRunBody = -3;
+
+  struct PageMeta {
+    HierBitset free_slots;
+    uint32_t free_count = 0;
+    uint32_t prev = kNoPage;
+    uint32_t next = kNoPage;
+  };
+
+  struct SizeClassPool {
+    std::mutex mu;
+    /// Doubly-linked list of pages with at least one free slot; allocation
+    /// always serves the head.
+    uint32_t partial_head = kNoPage;
+  };
+
+  /// Commits reservation pages up through `page_end` (exclusive) in
+  /// kCommitChunkBytes steps. page_mu_ must be held. Returns false when the
+  /// reservation is exhausted or in heap-fallback mode.
+  bool EnsureCommitted(uint32_t page_end);
+  /// Takes one free page for `cls` and formats its free-list. page_mu_ is
+  /// taken inside. Returns kNoPage when the reservation is exhausted.
+  uint32_t AcquirePage(size_t cls);
+  void* AllocateLarge(size_t bytes);
+  void FreeLarge(uint32_t page);
+  void* FallbackAllocate(size_t bytes, size_t align);
+
+  void LinkPartial(SizeClassPool& pool, uint32_t page);
+  void UnlinkPartial(SizeClassPool& pool, uint32_t page);
+
+  void RecordAlloc(size_t bytes);
+  void RecordFree(size_t bytes);
+
+  uintptr_t base_ = 0;
+  size_t reservation_ = 0;
+  uint32_t num_pages_ = 0;
+
+  std::mutex page_mu_;
+  uint32_t next_page_ = 0;      // bump cursor, guarded by page_mu_
+  uint32_t committed_pages_ = 0;
+  std::vector<uint32_t> free_pages_;  // LIFO of released slab pages
+  /// Per-page tag: kPageFree / size-class index / run start / run body.
+  std::vector<int32_t> page_class_;
+  std::vector<std::unique_ptr<PageMeta>> metas_;
+  /// Live multi-page runs: start page -> page count.
+  std::map<uint32_t, uint32_t> large_runs_;
+  /// Freed runs kept intact for exact-fit reuse: page count -> LIFO starts.
+  std::map<uint32_t, std::vector<uint32_t>> free_runs_;
+
+  SizeClassPool pools_[kNumClasses];
+
+  obs::Counter* allocs_;
+  obs::Counter* frees_;
+  obs::Counter* fallback_allocs_;
+  obs::Gauge* bytes_in_use_;
+  obs::Gauge* bytes_highwater_;
+  obs::Gauge* slabs_in_use_;
+  obs::Gauge* pages_committed_;
+};
+
+}  // namespace arena
+
+/// STL-compatible adapter: routes allocation through the global arena while
+/// arena::Enabled(), always routes deallocation by address. Stateless — all
+/// instances are interchangeable, so containers can be swapped/moved across
+/// the enabled flag flipping.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  using is_always_equal = std::true_type;
+
+  ArenaAllocator() = default;
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>&) {}
+
+  T* allocate(size_t n) {
+    const size_t bytes = n * sizeof(T);
+    if constexpr (arena::CompiledIn()) {
+      if (arena::Enabled()) {
+        return static_cast<T*>(
+            arena::Arena::Global().Allocate(bytes, alignof(T)));
+      }
+    }
+    if constexpr (alignof(T) > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+      return static_cast<T*>(::operator new(bytes, std::align_val_t{alignof(T)}));
+    } else {
+      return static_cast<T*>(::operator new(bytes));
+    }
+  }
+
+  void deallocate(T* p, size_t) {
+    if constexpr (arena::CompiledIn()) {
+      if (arena::Arena::Global().Contains(p)) {
+        arena::Arena::Global().Free(p);
+        return;
+      }
+    }
+    if constexpr (alignof(T) > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+      ::operator delete(p, std::align_val_t{alignof(T)});
+    } else {
+      ::operator delete(p);
+    }
+  }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>&) const {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>&) const {
+    return false;
+  }
+};
+
+/// The common container shapes on the arena.
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace anatomy
+
+#endif  // ANATOMY_COMMON_ARENA_H_

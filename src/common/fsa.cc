@@ -1,0 +1,68 @@
+#include "common/fsa.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace anatomy {
+
+namespace {
+
+/// ~0u << (b + 1) without the b == 31 shift-by-32 UB.
+inline uint32_t MaskAbove(uint32_t b) {
+  return b >= 31 ? 0u : ~0u << (b + 1);
+}
+
+}  // namespace
+
+void HierBitset::Init(uint32_t capacity) {
+  ANATOMY_CHECK(capacity <= kMaxBits);
+  cap_ = capacity;
+  n2_ = (capacity + 31) / 32;
+  n1_ = (n2_ + 31) / 32;
+  l0_ = 0;
+  store_.assign(n1_ + n2_, 0);
+}
+
+void HierBitset::InitFull(uint32_t capacity) {
+  Init(capacity);
+  if (cap_ == 0) return;
+  for (uint32_t w2 = 0; w2 < n2_; ++w2) leaf(w2) = ~0u;
+  // Mask the partial tail words at every level so no bit >= cap_ reads set.
+  const uint32_t tail = cap_ & 31;
+  if (tail != 0) leaf(n2_ - 1) &= (1u << tail) - 1;
+  RebuildUpper();
+}
+
+uint32_t HierBitset::NextSet(uint32_t i) const {
+  if (i >= cap_) return kNpos;
+  uint32_t w2 = i >> 5;
+  uint32_t m = leaf(w2) & (~0u << (i & 31));
+  if (m != 0) return (w2 << 5) | static_cast<uint32_t>(std::countr_zero(m));
+  uint32_t w1 = w2 >> 5;
+  m = l1(w1) & MaskAbove(w2 & 31);
+  if (m == 0) {
+    const uint32_t m0 = l0_ & MaskAbove(w1);
+    if (m0 == 0) return kNpos;
+    w1 = static_cast<uint32_t>(std::countr_zero(m0));
+    m = l1(w1);
+  }
+  w2 = (w1 << 5) | static_cast<uint32_t>(std::countr_zero(m));
+  return (w2 << 5) | static_cast<uint32_t>(std::countr_zero(leaf(w2)));
+}
+
+void HierBitset::RebuildUpper() {
+  l0_ = 0;
+  for (uint32_t w1 = 0; w1 < n1_; ++w1) {
+    uint32_t bits = 0;
+    const uint32_t lo = w1 << 5;
+    const uint32_t hi = std::min(lo + 32, n2_);
+    for (uint32_t w2 = lo; w2 < hi; ++w2) {
+      if (leaf(w2) != 0) bits |= 1u << (w2 - lo);
+    }
+    l1(w1) = bits;
+    if (bits != 0) l0_ |= 1u << w1;
+  }
+}
+
+}  // namespace anatomy

@@ -4,6 +4,17 @@
 // combinators the prefix-OR index is built from, and template set-bit
 // iteration that inlines its callback (no std::function, no virtual
 // dispatch on the hot path).
+//
+// Word storage routes through the arena allocator (DESIGN.md §11), and a
+// bitmap can carry a word-occupancy summary: a HierBitset with one bit per
+// 64-bit word (set iff the word is nonzero) plus a cached popcount. The
+// summary is built either fused into AndWith/AssignAnd (the query
+// conjunction path, where the words are streaming through registers anyway)
+// or explicitly via BuildSummary() (the prefix-OR index does this once per
+// predicate bitmap). With a summary, Count() is O(1) and the set-bit walks
+// skip empty 32- and 1024-word runs — the win on low-selectivity predicates
+// where most words are zero. Every result is integer-identical to the plain
+// walk: the summary only elides words that are provably zero.
 
 #ifndef ANATOMY_QUERY_BITMAP_H_
 #define ANATOMY_QUERY_BITMAP_H_
@@ -13,6 +24,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/arena.h"
+#include "common/fsa.h"
 #include "query/simd.h"
 
 namespace anatomy {
@@ -36,7 +49,8 @@ class Bitmap {
 
   /// this |= other. Sizes must match.
   void OrWith(const Bitmap& other);
-  /// this &= other. Sizes must match.
+  /// this &= other. Sizes must match. Rebuilds the occupancy summary fused
+  /// into the AND pass when summaries are enabled and the bitmap fits.
   void AndWith(const Bitmap& other);
   /// this &= ~other. Sizes must match.
   void AndNotWith(const Bitmap& other);
@@ -47,9 +61,26 @@ class Bitmap {
   void OrWithAndNot(const Bitmap& hi, const Bitmap* lo);
 
   /// this = a & b in one pass (takes a's size; no SetAll, no copy).
+  /// Rebuilds the occupancy summary fused into the AND pass when summaries
+  /// are enabled and the bitmap fits.
   void AssignAnd(const Bitmap& a, const Bitmap& b);
 
-  /// Number of set bits.
+  /// (Re)derives the word-occupancy summary from the current words. A no-op
+  /// that leaves the bitmap summary-less when summaries are disabled or the
+  /// bitmap exceeds HierBitset::kMaxBits words (~2.1M bits). Mutators other
+  /// than AndWith/AssignAnd drop the summary; call this again afterwards if
+  /// the bitmap is long-lived (the prefix-OR index does).
+  void BuildSummary();
+
+  bool has_summary() const { return summary_ok_; }
+
+  /// Process-wide kill switch for summary builds, for A/B runs
+  /// (bench_query_kernels' off-mode) and the bit-identity sweeps. Disabling
+  /// does not drop summaries already built; call BuildSummary() to refresh.
+  static void SetSummaryEnabled(bool enabled);
+  static bool SummaryEnabled();
+
+  /// Number of set bits. O(1) when a summary is valid.
   uint64_t Count() const;
 
   /// Number of set bits in the half-open bit range [begin, end); both
@@ -81,7 +112,9 @@ class Bitmap {
   /// Fused kernel: popcount(a & b) over [begin, end) without materializing
   /// the conjunction. Sizes of a and b must match; bounds as in CountRange.
   /// This is the per-group COUNT kernel: one call per QI group, zero
-  /// per-row work.
+  /// per-row work. When either operand carries a sparse summary, the span
+  /// walks that operand's nonzero words only (a zero word on either side
+  /// zeroes the AND, so skipping it is exact).
   static uint64_t AndCountRange(const Bitmap& a, const Bitmap& b,
                                 size_t begin, size_t end) {
     if (begin >= end) return 0;
@@ -94,6 +127,26 @@ class Bitmap {
     if (wb == we) {
       return static_cast<uint64_t>(
           std::popcount(wa[wb] & wb_[wb] & first & last));
+    }
+    if (we - wb + 1 >= kSummaryMinSpanWords) {
+      const Bitmap* s = a.SparseSummarySide();
+      if (const Bitmap* sb = b.SparseSummarySide();
+          sb != nullptr && (s == nullptr || sb->nz_words_ < s->nz_words_)) {
+        s = sb;
+      }
+      if (s != nullptr) {
+        uint64_t n = 0;
+        uint32_t wi = s->occupancy_.NextSet(static_cast<uint32_t>(wb));
+        while (wi != HierBitset::kNpos && wi <= we) {
+          uint64_t w = wa[wi] & wb_[wi];
+          if (wi == wb) w &= first;
+          if (wi == we) w &= last;
+          n += static_cast<uint64_t>(std::popcount(w));
+          if (wi == we) break;
+          wi = s->occupancy_.NextSet(wi + 1);
+        }
+        return n;
+      }
     }
     uint64_t n =
         static_cast<uint64_t>(std::popcount(wa[wb] & wb_[wb] & first)) +
@@ -111,9 +164,21 @@ class Bitmap {
 
   /// Calls fn(i) for every set bit in ascending order. The callback is a
   /// template parameter so it inlines (the former std::function signature
-  /// cost an indirect call per row).
+  /// cost an indirect call per row). With a sparse summary the walk visits
+  /// nonzero words only, skipping empty 32-/1024-word runs wholesale.
   template <typename Fn>
   void ForEachSetBit(Fn&& fn) const {
+    if (SparseSummarySide() != nullptr) {
+      occupancy_.ForEachSet([&](uint32_t wi) {
+        uint64_t w = words_[wi];
+        while (w != 0) {
+          fn((static_cast<size_t>(wi) << 6) +
+             static_cast<size_t>(std::countr_zero(w)));
+          w &= w - 1;
+        }
+      });
+      return;
+    }
     for (size_t wi = 0; wi < words_.size(); ++wi) {
       uint64_t w = words_[wi];
       while (w != 0) {
@@ -125,7 +190,8 @@ class Bitmap {
 
   /// Calls fn(i) for every set bit in [begin, end), ascending. Bounds must
   /// be <= size(). The SUM/AVG per-row tail iterates one group's bit range
-  /// this way.
+  /// this way; spans of at least kSummaryMinSpanWords words use the sparse
+  /// summary when one is valid.
   template <typename Fn>
   void ForEachSetBitInRange(size_t begin, size_t end, Fn&& fn) const {
     if (begin >= end) return;
@@ -133,6 +199,23 @@ class Bitmap {
     const size_t we = (end - 1) >> 6;
     const uint64_t first = kAllOnes << (begin & 63);
     const uint64_t last = kAllOnes >> (63 - ((end - 1) & 63));
+    if (we - wb + 1 >= kSummaryMinSpanWords &&
+        SparseSummarySide() != nullptr) {
+      uint32_t wi = occupancy_.NextSet(static_cast<uint32_t>(wb));
+      while (wi != HierBitset::kNpos && wi <= we) {
+        uint64_t w = words_[wi];
+        if (wi == wb) w &= first;
+        if (wi == we) w &= last;
+        while (w != 0) {
+          fn((static_cast<size_t>(wi) << 6) +
+             static_cast<size_t>(std::countr_zero(w)));
+          w &= w - 1;
+        }
+        if (wi == we) break;
+        wi = occupancy_.NextSet(wi + 1);
+      }
+      return;
+    }
     for (size_t wi = wb; wi <= we; ++wi) {
       uint64_t w = words_[wi];
       if (wi == wb) w &= first;
@@ -144,7 +227,7 @@ class Bitmap {
     }
   }
 
-  const std::vector<uint64_t>& words() const { return words_; }
+  const ArenaVector<uint64_t>& words() const { return words_; }
 
  private:
   static constexpr uint64_t kAllOnes = ~uint64_t{0};
@@ -154,9 +237,30 @@ class Bitmap {
   /// beats an out-of-line call at that size. Any split is exact, so the
   /// threshold can never change a result.
   static constexpr size_t kSimdMinWords = 8;
+  /// Ranged walks shorter than this many words skip the summary: the
+  /// NextSet descent costs more than scanning a handful of words directly.
+  static constexpr size_t kSummaryMinSpanWords = 8;
+
+  /// `this` when it carries a summary sparse enough that occupancy-guided
+  /// iteration beats the linear word scan (under half the words nonzero),
+  /// else nullptr. At 1% random bit density ~47% of words are nonzero, so
+  /// the guided walk engages across the whole low-selectivity regime and
+  /// disengages before dense bitmaps where it would only add overhead.
+  const Bitmap* SparseSummarySide() const {
+    return summary_ok_ &&
+                   static_cast<size_t>(nz_words_) * 2 <= words_.size()
+               ? this
+               : nullptr;
+  }
 
   size_t num_bits_ = 0;
-  std::vector<uint64_t> words_;
+  ArenaVector<uint64_t> words_;
+  /// Word-occupancy summary: bit w set iff words_[w] != 0, valid only when
+  /// summary_ok_. popcount_ / nz_words_ are cached alongside.
+  HierBitset occupancy_;
+  uint64_t popcount_ = 0;
+  uint32_t nz_words_ = 0;
+  bool summary_ok_ = false;
 };
 
 }  // namespace anatomy

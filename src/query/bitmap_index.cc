@@ -43,19 +43,26 @@ size_t BitmapIndex::SlotFor(size_t column) const {
 void BitmapIndex::ValueBitmap(size_t column, Code code, Bitmap& out) const {
   const size_t slot = SlotFor(column);
   out.Reset(num_rows_);
-  if (code < 0 || static_cast<size_t>(code) >= prefix_[slot].size()) return;
-  out.OrWithAndNot(prefix_[slot][code],
-                   code > 0 ? &prefix_[slot][code - 1] : nullptr);
+  if (code >= 0 && static_cast<size_t>(code) < prefix_[slot].size()) {
+    out.OrWithAndNot(prefix_[slot][code],
+                     code > 0 ? &prefix_[slot][code - 1] : nullptr);
+  }
+  // Value bitmaps are one-per-code, so they are exactly where occupancy
+  // summaries pay: density 1/domain, most words zero for wide domains.
+  out.BuildSummary();
 }
 
 void BitmapIndex::PredicateBitmap(size_t column, const AttributePredicate& pred,
                                   Bitmap& out) const {
   const size_t slot = SlotFor(column);
-  const std::vector<Bitmap>& prefix = prefix_[slot];
+  const ArenaVector<Bitmap>& prefix = prefix_[slot];
   out.Reset(num_rows_);
   pred.ForEachRun(static_cast<Code>(prefix.size()), [&](Code lo, Code hi) {
     out.OrWithAndNot(prefix[hi], lo > 0 ? &prefix[lo - 1] : nullptr);
   });
+  // Predicate bitmaps survive in the PredCache and feed every downstream
+  // AND / walk, so the one extra pass here amortizes across reuses.
+  out.BuildSummary();
 }
 
 }  // namespace anatomy

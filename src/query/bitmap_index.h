@@ -51,8 +51,10 @@ class BitmapIndex {
   /// slot_of_column_[col] = slot index, or -1 when col is not indexed
   /// (replaces the former per-call linear scan).
   std::vector<int32_t> slot_of_column_;
-  /// prefix_[slot][v] = OR of the value bitmaps of codes <= v.
-  std::vector<std::vector<Bitmap>> prefix_;
+  /// prefix_[slot][v] = OR of the value bitmaps of codes <= v. The Bitmap
+  /// words already live on the arena; the per-slot spines do too, keeping
+  /// the whole index inside one reservation for locality.
+  ArenaVector<ArenaVector<Bitmap>> prefix_;
 };
 
 }  // namespace anatomy

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "anatomy/partition.h"
+#include "common/arena.h"
 #include "query/bitmap.h"
 
 namespace anatomy {
@@ -33,9 +34,9 @@ namespace anatomy {
 struct EstimatorScratch {
   /// Qualifying sensitive mass per group (S_j accumulator). All-zero
   /// between calls; sized lazily via EnsureGroupMass.
-  std::vector<double> group_mass;
+  ArenaVector<double> group_mass;
   /// Groups with nonzero group_mass this call; used to restore the zeros.
-  std::vector<GroupId> touched_groups;
+  ArenaVector<GroupId> touched_groups;
   /// Rows matching the conjunction of QI predicates.
   Bitmap qi_match;
   /// Workspace for one predicate's bitmap OR.
@@ -43,24 +44,45 @@ struct EstimatorScratch {
   /// Dense per-group mass buffer for the group-clustered kernels. Unlike
   /// group_mass it carries no all-zero invariant: a dense pass assigns
   /// every entry before reading any, so stale contents are harmless.
-  std::vector<uint32_t> group_mass_u32;
+  ArenaVector<uint32_t> group_mass_u32;
   /// Per-group weight mass_g / |g| for the weighted set-bit walk. Like
   /// group_mass_u32, fully assigned before use — no invariant.
-  std::vector<double> group_weight;
+  ArenaVector<double> group_weight;
   /// Predicate-cache leases pinning the bitmaps one call reads; refreshed
   /// at the start of the next call (see PredicateBitmapCache: a lease keeps
   /// its bitmap alive across eviction). A batched call pins every distinct
   /// predicate of the batch here for the batch's duration.
-  std::vector<std::shared_ptr<const Bitmap>> pred_refs;
+  ArenaVector<std::shared_ptr<const Bitmap>> pred_refs;
   /// Cache-less batched evaluation materializes each distinct predicate of
-  /// the batch into one of these instead; cleared at the next batch.
-  std::vector<std::unique_ptr<Bitmap>> batch_storage;
+  /// the batch into one of these instead, handed out by NextBatchBitmap.
+  /// The bitmaps (and their word capacity) outlive the batch on purpose:
+  /// an earlier clear()-per-batch here re-allocated every Bitmap each call,
+  /// which was the dominant steady-state churn in the batched path.
+  ArenaVector<std::unique_ptr<Bitmap>> batch_storage;
+  /// Bitmaps of batch_storage handed out since the last ResetBatch().
+  size_t batch_used = 0;
 
   /// Makes group_mass an all-zero vector of `num_groups` entries. A no-op
   /// when the size already matches (the all-zero invariant holds between
   /// calls), so the steady state allocates nothing.
   void EnsureGroupMass(size_t num_groups) {
     if (group_mass.size() != num_groups) group_mass.assign(num_groups, 0.0);
+  }
+
+  /// Recycles batch_storage for a new batch. Pointers from the previous
+  /// batch are invalid after this (the Bitmaps get Reset and re-used).
+  void ResetBatch() { batch_used = 0; }
+
+  /// Hands out the next batch workspace bitmap, Reset to `num_bits`. After
+  /// the first batch at a given shape this allocates nothing: the Bitmap
+  /// object and its word storage are both reused.
+  Bitmap* NextBatchBitmap(size_t num_bits) {
+    if (batch_used == batch_storage.size()) {
+      batch_storage.push_back(std::make_unique<Bitmap>());
+    }
+    Bitmap* bm = batch_storage[batch_used++].get();
+    bm->Reset(num_bits);
+    return bm;
   }
 };
 

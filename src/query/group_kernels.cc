@@ -303,12 +303,12 @@ void AnatomyQueryEngine::EstimateCountSumBatch(const BatchQuery* batch,
   // batch storage. Zero-QI queries contribute nothing here and still take
   // their fast paths below.
   scratch.pred_refs.clear();
-  scratch.batch_storage.clear();
+  scratch.ResetBatch();
   PreparedPredicateMap prepared;
   for (size_t qi = 0; qi < count; ++qi) {
     for (const AttributePredicate& pred : batch[qi].query->qi_predicates) {
       const uint64_t h = HashPredicateKey(pred.qi_index(), pred.values());
-      std::vector<PreparedPredicate>& chain = prepared[h];
+      auto& chain = prepared[h];
       bool present = false;
       for (const PreparedPredicate& p : chain) {
         if (p.column == pred.qi_index() && *p.values == pred.values()) {
@@ -325,10 +325,9 @@ void AnatomyQueryEngine::EstimateCountSumBatch(const BatchQuery* batch,
             }));
         bitmap = scratch.pred_refs.back().get();
       } else {
-        scratch.batch_storage.push_back(std::make_unique<Bitmap>());
-        qit_index_->PredicateBitmap(pred.qi_index(), pred,
-                                    *scratch.batch_storage.back());
-        bitmap = scratch.batch_storage.back().get();
+        Bitmap* bm = scratch.NextBatchBitmap(qit_index_->num_rows());
+        qit_index_->PredicateBitmap(pred.qi_index(), pred, *bm);
+        bitmap = bm;
       }
       chain.push_back({pred.qi_index(), &pred.values(), bitmap});
     }

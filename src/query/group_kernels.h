@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "anatomy/anatomized_tables.h"
+#include "common/arena.h"
 #include "query/bitmap_index.h"
 #include "query/estimator_scratch.h"
 #include "query/pred_cache.h"
@@ -147,8 +148,10 @@ class AnatomyQueryEngine {
     const std::vector<Code>* values;
     const Bitmap* bitmap;
   };
-  using PreparedPredicateMap =
-      std::unordered_map<uint64_t, std::vector<PreparedPredicate>>;
+  using PreparedPredicateMap = std::unordered_map<
+      uint64_t, ArenaVector<PreparedPredicate>, std::hash<uint64_t>,
+      std::equal_to<uint64_t>,
+      ArenaAllocator<std::pair<const uint64_t, ArenaVector<PreparedPredicate>>>>;
 
   CountSum EstimateScalar(const CountQuery& query, bool need_sum,
                           size_t measure_qi, EstimatorScratch& scratch) const;
@@ -192,29 +195,30 @@ class AnatomyQueryEngine {
   EstimatorOptions options_;
   std::unique_ptr<BitmapIndex> qit_index_;
   /// postings_[v] = (group, count) pairs with c_group(v) = count > 0.
-  std::vector<std::vector<std::pair<GroupId, uint32_t>>> postings_;
+  ArenaVector<ArenaVector<std::pair<GroupId, uint32_t>>> postings_;
   /// Total tuples per sensitive value (the ST's published exact counts):
   /// the zero-QI COUNT fast path is one lookup per predicate value.
-  std::vector<uint64_t> value_total_;
+  ArenaVector<uint64_t> value_total_;
 
   // --- kGroupClustered state (empty in scalar mode) ---
-  /// perm_[i] = QIT row at bit i (rows counting-sorted by Group-ID).
+  /// perm_[i] = QIT row at bit i (rows counting-sorted by Group-ID). Plain
+  /// std::vector: BitmapIndex takes the permutation by std::vector pointer.
   std::vector<RowId> perm_;
   /// group_start_[g] .. group_start_[g+1]: group g's bit range.
-  std::vector<size_t> group_start_;
+  ArenaVector<size_t> group_start_;
   /// The group owning bit i is word_group_base_[i / 64] +
   /// bit_group_offset_[i]. The split keeps the weighted set-bit walk's
   /// per-row metadata at one byte: a 64-bit word spans at most 64 groups,
   /// so the offset from the word's first group always fits u8.
-  std::vector<uint32_t> word_group_base_;
-  std::vector<uint8_t> bit_group_offset_;
+  ArenaVector<uint32_t> word_group_base_;
+  ArenaVector<uint8_t> bit_group_offset_;
   /// Precomputed 1 / |g| — removes the per-row division of the scalar path.
-  std::vector<double> inv_group_size_;
+  ArenaVector<double> inv_group_size_;
   /// perm_values_[qi][i] = NumericValue of QI column qi at bit i.
-  std::vector<std::vector<double>> perm_values_;
+  ArenaVector<ArenaVector<double>> perm_values_;
   /// prefix_mass_[v][g] = sum_{u<=v} c_g(u); empty when the sensitive
   /// domain x group count would exceed the memory gate.
-  std::vector<std::vector<uint32_t>> prefix_mass_;
+  ArenaVector<ArenaVector<uint32_t>> prefix_mass_;
   /// Null when disabled (the options kill switch) or in scalar mode.
   std::unique_ptr<PredicateBitmapCache> cache_;
 };

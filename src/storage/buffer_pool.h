@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "storage/disk.h"
@@ -78,14 +79,24 @@ class BufferPool {
   size_t pinned_frames() const;
 
  private:
+  /// Frame map nodes (one ~4KB Page each) and LRU list nodes go through the
+  /// arena: frames churn with every miss/eviction, and the slab classes
+  /// keep same-sized nodes densely packed instead of scattered by malloc.
+  using LruList = std::list<PageId, ArenaAllocator<PageId>>;
+
   struct Frame {
     Page page;
     uint32_t pin_count = 0;
     bool dirty = false;
     /// Position in lru_ when pin_count == 0.
-    std::list<PageId>::iterator lru_pos;
+    LruList::iterator lru_pos;
     bool in_lru = false;
   };
+
+  using FrameMap =
+      std::unordered_map<PageId, Frame, std::hash<PageId>,
+                         std::equal_to<PageId>,
+                         ArenaAllocator<std::pair<const PageId, Frame>>>;
 
   /// Both retry wrappers mirror the retries they absorb into the
   /// `storage.pool.retries` counter (as a delta of io_retries_) so the
@@ -101,9 +112,9 @@ class BufferPool {
   size_t capacity_;
   RetryPolicy retry_policy_;
   uint64_t io_retries_ = 0;
-  std::unordered_map<PageId, Frame> frames_;
+  FrameMap frames_;
   /// Unpinned pages, least recently used first.
-  std::list<PageId> lru_;
+  LruList lru_;
   obs::Counter* obs_hits_;
   obs::Counter* obs_misses_;
   obs::Counter* obs_evictions_;

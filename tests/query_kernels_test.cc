@@ -16,11 +16,13 @@
 
 #include "anatomy/anatomized_tables.h"
 #include "anatomy/anatomizer.h"
+#include "common/arena.h"
 #include "data/census_generator.h"
 #include "data/dataset.h"
 #include "obs/metrics.h"
 #include "query/aggregate.h"
 #include "query/anatomy_estimator.h"
+#include "query/bitmap.h"
 #include "query/pred_cache.h"
 #include "query/simd.h"
 #include "test_util.h"
@@ -476,6 +478,110 @@ TEST(PredicateCacheTest, DisabledMetricsStillServeCorrectBitmaps) {
     EXPECT_EQ(estimator.Estimate(queries[i]), baseline[i]) << "query " << i;
   }
   obs::SetMetricsEnabled(true);
+}
+
+// ------------------------------------------- Memory-substrate sweeps ----
+
+TEST(MemorySubstrateSweepTest, ArenaAndSummaryTogglesAreBitIdentical) {
+  // The arena changes where bytes live and the occupancy summary changes
+  // which zero words get inspected; neither may change a single estimate
+  // bit. Sweep all four (arena, summary) configurations over a mixed
+  // COUNT/SUM workload and demand exact double equality against the
+  // as-built configuration.
+  const AnatomizedCensus census = MakeAnatomizedCensus(3000, 4, 6, 91);
+  const Microdata& md = census.dataset.microdata;
+  const std::vector<CountQuery> base =
+      GridQueries(md, /*qd=*/2, /*s=*/0.08, /*count=*/30, 97, true);
+  std::vector<AggregateQuery> queries;
+  for (size_t i = 0; i < base.size(); ++i) {
+    AggregateQuery q;
+    q.predicates = base[i];
+    q.kind = i % 2 == 0 ? AggregateKind::kCount : AggregateKind::kSum;
+    q.measure_qi = i % md.d();
+    queries.push_back(q);
+  }
+
+  const bool arena_before = arena::Enabled();
+  const bool summary_before = Bitmap::SummaryEnabled();
+
+  std::vector<double> baseline;
+  for (int arena_on = 1; arena_on >= 0; --arena_on) {
+    for (int summary_on = 1; summary_on >= 0; --summary_on) {
+      arena::SetEnabled(arena_on != 0);
+      Bitmap::SetSummaryEnabled(summary_on != 0);
+      // Fresh estimator per configuration so its index structures are built
+      // under exactly this (arena, summary) setting.
+      const AnatomyAggregateEstimator estimator(census.tables);
+      std::vector<double> got(queries.size());
+      for (size_t i = 0; i < queries.size(); ++i) {
+        got[i] = estimator.Estimate(queries[i]);
+      }
+      if (baseline.empty()) {
+        baseline = got;
+        continue;
+      }
+      for (size_t i = 0; i < queries.size(); ++i) {
+        EXPECT_EQ(got[i], baseline[i])
+            << "arena=" << arena_on << " summary=" << summary_on << " query "
+            << i;
+      }
+    }
+  }
+
+  arena::SetEnabled(arena_before);
+  Bitmap::SetSummaryEnabled(summary_before);
+}
+
+TEST(MemorySubstrateSweepTest, SummaryGuidedIterationVisitsIdenticalBits) {
+  // Direct iteration-order check on adversarial bitmaps: clustered runs,
+  // isolated bits, word boundaries. The guided walk must produce the same
+  // index sequence as the linear walk, for both full and ranged walks, and
+  // AndCountRange must be integer-identical.
+  const bool summary_before = Bitmap::SummaryEnabled();
+  const size_t n = 5000;
+  Bitmap sparse(n);
+  for (size_t i : {size_t{0}, size_t{63}, size_t{64}, size_t{1000},
+                   size_t{1001}, size_t{1023}, size_t{1024}, size_t{4999}}) {
+    sparse.Set(i);
+  }
+  for (size_t i = 2048; i < 2304; ++i) sparse.Set(i);  // one clustered run
+  Bitmap mask(n);
+  for (size_t i = 0; i < n; i += 3) mask.Set(i);
+
+  Bitmap conj;
+  Bitmap::SetSummaryEnabled(true);
+  conj.AssignAnd(sparse, mask);
+  ASSERT_TRUE(conj.has_summary());
+  std::vector<size_t> guided;
+  conj.ForEachSetBit([&](size_t i) { guided.push_back(i); });
+
+  Bitmap::SetSummaryEnabled(false);
+  Bitmap linear_conj;
+  linear_conj.AssignAnd(sparse, mask);
+  ASSERT_FALSE(linear_conj.has_summary());
+  std::vector<size_t> linear;
+  linear_conj.ForEachSetBit([&](size_t i) { linear.push_back(i); });
+  EXPECT_EQ(guided, linear);
+
+  for (const auto& [lo, hi] :
+       std::vector<std::pair<size_t, size_t>>{{0, n},
+                                              {1, n - 1},
+                                              {60, 70},
+                                              {2000, 2400},
+                                              {2304, 4999},
+                                              {4999, 5000}}) {
+    std::vector<size_t> guided_range, linear_range;
+    conj.ForEachSetBitInRange(lo, hi,
+                              [&](size_t i) { guided_range.push_back(i); });
+    linear_conj.ForEachSetBitInRange(
+        lo, hi, [&](size_t i) { linear_range.push_back(i); });
+    EXPECT_EQ(guided_range, linear_range) << "[" << lo << ", " << hi << ")";
+    EXPECT_EQ(Bitmap::AndCountRange(conj, mask, lo, hi),
+              Bitmap::AndCountRange(linear_conj, mask, lo, hi))
+        << "[" << lo << ", " << hi << ")";
+  }
+
+  Bitmap::SetSummaryEnabled(summary_before);
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #   tools/check_sanitizers.sh scaling      # both sanitizers, sharded cache + parallel path
 #   tools/check_sanitizers.sh chaos        # both sanitizers, dist serving + chaos sweep
 #   tools/check_sanitizers.sh slo          # both sanitizers, SLO + flight recorder + tracing
+#   tools/check_sanitizers.sh arena        # both sanitizers, memory substrate + its hot users
 #   tools/check_sanitizers.sh tsan -R parallel_query_test
 #                                          # extra args passed to ctest
 set -euo pipefail
@@ -90,6 +91,15 @@ if [[ $# -ge 1 ]]; then
       # response is explained by a recorder event while the whole sweep runs
       # under the sanitizer.
       extra=(-R '^(slo_test|flightrec_test|obs_test|chaos_test)$')
+      shift
+      ;;
+    arena)
+      # The memory-substrate smoke check: arena_test's 8-thread hammer gives
+      # TSan the concurrent alloc/free traffic and its poison-on-free death
+      # test only fires under ASan (it self-skips elsewhere);
+      # query_kernels_test and sharded_anatomizer_test run the arena-on/off
+      # bit-identity sweeps over the migrated hot structures.
+      extra=(-R '^(arena_test|query_kernels_test|sharded_anatomizer_test)$')
       shift
       ;;
   esac
