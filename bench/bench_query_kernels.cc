@@ -475,11 +475,24 @@ void Run(const KernelBenchConfig& config) {
                   config.range_predicates ? "true" : "false", hardware_threads,
                   simd::TierName(simd::ActiveTier()));
     os << buf;
-    std::snprintf(buf, sizeof buf,
-                  "  \"count_scaling_8t_vs_1t\": %.3f,\n"
-                  "  \"scaling_gate\": \"%s\",\n",
-                  count_scaling_8t,
-                  hardware_threads >= 8 ? "enforced" : "skipped_single_core");
+    // Thread-scaling ratios measured with fewer hardware threads than worker
+    // threads are contention artifacts, not speedups. Publish null + an
+    // explicit invalidity flag instead of a misleading number.
+    const bool single_core = hardware_threads <= 1;
+    if (single_core) {
+      std::snprintf(buf, sizeof buf,
+                    "  \"count_scaling_8t_vs_1t\": null,\n"
+                    "  \"invalid_single_core\": true,\n"
+                    "  \"scaling_gate\": \"%s\",\n",
+                    hardware_threads >= 8 ? "enforced" : "skipped_single_core");
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "  \"count_scaling_8t_vs_1t\": %.3f,\n"
+                    "  \"invalid_single_core\": false,\n"
+                    "  \"scaling_gate\": \"%s\",\n",
+                    count_scaling_8t,
+                    hardware_threads >= 8 ? "enforced" : "skipped_single_core");
+    }
     os << buf;
     std::snprintf(buf, sizeof buf,
                   "  \"count_speedup_1t\": {\"kernel\": %.3f, "
@@ -500,14 +513,23 @@ void Run(const KernelBenchConfig& config) {
     os << "  \"runs\": [\n";
     for (size_t i = 0; i < runs.size(); ++i) {
       const TimedRun& r = runs[i];
+      // A >1-worker run on a single core is all contention; its ratio over
+      // the 1-thread row is meaningless. 1-thread rows stay valid anywhere.
+      char speedup[64];
+      if (single_core && r.threads > 1) {
+        std::snprintf(speedup, sizeof speedup,
+                      "null, \"invalid_single_core\": true");
+      } else {
+        std::snprintf(speedup, sizeof speedup, "%.3f", r.speedup_vs_1t);
+      }
       std::snprintf(buf, sizeof buf,
                     "    {\"aggregate\": \"%s\", \"path\": \"%s\", "
                     "\"threads\": %zu, \"queries_per_s\": %.1f, "
-                    "\"rows_per_s\": %.0f, \"speedup_vs_1t\": %.3f, "
+                    "\"rows_per_s\": %.0f, \"speedup_vs_1t\": %s, "
                     "\"latency_p50_ns\": %llu, "
                     "\"latency_p99_ns\": %llu}%s\n",
                     r.aggregate.c_str(), r.path.c_str(), r.threads, r.qps,
-                    r.rows_per_s, r.speedup_vs_1t,
+                    r.rows_per_s, speedup,
                     static_cast<unsigned long long>(r.p50_ns),
                     static_cast<unsigned long long>(r.p99_ns),
                     i + 1 < runs.size() ? "," : "");

@@ -360,25 +360,38 @@ void Run(const ShardedBenchConfig& config) {
       return;
     }
     char buf[320];
+    // Shard-scaling ratios captured on a single core measure scheduler
+    // contention, not parallel speedup: publish null + an invalidity flag
+    // on every multi-shard point instead of the misleading ratio.
+    const bool single_core = cores <= 1;
     std::snprintf(buf, sizeof buf,
                   "{\n  \"bench\": \"sharded_anatomize\",\n"
                   "  \"n\": %lld,\n  \"l\": %lld,\n  \"seed\": %lld,\n"
                   "  \"hardware_threads\": %u,\n"
+                  "  \"invalid_single_core\": %s,\n"
                   "  \"speedup_asserted\": %s,\n  \"points\": [\n",
                   static_cast<long long>(config.n),
                   static_cast<long long>(config.l),
                   static_cast<long long>(config.seed), cores,
+                  single_core ? "true" : "false",
                   cores >= 8 ? "true" : "false");
     os << buf;
     for (size_t i = 0; i < points.size(); ++i) {
       const ShardPoint& p = points[i];
+      char speedup[64];
+      if (single_core && p.shards > 1) {
+        std::snprintf(speedup, sizeof speedup,
+                      "null, \"invalid_single_core\": true");
+      } else {
+        std::snprintf(speedup, sizeof speedup, "%.3f", p.speedup);
+      }
       std::snprintf(
           buf, sizeof buf,
           "    {\"shards\": %zu, \"shards_run\": %zu, \"merged\": %zu, "
-          "\"best_seconds\": %.6f, \"speedup\": %.3f, \"rce\": %.3f, "
+          "\"best_seconds\": %.6f, \"speedup\": %s, \"rce\": %.3f, "
           "\"rce_over_lower_bound\": %.9f, \"bound_factor\": %.9f, "
           "\"digest\": \"%016llx\"}%s\n",
-          p.shards, p.shards_run, p.merged, p.seconds, p.speedup, p.rce,
+          p.shards, p.shards_run, p.merged, p.seconds, speedup, p.rce,
           p.rce_over_lb, p.bound_factor,
           static_cast<unsigned long long>(p.digest),
           i + 1 < points.size() ? "," : "");

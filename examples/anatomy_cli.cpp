@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 
 #include "anatomy/anatomized_tables.h"
 #include "anatomy/anatomizer.h"
@@ -72,15 +73,13 @@ StatusOr<Table> ReadIntegerCsv(const std::string& path) {
                                      ": field count mismatch");
     }
     for (size_t c = 0; c < fields.size(); ++c) {
-      char* end = nullptr;
-      const std::string text(Trim(fields[c]));
-      const long v = std::strtol(text.c_str(), &end, 10);
-      if (end == text.c_str() || *end != '\0' || v < 0) {
-        return Status::InvalidArgument("line " + std::to_string(line_no) +
-                                       ": '" + text +
-                                       "' is not a non-negative integer");
-      }
-      maxima[c] = std::max(maxima[c], static_cast<Code>(v));
+      // Strict shared parser: trailing garbage and values that would
+      // saturate strtol (then silently truncate into Code) are errors.
+      StatusOr<int64_t> v = ParseInt64InRange(
+          Trim(fields[c]), 0, std::numeric_limits<Code>::max() - 1,
+          "line " + std::to_string(line_no));
+      if (!v.ok()) return v.status();
+      maxima[c] = std::max(maxima[c], static_cast<Code>(*v));
     }
   }
   std::vector<AttributeDef> defs;
@@ -95,14 +94,11 @@ StatusOr<std::vector<size_t>> ParseColumnList(const std::string& spec,
                                               size_t num_columns) {
   std::vector<size_t> out;
   for (const auto& part : Split(spec, ',')) {
-    char* end = nullptr;
-    const std::string text(Trim(part));
-    const long v = std::strtol(text.c_str(), &end, 10);
-    if (end == text.c_str() || *end != '\0' || v < 0 ||
-        static_cast<size_t>(v) >= num_columns) {
-      return Status::InvalidArgument("bad column index '" + text + "'");
-    }
-    out.push_back(static_cast<size_t>(v));
+    StatusOr<int64_t> v =
+        ParseInt64InRange(Trim(part), 0,
+                          static_cast<int64_t>(num_columns) - 1, "--qi");
+    if (!v.ok()) return v.status();
+    out.push_back(static_cast<size_t>(*v));
   }
   return out;
 }
@@ -168,12 +164,17 @@ int main(int argc, char** argv) {
   FlagParser parser;
   parser.AddString("input", &input, "integer-coded CSV with a header row");
   parser.AddString("qi", &qi_spec, "comma-separated QI column indices");
-  parser.AddInt64("sensitive", &sensitive, "sensitive column index");
-  parser.AddInt64("l", &l, "l-diversity parameter");
+  // Bounds on every integer flag that is later narrowed: before the shared
+  // range-checked parser, --l=99999999999999999999 saturated strtol and
+  // then truncated through static_cast<int>, and --shards=4x parsed as 4.
+  parser.AddInt64("sensitive", &sensitive, "sensitive column index", -1,
+                  INT32_MAX);
+  parser.AddInt64("l", &l, "l-diversity parameter", 1, INT32_MAX);
   parser.AddInt64("seed", &seed, "RNG seed for the random draws");
   parser.AddInt64("shards", &shards,
                   "row shards for the parallel build (1 = sequential; output "
-                  "depends only on seed and shards, never on thread count)");
+                  "depends only on seed and shards, never on thread count)",
+                  1, 1 << 20);
   parser.AddString("qit_out", &qit_out, "output path for the QIT CSV");
   parser.AddString("st_out", &st_out, "output path for the ST CSV");
   parser.AddString("bundle_out", &bundle_out,
@@ -245,10 +246,6 @@ int main(int argc, char** argv) {
   if (check_only) return 0;
 
   Die(CheckEligibility(md, static_cast<int>(l)));
-  if (shards < 1) {
-    std::fprintf(stderr, "--shards must be >= 1\n");
-    return 2;
-  }
   Partition partition;
   if (shards == 1) {
     Anatomizer anatomizer(AnatomizerOptions{

@@ -3,11 +3,14 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/string_util.h"
+
 namespace anatomy {
 
 void FlagParser::AddInt64(const std::string& name, int64_t* target,
-                          const std::string& help) {
-  flags_[name] = {Kind::kInt64, target, help, std::to_string(*target)};
+                          const std::string& help, int64_t min, int64_t max) {
+  flags_[name] = {Kind::kInt64, target, help, std::to_string(*target), min,
+                  max};
 }
 
 void FlagParser::AddDouble(const std::string& name, double* target,
@@ -37,12 +40,9 @@ Status FlagParser::SetValue(const std::string& name,
   char* end = nullptr;
   switch (info.kind) {
     case Kind::kInt64: {
-      errno = 0;
-      long long v = std::strtoll(value.c_str(), &end, 10);
-      if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
-        return Status::InvalidArgument("--" + name + ": bad int '" + value +
-                                       "'");
-      }
+      ANATOMY_ASSIGN_OR_RETURN(
+          const int64_t v,
+          ParseInt64InRange(value, info.min, info.max, "--" + name));
       *static_cast<int64_t*>(info.target) = v;
       return Status::OK();
     }

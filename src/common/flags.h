@@ -23,8 +23,12 @@ class FlagParser {
   FlagParser(const FlagParser&) = delete;
   FlagParser& operator=(const FlagParser&) = delete;
 
+  /// Integer flags parse through the shared strict ParseInt64 (no silent
+  /// saturation, no trailing garbage) and reject values outside
+  /// [min, max] with the bounds echoed in the error.
   void AddInt64(const std::string& name, int64_t* target,
-                const std::string& help);
+                const std::string& help, int64_t min = INT64_MIN,
+                int64_t max = INT64_MAX);
   void AddDouble(const std::string& name, double* target,
                  const std::string& help);
   void AddBool(const std::string& name, bool* target, const std::string& help);
@@ -47,6 +51,8 @@ class FlagParser {
     void* target;
     std::string help;
     std::string default_value;
+    int64_t min = 0;  // kInt64 only
+    int64_t max = 0;
   };
 
   Status SetValue(const std::string& name, const std::string& value);

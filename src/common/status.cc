@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kPermissionDenied:
+      return "PermissionDenied";
   }
   return "Unknown";
 }

@@ -28,6 +28,12 @@ enum class StatusCode {
   /// Stored data is unrecoverably lost or corrupted (e.g. a page failed its
   /// checksum). Retrying cannot help; the data must be re-derived.
   kDataLoss,
+  /// The caller is authenticated but not authorized for this operation —
+  /// a tenant session asked for a publication, column, aggregate, or epoch
+  /// its access level does not grant (src/serve/session.h). Deliberately
+  /// distinct from kInvalidArgument: the request is well-formed, the
+  /// policy says no.
+  kPermissionDenied,
 };
 
 /// Returns a human-readable name for a status code ("OK", "InvalidArgument"...).
@@ -72,6 +78,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

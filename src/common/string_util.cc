@@ -1,6 +1,8 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
 
 namespace anatomy {
 
@@ -42,6 +44,40 @@ std::string ToLower(std::string_view s) {
   std::string out(s);
   for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   return out;
+}
+
+StatusOr<int64_t> ParseInt64(std::string_view s) {
+  // strtoll needs a NUL terminator; string_view does not guarantee one.
+  const std::string text(s);
+  if (text.empty()) {
+    return Status::InvalidArgument("empty string is not an integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::InvalidArgument("'" + text +
+                                   "' overflows a 64-bit integer");
+  }
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("'" + text + "' is not an integer");
+  }
+  return static_cast<int64_t>(v);
+}
+
+StatusOr<int64_t> ParseInt64InRange(std::string_view s, int64_t min,
+                                    int64_t max, std::string_view what) {
+  StatusOr<int64_t> v = ParseInt64(s);
+  if (!v.ok()) {
+    return Status::InvalidArgument(std::string(what) + ": " +
+                                   v.status().message());
+  }
+  if (*v < min || *v > max) {
+    return Status::InvalidArgument(
+        std::string(what) + ": " + std::string(s) + " is outside [" +
+        std::to_string(min) + ", " + std::to_string(max) + "]");
+  }
+  return *v;
 }
 
 }  // namespace anatomy

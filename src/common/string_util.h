@@ -3,9 +3,12 @@
 #ifndef ANATOMY_COMMON_STRING_UTIL_H_
 #define ANATOMY_COMMON_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/status.h"
 
 namespace anatomy {
 
@@ -23,6 +26,20 @@ bool StartsWith(std::string_view s, std::string_view prefix);
 
 /// Lowercases ASCII characters.
 std::string ToLower(std::string_view s);
+
+/// Strict base-10 integer parse: the whole string must be one integer —
+/// no trailing garbage ("4x"), no empty input, and no silent saturation
+/// (strtoll's ERANGE clamp is reported as an error, so
+/// "99999999999999999999" is rejected instead of becoming INT64_MAX).
+/// This is the one integer parser every flag/CSV/CLI surface shares; raw
+/// strtol is banned from those paths (see common/flags.cc and
+/// examples/anatomy_cli.cpp for the bugs that motivated it).
+StatusOr<int64_t> ParseInt64(std::string_view s);
+
+/// ParseInt64 plus an inclusive range check, with the bounds echoed in the
+/// error message. `what` names the value being parsed ("--l", "column 3").
+StatusOr<int64_t> ParseInt64InRange(std::string_view s, int64_t min,
+                                    int64_t max, std::string_view what);
 
 }  // namespace anatomy
 

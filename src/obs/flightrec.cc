@@ -44,6 +44,11 @@ const char* ReasonCodeName(ReasonCode reason) {
     case ReasonCode::kCoordinatorKilled: return "coordinator-killed";
     case ReasonCode::kFaultInjected: return "fault-injected";
     case ReasonCode::kSloBurn: return "slo-burn";
+    case ReasonCode::kAccessDeniedPublication:
+      return "access-denied-publication";
+    case ReasonCode::kAccessDeniedColumn: return "access-denied-column";
+    case ReasonCode::kAccessDeniedAggregate: return "access-denied-aggregate";
+    case ReasonCode::kEpochBudgetExceeded: return "epoch-budget-exceeded";
   }
   return "unknown";
 }
@@ -77,6 +82,7 @@ const char* FlightEventTypeName(FlightEventType type) {
     case FlightEventType::kHedge: return "hedge";
     case FlightEventType::kFaultInjected: return "fault-injected";
     case FlightEventType::kSloTransition: return "slo-transition";
+    case FlightEventType::kAccessDenied: return "access-denied";
   }
   return "unknown";
 }

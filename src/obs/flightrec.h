@@ -73,6 +73,19 @@ enum class ReasonCode : uint8_t {
   kFaultInjected,
   /// An SLO burn-rate alert fired.
   kSloBurn,
+  /// Session access control (src/serve/session.h): the tenant's policy
+  /// does not grant the requested publication at all.
+  kAccessDeniedPublication,
+  /// The tenant may query the publication but not this QI column (as a
+  /// predicate or a SUM measure).
+  kAccessDeniedColumn,
+  /// The tenant may not run this aggregate kind (e.g. SUM disallowed).
+  kAccessDeniedAggregate,
+  /// The session's epoch-observation budget is spent: answering from yet
+  /// another republication epoch would let an algorithm-aware adversary
+  /// correlate more publications than the policy permits (Transparent
+  /// Anonymization's multi-publication attack surface).
+  kEpochBudgetExceeded,
 };
 
 /// Stable lowercase token for a reason code (never nullptr).
@@ -103,6 +116,9 @@ enum class FlightEventType : uint8_t {
   kHedge,
   kFaultInjected,
   kSloTransition,
+  /// A session request was refused by access policy (reason carries which
+  /// kAccessDenied*/kEpochBudgetExceeded rule fired).
+  kAccessDenied,
 };
 const char* FlightEventTypeName(FlightEventType type);
 

@@ -1,0 +1,68 @@
+#include "serve/catalog.h"
+
+#include <utility>
+
+namespace anatomy {
+namespace serve {
+
+ServePublication::ServePublication(const ServePublicationOptions& options,
+                                   Microdata md)
+    : options_(options), microdata_(std::move(md)) {
+  DistClusterOptions copts;
+  copts.nodes = options_.nodes;
+  copts.l = options_.l;
+  copts.seed = options_.seed;
+  cluster_ = std::make_unique<DistCluster>(copts);
+  estimator_ =
+      std::make_unique<ScatterGatherEstimator>(cluster_.get(), options_.query);
+}
+
+StatusOr<EpochPublishReport> ServePublication::RepublishEpoch(
+    const Microdata* fresh, SwapKillPoint kill) {
+  if (fresh != nullptr) {
+    // Swap the catalog's microdata only after the cluster accepted it: a
+    // failed publish leaves both the fleet and the catalog on the old epoch.
+    auto report = cluster_->PublishEpoch(*fresh, kill);
+    if (report.ok()) microdata_ = *fresh;
+    return report;
+  }
+  return cluster_->PublishEpoch(microdata_, kill);
+}
+
+StatusOr<ServePublication*> PublicationCatalog::Add(
+    const ServePublicationOptions& options, Microdata md) {
+  if (options.name.empty()) {
+    return Status::InvalidArgument("publication name must not be empty");
+  }
+  if (Find(options.name) != nullptr) {
+    return Status::InvalidArgument("duplicate publication name '" +
+                                   options.name + "'");
+  }
+  auto pub = std::unique_ptr<ServePublication>(
+      new ServePublication(options, std::move(md)));
+  auto report = pub->cluster()->PublishEpoch(pub->microdata());
+  if (!report.ok()) {
+    return Status(report.status().code(),
+                  "initial publish of '" + options.name +
+                      "' failed: " + report.status().message());
+  }
+  publications_.push_back(std::move(pub));
+  return publications_.back().get();
+}
+
+ServePublication* PublicationCatalog::Find(const std::string& name) {
+  for (const auto& pub : publications_) {
+    if (pub->name() == name) return pub.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> PublicationCatalog::Names() const {
+  std::vector<std::string> names;
+  names.reserve(publications_.size());
+  for (const auto& pub : publications_) names.push_back(pub->name());
+  return names;
+}
+
+}  // namespace serve
+}  // namespace anatomy

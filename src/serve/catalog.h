@@ -1,0 +1,121 @@
+// PublicationCatalog: the named-publication registry behind anatomy_serve.
+//
+// Each catalog entry is one (dataset, l) publication served by its own
+// DistCluster — per-node crash-consistent StorageManifest chains, the
+// two-phase PREPARE/COMMIT epoch swap, and a ScatterGatherEstimator with
+// deadlines/hedging/honest degradation. The catalog is what turns the
+// batch pipeline into a multi-tenant serving surface: several datasets and
+// l values live side by side, each republishing on its own schedule.
+//
+// Copy-on-write epoch swaps: RepublishEpoch runs the cluster's two-phase
+// swap, during which the previous epoch's publication keeps serving — the
+// PREPARE phase writes the new shard publications NEXT TO the old ones,
+// and only the single COMMIT page write flips the fleet. The serve loop
+// (src/serve/server.h) models the rebuild as a virtual-time window of
+// RebuildWindowNs() on a publisher lane; queries arriving inside the
+// window are answered by the old epoch with their normal latency — never
+// blocked on the rebuild (asserted by bench_serve).
+
+#ifndef ANATOMY_SERVE_CATALOG_H_
+#define ANATOMY_SERVE_CATALOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/cluster.h"
+#include "dist/scatter_gather.h"
+#include "table/table.h"
+
+namespace anatomy {
+namespace serve {
+
+struct ServePublicationOptions {
+  /// Catalog key; also the label on this publication's metrics
+  /// (serve.pub.<name>.*). Must be non-empty and unique in the catalog.
+  std::string name;
+  /// Storage nodes of this publication's cluster.
+  size_t nodes = 2;
+  int l = 4;
+  uint64_t seed = 1;
+  /// Deadline/hedging/retry policy of this publication's queries.
+  DistQueryOptions query;
+  /// Virtual-time cost model of one epoch rebuild (the COW swap window the
+  /// serve loop charges on the publisher lane): floor + ns_per_row * rows.
+  uint64_t rebuild_floor_ns = 2'000'000;
+  uint64_t rebuild_ns_per_row = 400;
+};
+
+/// One named publication: a cluster, its estimator, and the microdata the
+/// current epoch was anatomized from. Construction is via
+/// PublicationCatalog::Add only.
+class ServePublication {
+ public:
+  ServePublication(const ServePublication&) = delete;
+  ServePublication& operator=(const ServePublication&) = delete;
+
+  const std::string& name() const { return options_.name; }
+  int l() const { return options_.l; }
+  uint64_t epoch() const { return cluster_->epoch(); }
+  uint64_t total_rows() const { return cluster_->total_rows(); }
+  DistCluster* cluster() { return cluster_.get(); }
+  ScatterGatherEstimator* estimator() { return estimator_.get(); }
+  const Microdata& microdata() const { return microdata_; }
+  const ServePublicationOptions& options() const { return options_; }
+
+  /// Virtual width of the COW swap window for this publication's current
+  /// row count.
+  uint64_t RebuildWindowNs() const {
+    return options_.rebuild_floor_ns +
+           options_.rebuild_ns_per_row * microdata_.table.num_rows();
+  }
+
+  /// Two-phase COW epoch swap (see dist/cluster.h). Republishes the
+  /// current microdata when `fresh` is null (a Section-7 re-anatomization:
+  /// the per-epoch seed derivation gives a new partition), or swaps in new
+  /// microdata. On any failure the old epoch keeps serving.
+  StatusOr<EpochPublishReport> RepublishEpoch(
+      const Microdata* fresh = nullptr,
+      SwapKillPoint kill = SwapKillPoint::kNone);
+
+ private:
+  friend class PublicationCatalog;
+  ServePublication(const ServePublicationOptions& options, Microdata md);
+
+  ServePublicationOptions options_;
+  Microdata microdata_;
+  std::unique_ptr<DistCluster> cluster_;
+  std::unique_ptr<ScatterGatherEstimator> estimator_;
+};
+
+/// Insertion-ordered registry of named publications. Not thread-safe: the
+/// serve loop drives it from one simulation thread.
+class PublicationCatalog {
+ public:
+  PublicationCatalog() = default;
+  PublicationCatalog(const PublicationCatalog&) = delete;
+  PublicationCatalog& operator=(const PublicationCatalog&) = delete;
+
+  /// Builds the cluster and publishes epoch 1 from `md`. Fails on duplicate
+  /// or empty names, or if the initial publish fails (the entry is not
+  /// added).
+  StatusOr<ServePublication*> Add(const ServePublicationOptions& options,
+                                  Microdata md);
+
+  /// nullptr when the name is not in the catalog.
+  ServePublication* Find(const std::string& name);
+
+  size_t size() const { return publications_.size(); }
+  ServePublication* at(size_t i) { return publications_[i].get(); }
+  std::vector<std::string> Names() const;
+
+ private:
+  std::vector<std::unique_ptr<ServePublication>> publications_;
+};
+
+}  // namespace serve
+}  // namespace anatomy
+
+#endif  // ANATOMY_SERVE_CATALOG_H_

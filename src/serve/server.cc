@@ -1,0 +1,342 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+#include <utility>
+
+namespace anatomy {
+namespace serve {
+
+namespace {
+
+/// Virtual cost of a request the policy refused at the front door (or that
+/// named a missing publication): the check runs before any fan-out.
+constexpr uint64_t kAdmissionNs = 1'000;
+
+struct SwapState {
+  enum class Phase { kPending, kWindowOpen, kDone };
+  EpochSwapSpec spec;
+  ServePublication* pub = nullptr;
+  SwapOutcome outcome;
+  Phase phase = Phase::kPending;
+};
+
+struct RegressionState {
+  LatencyRegressionSpec spec;
+  ServePublication* pub = nullptr;
+  bool armed = false;
+  bool healed = false;
+};
+
+void ArmNodes(ServePublication* pub, const FaultSpec& spec) {
+  DistCluster* cluster = pub->cluster();
+  for (size_t i = 0; i < cluster->num_nodes(); ++i) {
+    cluster->node(i)->fault_disk()->ReArm(spec);
+  }
+}
+
+void ExecuteSwap(SwapState& swap) {
+  SwapOutcome& out = swap.outcome;
+  auto report = swap.pub->RepublishEpoch(nullptr, swap.spec.kill);
+  if (swap.spec.kill != SwapKillPoint::kNone) {
+    // A killed swap returns kUnavailable by contract; recovery must land
+    // the fleet on exactly one consistent epoch before serving resumes.
+    out.killed = true;
+    const Status recovered = swap.pub->cluster()->Recover();
+    out.recovered = recovered.ok();
+    out.ok = out.recovered;
+    out.status = recovered.ok() ? "killed+recovered" : recovered.ToString();
+  } else if (report.ok()) {
+    out.ok = true;
+    out.status = "ok";
+  } else {
+    out.status = report.status().ToString();
+  }
+  out.epoch_after = swap.pub->epoch();
+  swap.phase = SwapState::Phase::kDone;
+}
+
+}  // namespace
+
+AnatomyServer::AnatomyServer(PublicationCatalog* catalog,
+                             obs::MetricRegistry* registry,
+                             obs::FlightRecorder* recorder)
+    : catalog_(catalog),
+      registry_(registry != nullptr ? registry : &obs::MetricRegistry::Global()),
+      recorder_(recorder) {}
+
+Status AnatomyServer::AddTenant(const std::string& name, TenantPolicy policy) {
+  if (name.empty()) {
+    return Status::InvalidArgument("tenant name must not be empty");
+  }
+  if (FindTenant(name) != nullptr) {
+    return Status::InvalidArgument("duplicate tenant '" + name + "'");
+  }
+  sessions_.push_back(
+      std::make_unique<Session>(name, std::move(policy), catalog_, recorder_));
+  return Status::OK();
+}
+
+Session* AnatomyServer::FindTenant(const std::string& name) {
+  for (const auto& session : sessions_) {
+    if (session->tenant() == name) return session.get();
+  }
+  return nullptr;
+}
+
+StatusOr<ServeReport> AnatomyServer::Run(const ServeLoopOptions& options) {
+  if (options.coordinator_workers == 0) {
+    return Status::InvalidArgument("coordinator_workers must be >= 1");
+  }
+  if (options.duration_ns == 0) {
+    return Status::InvalidArgument("duration_ns must be positive");
+  }
+  ANATOMY_ASSIGN_OR_RETURN(TrafficGenerator traffic,
+                           TrafficGenerator::Create(options.traffic, catalog_));
+
+  // Resolve every traffic class to its session + publication up front, so a
+  // misconfigured schedule fails before any request runs.
+  const size_t num_classes = options.traffic.classes.size();
+  std::vector<Session*> class_session(num_classes, nullptr);
+  std::vector<ServePublication*> class_pub(num_classes, nullptr);
+  for (size_t i = 0; i < num_classes; ++i) {
+    const TenantTrafficClass& spec = options.traffic.classes[i];
+    class_session[i] = FindTenant(spec.tenant);
+    if (class_session[i] == nullptr) {
+      return Status::InvalidArgument("traffic class " + std::to_string(i) +
+                                     " names unknown tenant '" + spec.tenant +
+                                     "'");
+    }
+    class_pub[i] = catalog_->Find(spec.publication);
+  }
+
+  std::vector<SwapState> swaps;
+  for (const EpochSwapSpec& spec : options.swaps) {
+    SwapState state;
+    state.spec = spec;
+    state.pub = catalog_->Find(spec.publication);
+    if (state.pub == nullptr) {
+      return Status::InvalidArgument("swap names unknown publication '" +
+                                     spec.publication + "'");
+    }
+    state.outcome.publication = spec.publication;
+    state.outcome.status = "window not reached before end of run";
+    swaps.push_back(std::move(state));
+  }
+  std::sort(swaps.begin(), swaps.end(),
+            [](const SwapState& a, const SwapState& b) {
+              return a.spec.at_ns < b.spec.at_ns;
+            });
+
+  std::vector<RegressionState> regressions;
+  for (const LatencyRegressionSpec& spec : options.regressions) {
+    RegressionState state;
+    state.spec = spec;
+    state.pub = catalog_->Find(spec.publication);
+    if (state.pub == nullptr) {
+      return Status::InvalidArgument("regression names unknown publication '" +
+                                     spec.publication + "'");
+    }
+    if (spec.end_ns <= spec.start_ns) {
+      return Status::InvalidArgument("regression window must have end > start");
+    }
+    regressions.push_back(std::move(state));
+  }
+
+  obs::Histogram* hist_request = registry_->GetHistogram("serve.request_ns");
+  obs::Histogram* hist_queue = registry_->GetHistogram("serve.queue_ns");
+  registry_->SetHelp("serve.request_ns",
+                     "End-to-end virtual request latency (queue + fan-out)");
+  registry_->SetHelp("serve.queue_ns",
+                     "Admission-to-service-start queueing delay");
+  obs::Counter* ctr_requests = registry_->GetCounter("serve.requests");
+  obs::Counter* ctr_answered = registry_->GetCounter("serve.answered");
+  obs::Counter* ctr_denied = registry_->GetCounter("serve.denied");
+  obs::Counter* ctr_degraded = registry_->GetCounter("serve.degraded");
+  obs::Counter* ctr_unavailable = registry_->GetCounter("serve.unavailable");
+  std::vector<obs::Histogram*> tenant_hist;
+  std::vector<uint64_t> tenant_requests(sessions_.size(), 0);
+  std::vector<uint64_t> tenant_exact(sessions_.size(), 0);
+  std::vector<uint64_t> tenant_partial(sessions_.size(), 0);
+  for (const auto& session : sessions_) {
+    tenant_hist.push_back(registry_->GetHistogram("serve.tenant." +
+                                                  session->tenant() +
+                                                  ".request_ns"));
+  }
+
+  obs::SloEngine slo(registry_);
+  if (options.slo_enabled) {
+    obs::SloObjective objective;
+    objective.name = "serve-latency";
+    objective.kind = obs::SloObjective::Kind::kLatencyThreshold;
+    objective.histogram = "serve.request_ns";
+    objective.threshold_ns = options.slo_threshold_ns;
+    objective.target = options.slo_target;
+    slo.AddObjective(objective);
+  }
+
+  ServeReport report;
+  bool slo_was_firing = false;
+  uint64_t next_tick_ns = options.slo_tick_interval_ns;
+
+  // The coordinator pool: a min-heap of lane free times. An admitted
+  // request starts on the earliest-free lane, no earlier than its arrival.
+  std::priority_queue<uint64_t, std::vector<uint64_t>, std::greater<uint64_t>>
+      lanes;
+  for (size_t i = 0; i < options.coordinator_workers; ++i) lanes.push(0);
+
+  auto process_control = [&](uint64_t now_ns) {
+    for (RegressionState& reg : regressions) {
+      if (!reg.armed && reg.spec.start_ns <= now_ns) {
+        reg.armed = true;
+        ArmNodes(reg.pub, reg.spec.fault);
+      }
+      if (reg.armed && !reg.healed && reg.spec.end_ns <= now_ns) {
+        reg.healed = true;
+        // All-zero rates: fault-free schedule from here on.
+        ArmNodes(reg.pub, FaultSpec{});
+      }
+    }
+    for (SwapState& swap : swaps) {
+      if (swap.phase == SwapState::Phase::kPending &&
+          swap.spec.at_ns <= now_ns) {
+        swap.phase = SwapState::Phase::kWindowOpen;
+        swap.outcome.window_start_ns = swap.spec.at_ns;
+        swap.outcome.commit_ns = swap.spec.at_ns + swap.pub->RebuildWindowNs();
+        swap.outcome.epoch_before = swap.pub->epoch();
+      }
+      if (swap.phase == SwapState::Phase::kWindowOpen &&
+          swap.outcome.commit_ns <= now_ns) {
+        ExecuteSwap(swap);
+      }
+    }
+    while (options.slo_enabled && next_tick_ns <= now_ns) {
+      slo.Tick(next_tick_ns);
+      const bool firing = slo.status(0).firing;
+      if (firing && !slo_was_firing) report.slo_fired = true;
+      if (!firing && slo_was_firing) report.slo_resolved = true;
+      slo_was_firing = firing;
+      next_tick_ns += options.slo_tick_interval_ns;
+    }
+  };
+
+  while (true) {
+    TrafficRequest req = traffic.Next();
+    if (req.arrival_ns >= options.duration_ns) break;
+    const uint64_t now = req.arrival_ns;
+    process_control(now);
+
+    Session* session = class_session[req.class_index];
+    const std::string& pub_name =
+        options.traffic.classes[req.class_index].publication;
+    ServePublication* pub = class_pub[req.class_index];
+
+    // COW window accounting: a request admitted inside an open swap window
+    // must be answered by the window's pre-swap epoch — count it, and count
+    // any violation as blocked.
+    SwapState* open_swap = nullptr;
+    for (SwapState& swap : swaps) {
+      if (swap.phase == SwapState::Phase::kWindowOpen &&
+          swap.spec.publication == pub_name && now >= swap.spec.at_ns) {
+        open_swap = &swap;
+        ++swap.outcome.queries_during_window;
+        break;
+      }
+    }
+
+    auto estimate = session->Query(pub_name, req.query, now);
+
+    if (open_swap != nullptr &&
+        open_swap->pub->epoch() != open_swap->outcome.epoch_before) {
+      ++open_swap->outcome.queries_blocked;
+    }
+
+    uint64_t service_ns = kAdmissionNs;
+    if (estimate.ok()) {
+      service_ns = estimate.value().virtual_ns;
+    } else if (estimate.status().code() == StatusCode::kUnavailable &&
+               pub != nullptr) {
+      // An unavailable answer still burned its whole deadline fanning out.
+      service_ns = pub->options().query.deadline_ns;
+    }
+
+    const uint64_t start_ns = std::max(now, lanes.top());
+    lanes.pop();
+    const uint64_t finish_ns = start_ns + service_ns;
+    lanes.push(finish_ns);
+    const uint64_t queue_ns = start_ns - now;
+    const uint64_t latency_ns = finish_ns - now;
+
+    ++report.requests;
+    ctr_requests->Increment();
+    hist_request->Record(latency_ns);
+    hist_queue->Record(queue_ns);
+    report.end_ns = std::max(report.end_ns, finish_ns);
+
+    size_t tenant_index = 0;
+    for (size_t i = 0; i < sessions_.size(); ++i) {
+      if (sessions_[i].get() == session) tenant_index = i;
+    }
+    tenant_hist[tenant_index]->Record(latency_ns);
+    ++tenant_requests[tenant_index];
+
+    if (estimate.ok()) {
+      ++report.answered;
+      ctr_answered->Increment();
+      if (estimate.value().exact) {
+        ++tenant_exact[tenant_index];
+      } else {
+        ++report.degraded;
+        ctr_degraded->Increment();
+        ++tenant_partial[tenant_index];
+      }
+    } else if (estimate.status().code() == StatusCode::kPermissionDenied) {
+      ++report.denied;
+      ctr_denied->Increment();
+    } else if (estimate.status().code() == StatusCode::kNotFound) {
+      ++report.not_found;
+    } else {
+      ++report.unavailable;
+      ctr_unavailable->Increment();
+    }
+  }
+
+  // Past the last admitted arrival: run every remaining due control event,
+  // then complete any swap whose window opened but whose commit lies beyond
+  // the final arrival — the rebuild finishes even with no traffic to watch.
+  process_control(options.duration_ns);
+  for (SwapState& swap : swaps) {
+    if (swap.phase == SwapState::Phase::kWindowOpen) ExecuteSwap(swap);
+  }
+  if (options.slo_enabled) {
+    slo.Tick(std::max(next_tick_ns, report.end_ns + 1));
+    const bool firing = slo.status(0).firing;
+    if (firing && !slo_was_firing) report.slo_fired = true;
+    if (!firing && slo_was_firing) report.slo_resolved = true;
+    report.slo_transitions = slo.status(0).transitions;
+  }
+
+  report.p50_ns = hist_request->Quantile(0.5);
+  report.p99_ns = hist_request->Quantile(0.99);
+  report.max_ns = hist_request->max();
+  report.queue_p99_ns = hist_queue->Quantile(0.99);
+  for (SwapState& swap : swaps) report.swaps.push_back(swap.outcome);
+  for (size_t i = 0; i < sessions_.size(); ++i) {
+    TenantReport tenant;
+    tenant.tenant = sessions_[i]->tenant();
+    tenant.requests = tenant_requests[i];
+    tenant.answered = sessions_[i]->stats().answered;
+    tenant.denied = sessions_[i]->stats().denied;
+    tenant.errors = sessions_[i]->stats().errors;
+    tenant.exact = tenant_exact[i];
+    tenant.partial = tenant_partial[i];
+    tenant.p50_ns = tenant_hist[i]->Quantile(0.5);
+    tenant.p99_ns = tenant_hist[i]->Quantile(0.99);
+    report.tenants.push_back(std::move(tenant));
+  }
+  return report;
+}
+
+}  // namespace serve
+}  // namespace anatomy

@@ -1,0 +1,187 @@
+// AnatomyServer: the always-on serve loop over a PublicationCatalog.
+//
+// Run() plays an open-loop traffic schedule (serve/traffic.h) against
+// per-tenant Sessions (serve/session.h) in VIRTUAL time, modelling a small
+// coordinator pool: each admitted request waits for a free coordinator
+// lane, then costs its estimator's virtual fan-out latency. End-to-end
+// latency = queueing delay + fan-out — so overload shows up as queueing
+// (the open-loop schedule never thins), and every p50/p99 in the report is
+// reproducible from the seed.
+//
+// Control planes that run DURING traffic, interleaved on the same clock:
+//
+//   * Epoch swaps (EpochSwapSpec): at `at_ns` a copy-on-write rebuild
+//     window of RebuildWindowNs() opens for the named publication. The old
+//     epoch keeps answering every query arriving inside the window — the
+//     cluster's PREPARE writes next to the live epoch and only the single
+//     COMMIT page write (at the window's end) flips the fleet. The report
+//     counts queries answered inside each window and asserts none were
+//     blocked or served by the wrong epoch. A SwapKillPoint turns the swap
+//     into a chaos experiment: the coordinator "crashes" at that phase and
+//     Recover() restores a consistent epoch before serving continues.
+//
+//   * Latency regressions (LatencyRegressionSpec): at start_ns a FaultSpec
+//     (typically Pareto stalls) is armed on every node of a publication
+//     and healed at end_ns — the lever that makes the latency SLO fire and
+//     then resolve, deterministically.
+//
+//   * SLO ticks: an obs::SloEngine latency objective over the server's
+//     request histogram is ticked on a fixed virtual cadence; fire/resolve
+//     edges land in the report (and, via the engine, in the flight
+//     recorder and metrics every export already has).
+
+#ifndef ANATOMY_SERVE_SERVER_H_
+#define ANATOMY_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/flightrec.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+#include "serve/catalog.h"
+#include "serve/session.h"
+#include "serve/traffic.h"
+#include "storage/fault_injection.h"
+
+namespace anatomy {
+namespace serve {
+
+struct EpochSwapSpec {
+  std::string publication;
+  /// Virtual time the COW rebuild window opens; the COMMIT flip lands at
+  /// at_ns + RebuildWindowNs().
+  uint64_t at_ns = 0;
+  /// kNone = clean swap; otherwise the coordinator is killed at that phase
+  /// and recovery runs before serving continues.
+  SwapKillPoint kill = SwapKillPoint::kNone;
+};
+
+struct LatencyRegressionSpec {
+  std::string publication;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  /// Armed on every node disk of the publication at start_ns, healed (all
+  /// rates zero) at end_ns. Defaults to a heavy Pareto stall schedule.
+  FaultSpec fault = DefaultRegressionFault();
+
+  static FaultSpec DefaultRegressionFault() {
+    FaultSpec spec;
+    spec.stall_rate = 0.9;
+    spec.stall_scale_us = 2'000.0;
+    spec.stall_alpha = 1.2;
+    return spec;
+  }
+};
+
+struct ServeLoopOptions {
+  TrafficOptions traffic;
+  /// Virtual length of the run; arrivals past this are not admitted.
+  uint64_t duration_ns = 1'000'000'000;
+  /// Concurrent coordinator lanes requests queue for.
+  size_t coordinator_workers = 4;
+  std::vector<EpochSwapSpec> swaps;
+  std::vector<LatencyRegressionSpec> regressions;
+  /// Latency SLO over serve.request_ns: at most (1 - target) of requests
+  /// may exceed the threshold. Threshold at a bucket bound (2^23 - 1 ns,
+  /// ~8.4ms) so the verdict is exact (see obs/slo.h).
+  bool slo_enabled = true;
+  uint64_t slo_threshold_ns = (1ull << 23) - 1;
+  double slo_target = 0.95;
+  uint64_t slo_tick_interval_ns = 20'000'000;
+};
+
+/// One swap's observed outcome.
+struct SwapOutcome {
+  std::string publication;
+  uint64_t window_start_ns = 0;
+  /// Window end = the COMMIT flip's virtual time.
+  uint64_t commit_ns = 0;
+  uint64_t epoch_before = 0;
+  uint64_t epoch_after = 0;
+  /// Requests for this publication admitted inside the window — all served
+  /// by epoch_before.
+  uint64_t queries_during_window = 0;
+  /// Requests the swap prevented from being served, or served by an epoch
+  /// other than the window's: always 0 under COW; reported so the bench
+  /// can assert it rather than trust it.
+  uint64_t queries_blocked = 0;
+  bool ok = false;
+  bool killed = false;
+  /// A killed swap was followed by a successful Recover().
+  bool recovered = false;
+  std::string status;
+};
+
+struct TenantReport {
+  std::string tenant;
+  uint64_t requests = 0;
+  uint64_t answered = 0;
+  uint64_t denied = 0;
+  uint64_t errors = 0;
+  uint64_t exact = 0;
+  uint64_t partial = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+};
+
+struct ServeReport {
+  uint64_t requests = 0;
+  uint64_t answered = 0;
+  uint64_t denied = 0;
+  /// Answered but partial (some node lost/late; honestly labeled).
+  uint64_t degraded = 0;
+  /// Clean whole-query failures (kUnavailable from the estimator).
+  uint64_t unavailable = 0;
+  /// Allowed-by-policy but not in the catalog (operational error).
+  uint64_t not_found = 0;
+  /// Virtual time the last admitted request completed.
+  uint64_t end_ns = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t max_ns = 0;
+  /// Queueing delay (admission to service start) at p99.
+  uint64_t queue_p99_ns = 0;
+  std::vector<SwapOutcome> swaps;
+  std::vector<TenantReport> tenants;
+  /// Latency SLO edges observed during the run.
+  bool slo_fired = false;
+  bool slo_resolved = false;
+  uint64_t slo_transitions = 0;
+};
+
+/// Owns the tenant sessions and the serve loop. Single-threaded: the loop
+/// is a deterministic virtual-time simulation (see dist/node.h).
+class AnatomyServer {
+ public:
+  /// `catalog` must outlive the server. `registry` receives the serve.*
+  /// metrics (nullptr = global registry); pass a private registry when
+  /// multiple servers run in one process.
+  explicit AnatomyServer(
+      PublicationCatalog* catalog, obs::MetricRegistry* registry = nullptr,
+      obs::FlightRecorder* recorder = &obs::FlightRecorder::Global());
+
+  /// Registers a tenant; duplicate names are errors.
+  Status AddTenant(const std::string& name, TenantPolicy policy);
+  Session* FindTenant(const std::string& name);
+
+  /// Plays the schedule to completion and reports. Fails fast on malformed
+  /// options (unknown tenants/publications, bad traffic specs).
+  StatusOr<ServeReport> Run(const ServeLoopOptions& options);
+
+  obs::MetricRegistry* registry() { return registry_; }
+
+ private:
+  PublicationCatalog* catalog_;
+  obs::MetricRegistry* registry_;
+  obs::FlightRecorder* recorder_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace serve
+}  // namespace anatomy
+
+#endif  // ANATOMY_SERVE_SERVER_H_

@@ -1,0 +1,121 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace anatomy {
+namespace serve {
+
+bool TenantPolicy::AllowsPublication(const std::string& name) const {
+  return std::find(publications.begin(), publications.end(), name) !=
+         publications.end();
+}
+
+bool TenantPolicy::DeniesColumn(size_t qi_index) const {
+  return std::find(denied_qi_columns.begin(), denied_qi_columns.end(),
+                   qi_index) != denied_qi_columns.end();
+}
+
+Session::Session(std::string tenant, TenantPolicy policy,
+                 PublicationCatalog* catalog, obs::FlightRecorder* recorder)
+    : tenant_(std::move(tenant)),
+      policy_(std::move(policy)),
+      catalog_(catalog),
+      recorder_(recorder) {}
+
+obs::ReasonCode Session::CheckPolicy(const std::string& publication,
+                                     const AggregateQuery& query) const {
+  if (!policy_.AllowsPublication(publication)) {
+    return obs::ReasonCode::kAccessDeniedPublication;
+  }
+  switch (query.kind) {
+    case AggregateKind::kCount:
+      if (!policy_.allow_count) return obs::ReasonCode::kAccessDeniedAggregate;
+      break;
+    case AggregateKind::kSum:
+      if (!policy_.allow_sum) return obs::ReasonCode::kAccessDeniedAggregate;
+      if (policy_.DeniesColumn(query.measure_qi)) {
+        return obs::ReasonCode::kAccessDeniedColumn;
+      }
+      break;
+    case AggregateKind::kAvg:
+      // The estimator rejects AVG anyway; policy-wise it needs both bits.
+      if (!policy_.allow_count || !policy_.allow_sum) {
+        return obs::ReasonCode::kAccessDeniedAggregate;
+      }
+      break;
+  }
+  for (const AttributePredicate& pred : query.predicates.qi_predicates) {
+    if (policy_.DeniesColumn(pred.qi_index())) {
+      return obs::ReasonCode::kAccessDeniedColumn;
+    }
+  }
+  return obs::ReasonCode::kNone;
+}
+
+void Session::LogDenial(obs::ReasonCode reason, uint64_t now_ns,
+                        int64_t detail) {
+  last_denial_ = reason;
+  ++stats_.denied;
+  obs::FlightRecord rec;
+  rec.t_ns = now_ns;
+  rec.type = obs::FlightEventType::kAccessDenied;
+  rec.reason = reason;
+  rec.detail = detail;
+  recorder_->Log(rec);
+}
+
+uint64_t Session::EpochsObserved(const std::string& publication) const {
+  uint64_t count = 0;
+  for (const auto& [name, epoch] : observed_epochs_) {
+    if (name == publication) ++count;
+  }
+  return count;
+}
+
+StatusOr<PartialEstimate> Session::Query(const std::string& publication,
+                                         const AggregateQuery& query,
+                                         uint64_t now_ns) {
+  last_denial_ = obs::ReasonCode::kNone;
+  const obs::ReasonCode denial = CheckPolicy(publication, query);
+  if (denial != obs::ReasonCode::kNone) {
+    LogDenial(denial, now_ns, /*detail=*/0);
+    return Status::PermissionDenied(
+        "tenant '" + tenant_ + "' denied on '" + publication +
+        "': " + obs::ReasonCodeName(denial));
+  }
+  ServePublication* pub = catalog_->Find(publication);
+  if (pub == nullptr) {
+    // Allowed by policy but absent from the catalog: an operational error,
+    // not a denial (the policy check above already refused outsiders, so
+    // this path leaks nothing they could not learn from their own policy).
+    ++stats_.errors;
+    return Status::NotFound("publication '" + publication +
+                            "' is not in the catalog");
+  }
+  const uint64_t epoch = pub->epoch();
+  const auto key = std::make_pair(publication, epoch);
+  if (observed_epochs_.find(key) == observed_epochs_.end() &&
+      policy_.epoch_budget > 0 &&
+      EpochsObserved(publication) >= policy_.epoch_budget) {
+    LogDenial(obs::ReasonCode::kEpochBudgetExceeded, now_ns,
+              static_cast<int64_t>(epoch));
+    return Status::PermissionDenied(
+        "tenant '" + tenant_ + "' epoch budget (" +
+        std::to_string(policy_.epoch_budget) + ") exhausted on '" +
+        publication + "' at epoch " + std::to_string(epoch));
+  }
+  auto estimate = pub->estimator()->Estimate(query);
+  if (!estimate.ok()) {
+    ++stats_.errors;
+    return estimate;
+  }
+  // Charge the budget only for answered queries: a refused or failed
+  // request taught the tenant nothing about this epoch's partition.
+  observed_epochs_.insert(key);
+  ++stats_.answered;
+  return estimate;
+}
+
+}  // namespace serve
+}  // namespace anatomy

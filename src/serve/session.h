@@ -1,0 +1,111 @@
+// Per-tenant sessions and access policy for anatomy_serve.
+//
+// A Session binds a tenant's access level to the catalog and is the only
+// query path the server exposes: every request is checked against the
+// tenant's TenantPolicy before it reaches a ScatterGatherEstimator. A
+// denial is a typed Status (kPermissionDenied) carrying a precise
+// obs::ReasonCode — the same by-value vocabulary the degradation ladder
+// and chaos assertions use — and every denial is logged to the flight
+// recorder as a kAccessDenied event, so "why was tenant X refused" is
+// answered by value-matching recorder events, never by parsing messages.
+//
+// Policy axes, least to most Anatomy-specific:
+//   * publications — allowlist of catalog names. A name outside the
+//     allowlist denies with kAccessDeniedPublication whether or not the
+//     publication exists: the policy check runs before the catalog lookup,
+//     so denials leak no catalog-membership oracle.
+//   * columns — QI columns the tenant may not touch, as predicates or as a
+//     SUM measure (kAccessDeniedColumn).
+//   * aggregates — COUNT/SUM allow bits (kAccessDeniedAggregate).
+//   * epoch budget — max distinct republication epochs a session may
+//     observe per publication (kEpochBudgetExceeded). Each republication
+//     re-partitions the same individuals into different QI-groups; an
+//     algorithm-aware adversary correlating answers across epochs learns
+//     more than any single publication reveals (the multi-publication
+//     attack surface of Transparent Anonymization, PAPERS.md), so the
+//     policy can cap how many epochs one session gets to see.
+
+#ifndef ANATOMY_SERVE_SESSION_H_
+#define ANATOMY_SERVE_SESSION_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/scatter_gather.h"
+#include "obs/flightrec.h"
+#include "query/aggregate.h"
+#include "serve/catalog.h"
+
+namespace anatomy {
+namespace serve {
+
+struct TenantPolicy {
+  /// Catalog names this tenant may query. Empty = nothing (deny-all).
+  std::vector<std::string> publications;
+  bool allow_count = true;
+  bool allow_sum = true;
+  /// QI indices this tenant may not reference (predicate or SUM measure).
+  std::vector<size_t> denied_qi_columns;
+  /// Max distinct epochs observable per publication; 0 = unlimited.
+  uint64_t epoch_budget = 0;
+
+  bool AllowsPublication(const std::string& name) const;
+  bool DeniesColumn(size_t qi_index) const;
+};
+
+/// Running denial/answer counters, exposed on the session for reports.
+struct SessionStats {
+  uint64_t answered = 0;
+  uint64_t denied = 0;
+  uint64_t errors = 0;
+};
+
+/// One tenant's handle onto the catalog. Not thread-safe (the serve loop
+/// owns it); `catalog` must outlive the session.
+class Session {
+ public:
+  Session(std::string tenant, TenantPolicy policy, PublicationCatalog* catalog,
+          obs::FlightRecorder* recorder = &obs::FlightRecorder::Global());
+
+  const std::string& tenant() const { return tenant_; }
+  const TenantPolicy& policy() const { return policy_; }
+  const SessionStats& stats() const { return stats_; }
+
+  /// Policy check, then estimator fan-out. Denials return kPermissionDenied
+  /// and set last_denial(); catalog misses (allowed name, no publication)
+  /// return kNotFound; estimator failures pass through. `now_ns` stamps the
+  /// flight events with the serve loop's virtual clock.
+  StatusOr<PartialEstimate> Query(const std::string& publication,
+                                  const AggregateQuery& query,
+                                  uint64_t now_ns = 0);
+
+  /// Reason of the most recent denial (kNone if the last Query was not
+  /// denied). Tests assert these by value.
+  obs::ReasonCode last_denial() const { return last_denial_; }
+
+  /// Distinct epochs this session has observed of `publication` so far.
+  uint64_t EpochsObserved(const std::string& publication) const;
+
+ private:
+  /// kNone when the policy admits the request; otherwise the denial code.
+  obs::ReasonCode CheckPolicy(const std::string& publication,
+                              const AggregateQuery& query) const;
+  void LogDenial(obs::ReasonCode reason, uint64_t now_ns, int64_t detail);
+
+  std::string tenant_;
+  TenantPolicy policy_;
+  PublicationCatalog* catalog_;
+  obs::FlightRecorder* recorder_;
+  SessionStats stats_;
+  obs::ReasonCode last_denial_ = obs::ReasonCode::kNone;
+  /// (publication, epoch) pairs already observed, for the epoch budget.
+  std::set<std::pair<std::string, uint64_t>> observed_epochs_;
+};
+
+}  // namespace serve
+}  // namespace anatomy
+
+#endif  // ANATOMY_SERVE_SESSION_H_

@@ -1,0 +1,78 @@
+#include "serve/traffic.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace anatomy {
+namespace serve {
+
+uint64_t TrafficGenerator::DrawGapNs(Rng& rng, double rate_qps) {
+  // Exponential inter-arrival: -ln(1-U)/rate seconds. NextDouble() is in
+  // [0, 1), so 1-U is in (0, 1] and the log is finite.
+  const double gap_s = -std::log(1.0 - rng.NextDouble()) / rate_qps;
+  return static_cast<uint64_t>(gap_s * 1e9);
+}
+
+TrafficGenerator::TrafficGenerator(std::vector<Lane> lanes)
+    : lanes_(std::move(lanes)) {}
+
+StatusOr<TrafficGenerator> TrafficGenerator::Create(
+    const TrafficOptions& options, PublicationCatalog* catalog) {
+  if (options.classes.empty()) {
+    return Status::InvalidArgument("traffic needs at least one tenant class");
+  }
+  std::vector<Lane> lanes;
+  lanes.reserve(options.classes.size());
+  for (size_t i = 0; i < options.classes.size(); ++i) {
+    const TenantTrafficClass& spec = options.classes[i];
+    if (!(spec.rate_qps > 0.0)) {
+      return Status::InvalidArgument("class " + std::to_string(i) +
+                                     " rate_qps must be positive");
+    }
+    ServePublication* pub = catalog->Find(spec.publication);
+    if (pub == nullptr) {
+      return Status::InvalidArgument("class " + std::to_string(i) +
+                                     " names unknown publication '" +
+                                     spec.publication + "'");
+    }
+    MixedWorkloadOptions wopts;
+    wopts.base.qd = spec.qd;
+    wopts.base.s = spec.selectivity;
+    // Two streams per lane, split off the master seed: 2i for query bodies,
+    // 2i+1 for arrival gaps. Adding a lane never perturbs existing lanes.
+    wopts.base.seed = SplitMix64(options.seed ^ (2 * i));
+    wopts.sum_fraction = spec.sum_fraction;
+    auto gen = MixedWorkloadGenerator::Create(pub->microdata(), wopts);
+    if (!gen.ok()) {
+      return Status(gen.status().code(), "class " + std::to_string(i) + ": " +
+                                             gen.status().message());
+    }
+    Lane lane{spec,
+              std::make_unique<MixedWorkloadGenerator>(std::move(gen).value()),
+              Rng::ForStream(options.seed, 2 * i + 1),
+              /*next_arrival_ns=*/0};
+    lane.next_arrival_ns = DrawGapNs(lane.arrivals, spec.rate_qps);
+    lanes.push_back(std::move(lane));
+  }
+  return TrafficGenerator(std::move(lanes));
+}
+
+TrafficRequest TrafficGenerator::Next() {
+  ANATOMY_CHECK(!lanes_.empty());
+  size_t best = 0;
+  for (size_t i = 1; i < lanes_.size(); ++i) {
+    if (lanes_[i].next_arrival_ns < lanes_[best].next_arrival_ns) best = i;
+  }
+  Lane& lane = lanes_[best];
+  TrafficRequest req;
+  req.arrival_ns = lane.next_arrival_ns;
+  req.class_index = best;
+  req.query = lane.queries->Next();
+  lane.next_arrival_ns += DrawGapNs(lane.arrivals, lane.spec.rate_qps);
+  return req;
+}
+
+}  // namespace serve
+}  // namespace anatomy

@@ -1,0 +1,97 @@
+// Open-loop traffic generation for anatomy_serve.
+//
+// Each tenant class is an independent Poisson arrival process over one
+// publication: inter-arrival gaps are exponential draws from the class's
+// own Rng stream (Rng::ForStream(seed, stream) — replay of one class never
+// depends on another's history), and the query bodies come from a
+// MixedWorkloadGenerator (Section 6.1 predicate shape, COUNT/SUM mix).
+// Open-loop means arrivals NEVER wait for completions: the schedule is
+// fixed by the seed alone, so a slow server builds queueing delay instead
+// of silently thinning the offered load — the failure mode closed-loop
+// generators hide (coordinated omission).
+//
+// The generator merges the per-class streams into one global
+// arrival-ordered sequence in VIRTUAL time. Nothing sleeps; the serve loop
+// (server.h) advances its clock to each arrival and does the queueing
+// arithmetic itself.
+
+#ifndef ANATOMY_SERVE_TRAFFIC_H_
+#define ANATOMY_SERVE_TRAFFIC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "query/aggregate.h"
+#include "serve/catalog.h"
+#include "workload/workload.h"
+
+namespace anatomy {
+namespace serve {
+
+struct TenantTrafficClass {
+  /// Session this class's requests run as (must match a server tenant).
+  std::string tenant;
+  /// Catalog publication the class queries.
+  std::string publication;
+  /// Mean arrival rate, in queries per virtual second.
+  double rate_qps = 1000.0;
+  /// COUNT/SUM mix and predicate shape for this class's query bodies.
+  double sum_fraction = 0.5;
+  double selectivity = 0.05;
+  /// 0 resolves to "all QI attributes" (WorkloadOptions::qd).
+  int qd = 0;
+};
+
+/// One arrival in the merged schedule.
+struct TrafficRequest {
+  uint64_t arrival_ns = 0;
+  /// Index into the class list the generator was built from.
+  size_t class_index = 0;
+  AggregateQuery query;
+};
+
+struct TrafficOptions {
+  std::vector<TenantTrafficClass> classes;
+  /// Master seed; class i draws from streams split off it.
+  uint64_t seed = 1;
+};
+
+/// K-way merge of the per-class Poisson streams. Deterministic: the full
+/// request sequence is a pure function of (options, class microdata).
+class TrafficGenerator {
+ public:
+  /// `catalog` supplies each class's microdata (for predicate domains) and
+  /// must outlive the generator. Fails if a class names an unknown
+  /// publication or has a non-positive rate.
+  static StatusOr<TrafficGenerator> Create(const TrafficOptions& options,
+                                           PublicationCatalog* catalog);
+
+  /// The next arrival in global virtual-time order. Ties break by class
+  /// index, so the merge is total and replayable.
+  TrafficRequest Next();
+
+  size_t num_classes() const { return lanes_.size(); }
+
+ private:
+  struct Lane {
+    TenantTrafficClass spec;
+    std::unique_ptr<MixedWorkloadGenerator> queries;
+    Rng arrivals;
+    /// Virtual arrival time of this lane's next (already drawn) request.
+    uint64_t next_arrival_ns = 0;
+  };
+
+  explicit TrafficGenerator(std::vector<Lane> lanes);
+  static uint64_t DrawGapNs(Rng& rng, double rate_qps);
+
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace serve
+}  // namespace anatomy
+
+#endif  // ANATOMY_SERVE_TRAFFIC_H_

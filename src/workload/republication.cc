@@ -1,6 +1,11 @@
 #include "workload/republication.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <optional>
+#include <thread>
+#include <utility>
 
 #include "anatomy/anatomized_tables.h"
 #include "anatomy/rce.h"
@@ -13,6 +18,37 @@
 #include "workload/parallel_runner.h"
 
 namespace anatomy {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One epoch's rebuild, possibly in flight on a side thread. The outcome is
+/// only read after Join(), so no synchronization beyond the join is needed.
+struct PendingRebuild {
+  std::thread thread;
+  std::optional<StatusOr<ShardedAnatomizeResult>> outcome;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+
+  void Join() {
+    if (thread.joinable()) thread.join();
+  }
+};
+
+uint64_t IntervalOverlapNs(uint64_t a_start, uint64_t a_end, uint64_t b_start,
+                           uint64_t b_end) {
+  const uint64_t lo = std::max(a_start, b_start);
+  const uint64_t hi = std::min(a_end, b_end);
+  return hi > lo ? hi - lo : 0;
+}
+
+}  // namespace
 
 StatusOr<RepublicationResult> RunRepublication(
     const Microdata& microdata, const RepublicationOptions& options) {
@@ -27,20 +63,38 @@ StatusOr<RepublicationResult> RunRepublication(
   ParallelRunner serving({.num_threads = options.num_threads,
                           .seed = options.seed});
 
+  // Rebuilds depend only on (microdata, l, seed, shards) — identical on any
+  // thread, so moving epoch e+1's rebuild under epoch e's serving changes
+  // timing fields only, never partitions or estimates.
+  auto run_rebuild = [&](size_t e) -> StatusOr<ShardedAnatomizeResult> {
+    ShardedAnatomizer anatomizer({.l = options.l,
+                                  .seed = SplitMix64(options.seed ^ e),
+                                  .shards = options.shards,
+                                  .num_threads = options.num_threads});
+    return anatomizer.Run(microdata);
+  };
+
+  // Epoch 0 has no previous epoch's serving to hide behind: fully exposed.
+  PendingRebuild pending;
+  pending.start_ns = NowNs();
+  pending.outcome.emplace(run_rebuild(0));
+  pending.end_ns = NowNs();
+
   RepublicationResult result;
   result.epochs.reserve(options.epochs);
+  /// Overlap of the NEXT-adopted epoch's rebuild with this iteration's
+  /// serving, computed at the bottom of the loop and consumed at the top.
+  uint64_t carried_overlap_ns = 0;
   for (size_t e = 0; e < options.epochs; ++e) {
     obs::ScopedSpan epoch_span("republication.epoch", "workload");
     RepublicationEpoch epoch;
     epoch.anatomize_seed = SplitMix64(options.seed ^ e);
+    epoch.rebuild_ns = pending.end_ns - pending.start_ns;
+    epoch.overlap_ns = std::min(carried_overlap_ns, epoch.rebuild_ns);
+    epoch.exposed_rebuild_ns = epoch.rebuild_ns - epoch.overlap_ns;
 
-    // ---- Rebuild: shard-parallel Anatomize with this epoch's seed. ----
-    ShardedAnatomizer anatomizer({.l = options.l,
-                                  .seed = epoch.anatomize_seed,
-                                  .shards = options.shards,
-                                  .num_threads = options.num_threads});
-    ANATOMY_ASSIGN_OR_RETURN(ShardedAnatomizeResult rebuild,
-                             anatomizer.Run(microdata));
+    if (!pending.outcome->ok()) return pending.outcome->status();
+    ShardedAnatomizeResult rebuild = std::move(*pending.outcome).value();
     epoch.shards_run = rebuild.shards_run;
     epoch.merged_shards = rebuild.merged_shards;
     epoch.num_groups = rebuild.partition.num_groups();
@@ -64,34 +118,71 @@ StatusOr<RepublicationResult> RunRepublication(
           " exceeds the sharded bound " + std::to_string(epoch.rce_bound));
     }
 
-    // ---- Serve: the epoch's workload against the fresh publication. ----
-    AnatomyEstimator estimator(tables);
-    WorkloadOptions workload = options.workload;
-    workload.seed = SplitMix64(options.seed ^ (0x5EEDULL + e));
-    ANATOMY_ASSIGN_OR_RETURN(MaterializedWorkload queries,
-                             serving.Materialize(microdata, exact, workload));
-    const std::vector<double> estimates =
-        serving.EstimateAll(estimator, queries.queries);
-    double total = 0.0;
-    for (size_t i = 0; i < queries.queries.size(); ++i) {
-      total += std::abs(estimates[i] -
-                        static_cast<double>(queries.actuals[i])) /
-               static_cast<double>(queries.actuals[i]);
+    // ---- COW: kick off the NEXT epoch's rebuild beside this serve. ----
+    PendingRebuild next;
+    if (e + 1 < options.epochs) {
+      next.start_ns = NowNs();
+      next.thread = std::thread([&next, &run_rebuild, e] {
+        next.outcome.emplace(run_rebuild(e + 1));
+        next.end_ns = NowNs();
+      });
     }
-    epoch.queries_evaluated = queries.queries.size();
-    epoch.anatomy_error =
-        epoch.queries_evaluated == 0
-            ? 0.0
-            : total / static_cast<double>(epoch.queries_evaluated);
+
+    // ---- Serve: the epoch's workload against the fresh publication. ----
+    // Wrapped so every early return joins the in-flight rebuild first.
+    const uint64_t serve_start_ns = NowNs();
+    const Status served = [&]() -> Status {
+      AnatomyEstimator estimator(tables);
+      WorkloadOptions workload = options.workload;
+      workload.seed = SplitMix64(options.seed ^ (0x5EEDULL + e));
+      ANATOMY_ASSIGN_OR_RETURN(MaterializedWorkload queries,
+                               serving.Materialize(microdata, exact,
+                                                   workload));
+      const std::vector<double> estimates =
+          serving.EstimateAll(estimator, queries.queries);
+      double total = 0.0;
+      for (size_t i = 0; i < queries.queries.size(); ++i) {
+        total += std::abs(estimates[i] -
+                          static_cast<double>(queries.actuals[i])) /
+                 static_cast<double>(queries.actuals[i]);
+      }
+      epoch.queries_evaluated = queries.queries.size();
+      epoch.anatomy_error =
+          epoch.queries_evaluated == 0
+              ? 0.0
+              : total / static_cast<double>(epoch.queries_evaluated);
+      return Status::OK();
+    }();
+    const uint64_t serve_end_ns = NowNs();
+    epoch.serve_ns = serve_end_ns - serve_start_ns;
+    next.Join();
+    if (!served.ok()) return served;
+
+    // The next epoch's rebuild just ran beside this epoch's serving; its
+    // hidden portion is the intersection of the two wall-clock windows,
+    // consumed when that epoch is adopted at the top of the next iteration.
+    carried_overlap_ns =
+        next.outcome.has_value()
+            ? IntervalOverlapNs(serve_start_ns, serve_end_ns, next.start_ns,
+                                next.end_ns)
+            : 0;
+
     result.mean_anatomy_error += epoch.anatomy_error;
+    result.total_rebuild_ns += epoch.rebuild_ns;
+    result.total_serve_ns += epoch.serve_ns;
+    result.total_overlap_ns += epoch.overlap_ns;
+    result.total_exposed_rebuild_ns += epoch.exposed_rebuild_ns;
 
     if (obs::MetricsEnabled()) {
       obs::MetricRegistry& registry = obs::MetricRegistry::Global();
       registry.GetCounter("republication.epochs")->Increment();
       registry.GetCounter("republication.queries")
           ->Increment(epoch.queries_evaluated);
+      registry.GetHistogram("republication.exposed_rebuild_ns")
+          ->Record(epoch.exposed_rebuild_ns);
     }
     result.epochs.push_back(epoch);
+    pending = std::move(next);
   }
   result.mean_anatomy_error /= static_cast<double>(options.epochs);
   return result;

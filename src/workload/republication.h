@@ -1,9 +1,19 @@
 // Re-publication under load: the scenario that motivates shard-parallel
 // Anatomize. A publisher that re-anatomizes its microdata on a schedule
 // (Section 7's dynamic setting) cannot stall the query tier for the length
-// of a sequential rebuild; each epoch therefore rebuilds the publication
-// with ShardedAnatomizer and then serves a workload against the fresh
-// tables with the ParallelRunner's machinery.
+// of a sequential rebuild; each epoch rebuilds the publication with
+// ShardedAnatomizer and serves a workload against the fresh tables with the
+// ParallelRunner's machinery.
+//
+// The rebuild is copy-on-write: epoch e+1's Anatomize only reads the
+// microdata and builds its own partition, so it runs on a side thread WHILE
+// epoch e's workload is being served — the query clock never pauses for a
+// rebuild. (An earlier revision stopped the world: serve, stop, rebuild,
+// resume, which under-reported serving throughput and over-reported epoch
+// cadence.) Each epoch reports its true timing: rebuild_ns, serve_ns, the
+// overlap_ns of its rebuild hidden behind the previous epoch's serving, and
+// the exposed_rebuild_ns remainder the query tier actually waited. Epoch
+// 0's rebuild has no serving to hide behind and is fully exposed.
 //
 // Determinism mirrors the rest of the library: epoch e anatomizes with seed
 // SplitMix64(seed ^ e), so the whole multi-epoch run is reproducible from
@@ -51,12 +61,29 @@ struct RepublicationEpoch {
   /// Average relative error |act - est| / act over the epoch's workload.
   double anatomy_error = 0.0;
   size_t queries_evaluated = 0;
+  /// Wall-clock duration of this epoch's Anatomize rebuild and of serving
+  /// its workload. Timing only — partitions and estimates are unaffected.
+  uint64_t rebuild_ns = 0;
+  uint64_t serve_ns = 0;
+  /// Portion of this epoch's rebuild that ran concurrently with the
+  /// previous epoch's serving (the COW overlap window), and the remainder
+  /// the query tier actually waited for. exposed_rebuild_ns + overlap_ns ==
+  /// rebuild_ns; epoch 0 is fully exposed.
+  uint64_t overlap_ns = 0;
+  uint64_t exposed_rebuild_ns = 0;
 };
 
 struct RepublicationResult {
   std::vector<RepublicationEpoch> epochs;
   /// Mean of the per-epoch anatomy errors.
   double mean_anatomy_error = 0.0;
+  /// Sums of the per-epoch timings. total_exposed_rebuild_ns is what the
+  /// query tier waited across the whole run; under COW it approaches
+  /// epoch 0's rebuild alone when serving is longer than rebuilding.
+  uint64_t total_rebuild_ns = 0;
+  uint64_t total_serve_ns = 0;
+  uint64_t total_overlap_ns = 0;
+  uint64_t total_exposed_rebuild_ns = 0;
 };
 
 /// Runs `options.epochs` rebuild-then-serve cycles on `microdata`. Fails if

@@ -349,5 +349,89 @@ TEST(StringUtilTest, TrimAndJoinAndCase) {
   EXPECT_EQ(ToLower("MiXeD"), "mixed");
 }
 
+// The strict integer parser shared by the flag parser, anatomy_cli, and
+// anatomy_serve. Every rejection here was a silent acceptance under the
+// old raw-strtol paths.
+
+TEST(StringUtilTest, ParseInt64AcceptsWholeIntegers) {
+  EXPECT_EQ(ParseInt64("0").value(), 0);
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-7").value(), -7);
+  EXPECT_EQ(ParseInt64("+13").value(), 13);
+  EXPECT_EQ(ParseInt64("9223372036854775807").value(), INT64_MAX);
+  EXPECT_EQ(ParseInt64("-9223372036854775808").value(), INT64_MIN);
+}
+
+TEST(StringUtilTest, ParseInt64RejectsTrailingGarbage) {
+  // strtol would happily return 4 for all of these.
+  EXPECT_FALSE(ParseInt64("4x").ok());
+  EXPECT_FALSE(ParseInt64("4 ").ok());
+  EXPECT_FALSE(ParseInt64("4.5").ok());
+  EXPECT_FALSE(ParseInt64("4e3").ok());
+}
+
+TEST(StringUtilTest, ParseInt64RejectsEmptyAndNonNumeric) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64(" ").ok());
+  EXPECT_FALSE(ParseInt64("abc").ok());
+  EXPECT_FALSE(ParseInt64("-").ok());
+  EXPECT_FALSE(ParseInt64("+").ok());
+}
+
+TEST(StringUtilTest, ParseInt64RejectsOverflowInsteadOfSaturating) {
+  // strtol clamps these to INT64_MAX/MIN with errno=ERANGE; the strict
+  // parser must surface the error, not the clamp.
+  EXPECT_FALSE(ParseInt64("9223372036854775808").ok());
+  EXPECT_FALSE(ParseInt64("-9223372036854775809").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999").ok());
+}
+
+TEST(StringUtilTest, ParseInt64InRangeEnforcesInclusiveBounds) {
+  EXPECT_EQ(ParseInt64InRange("2", 2, 1000, "--l").value(), 2);
+  EXPECT_EQ(ParseInt64InRange("1000", 2, 1000, "--l").value(), 1000);
+  const auto low = ParseInt64InRange("1", 2, 1000, "--l");
+  ASSERT_FALSE(low.ok());
+  // The error names the value and echoes the bounds.
+  EXPECT_NE(low.status().message().find("--l"), std::string::npos);
+  EXPECT_NE(low.status().message().find("2"), std::string::npos);
+  EXPECT_NE(low.status().message().find("1000"), std::string::npos);
+  EXPECT_FALSE(ParseInt64InRange("1001", 2, 1000, "--l").ok());
+  EXPECT_FALSE(ParseInt64InRange("2x", 2, 1000, "--l").ok());
+}
+
+TEST(FlagsTest, Int64FlagEnforcesDeclaredRange) {
+  int64_t l = 4;
+  FlagParser parser;
+  parser.AddInt64("l", &l, "l-diversity parameter", 2, 1000);
+  {
+    const char* argv[] = {"prog", "--l=1"};
+    EXPECT_FALSE(parser.Parse(2, const_cast<char**>(argv)).ok());
+  }
+  {
+    const char* argv[] = {"prog", "--l=1001"};
+    EXPECT_FALSE(parser.Parse(2, const_cast<char**>(argv)).ok());
+  }
+  {
+    const char* argv[] = {"prog", "--l=8"};
+    ASSERT_TRUE(parser.Parse(2, const_cast<char**>(argv)).ok());
+    EXPECT_EQ(l, 8);
+  }
+}
+
+TEST(FlagsTest, Int64FlagRejectsStrtolArtifacts) {
+  int64_t n = 0;
+  FlagParser parser;
+  parser.AddInt64("n", &n, "rows");
+  {
+    const char* argv[] = {"prog", "--n=100x"};
+    EXPECT_FALSE(parser.Parse(2, const_cast<char**>(argv)).ok());
+  }
+  {
+    const char* argv[] = {"prog", "--n=99999999999999999999"};
+    EXPECT_FALSE(parser.Parse(2, const_cast<char**>(argv)).ok());
+  }
+  EXPECT_EQ(n, 0);  // failed parses must not partially assign
+}
+
 }  // namespace
 }  // namespace anatomy

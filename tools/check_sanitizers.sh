@@ -17,6 +17,7 @@
 #   tools/check_sanitizers.sh chaos        # both sanitizers, dist serving + chaos sweep
 #   tools/check_sanitizers.sh slo          # both sanitizers, SLO + flight recorder + tracing
 #   tools/check_sanitizers.sh arena        # both sanitizers, memory substrate + its hot users
+#   tools/check_sanitizers.sh serve        # both sanitizers, serving layer + swap chaos
 #   tools/check_sanitizers.sh tsan -R parallel_query_test
 #                                          # extra args passed to ctest
 set -euo pipefail
@@ -100,6 +101,15 @@ if [[ $# -ge 1 ]]; then
       # query_kernels_test and sharded_anatomizer_test run the arena-on/off
       # bit-identity sweeps over the migrated hot structures.
       extra=(-R '^(arena_test|query_kernels_test|sharded_anatomizer_test)$')
+      shift
+      ;;
+    serve)
+      # The serving-layer smoke check: serve_test covers tenant denials,
+      # epoch-swap bit-identity, and the COW swap under open-loop load
+      # (the swap's shard-parallel rebuild gives TSan real concurrency),
+      # and chaos_test keeps the underlying two-phase swap honest under
+      # every kill point while ASan+UBSan watch the recovery error paths.
+      extra=(-R '^(serve_test|chaos_test)$')
       shift
       ;;
   esac
